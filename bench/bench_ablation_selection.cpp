@@ -1,0 +1,127 @@
+// Ablation study (ours, called out in DESIGN.md): how the design choices
+// inside parametric-aware selection trade overhead against security.
+//
+//  1. USL closure on/off — the paper argues the closure is what makes
+//     partial truth tables impossible; measure its cost (extra LUTs, power)
+//     and its benefit (accessible inputs I, hence Eq. 3 exponent).
+//  2. Path-pool sample rate — the paper samples 2% of components; sweep it.
+//  3. Per-path gate fraction — the paper's "predetermined number" of gates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "synth/generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stt;
+
+constexpr std::uint64_t kSeed = 777;
+
+void print_usl_ablation() {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  TextTable table({"Circuit", "USL", "#LUT", "I (acc.inputs)", "log10 N_bf",
+                   "Pwr%", "Area%", "Perf%"});
+  for (const char* name : {"s953", "s1488", "s5378a"}) {
+    const Netlist original = generate_circuit(*find_profile(name), kSeed);
+    for (const bool usl : {true, false}) {
+      FlowOptions opt;
+      opt.algorithm = SelectionAlgorithm::kParametric;
+      opt.selection.seed = kSeed;
+      opt.selection.usl_closure = usl;
+      const FlowResult flow = run_secure_flow(original, lib, opt);
+      table.add_row({name, usl ? "on" : "off",
+                     std::to_string(flow.selection.replaced.size()),
+                     std::to_string(flow.security.accessible_inputs),
+                     flow.security.n_bf.is_zero()
+                         ? "n/a"
+                         : strformat("%.1f", flow.security.n_bf.log10()),
+                     strformat("%.2f", flow.overhead.power_overhead_pct()),
+                     strformat("%.2f", flow.overhead.area_overhead_pct()),
+                     strformat("%.2f", flow.overhead.perf_degradation_pct())});
+    }
+  }
+  std::printf("Ablation 1 — USL neighbour closure on/off.\n\n%s\n",
+              table.render().c_str());
+}
+
+void print_sample_rate_ablation() {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  TextTable table({"sample%", "paths", "#LUT", "log10 N_bf", "Pwr%"});
+  const Netlist original = generate_circuit(*find_profile("s5378a"), kSeed);
+  for (const double rate : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    FlowOptions opt;
+    opt.algorithm = SelectionAlgorithm::kParametric;
+    opt.selection.seed = kSeed;
+    opt.selection.pool.sample_fraction = rate;
+    const FlowResult flow = run_secure_flow(original, lib, opt);
+    table.add_row({strformat("%.1f", rate * 100),
+                   std::to_string(flow.selection.paths_considered),
+                   std::to_string(flow.selection.replaced.size()),
+                   strformat("%.1f", flow.security.n_bf.log10()),
+                   strformat("%.2f", flow.overhead.power_overhead_pct())});
+  }
+  std::printf(
+      "Ablation 2 — path-pool sample rate (the paper uses 2%%), s5378a.\n\n"
+      "%s\n",
+      table.render().c_str());
+}
+
+void print_fraction_ablation() {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  TextTable table({"gate fraction", "#LUT", "retries", "log10 N_bf",
+                   "Perf%", "Pwr%"});
+  const Netlist original = generate_circuit(*find_profile("s5378a"), kSeed);
+  for (const double fraction : {0.1, 0.25, 0.35, 0.5, 0.75}) {
+    FlowOptions opt;
+    opt.algorithm = SelectionAlgorithm::kParametric;
+    opt.selection.seed = kSeed;
+    opt.selection.para_gate_fraction = fraction;
+    const FlowResult flow = run_secure_flow(original, lib, opt);
+    table.add_row({strformat("%.2f", fraction),
+                   std::to_string(flow.selection.replaced.size()),
+                   std::to_string(flow.selection.timing_retries),
+                   strformat("%.1f", flow.security.n_bf.log10()),
+                   strformat("%.2f", flow.overhead.perf_degradation_pct()),
+                   strformat("%.2f", flow.overhead.power_overhead_pct())});
+  }
+  std::printf(
+      "Ablation 3 — per-path selection fraction (L1 draw size), s5378a.\n\n"
+      "%s\n",
+      table.render().c_str());
+}
+
+void bm_parametric_selection_sample_rate(benchmark::State& state) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const GateSelector selector(lib);
+  const Netlist original = generate_circuit(*find_profile("s5378a"), kSeed);
+  SelectionOptions opt;
+  opt.pool.sample_fraction = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    Netlist work = original;
+    benchmark::DoNotOptimize(
+        selector.run(work, SelectionAlgorithm::kParametric, opt));
+  }
+  state.SetLabel(strformat("sample %.1f%%", state.range(0) / 10.0));
+}
+
+BENCHMARK(bm_parametric_selection_sample_rate)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_usl_ablation();
+  print_sample_rate_ablation();
+  print_fraction_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Validation beyond the paper: execute real attacks against the three
+// selection algorithms and confirm the paper's security *ordering* with
+// working adversaries instead of closed-form estimates.
+//
+//  * sensitization (testing) attack  — the Eq. (1) adversary;
+//  * oracle-guided SAT attack        — the strongest scan-access adversary;
+//  * brute-force candidate search    — the Eq. (3) adversary.
+//
+// Expected shape: independent selection falls to everything; dependent
+// selection defeats sensitization (rows stay unresolved) while SAT still
+// wins with scan access; attack effort (patterns / iterations /
+// combinations) grows with LUT count, supporting the paper's scan-lock
+// assumption discussion in Section IV-A.3.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "attack/brute_force.hpp"
+#include "attack/encode.hpp"
+#include "attack/guided_sens.hpp"
+#include "attack/ml_attack.hpp"
+#include "attack/sat_attack.hpp"
+#include "attack/sensitization.hpp"
+#include "core/camouflage.hpp"
+#include "core/security.hpp"
+#include "core/selection.hpp"
+#include "synth/generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stt;
+
+constexpr std::uint64_t kSeed = 424242;
+
+struct Workload {
+  const char* label;
+  CircuitProfile profile;
+};
+
+const Workload kWorkloads[] = {
+    {"tiny-60", {"tiny60", 8, 6, 5, 60, 6}},
+    {"small-150", {"small150", 10, 8, 8, 150, 8}},
+    {"mid-400", {"mid400", 12, 10, 12, 400, 10}},
+};
+
+void print_validation() {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const GateSelector selector(lib);
+  TextTable table({"Circuit", "Algorithm", "#LUT", "Sens rows%",
+                   "Guided rows%", "Guided patt", "SAT ok", "SAT iters",
+                   "BF ok", "BF combos", "ML acc"});
+
+  for (const Workload& w : kWorkloads) {
+    const Netlist original = generate_circuit(w.profile, kSeed);
+    for (const auto alg :
+         {SelectionAlgorithm::kIndependent, SelectionAlgorithm::kDependent,
+          SelectionAlgorithm::kParametric}) {
+      Netlist hybrid = original;
+      SelectionOptions opt;
+      opt.seed = kSeed + static_cast<int>(alg);
+      // Security-demanding parametric config (the size-based default would
+      // place only 2-3 LUTs on circuits this small).
+      opt.para_num_paths = 6;
+      const auto sel = selector.run(hybrid, alg, opt);
+      const Netlist attacker_view = foundry_view(hybrid);
+
+      ScanOracle o1(original);
+      SensitizationOptions sopt;
+      sopt.max_patterns = 30000;
+      const auto sens = run_sensitization_attack(attacker_view, o1, sopt);
+
+      ScanOracle o_guided(original);
+      const auto guided = run_guided_sensitization(attacker_view, o_guided);
+
+      ScanOracle o_ml(original);
+      MlAttackOptions mlopt;
+      mlopt.max_steps = 8000;
+      const auto ml = run_ml_attack(attacker_view, o_ml, mlopt);
+
+      SatAttackOptions satopt;
+      satopt.time_limit_s = 20.0;
+      satopt.max_iterations = 400;
+      const auto sat = run_sat_attack(attacker_view, original, satopt);
+
+      ScanOracle o2(original);
+      BruteForceOptions bfopt;
+      bfopt.max_combinations = 500'000;
+      const auto bf = run_brute_force(attacker_view, o2, bfopt);
+
+      table.add_row(
+          {w.label, std::string(algorithm_name(alg)),
+           std::to_string(sel.replaced.size()),
+           strformat("%.0f", sens.rows_total
+                                 ? 100.0 * sens.rows_resolved / sens.rows_total
+                                 : 100.0),
+           strformat("%.0f",
+                     guided.rows_total
+                         ? 100.0 * guided.rows_resolved / guided.rows_total
+                         : 100.0),
+           std::to_string(guided.patterns_used),
+           sat.success ? "yes" : (sat.timed_out ? "timeout" : "budget"),
+           std::to_string(sat.iterations), bf.success ? "yes" : "no",
+           std::to_string(bf.combinations_tried),
+           strformat("%.3f", ml.final_accuracy)});
+    }
+  }
+  std::printf(
+      "Attack validation (ours) — executable adversaries vs the three\n"
+      "selection algorithms. 'Sens rows%%' = truth-table rows the testing\n"
+      "attack resolved; the paper's ordering requires it to collapse for\n"
+      "dependent/parametric locks while independent locks fall quickly.\n\n"
+      "%s\n",
+      table.render().c_str());
+}
+
+void print_camouflage_comparison() {
+  // The paper's Section IV-A.3 contrast: camouflaged cells expose only 3
+  // candidate functions, STT LUTs 6+ per gate (and the full function space
+  // once complex packing widens them).
+  TextTable table({"defense", "#cells", "BF search space", "BF ok",
+                   "BF combos", "log10 N_bf"});
+  const CircuitProfile profile{"camo-cmp", 10, 8, 8, 250, 9};
+  const Netlist original = generate_circuit(profile, kSeed);
+
+  Netlist camo = original;
+  CamouflageOptions copt;
+  copt.seed = kSeed;
+  copt.count = 10;
+  (void)apply_camouflage(camo, copt);
+  const auto camo_set = camouflage_candidate_masks();
+  ScanOracle oc(camo);
+  BruteForceOptions bfc;
+  bfc.candidates_2in = &camo_set;
+  bfc.max_combinations = 500'000;
+  const auto r_camo = run_brute_force(foundry_view(camo), oc, bfc);
+  const auto camo_sec = security_report(camo, camouflage_similarity_model());
+  table.add_row({"camouflage {NAND,NOR,XNOR}", "10",
+                 r_camo.search_space.to_string(),
+                 r_camo.success ? "yes" : "no",
+                 std::to_string(r_camo.combinations_tried),
+                 strformat("%.1f", camo_sec.n_bf.log10())});
+
+  Netlist stt = original;
+  Netlist ref = original;
+  const auto chosen = apply_camouflage(ref, copt);  // same cells
+  for (const CellId id : chosen.camouflaged) stt.replace_with_lut(id);
+  ScanOracle os(stt);
+  BruteForceOptions bfs;
+  bfs.max_combinations = 500'000;
+  const auto r_stt = run_brute_force(foundry_view(stt), os, bfs);
+  const auto stt_sec = security_report(stt, SimilarityModel::computed());
+  table.add_row({"STT LUT (same cells)", "10", r_stt.search_space.to_string(),
+                 r_stt.success ? "yes" : "no",
+                 std::to_string(r_stt.combinations_tried),
+                 strformat("%.1f", stt_sec.n_bf.log10())});
+
+  std::printf(
+      "Camouflaging baseline vs STT-LUT hybrid on the same 10 cells:\n\n"
+      "%s\n",
+      table.render().c_str());
+}
+
+void bm_sat_attack_iterations(benchmark::State& state) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const GateSelector selector(lib);
+  const Netlist original = generate_circuit(kWorkloads[0].profile, kSeed);
+  Netlist hybrid = original;
+  SelectionOptions opt;
+  opt.indep_count = static_cast<int>(state.range(0));
+  (void)selector.run(hybrid, SelectionAlgorithm::kIndependent, opt);
+  const Netlist view = foundry_view(hybrid);
+  for (auto _ : state) {
+    const auto result = run_sat_attack(view, original);
+    benchmark::DoNotOptimize(result);
+    state.counters["iterations"] = result.iterations;
+  }
+  state.SetLabel(strformat("%d LUTs", static_cast<int>(state.range(0))));
+}
+
+BENCHMARK(bm_sat_attack_iterations)->Arg(2)->Arg(5)->Arg(10)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_validation();
+  print_camouflage_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

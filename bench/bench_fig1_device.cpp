@@ -1,0 +1,72 @@
+// Reproduces the paper's Fig. 1: comparison of circuit-style alternatives —
+// STT-based (MTJ) LUT vs static CMOS — for NAND2/NAND4/NOR2/NOR4/XOR2/XOR4,
+// all metrics normalized to the static CMOS implementation.
+//
+// The table is produced by the analytical device model in src/tech at the
+// predictive-32nm-class calibration (the paper's Fig. 1 technology). The
+// google-benchmark section additionally times the model evaluation itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "tech/device_model.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace stt;
+
+struct GateSpec {
+  const char* label;
+  CellKind kind;
+  int fanin;
+};
+
+constexpr GateSpec kGates[] = {
+    {"NAND2", CellKind::kNand, 2}, {"NAND4", CellKind::kNand, 4},
+    {"NOR2", CellKind::kNor, 2},   {"NOR4", CellKind::kNor, 4},
+    {"XOR2", CellKind::kXor, 2},   {"XOR4", CellKind::kXor, 4},
+};
+
+void print_fig1() {
+  const TechLibrary lib = TechLibrary::predictive32_stt();
+  TextTable table({"Gate", "Metric", "MTJ-based LUT", "Static CMOS"});
+  for (const GateSpec& g : kGates) {
+    const DeviceComparison cmp = compare_lut_vs_cmos(lib, g.kind, g.fanin);
+    table.add_row({g.label, "Delay", strformat("%.2f", cmp.delay_ratio), "1"});
+    table.add_row({g.label, "Active Power(a=10%)",
+                   strformat("%.2f", cmp.active_power_ratio_a10), "1"});
+    table.add_row({g.label, "Active Power(a=30%)",
+                   strformat("%.2f", cmp.active_power_ratio_a30), "1"});
+    table.add_row({g.label, "Standby Power",
+                   strformat("%.2f", cmp.standby_power_ratio), "1"});
+    table.add_row({g.label, "Energy per Switching",
+                   strformat("%.2f", cmp.energy_per_switch_ratio), "1"});
+  }
+  std::printf(
+      "Fig. 1 — Comparison of circuit style alternatives (alpha: output "
+      "switching activity),\nnormalized to static CMOS, model calibration "
+      "'%s'.\n\n%s\n",
+      lib.name().c_str(), table.render().c_str());
+}
+
+void bm_device_model(benchmark::State& state) {
+  const TechLibrary lib = TechLibrary::predictive32_stt();
+  const GateSpec& g = kGates[state.range(0)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compare_lut_vs_cmos(lib, g.kind, g.fanin));
+  }
+  state.SetLabel(g.label);
+}
+
+BENCHMARK(bm_device_model)->DenseRange(0, 5)->Iterations(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

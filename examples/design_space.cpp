@@ -1,0 +1,67 @@
+// Design-space exploration: security vs parametric cost.
+//
+// Sweeps the LUT budget of the independent selection and the path count of
+// the parametric-aware selection on an s1488-class circuit and prints the
+// Pareto view a designer would use to pick a security level: log10 of the
+// required attack clocks against power/area overhead.
+#include <cstdio>
+
+#include "core/flow.hpp"
+#include "synth/generator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stt;
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = generate_circuit(*find_profile("s1488"), 99);
+
+  std::printf("Design space on %s (%zu gates)\n\n", original.name().c_str(),
+              original.stats().gates);
+
+  // Sweep 1: independent selection, LUT budget.
+  TextTable indep({"#LUT budget", "log10 N_indep", "log10 N_bf", "Pwr%",
+                   "Area%", "Perf%"});
+  for (const int budget : {2, 5, 10, 20, 40, 80}) {
+    FlowOptions opt;
+    opt.algorithm = SelectionAlgorithm::kIndependent;
+    opt.selection.seed = 99;
+    opt.selection.indep_count = budget;
+    const FlowResult flow = run_secure_flow(original, lib, opt);
+    indep.add_row({std::to_string(budget),
+                   strformat("%.1f", flow.security.n_indep.log10()),
+                   strformat("%.1f", flow.security.n_bf.log10()),
+                   strformat("%.2f", flow.overhead.power_overhead_pct()),
+                   strformat("%.2f", flow.overhead.area_overhead_pct()),
+                   strformat("%.2f", flow.overhead.perf_degradation_pct())});
+  }
+  std::printf("Independent selection, growing LUT budget:\n%s\n",
+              indep.render().c_str());
+
+  // Sweep 2: parametric-aware selection, number of targeted paths.
+  TextTable para({"paths", "#LUT", "I", "log10 N_bf", "Pwr%", "Area%",
+                  "Perf%"});
+  for (const int paths : {1, 2, 3, 5, 8}) {
+    FlowOptions opt;
+    opt.algorithm = SelectionAlgorithm::kParametric;
+    opt.selection.seed = 99;
+    opt.selection.para_num_paths = paths;
+    const FlowResult flow = run_secure_flow(original, lib, opt);
+    para.add_row({std::to_string(paths),
+                  std::to_string(flow.selection.replaced.size()),
+                  std::to_string(flow.security.accessible_inputs),
+                  strformat("%.1f", flow.security.n_bf.log10()),
+                  strformat("%.2f", flow.overhead.power_overhead_pct()),
+                  strformat("%.2f", flow.overhead.area_overhead_pct()),
+                  strformat("%.2f", flow.overhead.perf_degradation_pct())});
+  }
+  std::printf("Parametric-aware selection, growing path count (timing "
+              "margin fixed at +5%%):\n%s\n",
+              para.render().c_str());
+
+  std::printf(
+      "Reading the tables: the parametric rows buy orders of magnitude more\n"
+      "attack cost per percentage point of power than growing an\n"
+      "independent budget — the paper's core design argument.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "attack/brute_force.hpp"
+
+#include <stdexcept>
+
+#include "core/similarity.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
+                                 const BruteForceOptions& opt) {
+  BruteForceResult result;
+  Rng rng(opt.seed);
+
+  Netlist work = hybrid;
+  std::vector<CellId> lut_ids;
+  std::vector<std::vector<std::uint64_t>> candidates;
+  result.search_space = BigNum::from_double(1.0);
+  for (CellId id = 0; id < work.size(); ++id) {
+    const Cell& c = work.cell(id);
+    if (c.kind != CellKind::kLut) continue;
+    lut_ids.push_back(id);
+    std::vector<std::uint64_t> cand;
+    const int k = c.fanin_count();
+    if (k == 2 && opt.candidates_2in) {
+      cand = *opt.candidates_2in;
+    } else if (!opt.standard_candidates_only) {
+      if (k > 4) {
+        // 2^32+ candidate functions per LUT: enumeration is meaningless
+        // (and 1 << 2^k would overflow). The caller wanted the impossible.
+        throw std::invalid_argument(
+            "run_brute_force: full function space limited to fan-in <= 4");
+      }
+      const std::uint64_t n = 1ull << num_rows(k);
+      for (std::uint64_t m = 0; m < n; ++m) cand.push_back(m);
+    } else if (k == 1) {
+      cand = {0b10ull /* BUF */, 0b01ull /* NOT */};
+    } else {
+      cand = standard_candidate_masks(k);
+    }
+    result.search_space *=
+        BigNum::from_double(static_cast<double>(cand.size()));
+    candidates.push_back(std::move(cand));
+  }
+  if (lut_ids.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  // Screening set: random scan patterns and the chip's responses, packed
+  // 64 per word for parallel candidate evaluation.
+  const std::size_t n_pi = work.inputs().size();
+  const std::size_t n_ff = work.dffs().size();
+  const int n_words = (opt.screening_patterns + 63) / 64;
+  const int n_patterns = n_words * 64;
+  std::vector<std::vector<std::uint64_t>> pi_words(
+      static_cast<std::size_t>(n_words),
+      std::vector<std::uint64_t>(n_pi, 0));
+  std::vector<std::vector<std::uint64_t>> ff_words(
+      static_cast<std::size_t>(n_words),
+      std::vector<std::uint64_t>(n_ff, 0));
+  const std::size_t n_out = oracle.num_outputs();
+  std::vector<std::vector<std::uint64_t>> expected(
+      static_cast<std::size_t>(n_words),
+      std::vector<std::uint64_t>(n_out, 0));
+
+  const std::uint64_t start_queries = oracle.queries();
+  for (int p = 0; p < n_patterns; ++p) {
+    std::vector<bool> pattern(n_pi + n_ff);
+    for (auto&& bit : pattern) bit = rng.chance(0.5);
+    const auto response = oracle.query(pattern);
+    const int w = p / 64;
+    const int b = p % 64;
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      if (pattern[i]) pi_words[w][i] |= (1ull << b);
+    }
+    for (std::size_t j = 0; j < n_ff; ++j) {
+      if (pattern[n_pi + j]) ff_words[w][j] |= (1ull << b);
+    }
+    for (std::size_t o = 0; o < n_out; ++o) {
+      if (response[o]) expected[w][o] |= (1ull << b);
+    }
+  }
+
+  Simulator sim(work);
+  std::vector<std::size_t> odometer(lut_ids.size(), 0);
+  auto install = [&] {
+    for (std::size_t i = 0; i < lut_ids.size(); ++i) {
+      work.cell(lut_ids[i]).lut_mask = candidates[i][odometer[i]];
+    }
+  };
+  auto matches = [&] {
+    for (int w = 0; w < n_words; ++w) {
+      const auto wave = sim.eval_comb(pi_words[w], ff_words[w]);
+      const auto po = sim.outputs_of(wave);
+      const auto ns = sim.next_state_of(wave);
+      for (std::size_t o = 0; o < po.size(); ++o) {
+        if (po[o] != expected[w][o]) return false;
+      }
+      for (std::size_t j = 0; j < ns.size(); ++j) {
+        if (ns[j] != expected[w][po.size() + j]) return false;
+      }
+    }
+    return true;
+  };
+
+  while (true) {
+    if (result.combinations_tried >= opt.max_combinations) {
+      result.budget_exhausted = true;
+      break;
+    }
+    install();
+    ++result.combinations_tried;
+    if (matches()) {
+      result.success = true;
+      for (const CellId id : lut_ids) {
+        result.key[work.cell(id).name] = work.cell(id).lut_mask;
+      }
+      break;
+    }
+    // Advance the odometer.
+    std::size_t pos = 0;
+    while (pos < odometer.size()) {
+      if (++odometer[pos] < candidates[pos].size()) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == odometer.size()) break;  // space exhausted, no match
+  }
+
+  result.oracle_queries = oracle.queries() - start_queries;
+  return result;
+}
+
+}  // namespace stt

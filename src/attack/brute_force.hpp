@@ -1,0 +1,42 @@
+// Brute-force attack (Section IV-A.3): enumerate candidate functions per
+// missing gate, test each joint assignment against oracle responses.
+//
+// The candidate set per LUT is the "meaningful gate" space the paper
+// describes (the six standard gates at the LUT's fan-in; BUF/NOT at fan-in
+// 1), optionally the full 2^2^k function space. The enumeration cost is the
+// executable counterpart of Eq. (3)'s P^M term; the measured combination
+// count is compared against the estimator in the validation bench.
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "core/hybrid.hpp"
+#include "netlist/netlist.hpp"
+#include "util/bignum.hpp"
+
+namespace stt {
+
+struct BruteForceOptions {
+  std::uint64_t seed = 11;
+  /// Candidate space: true = standard-gate candidates; false = all masks.
+  bool standard_candidates_only = true;
+  /// Optional explicit candidate set for 2-input LUTs (e.g. the camouflage
+  /// set {NAND, NOR, XNOR}); overrides the flags above at fan-in 2.
+  const std::vector<std::uint64_t>* candidates_2in = nullptr;
+  std::uint64_t max_combinations = 2'000'000;
+  /// Random scan patterns pre-queried from the oracle for screening.
+  int screening_patterns = 192;
+};
+
+struct BruteForceResult {
+  bool success = false;
+  bool budget_exhausted = false;
+  std::uint64_t combinations_tried = 0;
+  BigNum search_space;  ///< product of per-LUT candidate counts
+  std::uint64_t oracle_queries = 0;
+  LutKey key;
+};
+
+BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
+                                 const BruteForceOptions& opt = {});
+
+}  // namespace stt

@@ -1,0 +1,112 @@
+#include "attack/dpa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/similarity.hpp"
+#include "sim/simulator.hpp"
+
+namespace stt {
+
+namespace {
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace
+
+DpaResult run_dpa_attack(const Netlist& nl, CellId target,
+                         std::uint64_t truth_mask,
+                         const PowerTraceResult& measurement,
+                         const DpaOptions& opt) {
+  const Cell& tc = nl.cell(target);
+  const int k = tc.fanin_count();
+  std::vector<std::uint64_t> candidates = opt.candidates;
+  if (candidates.empty()) {
+    candidates = k >= 2 ? standard_candidate_masks(k)
+                        : std::vector<std::uint64_t>{0b10ull, 0b01ull};
+  }
+  if (measurement.trace_fj.size() < 3) {
+    throw std::invalid_argument("run_dpa_attack: trace too short");
+  }
+
+  // Measured samples, skipping cycle 0 (no toggle information yet).
+  std::vector<double> measured(measurement.trace_fj.begin() + 1,
+                               measurement.trace_fj.end());
+
+  DpaResult result;
+  result.best_correlation = -2;
+  result.runner_up_correlation = -2;
+
+  Netlist model = nl;
+  // A standard-gate target is remasked through LUT semantics.
+  if (model.cell(target).kind != CellKind::kLut) {
+    model.replace_with_lut(target);
+  }
+
+  for (const std::uint64_t candidate : candidates) {
+    model.cell(target).lut_mask = candidate & full_mask(k);
+    const Simulator sim(model);
+
+    // Predict the target's output-toggle indicator per cycle from the
+    // recorded stimulus and state.
+    std::vector<double> prediction;
+    prediction.reserve(measured.size());
+    bool prev_out = false;
+    for (std::size_t t = 0; t < measurement.pi_bits.size(); ++t) {
+      std::vector<std::uint64_t> pi(measurement.pi_bits[t].size());
+      std::vector<std::uint64_t> ff(measurement.state_bits[t].size());
+      for (std::size_t i = 0; i < pi.size(); ++i) {
+        pi[i] = measurement.pi_bits[t][i] ? ~0ull : 0ull;
+      }
+      for (std::size_t j = 0; j < ff.size(); ++j) {
+        ff[j] = measurement.state_bits[t][j] ? ~0ull : 0ull;
+      }
+      const auto wave = sim.eval_comb(pi, ff);
+      const bool out = wave[target] & 1ull;
+      if (t >= 1) prediction.push_back(out != prev_out ? 1.0 : 0.0);
+      prev_out = out;
+    }
+
+    const double corr = pearson(prediction, measured);
+    result.ranking.emplace_back(candidate, corr);
+  }
+
+  std::sort(result.ranking.begin(), result.ranking.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  result.best_mask = result.ranking.front().first;
+  result.best_correlation = result.ranking.front().second;
+  const std::uint64_t complement = (~result.best_mask) & full_mask(k);
+  result.runner_up_correlation = result.best_correlation;
+  for (const auto& [mask, corr] : result.ranking) {
+    if (mask != result.best_mask && mask != complement) {
+      result.runner_up_correlation = corr;
+      break;
+    }
+  }
+  const std::uint64_t truth = truth_mask & full_mask(k);
+  result.identified_true_mask = (result.best_mask == truth);
+  result.identified_up_to_complement =
+      result.identified_true_mask || (complement == truth);
+  return result;
+}
+
+}  // namespace stt

@@ -1,0 +1,56 @@
+// Correlation power analysis (CPA/DPA) against one secret cell.
+//
+// Threat model: the attacker holds the netlist structure, can drive inputs
+// and record per-cycle power traces, and wants to learn one cell's hidden
+// function (a camouflaged gate or an STT LUT's configuration). For each
+// candidate function the attacker predicts the cell's output-toggle
+// sequence (everything else in the circuit is known) and ranks candidates
+// by Pearson correlation between prediction and measured trace.
+//
+// Expected outcome (the paper's Section II claim, executable):
+//  * against a CMOS/camouflaged cell — whose energy is drawn per *output
+//    toggle* — the correct function correlates visibly above the rest;
+//  * against an STT LUT — whose read energy is drawn per *input event*,
+//    identical for all configurations — every candidate correlates
+//    equally and the attack degenerates to guessing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "power/trace.hpp"
+
+namespace stt {
+
+struct DpaOptions {
+  /// Candidate masks for the target cell; empty = the six standard gates
+  /// at the target's fan-in.
+  std::vector<std::uint64_t> candidates;
+};
+
+struct DpaResult {
+  std::uint64_t best_mask = 0;
+  double best_correlation = 0;
+  /// Best correlation among candidates outside {best, ~best}. Complementary
+  /// functions toggle identically, so output-toggle CPA can only resolve a
+  /// function up to complement — the classical CPA equivalence class.
+  double runner_up_correlation = 0;
+  /// Discrimination margin: best minus best-non-complement. Near zero =
+  /// the attack learned nothing.
+  double margin() const { return best_correlation - runner_up_correlation; }
+  bool identified_true_mask = false;        ///< exact hit
+  bool identified_up_to_complement = false; ///< the CPA-resolvable class
+  std::vector<std::pair<std::uint64_t, double>> ranking;
+};
+
+/// `target` names the secret cell inside `nl` (the netlist the traces were
+/// recorded from); the attacker re-simulates `nl` with candidate masks to
+/// build predictions. `truth_mask` is used only to fill
+/// `identified_true_mask` for reporting.
+DpaResult run_dpa_attack(const Netlist& nl, CellId target,
+                         std::uint64_t truth_mask,
+                         const PowerTraceResult& measurement,
+                         const DpaOptions& opt = {});
+
+}  // namespace stt

@@ -1,0 +1,50 @@
+// SAT-guided sensitization attack: the paper's "testing technique to
+// justify and propagate" with a real ATPG engine behind it.
+//
+// The plain sensitization attack (attack/sensitization.*) waits for random
+// patterns to justify a LUT input row; this version *derives* patterns.
+// For an unresolved row r of LUT L it asks the SAT solver for a scan
+// pattern such that
+//   (a) L's inputs evaluate to r (justification), and
+//   (b) flipping L's output flips some observable bit even when every
+//       other unresolved LUT's output is an unknown shared by both halves
+//       of the miter (propagation around, never through, missing gates).
+// Because a SAT witness fixes the unknowns existentially, each candidate
+// pattern is re-validated with the conservative ternary evaluator before
+// the oracle is queried; invalid witnesses are blocked and re-derived.
+//
+// On independent locks this resolves rows in a handful of oracle queries —
+// the alpha*D cost of Eq. (1). On dependent/parametric locks the SAT query
+// itself comes back UNSAT: there is provably no justify-and-propagate
+// pattern, the formal core of the paper's security argument.
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "attack/sensitization.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct GuidedSensOptions {
+  std::uint64_t seed = 5;
+  /// Re-derivation attempts per row after ternary-validation failures.
+  int max_witnesses_per_row = 16;
+  std::int64_t conflict_budget = 500'000;
+};
+
+struct GuidedSensResult {
+  bool success = false;  ///< all rows resolved
+  int luts_total = 0;
+  int luts_resolved = 0;
+  int rows_total = 0;
+  int rows_resolved = 0;
+  int rows_proven_unreachable = 0;  ///< SAT says no justify+propagate pattern
+  std::uint64_t patterns_used = 0;  ///< oracle queries
+  LutKey key;
+};
+
+GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
+                                          ScanOracle& oracle,
+                                          const GuidedSensOptions& opt = {});
+
+}  // namespace stt

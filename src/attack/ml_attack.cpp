@@ -1,0 +1,134 @@
+#include "attack/ml_attack.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "core/similarity.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
+                             const MlAttackOptions& opt) {
+  MlAttackResult result;
+  Rng rng(opt.seed);
+
+  Netlist work = hybrid;
+  std::vector<CellId> luts;
+  std::vector<std::vector<std::uint64_t>> candidates;
+  for (CellId id = 0; id < work.size(); ++id) {
+    const Cell& c = work.cell(id);
+    if (c.kind != CellKind::kLut) continue;
+    luts.push_back(id);
+    if (opt.standard_candidates_only && c.fanin_count() >= 2) {
+      candidates.push_back(standard_candidate_masks(c.fanin_count()));
+    } else if (opt.standard_candidates_only) {
+      candidates.push_back({0b10ull, 0b01ull});
+    } else {
+      candidates.push_back({});  // bit-flip moves instead
+    }
+  }
+  if (luts.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  // Training signature: random scan patterns and oracle responses, packed
+  // 64 per word.
+  const std::size_t n_pi = work.inputs().size();
+  const std::size_t n_ff = work.dffs().size();
+  const int n_words = (opt.training_patterns + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> pi_words(
+      n_words, std::vector<std::uint64_t>(n_pi, 0));
+  std::vector<std::vector<std::uint64_t>> ff_words(
+      n_words, std::vector<std::uint64_t>(n_ff, 0));
+  const std::size_t n_out = oracle.num_outputs();
+  std::vector<std::vector<std::uint64_t>> expected(
+      n_words, std::vector<std::uint64_t>(n_out, 0));
+  const std::uint64_t start_queries = oracle.queries();
+  for (int p = 0; p < n_words * 64; ++p) {
+    std::vector<bool> pattern(n_pi + n_ff);
+    for (auto&& b : pattern) b = rng.chance(0.5);
+    const auto response = oracle.query(pattern);
+    const int w = p / 64;
+    const int b = p % 64;
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      if (pattern[i]) pi_words[w][i] |= (1ull << b);
+    }
+    for (std::size_t j = 0; j < n_ff; ++j) {
+      if (pattern[n_pi + j]) ff_words[w][j] |= (1ull << b);
+    }
+    for (std::size_t o = 0; o < n_out; ++o) {
+      if (response[o]) expected[w][o] |= (1ull << b);
+    }
+  }
+
+  Simulator sim(work);
+  const auto total_bits =
+      static_cast<double>(n_words) * 64.0 * static_cast<double>(n_out);
+  auto score = [&]() -> long long {
+    long long mismatches = 0;
+    for (int w = 0; w < n_words; ++w) {
+      const auto wave = sim.eval_comb(pi_words[w], ff_words[w]);
+      const auto po = sim.outputs_of(wave);
+      const auto ns = sim.next_state_of(wave);
+      for (std::size_t o = 0; o < po.size(); ++o) {
+        mismatches += std::popcount(po[o] ^ expected[w][o]);
+      }
+      for (std::size_t j = 0; j < ns.size(); ++j) {
+        mismatches += std::popcount(ns[j] ^ expected[w][po.size() + j]);
+      }
+    }
+    return mismatches;
+  };
+
+  // Random initial guess.
+  for (std::size_t i = 0; i < luts.size(); ++i) {
+    Cell& c = work.cell(luts[i]);
+    if (!candidates[i].empty()) {
+      c.lut_mask = rng.pick(candidates[i]);
+    } else {
+      c.lut_mask = rng() & full_mask(c.fanin_count());
+    }
+  }
+
+  long long current = score();
+  long long best = current;
+  LutKey best_key = extract_key(work);
+  double temperature = opt.initial_temperature;
+
+  for (int step = 0; step < opt.max_steps && best > 0; ++step) {
+    ++result.steps;
+    const std::size_t pick = rng.below(luts.size());
+    Cell& c = work.cell(luts[pick]);
+    const std::uint64_t old_mask = c.lut_mask;
+    if (!candidates[pick].empty()) {
+      c.lut_mask = rng.pick(candidates[pick]);
+    } else {
+      c.lut_mask = old_mask ^ (1ull << rng.below(num_rows(c.fanin_count())));
+    }
+    const long long trial = score();
+    const long long delta = trial - current;
+    if (delta <= 0 ||
+        rng.uniform() < std::exp(-static_cast<double>(delta) /
+                                 std::max(1e-9, temperature))) {
+      current = trial;
+      if (current < best) {
+        best = current;
+        best_key = extract_key(work);
+      }
+    } else {
+      c.lut_mask = old_mask;  // reject
+    }
+    temperature *= opt.cooling;
+  }
+
+  result.key = std::move(best_key);
+  result.final_accuracy = 1.0 - static_cast<double>(best) / total_bits;
+  result.success = (best == 0);
+  result.oracle_queries = oracle.queries() - start_queries;
+  return result;
+}
+
+}  // namespace stt

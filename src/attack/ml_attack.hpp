@@ -1,0 +1,45 @@
+// Machine-learning-style attack: stochastic key search guided by oracle
+// agreement (the attack family the paper cites via El Massad's
+// de-camouflaging work and argues Section IV-A.3's measures defeat).
+//
+// The attacker scores a candidate configuration by how many oracle
+// responses it reproduces on a fixed random scan-pattern set, and hill
+// climbs with simulated annealing over per-LUT candidate functions. It
+// needs no SAT machinery and no sensitization reasoning — just a signature
+// of queries — so it is the "cheap adversary" baseline: effective exactly
+// when the candidate space per LUT is small and gradients exist, which is
+// what complex-function packing and dummy inputs destroy.
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "core/hybrid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct MlAttackOptions {
+  std::uint64_t seed = 3;
+  /// Scan patterns queried once up front; the fitness signature.
+  int training_patterns = 256;
+  /// Annealing schedule.
+  int max_steps = 20'000;
+  double initial_temperature = 2.0;
+  double cooling = 0.9995;
+  /// Restrict moves to the meaningful-gate candidate sets (true) or flip
+  /// raw truth-table bits (false — needed after packing, where the planted
+  /// function is no longer a standard gate).
+  bool standard_candidates_only = true;
+};
+
+struct MlAttackResult {
+  bool success = false;  ///< perfect score on the training signature
+  int steps = 0;
+  double final_accuracy = 0;  ///< fraction of output bits matched
+  std::uint64_t oracle_queries = 0;
+  LutKey key;
+};
+
+MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
+                             const MlAttackOptions& opt = {});
+
+}  // namespace stt

@@ -1,0 +1,38 @@
+#include "attack/oracle.hpp"
+
+#include <stdexcept>
+
+namespace stt {
+
+ScanOracle::ScanOracle(const Netlist& configured)
+    : nl_(&configured), sim_(configured) {}
+
+std::size_t ScanOracle::num_inputs() const {
+  return nl_->inputs().size() + nl_->dffs().size();
+}
+
+std::size_t ScanOracle::num_outputs() const {
+  return nl_->outputs().size() + nl_->dffs().size();
+}
+
+std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
+  if (inputs.size() != num_inputs()) {
+    throw std::invalid_argument("ScanOracle::query: input size mismatch");
+  }
+  ++queries_;
+  const std::size_t n_pi = nl_->inputs().size();
+  std::vector<std::uint64_t> pi(n_pi);
+  std::vector<std::uint64_t> ff(nl_->dffs().size());
+  for (std::size_t i = 0; i < n_pi; ++i) pi[i] = inputs[i] ? ~0ull : 0;
+  for (std::size_t j = 0; j < ff.size(); ++j) {
+    ff[j] = inputs[n_pi + j] ? ~0ull : 0;
+  }
+  const auto wave = sim_.eval_comb(pi, ff);
+  std::vector<bool> out;
+  out.reserve(num_outputs());
+  for (const auto w : sim_.outputs_of(wave)) out.push_back(w & 1ull);
+  for (const auto w : sim_.next_state_of(wave)) out.push_back(w & 1ull);
+  return out;
+}
+
+}  // namespace stt

@@ -1,0 +1,39 @@
+// The attacker's oracle: a configured, working chip bought on the market
+// (the paper's threat model), accessed through its scan chain.
+//
+// Scan view: controllable bits are the PIs plus the flip-flop states,
+// observable bits the POs plus the next-state (D-pin) values — one scan
+// load / capture / unload per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace stt {
+
+class ScanOracle {
+ public:
+  /// `configured` must be fully configured (no unknown LUTs); it is the
+  /// ground-truth chip. The netlist must outlive the oracle.
+  explicit ScanOracle(const Netlist& configured);
+
+  std::size_t num_inputs() const;   ///< PIs + FFs
+  std::size_t num_outputs() const;  ///< POs + FFs
+
+  /// One scan query. `inputs` is PI bits followed by FF state bits.
+  std::vector<bool> query(const std::vector<bool>& inputs);
+
+  /// Number of queries made so far (the attack-cost metric: each query is
+  /// one test-clock pattern application in the paper's terms).
+  std::uint64_t queries() const { return queries_; }
+
+ private:
+  const Netlist* nl_;
+  Simulator sim_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace stt

@@ -1,0 +1,66 @@
+#include "attack/partial_eval.hpp"
+
+namespace stt {
+
+PartialEvaluator::PartialEvaluator(const Netlist& nl,
+                                   const LutKnowledgeMap& luts)
+    : nl_(&nl), luts_(&luts), order_(nl.topo_order()) {}
+
+Tri PartialEvaluator::eval_partial_lut(CellId id,
+                                       std::span<const Tri> fin) const {
+  const auto it = luts_->find(id);
+  if (it == luts_->end()) {
+    // Not tracked: treat as configured.
+    return eval_cell_tri(nl_->cell(id), fin, false);
+  }
+  const LutKnowledge& st = it->second;
+  // The output is known only when every input-consistent row is resolved
+  // and all resolved rows agree.
+  bool saw0 = false;
+  bool saw1 = false;
+  for (std::uint32_t row = 0; row < st.rows; ++row) {
+    bool consistent = true;
+    for (std::size_t i = 0; i < fin.size(); ++i) {
+      const bool bit = row & (1u << i);
+      if ((fin[i] == Tri::kOne && !bit) || (fin[i] == Tri::kZero && bit)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+    if (!(st.known_mask & (1ull << row))) return Tri::kX;
+    ((st.value_mask >> row) & 1ull) ? saw1 = true : saw0 = true;
+    if (saw0 && saw1) return Tri::kX;
+  }
+  return saw1 ? Tri::kOne : Tri::kZero;
+}
+
+std::vector<Tri> PartialEvaluator::eval(const std::vector<Tri>& inputs,
+                                        CellId force_cell,
+                                        Tri force_value) const {
+  const Netlist& nl = *nl_;
+  std::vector<Tri> wave(nl.size(), Tri::kX);
+  std::size_t slot = 0;
+  for (const CellId id : nl.inputs()) wave[id] = inputs[slot++];
+  for (const CellId id : nl.dffs()) wave[id] = inputs[slot++];
+
+  Tri fin[kMaxGateInputs];
+  for (const CellId id : order_) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    if (id == force_cell) {
+      wave[id] = force_value;
+      continue;
+    }
+    const int n = c.fanin_count();
+    for (int i = 0; i < n; ++i) fin[i] = wave[c.fanins[i]];
+    if (c.kind == CellKind::kLut) {
+      wave[id] = eval_partial_lut(id, std::span<const Tri>(fin, n));
+    } else {
+      wave[id] = eval_cell_tri(c, std::span<const Tri>(fin, n), false);
+    }
+  }
+  return wave;
+}
+
+}  // namespace stt

@@ -1,0 +1,47 @@
+// Shared machinery of the testing attacks: partially-resolved LUT state and
+// conservative three-valued evaluation around it.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/ternary.hpp"
+
+namespace stt {
+
+/// What the attacker knows about one LUT's truth table so far.
+struct LutKnowledge {
+  std::uint32_t rows = 0;        ///< 2^fanin
+  std::uint64_t known_mask = 0;  ///< rows whose value is resolved
+  std::uint64_t value_mask = 0;  ///< resolved values
+
+  bool complete() const {
+    const std::uint64_t all =
+        (rows >= 64) ? ~0ull : ((1ull << rows) - 1ull);
+    return known_mask == all;
+  }
+};
+
+using LutKnowledgeMap = std::unordered_map<CellId, LutKnowledge>;
+
+/// Three-valued evaluation with partially known LUTs and one optional
+/// forced cell value (used to test output sensitivity).
+class PartialEvaluator {
+ public:
+  PartialEvaluator(const Netlist& nl, const LutKnowledgeMap& luts);
+
+  /// `inputs` = PI values followed by FF state values.
+  std::vector<Tri> eval(const std::vector<Tri>& inputs, CellId force_cell,
+                        Tri force_value) const;
+
+  /// Evaluate one partially-known LUT from definite/unknown inputs.
+  Tri eval_partial_lut(CellId id, std::span<const Tri> fin) const;
+
+ private:
+  const Netlist* nl_;
+  const LutKnowledgeMap* luts_;
+  std::vector<CellId> order_;
+};
+
+}  // namespace stt

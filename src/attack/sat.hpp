@@ -1,0 +1,145 @@
+// A from-scratch CDCL SAT solver (MiniSat-style).
+//
+// The oracle-guided SAT attack (attack/sat_attack.*) and the equivalence
+// checker need incremental SAT over Tseitin-encoded netlists. The solver
+// implements the standard toolkit: two-literal watching, first-UIP conflict
+// analysis with clause learning, VSIDS decision heuristic with exponential
+// decay, phase saving, Luby restarts, and learnt-clause database reduction.
+// `solve()` accepts assumption literals and a conflict budget so attacks can
+// run under a resource cap and report "undecided" rather than hanging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stt::sat {
+
+/// Variables are dense 0-based indices created by `Solver::new_var`.
+using Var = std::int32_t;
+
+/// A literal packs (var << 1) | negated.
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_((v << 1) | (negated ? 1 : 0)) {}
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  bool operator==(const Lit& o) const { return code_ == o.code_; }
+  bool operator!=(const Lit& o) const { return code_ != o.code_; }
+
+  std::int32_t code() const { return code_; }
+  static Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+  static Lit undef() { return {}; }
+
+ private:
+  std::int32_t code_;
+};
+
+inline Lit pos(Var v) { return Lit(v, false); }
+inline Lit neg(Var v) { return Lit(v, true); }
+
+enum class Result { kSat, kUnsat, kUnknown };
+
+class Solver {
+ public:
+  Solver();
+
+  Var new_var();
+  int num_vars() const { return static_cast<int>(activity_.size()); }
+
+  /// Add a clause over existing variables. Returns false if the formula is
+  /// already unsatisfiable at level 0.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits);
+  bool add_unit(Lit l) { return add_clause({l}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solve under optional assumptions. kUnknown when the conflict budget
+  /// (if set) is exhausted.
+  Result solve(std::span<const Lit> assumptions = {});
+
+  /// Model access after kSat.
+  bool value(Var v) const;
+
+  /// Limit the number of conflicts for the next solve() calls; <0 disables.
+  void set_conflict_budget(std::int64_t budget) { conflict_budget_ = budget; }
+
+  // Statistics (cumulative).
+  std::int64_t conflicts() const { return stats_conflicts_; }
+  std::int64_t decisions() const { return stats_decisions_; }
+  std::int64_t propagations() const { return stats_propagations_; }
+
+ private:
+  enum LBool : std::uint8_t { kTrue, kFalse, kUndef };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoClause = -1;
+
+  LBool lit_value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) != l.negated() ? kTrue : kFalse;
+  }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void bump_clause(Clause& c);
+  void decay_activities();
+  void reduce_db();
+  void rebuild_watches();
+  void attach(ClauseRef cr);
+  bool lit_redundant(Lit l, std::uint32_t levels_mask);
+
+  // Heap with positions for VSIDS.
+  void heap_insert(Var v);
+  Var heap_pop();
+  void heap_up(int i);
+  void heap_down(int i);
+  bool heap_contains(Var v) const { return heap_pos_[v] >= 0; }
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;
+  std::vector<bool> phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;
+
+  std::vector<std::uint8_t> seen_;
+
+  std::int64_t conflict_budget_ = -1;
+  std::int64_t stats_conflicts_ = 0;
+  std::int64_t stats_decisions_ = 0;
+  std::int64_t stats_propagations_ = 0;
+  std::int64_t learnt_count_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace stt::sat

@@ -1,0 +1,113 @@
+#include "attack/sat_attack.hpp"
+
+#include <stdexcept>
+
+#include "attack/encode.hpp"
+#include "util/timer.hpp"
+
+namespace stt {
+
+namespace {
+
+// Pin an encoded copy's inputs to a concrete pattern and its outputs to the
+// oracle's response.
+void constrain_io(sat::Solver& solver, const EncodedCircuit& enc,
+                  const std::vector<bool>& in, const std::vector<bool>& out) {
+  for (std::size_t i = 0; i < enc.input_vars.size(); ++i) {
+    solver.add_unit(in[i] ? sat::pos(enc.input_vars[i])
+                          : sat::neg(enc.input_vars[i]));
+  }
+  for (std::size_t i = 0; i < enc.output_vars.size(); ++i) {
+    solver.add_unit(out[i] ? sat::pos(enc.output_vars[i])
+                           : sat::neg(enc.output_vars[i]));
+  }
+}
+
+}  // namespace
+
+SatAttackResult run_sat_attack(const Netlist& hybrid, ScanOracle& oracle,
+                               const SatAttackOptions& opt) {
+  SatAttackResult result;
+  const Timer timer;
+  const std::uint64_t queries_before = oracle.queries();
+
+  sat::Solver solver;
+  EncodeOptions symbolic;
+  symbolic.symbolic_keys = true;
+  const EncodedCircuit copy_a = encode_comb(solver, hybrid, symbolic);
+  EncodeOptions opt_b = symbolic;
+  opt_b.share_inputs = &copy_a.input_vars;
+  const EncodedCircuit copy_b = encode_comb(solver, hybrid, opt_b);
+  const sat::Var miter = add_miter(solver, copy_a, copy_b);
+
+  if (copy_a.key_vars.empty()) {
+    throw std::invalid_argument("run_sat_attack: netlist has no LUTs");
+  }
+
+  const sat::Lit assume_diff[] = {sat::pos(miter)};
+  while (true) {
+    if (timer.seconds() > opt.time_limit_s) {
+      result.timed_out = true;
+      break;
+    }
+    if (result.iterations >= opt.max_iterations) {
+      result.budget_exhausted = true;
+      break;
+    }
+    solver.set_conflict_budget(opt.conflict_budget);
+    const sat::Result r = solver.solve(assume_diff);
+    if (r == sat::Result::kUnknown) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (r == sat::Result::kUnsat) {
+      // No distinguishing input remains: extract any consistent key.
+      solver.set_conflict_budget(opt.conflict_budget);
+      const sat::Result final_r = solver.solve();
+      if (final_r != sat::Result::kSat) {
+        result.budget_exhausted = (final_r == sat::Result::kUnknown);
+        break;
+      }
+      for (const auto& [name, vars] : copy_a.key_vars) {
+        std::uint64_t mask = 0;
+        for (std::size_t row = 0; row < vars.size(); ++row) {
+          if (solver.value(vars[row])) mask |= (1ull << row);
+        }
+        result.key[name] = mask;
+      }
+      result.success = true;
+      break;
+    }
+
+    // SAT: read the DIP, query the chip, constrain both key sets.
+    ++result.iterations;
+    std::vector<bool> dip(copy_a.input_vars.size());
+    for (std::size_t i = 0; i < dip.size(); ++i) {
+      dip[i] = solver.value(copy_a.input_vars[i]);
+    }
+    const std::vector<bool> response = oracle.query(dip);
+
+    EncodeOptions io_a;
+    io_a.symbolic_keys = true;
+    io_a.share_keys = &copy_a.key_vars;
+    constrain_io(solver, encode_comb(solver, hybrid, io_a), dip, response);
+    EncodeOptions io_b;
+    io_b.symbolic_keys = true;
+    io_b.share_keys = &copy_b.key_vars;
+    constrain_io(solver, encode_comb(solver, hybrid, io_b), dip, response);
+  }
+
+  result.oracle_queries = oracle.queries() - queries_before;
+  result.conflicts = solver.conflicts();
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SatAttackResult run_sat_attack(const Netlist& hybrid,
+                               const Netlist& configured,
+                               const SatAttackOptions& opt) {
+  ScanOracle oracle(configured);
+  return run_sat_attack(hybrid, oracle, opt);
+}
+
+}  // namespace stt

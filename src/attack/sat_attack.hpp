@@ -1,0 +1,53 @@
+// Oracle-guided SAT attack (Subramanyan et al. style) against hybrid
+// STT-CMOS netlists.
+//
+// The attacker holds the foundry view (structure known, LUT contents
+// unknown) and a configured chip with scan access. Each iteration solves a
+// miter of two key-differentiated copies for a distinguishing input
+// pattern (DIP), queries the oracle, and constrains both key sets with the
+// observed I/O pair; when no DIP remains, any satisfying key is
+// functionally correct on the scan view.
+//
+// This is the strongest practical attack the paper argues against; the
+// reproduction uses it to *validate* the paper's security ordering:
+// independent selection falls in a handful of iterations, while dependent
+// and parametric-aware selections blow up the iteration count / conflict
+// budget (see bench/bench_attack_validation).
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "core/hybrid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct SatAttackOptions {
+  int max_iterations = 512;
+  double time_limit_s = 60.0;
+  /// SAT conflict cap per solver call; exceeding it aborts the attack with
+  /// budget_exhausted (the defender "wins on resources").
+  std::int64_t conflict_budget = 4'000'000;
+};
+
+struct SatAttackResult {
+  bool success = false;
+  bool timed_out = false;
+  bool budget_exhausted = false;
+  int iterations = 0;  ///< DIPs generated
+  std::uint64_t oracle_queries = 0;
+  std::int64_t conflicts = 0;
+  double seconds = 0;
+  LutKey key;  ///< recovered configuration (valid when success)
+};
+
+/// `hybrid` is the attacker's netlist (LUT masks ignored / treated unknown);
+/// `oracle` wraps the configured chip.
+SatAttackResult run_sat_attack(const Netlist& hybrid, ScanOracle& oracle,
+                               const SatAttackOptions& opt = {});
+
+/// Convenience: build the oracle from the configured netlist.
+SatAttackResult run_sat_attack(const Netlist& hybrid,
+                               const Netlist& configured,
+                               const SatAttackOptions& opt = {});
+
+}  // namespace stt

@@ -1,0 +1,103 @@
+#include "attack/sensitization.hpp"
+
+#include "attack/partial_eval.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+SensitizationResult run_sensitization_attack(const Netlist& hybrid,
+                                             ScanOracle& oracle,
+                                             const SensitizationOptions& opt) {
+  SensitizationResult result;
+  Rng rng(opt.seed);
+
+  LutKnowledgeMap luts;
+  std::vector<CellId> lut_ids;
+  for (CellId id = 0; id < hybrid.size(); ++id) {
+    const Cell& c = hybrid.cell(id);
+    if (c.kind != CellKind::kLut) continue;
+    LutKnowledge st;
+    st.rows = num_rows(c.fanin_count());
+    luts.emplace(id, st);
+    lut_ids.push_back(id);
+    result.rows_total += static_cast<int>(st.rows);
+  }
+  result.luts_total = static_cast<int>(lut_ids.size());
+  if (lut_ids.empty()) {
+    result.success = true;
+    return result;
+  }
+
+  PartialEvaluator evaluator(hybrid, luts);
+  const std::size_t n_in = oracle.num_inputs();
+  const std::size_t n_po = hybrid.outputs().size();
+  const std::uint64_t start_queries = oracle.queries();
+
+  int resolved_rows = 0;
+  int resolved_luts = 0;
+  std::uint64_t stale = 0;  // patterns since last progress
+
+  while (resolved_rows < result.rows_total &&
+         oracle.queries() - start_queries < opt.max_patterns &&
+         stale < opt.max_patterns / 4 + 512) {
+    std::vector<bool> pattern(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) pattern[i] = rng.chance(0.5);
+    const std::vector<bool> response = oracle.query(pattern);
+    ++stale;
+
+    std::vector<Tri> tri_in(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) tri_in[i] = tri_from_bool(pattern[i]);
+    const std::vector<Tri> base = evaluator.eval(tri_in, kNullCell, Tri::kX);
+
+    for (const CellId lut : lut_ids) {
+      LutKnowledge& st = luts[lut];
+      if (st.complete()) continue;
+      // Inputs justified to a definite row?
+      const Cell& c = hybrid.cell(lut);
+      std::uint32_t row = 0;
+      bool definite = true;
+      for (int i = 0; i < c.fanin_count(); ++i) {
+        const Tri v = base[c.fanins[i]];
+        if (v == Tri::kX) {
+          definite = false;
+          break;
+        }
+        if (v == Tri::kOne) row |= (1u << i);
+      }
+      if (!definite || (st.known_mask & (1ull << row))) continue;
+
+      // Propagate: does forcing the LUT output provably reach an
+      // observable bit (PO or next-state) that the oracle reveals?
+      const auto w0 = evaluator.eval(tri_in, lut, Tri::kZero);
+      const auto w1 = evaluator.eval(tri_in, lut, Tri::kOne);
+      auto observable = [&](std::size_t idx) -> CellId {
+        if (idx < n_po) return hybrid.outputs()[idx];
+        return hybrid.cell(hybrid.dffs()[idx - n_po]).fanins.at(0);
+      };
+      for (std::size_t o = 0; o < response.size(); ++o) {
+        const CellId cell = observable(o);
+        const Tri v0 = w0[cell];
+        const Tri v1 = w1[cell];
+        if (v0 == Tri::kX || v1 == Tri::kX || v0 == v1) continue;
+        const bool row_value = (tri_from_bool(response[o]) == v1);
+        st.known_mask |= (1ull << row);
+        if (row_value) st.value_mask |= (1ull << row);
+        ++resolved_rows;
+        stale = 0;
+        if (st.complete()) ++resolved_luts;
+        break;
+      }
+    }
+  }
+
+  result.rows_resolved = resolved_rows;
+  result.luts_resolved = resolved_luts;
+  result.patterns_used = oracle.queries() - start_queries;
+  result.success = (resolved_rows == result.rows_total);
+  for (const CellId lut : lut_ids) {
+    result.key[hybrid.cell(lut).name] = luts[lut].value_mask;
+  }
+  return result;
+}
+
+}  // namespace stt

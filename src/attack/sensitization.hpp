@@ -1,0 +1,42 @@
+// Sensitization (testing) attack — the paper's Section IV-A.1 adversary.
+//
+// "an attacker can use a testing technique to justify and propagate the
+//  output of missing gates to some observation points. With this effort,
+//  the attacker can develop a partial or complete truth table for each
+//  missing gate and then guess the functionality."
+//
+// Implementation: random scan patterns justify LUT input rows; a row value
+// is deduced when forcing the LUT output to 0 vs 1 provably changes some
+// observable bit (three-valued propagation through the still-unknown LUTs,
+// which conservatively block observation — exactly why dependent selection
+// defeats this attack). Fully resolved LUTs become known logic, helping to
+// resolve the rest. The pattern counter is the attack cost to compare with
+// Eq. (1).
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "core/hybrid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct SensitizationOptions {
+  std::uint64_t seed = 7;
+  std::uint64_t max_patterns = 50'000;  ///< oracle-query budget
+};
+
+struct SensitizationResult {
+  bool success = false;  ///< every LUT fully resolved
+  int luts_total = 0;
+  int luts_resolved = 0;
+  int rows_total = 0;
+  int rows_resolved = 0;
+  std::uint64_t patterns_used = 0;
+  LutKey key;  ///< resolved rows; unresolved rows left 0
+};
+
+SensitizationResult run_sensitization_attack(
+    const Netlist& hybrid, ScanOracle& oracle,
+    const SensitizationOptions& opt = {});
+
+}  // namespace stt

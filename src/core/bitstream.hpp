@@ -1,0 +1,51 @@
+// Configuration-bitstream container: the programming image the design house
+// ships to the trusted configuration facility (the paper's Fig. 2 hand-off
+// after fabrication).
+//
+// A `LutKey` is the logical secret; the bitstream is its transport format:
+//
+//   magic "STTB" | version | netlist name | netlist fingerprint |
+//   record count | records (name, fan-in, mask) ... | CRC-32
+//
+// The fingerprint ties an image to the exact hybrid netlist structure so a
+// key cannot be programmed into the wrong (or tampered) die image, and the
+// CRC catches corruption in transport. Encoding is a printable hex format
+// (programming equipment consumes text fine and it diffs cleanly).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "core/hybrid.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct BitstreamError : std::runtime_error {
+  explicit BitstreamError(const std::string& msg)
+      : std::runtime_error("bitstream: " + msg) {}
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte string.
+std::uint32_t crc32(std::string_view bytes);
+
+/// Structural fingerprint of a netlist: stable across runs, sensitive to
+/// any change in cells, connectivity, interface order, or LUT *placement*
+/// (not LUT contents — the foundry view and the configured view of the
+/// same design fingerprint identically, by design).
+std::uint64_t netlist_fingerprint(const Netlist& nl);
+
+/// Serialize the key of `hybrid` into a programming image.
+std::string write_bitstream(const Netlist& hybrid);
+
+/// Parse and verify an image (magic, version, CRC), returning the key.
+/// `expected_fingerprint` of 0 skips the structure check.
+LutKey read_bitstream(const std::string& image,
+                      std::uint64_t expected_fingerprint = 0);
+
+/// Program a fabricated netlist from an image, verifying the CRC and the
+/// structural fingerprint, then applying the key.
+void program_from_bitstream(Netlist& fabricated, const std::string& image);
+
+}  // namespace stt

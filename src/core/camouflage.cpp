@@ -1,0 +1,56 @@
+#include "core/camouflage.hpp"
+
+#include <algorithm>
+
+namespace stt {
+
+std::vector<std::uint64_t> camouflage_candidate_masks() {
+  return {
+      gate_truth_mask(CellKind::kNand, 2),
+      gate_truth_mask(CellKind::kNor, 2),
+      gate_truth_mask(CellKind::kXnor, 2),
+  };
+}
+
+CamouflageResult apply_camouflage(Netlist& nl, const CamouflageOptions& opt) {
+  CamouflageResult result;
+  Rng rng(opt.seed ^ 0xca3000f1a6e5ull);
+
+  const auto candidates = camouflage_candidate_masks();
+  std::vector<CellId> eligible;
+  for (const CellId id : nl.logic_cells()) {
+    const Cell& c = nl.cell(id);
+    if (c.fanin_count() != 2 || !is_replaceable_gate(c.kind)) continue;
+    const std::uint64_t mask = gate_truth_mask(c.kind, 2);
+    if (std::find(candidates.begin(), candidates.end(), mask) !=
+        candidates.end()) {
+      eligible.push_back(id);
+    }
+  }
+  rng.shuffle(eligible);
+  for (const CellId id : eligible) {
+    if (static_cast<int>(result.camouflaged.size()) >= opt.count) break;
+    nl.replace_with_lut(id);  // mask = the original function (the secret)
+    result.camouflaged.push_back(id);
+    result.key[nl.cell(id).name] = nl.cell(id).lut_mask;
+  }
+  return result;
+}
+
+BigNum camouflage_search_space(std::size_t camouflaged_gates) {
+  return BigNum::pow(3.0, static_cast<double>(camouflaged_gates));
+}
+
+SimilarityModel camouflage_similarity_model() {
+  SimilarityModel m = SimilarityModel::paper();
+  // Candidate space per camouflaged cell: the 3 camouflage functions.
+  // Average distinguishing-pattern count over {NAND, NOR, XNOR}: pairwise
+  // similarities are NAND/NOR=2, NAND/XNOR=1, NOR/XNOR=3 -> mean 2, so
+  // alpha = 3 under the paper's 1 + mean-similarity convention.
+  const auto masks = camouflage_candidate_masks();
+  m.alpha[2] = 1.0 + average_similarity(masks, 2);
+  m.candidates[2] = static_cast<double>(masks.size());
+  return m;
+}
+
+}  // namespace stt

@@ -1,0 +1,54 @@
+// Camouflaged-gate baseline (Rajendran et al., CCS'13 — the paper's
+// Section IV-A.3 comparison point).
+//
+//   "Contrary to similar works such as camouflaging [12], the possible
+//    candidates per STT-based LUT is not limited to a small number of
+//    gates."
+//
+// A camouflaged cell looks identical under delayering for a small fixed
+// set of functions — classically {NAND, NOR, XNOR}. We model camouflaging
+// in the same machinery as the hybrid flow: selected 2-input gates become
+// LUT cells (their mask is the secret) but the *declared candidate space*
+// is the camouflage set, which is what attacks and estimators consume.
+// This gives an apples-to-apples comparison of candidate-space size: the
+// per-gate factor is 3 for camouflaging vs 6+ ("meaningful gates") or
+// 2^2^k (packed complex functions) for STT LUTs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "core/similarity.hpp"
+#include "netlist/netlist.hpp"
+#include "util/bignum.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+/// The classic camouflage candidate set at fan-in 2: NAND, NOR, XNOR.
+std::vector<std::uint64_t> camouflage_candidate_masks();
+
+struct CamouflageOptions {
+  std::uint64_t seed = 1;
+  int count = 5;  ///< gates to camouflage (comparable to indep_count)
+};
+
+struct CamouflageResult {
+  std::vector<CellId> camouflaged;
+  LutKey key;
+};
+
+/// Replace `count` randomly chosen 2-input gates whose function lies in the
+/// camouflage set (gates outside the set cannot be camouflaged — a real
+/// layout constraint). Functionality is preserved.
+CamouflageResult apply_camouflage(Netlist& nl, const CamouflageOptions& opt);
+
+/// Brute-force search space of a camouflaged netlist: 3^M.
+BigNum camouflage_search_space(std::size_t camouflaged_gates);
+
+/// A similarity model whose candidate counts reflect the camouflage set
+/// (P = 3 at fan-in 2), for plugging into the Eq. (1)-(3) estimators.
+SimilarityModel camouflage_similarity_model();
+
+}  // namespace stt

@@ -1,0 +1,19 @@
+#include "core/flow.hpp"
+
+namespace stt {
+
+FlowResult run_secure_flow(const Netlist& original, const TechLibrary& lib,
+                           const FlowOptions& opt) {
+  FlowResult result{.hybrid = original,
+                    .selection = {},
+                    .overhead = {},
+                    .security = {}};
+  GateSelector selector(lib);
+  result.selection = selector.run(result.hybrid, opt.algorithm, opt.selection);
+  result.overhead =
+      compare_overhead(original, result.hybrid, lib, opt.activity);
+  result.security = security_report(result.hybrid, opt.similarity);
+  return result;
+}
+
+}  // namespace stt

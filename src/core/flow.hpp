@@ -1,0 +1,33 @@
+// The security-driven hybrid STT-CMOS design flow (the paper's Fig. 2),
+// packaged as one call: synthesized netlist in, hybrid netlist + key +
+// sign-off metrics out.
+#pragma once
+
+#include "core/overhead.hpp"
+#include "core/security.hpp"
+#include "core/selection.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_library.hpp"
+
+namespace stt {
+
+struct FlowResult {
+  Netlist hybrid;             ///< configured hybrid netlist
+  SelectionResult selection;  ///< replaced cells + configuration key
+  OverheadReport overhead;    ///< Table I metrics vs the original
+  SecurityReport security;    ///< Eq. (1)-(3) estimates
+};
+
+struct FlowOptions {
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kParametric;
+  SelectionOptions selection;
+  SimilarityModel similarity = SimilarityModel::paper();
+  double activity = 0.10;  ///< nominal switching activity for power sign-off
+};
+
+/// Run selection-and-replacement on a copy of `original` and evaluate the
+/// resulting hybrid design. The original netlist is left untouched.
+FlowResult run_secure_flow(const Netlist& original, const TechLibrary& lib,
+                           const FlowOptions& opt = {});
+
+}  // namespace stt

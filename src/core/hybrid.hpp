@@ -1,0 +1,45 @@
+// Hybrid-netlist key management.
+//
+// After selection-and-replacement, a netlist contains reconfigurable LUT
+// cells. The truth-table masks of those LUTs are the *configuration
+// bitstream* — the secret the design house withholds from the untrusted
+// foundry and programs into the non-volatile STT cells after fabrication.
+//
+// This header provides the three views of the paper's threat model:
+//  * configured netlist (design house / deployed chip): LUT masks present;
+//  * foundry view: same structure, masks stripped;
+//  * the key itself: an ordered (cell name -> mask) map that can be
+//    serialized, applied, and compared.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+/// Configuration bitstream: net name of each LUT -> truth mask. Ordered so
+/// that serialization is deterministic.
+using LutKey = std::map<std::string, std::uint64_t>;
+
+/// Collect the configuration of every LUT cell in the netlist.
+LutKey extract_key(const Netlist& nl);
+
+/// Program a key into matching LUT cells. Throws if a key entry names a
+/// missing cell or a non-LUT; LUTs absent from the key are left untouched.
+void apply_key(Netlist& nl, const LutKey& key);
+
+/// Copy of the netlist with every LUT mask zeroed — what the foundry sees.
+Netlist foundry_view(const Netlist& nl);
+
+/// Total key length in bits (sum of 2^fanin over LUTs) — the raw search
+/// space exponent for a brute-force attacker without candidate pruning.
+std::size_t key_bits(const Netlist& nl);
+
+/// Serialize as "name hexmask" lines / parse it back.
+std::string key_to_string(const LutKey& key);
+LutKey key_from_string(const std::string& text);
+
+}  // namespace stt

@@ -1,0 +1,49 @@
+#include "core/overhead.hpp"
+
+#include "power/power.hpp"
+#include "timing/sta.hpp"
+
+namespace stt {
+
+namespace {
+
+double pct(double base, double now) {
+  if (base <= 0) return 0;
+  return (now - base) / base * 100.0;
+}
+
+}  // namespace
+
+double OverheadReport::perf_degradation_pct() const {
+  return pct(original_delay_ps, hybrid_delay_ps);
+}
+double OverheadReport::power_overhead_pct() const {
+  return pct(original_power_uw, hybrid_power_uw);
+}
+double OverheadReport::area_overhead_pct() const {
+  return pct(original_area_um2, hybrid_area_um2);
+}
+
+OverheadReport compare_overhead(const Netlist& original, const Netlist& hybrid,
+                                const TechLibrary& lib, double activity) {
+  OverheadReport report;
+  Sta sta(lib);
+  report.original_delay_ps = sta.analyze(original).critical_delay_ps;
+  report.hybrid_delay_ps = sta.analyze(hybrid).critical_delay_ps;
+
+  // Both designs run at the original clock; the hybrid's longest path may
+  // exceed it (that is exactly the "performance degradation" column).
+  const double freq_ghz =
+      report.original_delay_ps > 0 ? 1000.0 / report.original_delay_ps : 1.0;
+  report.original_power_uw =
+      estimate_power_uniform(original, lib, activity, freq_ghz).total_uw();
+  report.hybrid_power_uw =
+      estimate_power_uniform(hybrid, lib, activity, freq_ghz).total_uw();
+
+  report.original_area_um2 = total_area_um2(original, lib);
+  report.hybrid_area_um2 = total_area_um2(hybrid, lib);
+  report.num_stt_luts = static_cast<int>(hybrid.stats().luts);
+  return report;
+}
+
+}  // namespace stt

@@ -1,0 +1,33 @@
+// Parametric overhead comparison (Table I's metrics).
+//
+// Performance: critical delay of the hybrid vs the original netlist.
+// Power: total (dynamic + leakage) at the original clock and a nominal
+// uniform activity (the paper reports power at fixed conditions).
+// Area: cell footprint sum.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "tech/tech_library.hpp"
+
+namespace stt {
+
+struct OverheadReport {
+  double original_delay_ps = 0;
+  double hybrid_delay_ps = 0;
+  double original_power_uw = 0;
+  double hybrid_power_uw = 0;
+  double original_area_um2 = 0;
+  double hybrid_area_um2 = 0;
+  int num_stt_luts = 0;
+
+  double perf_degradation_pct() const;
+  double power_overhead_pct() const;
+  double area_overhead_pct() const;
+};
+
+/// `activity` is the nominal per-cell output switching activity used for
+/// both designs (Fig. 1 characterizes alpha = 10%, the flow's default).
+OverheadReport compare_overhead(const Netlist& original, const Netlist& hybrid,
+                                const TechLibrary& lib, double activity = 0.10);
+
+}  // namespace stt

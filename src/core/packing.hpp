@@ -1,0 +1,69 @@
+// Complex-function packing and search-space widening (Section IV-A.3).
+//
+// The paper's countermeasures against machine-learning attacks:
+//
+//   "a 4-input STT-based LUT and a 3-input STT-based LUT can be also used
+//    to implement 3-/2-input gates ... with connecting unused inputs of
+//    STT-based LUTs to some signals in the circuit to expand search space"
+//   "Furthermore, we can realize complex functions, such as (A.(B^C))+D,
+//    using a STT-based LUT instead of implementing only one simple gate."
+//
+// Two transformations, applied to an already-selected hybrid netlist:
+//
+//  * absorb(): merge a LUT with a single-fanout CMOS fan-in gate into one
+//    wider LUT computing the composed function — the absorbed gate
+//    disappears from the die, and the LUT's candidate space jumps from the
+//    ~6 "meaningful gates" to the full function space of its new fan-in.
+//  * add_dummy_inputs(): grow a LUT's fan-in with signals the function
+//    ignores. The attacker cannot know which inputs are real; each dummy
+//    doubles the apparent truth-table (and squares nothing — the function
+//    space an attacker must consider grows by the "depends on all inputs"
+//    count at the wider fan-in).
+//
+// Both preserve functionality exactly; `strip_dead_logic` afterwards
+// removes gates orphaned by absorption.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/cleanup.hpp"
+#include "netlist/netlist.hpp"
+#include "tech/tech_library.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+struct PackingOptions {
+  std::uint64_t seed = 1;
+  /// Upper bound on LUT fan-in after absorption / dummy insertion.
+  int max_inputs = kMaxLutInputs;
+  /// Absorption rounds: each round scans all LUTs once (a LUT can absorb
+  /// one driver per round, so deeper cones need several rounds).
+  int absorb_rounds = 2;
+  /// Dummy inputs to try to add per LUT (capacity permitting).
+  int dummies_per_lut = 1;
+  /// Timing guard: when `lib` is set, a transformation is kept only if the
+  /// critical delay stays within `max_delay_ps` (wider LUTs are slower, so
+  /// unguarded packing can undo the parametric selection's timing care).
+  const TechLibrary* lib = nullptr;
+  double max_delay_ps = 0;
+};
+
+struct PackingResult {
+  int absorbed_gates = 0;  ///< CMOS gates folded into LUT functions
+  int dummies_added = 0;   ///< ignored inputs connected
+};
+
+/// Apply absorption then dummy-input widening to every LUT cell of `nl`,
+/// in place. Deterministic for a fixed seed.
+PackingResult pack_complex_functions(Netlist& nl,
+                                     const PackingOptions& opt = {});
+
+/// The composed truth mask of lut(mask_outer) when input `slot` is driven
+/// by a gate with `inner_mask` over `inner_fanin` fresh inputs appended
+/// after the outer LUT's remaining inputs. Exposed for tests.
+std::uint64_t compose_masks(std::uint64_t outer_mask, int outer_fanin,
+                            int slot, std::uint64_t inner_mask,
+                            int inner_fanin);
+
+}  // namespace stt

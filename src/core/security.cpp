@@ -1,0 +1,96 @@
+#include "core/security.hpp"
+
+#include <unordered_set>
+
+#include "graph/analysis.hpp"
+
+namespace stt {
+
+SecurityReport security_report(const Netlist& hybrid,
+                               const SimilarityModel& model) {
+  SecurityReport report;
+  report.circuit_depth = circuit_seq_depth(hybrid);
+
+  std::vector<CellId> luts;
+  for (CellId id = 0; id < hybrid.size(); ++id) {
+    if (hybrid.cell(id).kind == CellKind::kLut) luts.push_back(id);
+  }
+  report.missing_gates = static_cast<int>(luts.size());
+  if (luts.empty()) return report;
+
+  // I: accessible inputs driving the missing gates — the controllable
+  // bits (primary inputs and scan/flip-flop state) in the combinational
+  // support of the LUT fan-ins. A brute-force attacker must exercise this
+  // input space (2^I of Eq. 3) to distinguish candidate functions.
+  std::unordered_set<CellId> accessible;
+  {
+    std::vector<bool> seen(hybrid.size(), false);
+    std::vector<CellId> work;
+    for (const CellId id : luts) {
+      for (const CellId f : hybrid.cell(id).fanins) work.push_back(f);
+    }
+    while (!work.empty()) {
+      const CellId u = work.back();
+      work.pop_back();
+      if (seen[u]) continue;
+      seen[u] = true;
+      const Cell& c = hybrid.cell(u);
+      if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) {
+        accessible.insert(u);
+        continue;  // controllable boundary: stop here
+      }
+      for (const CellId f : c.fanins) work.push_back(f);
+    }
+  }
+  report.accessible_inputs = static_cast<int>(accessible.size());
+
+  const std::vector<int> depth_to_po = seq_depth_to_po(hybrid);
+
+  BigNum sum;                            // Eq. 1 accumulator
+  BigNum product = BigNum::from_double(1.0);  // Eq. 2 accumulator
+  BigNum bf_candidates = BigNum::from_double(1.0);  // prod P_i for Eq. 3
+  double alpha_total = 0;
+  double cand_total = 0;
+  for (const CellId id : luts) {
+    const int k = hybrid.cell(id).fanin_count();
+    const double alpha = model.alpha_for(k);
+    const double cand = model.candidates_for(k);
+    // Observation latency: flip-flop distance to a PO plus the cycle that
+    // applies the pattern. Unobservable LUTs cost the full circuit depth.
+    const int d = depth_to_po[id] == kUnreachable
+                      ? report.circuit_depth
+                      : depth_to_po[id] + 1;
+    alpha_total += alpha;
+    cand_total += cand;
+    sum += BigNum::from_double(alpha * static_cast<double>(d));
+    product *= BigNum::from_double(alpha * cand * static_cast<double>(d));
+    bf_candidates *= BigNum::from_double(cand);
+  }
+  report.mean_alpha = alpha_total / static_cast<double>(luts.size());
+  report.mean_candidates = cand_total / static_cast<double>(luts.size());
+  report.n_indep = sum;
+  report.n_dep = product;
+  report.n_bf = BigNum::pow2(static_cast<double>(report.accessible_inputs)) *
+                bf_candidates *
+                BigNum::from_double(static_cast<double>(report.circuit_depth));
+  return report;
+}
+
+BigNum required_clocks(const SecurityReport& report, SelectionAlgorithm alg) {
+  switch (alg) {
+    case SelectionAlgorithm::kIndependent: return report.n_indep;
+    case SelectionAlgorithm::kDependent: return report.n_dep;
+    case SelectionAlgorithm::kParametric: return report.n_bf;
+  }
+  return {};
+}
+
+BigNum attack_years(const BigNum& clocks, double patterns_per_second) {
+  if (clocks.is_zero()) return {};
+  constexpr double kSecondsPerYear = 365.25 * 24 * 3600;
+  return BigNum::from_mantissa_exp(
+      1.0, clocks.log10() - std::log10(patterns_per_second) -
+               std::log10(kSecondsPerYear));
+}
+
+}  // namespace stt

@@ -1,0 +1,50 @@
+// Security estimators: Eqs. (1)-(3) of the paper.
+//
+//   N_indep = sum_i  alpha_i * D_i                                 (Eq. 1)
+//   N_dep   = prod_i alpha_i * P_i * D_i                           (Eq. 2)
+//   N_bf    = 2^I * P^M * D                                        (Eq. 3)
+//
+// where, for missing gate i: alpha_i is the pattern count from the
+// similarity model, P_i the candidate-function count, D_i the number of
+// clock cycles to propagate its output to an observation point (its
+// flip-flop distance to a primary output, plus the observation cycle);
+// I is the number of accessible (non-missing) signals driving missing
+// gates, M the number of missing gates and D the circuit sequential depth.
+//
+// Values reach 1e220 for the larger benchmarks, hence BigNum.
+#pragma once
+
+#include "core/selection.hpp"
+#include "core/similarity.hpp"
+#include "netlist/netlist.hpp"
+#include "util/bignum.hpp"
+
+namespace stt {
+
+struct SecurityReport {
+  int missing_gates = 0;      ///< M
+  int accessible_inputs = 0;  ///< I: PIs/scan bits in the LUT fan-in support
+  int circuit_depth = 1;      ///< D (SCC-condensed max FF chain, >= 1)
+  double mean_alpha = 0;
+  double mean_candidates = 0;  ///< arithmetic mean of P_i
+  BigNum n_indep;              ///< Eq. 1
+  BigNum n_dep;                ///< Eq. 2
+  BigNum n_bf;                 ///< Eq. 3
+};
+
+/// Evaluate all three equations on a hybrid netlist (cells of kind kLut are
+/// the missing gates). A pure-CMOS netlist yields a zeroed report.
+SecurityReport security_report(const Netlist& hybrid,
+                               const SimilarityModel& model);
+
+/// The paper's applicability mapping: testing attack (Eq. 1) against
+/// independent selection, dependent testing attack (Eq. 2) against
+/// dependent selection, brute force / ML (Eq. 3) against parametric-aware
+/// selection.
+BigNum required_clocks(const SecurityReport& report, SelectionAlgorithm alg);
+
+/// Attack wall-clock in years at a given pattern application rate (the
+/// paper quotes one billion patterns per second).
+BigNum attack_years(const BigNum& clocks, double patterns_per_second = 1e9);
+
+}  // namespace stt

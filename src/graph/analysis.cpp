@@ -1,0 +1,257 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace stt {
+
+std::vector<int> combinational_levels(const Netlist& nl) {
+  std::vector<int> level(nl.size(), 0);
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    int lvl = 0;
+    for (const CellId f : c.fanins) lvl = std::max(lvl, level[f] + 1);
+    level[id] = lvl;
+  }
+  return level;
+}
+
+namespace {
+
+// 0-1 BFS where crossing into (or out of) a DFF costs 1, everything else 0.
+// `forward` selects the edge direction: forward = PI->PO orientation.
+std::vector<int> zero_one_bfs(const Netlist& nl,
+                              const std::vector<CellId>& sources,
+                              bool forward) {
+  std::vector<int> dist(nl.size(), kUnreachable);
+  std::deque<CellId> queue;
+  for (const CellId s : sources) {
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      queue.push_front(s);
+    }
+  }
+  while (!queue.empty()) {
+    const CellId u = queue.front();
+    queue.pop_front();
+    const int du = dist[u];
+    auto relax = [&](CellId v, int w) {
+      if (du + w < dist[v]) {
+        dist[v] = du + w;
+        if (w == 0) {
+          queue.push_front(v);
+        } else {
+          queue.push_back(v);
+        }
+      }
+    };
+    if (forward) {
+      for (const CellId v : nl.cell(u).fanouts) {
+        relax(v, nl.cell(v).kind == CellKind::kDff ? 1 : 0);
+      }
+    } else {
+      // Walking backward from u to its driver v: if u itself is a DFF, the
+      // step crosses one flip-flop.
+      const int w = nl.cell(u).kind == CellKind::kDff ? 1 : 0;
+      for (const CellId v : nl.cell(u).fanins) relax(v, w);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> seq_depth_to_po(const Netlist& nl) {
+  std::vector<CellId> sources(nl.outputs().begin(), nl.outputs().end());
+  return zero_one_bfs(nl, sources, /*forward=*/false);
+}
+
+std::vector<int> seq_depth_from_pi(const Netlist& nl) {
+  std::vector<CellId> sources(nl.inputs().begin(), nl.inputs().end());
+  return zero_one_bfs(nl, sources, /*forward=*/true);
+}
+
+std::vector<int> tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
+                            int& num_components) {
+  const auto n = adj.size();
+  std::vector<int> comp(n, -1), low(n, 0), index(n, -1);
+  std::vector<std::uint32_t> stack;
+  std::vector<bool> on_stack(n, false);
+  int next_index = 0;
+  num_components = 0;
+
+  // Iterative Tarjan to survive deep graphs.
+  struct Frame {
+    std::uint32_t node;
+    std::size_t edge;
+  };
+  std::vector<Frame> call;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      auto& [u, edge] = call.back();
+      if (edge == 0) {
+        index[u] = low[u] = next_index++;
+        stack.push_back(u);
+        on_stack[u] = true;
+      }
+      bool descended = false;
+      while (edge < adj[u].size()) {
+        const std::uint32_t v = adj[u][edge++];
+        if (index[v] == -1) {
+          call.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) low[u] = std::min(low[u], index[v]);
+      }
+      if (descended) continue;
+      if (low[u] == index[u]) {
+        while (true) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = num_components;
+          if (w == u) break;
+        }
+        ++num_components;
+      }
+      const std::uint32_t finished = u;
+      call.pop_back();
+      if (!call.empty()) {
+        const std::uint32_t parent = call.back().node;
+        low[parent] = std::min(low[parent], low[finished]);
+      }
+    }
+  }
+  return comp;
+}
+
+namespace {
+
+// Sequential sources (DFF outputs / any PI) combinationally reaching `start`
+// walking backward. Returns DFF ids; sets `from_pi` if a PI is reached.
+std::vector<CellId> comb_seq_sources(const Netlist& nl, CellId start,
+                                     bool& from_pi, std::vector<int>& mark,
+                                     int stamp) {
+  std::vector<CellId> result;
+  from_pi = false;
+  std::vector<CellId> work{start};
+  while (!work.empty()) {
+    const CellId u = work.back();
+    work.pop_back();
+    if (mark[u] == stamp) continue;
+    mark[u] = stamp;
+    const Cell& c = nl.cell(u);
+    if (c.kind == CellKind::kDff) {
+      result.push_back(u);
+      continue;  // do not cross the flip-flop
+    }
+    if (c.kind == CellKind::kInput) {
+      from_pi = true;
+      continue;
+    }
+    for (const CellId f : c.fanins) work.push_back(f);
+  }
+  return result;
+}
+
+}  // namespace
+
+int circuit_seq_depth(const Netlist& nl) {
+  const auto dffs = nl.dffs();
+  const auto n_ff = dffs.size();
+  // FF-graph nodes: [0, n_ff) = flip-flops, n_ff = SRC (PIs), n_ff+1 = SNK.
+  const std::uint32_t kSrc = static_cast<std::uint32_t>(n_ff);
+  const std::uint32_t kSnk = kSrc + 1;
+  std::vector<std::vector<std::uint32_t>> adj(n_ff + 2);
+
+  std::vector<std::uint32_t> ff_index(nl.size(), 0);
+  for (std::uint32_t i = 0; i < n_ff; ++i) ff_index[dffs[i]] = i;
+
+  std::vector<int> mark(nl.size(), -1);
+  int stamp = 0;
+  for (std::uint32_t i = 0; i < n_ff; ++i) {
+    bool from_pi = false;
+    const CellId d_pin = nl.cell(dffs[i]).fanins.empty()
+                             ? kNullCell
+                             : nl.cell(dffs[i]).fanins[0];
+    if (d_pin == kNullCell) continue;
+    for (const CellId src : comb_seq_sources(nl, d_pin, from_pi, mark, stamp++)) {
+      adj[ff_index[src]].push_back(i);
+    }
+    if (from_pi) adj[kSrc].push_back(i);
+  }
+  for (const CellId po : nl.outputs()) {
+    bool from_pi = false;
+    for (const CellId src : comb_seq_sources(nl, po, from_pi, mark, stamp++)) {
+      adj[ff_index[src]].push_back(kSnk);
+    }
+    if (from_pi) adj[kSrc].push_back(kSnk);
+  }
+
+  int num_comp = 0;
+  const std::vector<int> comp = tarjan_scc(adj, num_comp);
+
+  // Component weights: number of flip-flops (SRC/SNK weigh 0).
+  std::vector<int> weight(num_comp, 0);
+  for (std::uint32_t i = 0; i < n_ff; ++i) ++weight[comp[i]];
+
+  // Condensation edges; components numbered in reverse topological order, so
+  // an edge goes from a higher comp index to a lower (or equal, intra-SCC).
+  std::vector<std::vector<int>> cadj(num_comp);
+  for (std::uint32_t u = 0; u < adj.size(); ++u) {
+    for (const std::uint32_t v : adj[u]) {
+      if (comp[u] != comp[v]) cadj[comp[u]].push_back(comp[v]);
+    }
+  }
+
+  // best[c] = heaviest FF chain starting in c and ending at SNK's component.
+  const int snk_comp = comp[kSnk];
+  std::vector<long long> best(num_comp, -1);
+  best[snk_comp] = weight[snk_comp];
+  for (int c = 0; c < num_comp; ++c) {  // children (lower index) first
+    long long reach = -1;
+    for (const int child : cadj[c]) reach = std::max(reach, best[child]);
+    if (reach >= 0) best[c] = std::max(best[c], weight[c] + reach);
+  }
+  const long long d = best[comp[kSrc]];
+  return d <= 0 ? 1 : static_cast<int>(d);
+}
+
+namespace {
+
+std::vector<CellId> cone(const Netlist& nl, std::span<const CellId> roots,
+                         bool forward) {
+  std::vector<bool> seen(nl.size(), false);
+  std::vector<CellId> work(roots.begin(), roots.end());
+  std::vector<CellId> out;
+  while (!work.empty()) {
+    const CellId u = work.back();
+    work.pop_back();
+    if (u == kNullCell || seen[u]) continue;
+    seen[u] = true;
+    out.push_back(u);
+    const Cell& c = nl.cell(u);
+    const auto& next = forward ? c.fanouts : c.fanins;
+    for (const CellId v : next) work.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellId> fanin_cone(const Netlist& nl,
+                               std::span<const CellId> roots) {
+  return cone(nl, roots, /*forward=*/false);
+}
+
+std::vector<CellId> fanout_cone(const Netlist& nl,
+                                std::span<const CellId> roots) {
+  return cone(nl, roots, /*forward=*/true);
+}
+
+}  // namespace stt

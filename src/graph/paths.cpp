@@ -1,0 +1,160 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace stt {
+
+std::vector<std::vector<CellId>> IoPath::segments(const Netlist& nl) const {
+  std::vector<std::vector<CellId>> segs;
+  std::vector<CellId> current;
+  for (const CellId id : cells) {
+    const CellKind kind = nl.cell(id).kind;
+    if (kind == CellKind::kInput || kind == CellKind::kDff) {
+      if (!current.empty()) segs.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(id);
+    }
+  }
+  if (!current.empty()) segs.push_back(std::move(current));
+  return segs;
+}
+
+namespace {
+
+// Randomized DFS from `start` following fanins (backward=true) or fanouts,
+// until the `accept` predicate holds. Returns the walk start..goal, or empty.
+std::vector<CellId> directed_walk(const Netlist& nl, CellId start,
+                                  bool backward, Rng& rng,
+                                  std::size_t max_depth,
+                                  const std::function<bool(CellId)>& accept) {
+  struct Frame {
+    CellId cell;
+    std::vector<CellId> order;  // randomized neighbour order
+    std::size_t next = 0;
+  };
+  std::vector<bool> visited(nl.size(), false);
+  std::vector<Frame> stack;
+
+  auto neighbours = [&](CellId id) {
+    const Cell& c = nl.cell(id);
+    std::vector<CellId> order(backward ? c.fanins : c.fanouts);
+    rng.shuffle(order);
+    // Mild bias toward flip-flop neighbours, so walks tend to cross the
+    // >= 2 flip-flops the pool requires without meandering through the
+    // whole register file.
+    std::stable_partition(order.begin(), order.end(), [&](CellId v) {
+      return nl.cell(v).kind == CellKind::kDff && rng.chance(0.4);
+    });
+    return order;
+  };
+
+  visited[start] = true;
+  stack.push_back({start, neighbours(start), 0});
+  if (accept(start)) return {start};
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next >= top.order.size() || stack.size() >= max_depth) {
+      stack.pop_back();
+      continue;
+    }
+    const CellId v = top.order[top.next++];
+    if (visited[v]) continue;
+    visited[v] = true;
+    if (accept(v)) {
+      std::vector<CellId> walk;
+      walk.reserve(stack.size() + 1);
+      for (const Frame& f : stack) walk.push_back(f.cell);
+      walk.push_back(v);
+      return walk;
+    }
+    stack.push_back({v, neighbours(v), 0});
+  }
+  return {};
+}
+
+std::uint64_t path_hash(const std::vector<CellId>& cells) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const CellId id : cells) {
+    h ^= id;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+IoPath sample_io_path(const Netlist& nl, CellId seed, Rng& rng,
+                      std::size_t max_cells) {
+  const std::size_t half = std::max<std::size_t>(4, max_cells / 2);
+  const auto to_pi = directed_walk(nl, seed, /*backward=*/true, rng, half,
+                                   [&](CellId id) {
+                                     return nl.cell(id).kind == CellKind::kInput;
+                                   });
+  if (to_pi.empty()) return {};
+  const auto to_po = directed_walk(nl, seed, /*backward=*/false, rng, half,
+                                   [&](CellId id) {
+                                     return nl.cell(id).is_output;
+                                   });
+  if (to_po.empty()) return {};
+
+  IoPath path;
+  path.cells.assign(to_pi.rbegin(), to_pi.rend());  // PI ... seed
+  path.cells.insert(path.cells.end(), to_po.begin() + 1, to_po.end());
+  for (const CellId id : path.cells) {
+    if (nl.cell(id).kind == CellKind::kDff) ++path.ff_count;
+  }
+  return path;
+}
+
+std::vector<IoPath> build_path_pool(
+    const Netlist& nl, Rng& rng, const PathPoolOptions& opt,
+    const std::function<bool(const IoPath&)>& exclude) {
+  const std::vector<CellId> logic = nl.logic_cells();
+  if (logic.empty()) return {};
+
+  auto n_seeds = static_cast<std::size_t>(
+      static_cast<double>(logic.size()) * opt.sample_fraction + 0.5);
+  n_seeds = std::max(n_seeds, std::min(opt.min_seeds, logic.size()));
+
+  const std::vector<CellId> seeds =
+      rng.sample(std::span<const CellId>(logic), n_seeds);
+
+  std::vector<IoPath> pool;
+  std::vector<IoPath> fallback;  // best paths below the flip-flop threshold
+  std::unordered_set<std::uint64_t> seen;
+  int best_ffs = 0;
+
+  for (const CellId seed : seeds) {
+    for (int attempt = 0; attempt < opt.attempts_per_seed; ++attempt) {
+      IoPath path = sample_io_path(nl, seed, rng, opt.max_cells);
+      if (path.cells.empty()) break;  // seed disconnected; retries won't help
+      if (!seen.insert(path_hash(path.cells)).second) continue;
+      if (exclude && exclude(path)) continue;
+      if (path.ff_count >= opt.min_ffs) {
+        pool.push_back(std::move(path));
+        break;
+      }
+      best_ffs = std::max(best_ffs, path.ff_count);
+      fallback.push_back(std::move(path));
+    }
+  }
+
+  if (pool.empty()) {
+    // Relax the flip-flop requirement to what the circuit actually offers.
+    for (auto& path : fallback) {
+      if (path.ff_count == best_ffs) pool.push_back(std::move(path));
+    }
+  }
+
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const IoPath& a, const IoPath& b) {
+                     if (a.ff_count != b.ff_count) return a.ff_count > b.ff_count;
+                     return a.cells.size() > b.cells.size();
+                   });
+  return pool;
+}
+
+}  // namespace stt

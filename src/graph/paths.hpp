@@ -1,0 +1,70 @@
+// The paper's I/O-path pool (Section IV-A, implementation paragraph):
+//
+//   "we randomly select a sample of 2% of the components within the circuit
+//    and perform a depth-first search in the graph to find the path to a
+//    primary input and a primary output of the circuit containing at least
+//    two flip-flops. Once all of the unique paths have been collected, we
+//    remove any paths that contain the critical path and sort the remaining
+//    paths by depth (e.g., the number of flip-flops between the primary
+//    input and primary output)."
+//
+// An IoPath is a concrete PI -> PO walk through the cell graph; its
+// `segments()` decomposition yields the constituent *timing paths* — maximal
+// combinational stretches between sequential endpoints (PI/DFF -> DFF/PO) —
+// which are the units the dependent and parametric-aware selections operate
+// on.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+struct IoPath {
+  std::vector<CellId> cells;  ///< PI first, PO-driving cell last
+  int ff_count = 0;           ///< flip-flops on the walk (its "depth")
+
+  /// Combinational timing-path segments (PI/DFF -> DFF/PO stretches),
+  /// excluding the sequential endpoints themselves. Segments may be empty
+  /// when two flip-flops are back to back; empty segments are dropped.
+  std::vector<std::vector<CellId>> segments(const Netlist& nl) const;
+};
+
+struct PathPoolOptions {
+  /// Fraction of logic cells used as DFS seeds (the paper's 2%).
+  double sample_fraction = 0.02;
+  /// Minimum seeds regardless of circuit size, so tiny circuits still yield
+  /// a usable pool.
+  std::size_t min_seeds = 8;
+  /// Required flip-flop count on a path (the paper's "at least two").
+  int min_ffs = 2;
+  /// Randomized-DFS retries per seed before giving up on it.
+  int attempts_per_seed = 6;
+  /// Cap on the cell count of a sampled path. Unbounded random walks in
+  /// large sequential circuits meander through hundreds of flip-flops,
+  /// which would make the dependent selection replace far more gates than
+  /// any real I/O path contains (the paper's dependent counts top out
+  /// around 256 on s9234a). The walk backtracks when it exceeds the cap.
+  std::size_t max_cells = 320;
+};
+
+/// Build the pool: seed-sampled randomized DFS walks, deduplicated, filtered
+/// through `exclude` (used to drop paths that contain critical-path cells),
+/// sorted by flip-flop depth, deepest first.
+///
+/// If no seed yields a path meeting `min_ffs`, the constraint is relaxed to
+/// the best flip-flop count actually found (small/combinational-heavy
+/// circuits), so the pool is never empty for a connected circuit.
+std::vector<IoPath> build_path_pool(
+    const Netlist& nl, Rng& rng, const PathPoolOptions& opt = {},
+    const std::function<bool(const IoPath&)>& exclude = {});
+
+/// One randomized backward+forward DFS walk through `seed`; empty result if
+/// the seed cannot reach both a PI and a PO within the length cap.
+IoPath sample_io_path(const Netlist& nl, CellId seed, Rng& rng,
+                      std::size_t max_cells = 320);
+
+}  // namespace stt

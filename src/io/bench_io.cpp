@@ -1,0 +1,234 @@
+#include "io/bench_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+BenchParseError::BenchParseError(const std::string& msg, int line_no)
+    : std::runtime_error("bench:" + std::to_string(line_no) + ": " + msg),
+      line(line_no) {}
+
+namespace {
+
+struct PendingCell {
+  CellKind kind;
+  std::string name;
+  std::vector<std::string> fanin_names;
+  std::uint64_t lut_mask = 0;
+  int line = 0;
+};
+
+// "LUT_0x8" / "LUT_X" / plain operator name -> kind (+ mask for LUTs).
+CellKind parse_operator(std::string_view op, std::uint64_t& mask, int line) {
+  const std::string up = to_upper(op);
+  if (starts_with(up, "LUT_")) {
+    const std::string_view arg = std::string_view(up).substr(4);
+    if (arg == "X") {
+      mask = 0;
+      return CellKind::kLut;
+    }
+    std::string_view digits = arg;
+    if (starts_with(digits, "0X")) digits = digits.substr(2);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value, 16);
+    if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+      throw BenchParseError("bad LUT mask '" + std::string(op) + "'", line);
+    }
+    mask = value;
+    return CellKind::kLut;
+  }
+  const auto kind = kind_from_name(up);
+  if (!kind || *kind == CellKind::kInput) {
+    throw BenchParseError("unknown operator '" + std::string(op) + "'", line);
+  }
+  return *kind;
+}
+
+}  // namespace
+
+Netlist read_bench(std::string_view text, std::string name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingCell> pending;
+  std::unordered_set<std::string> defined;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // Strip comments and whitespace.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) / OUTPUT(x)
+      const std::size_t lp = line.find('(');
+      const std::size_t rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos ||
+          rp < lp) {
+        throw BenchParseError("malformed declaration", line_no);
+      }
+      const std::string keyword = to_upper(trim(line.substr(0, lp)));
+      const std::string net(trim(line.substr(lp + 1, rp - lp - 1)));
+      if (net.empty()) throw BenchParseError("empty net name", line_no);
+      if (keyword == "INPUT") {
+        if (!defined.insert(net).second) {
+          throw BenchParseError("net '" + net + "' defined twice", line_no);
+        }
+        input_names.push_back(net);
+      } else if (keyword == "OUTPUT") {
+        output_names.push_back(net);
+      } else {
+        throw BenchParseError("unknown keyword '" + keyword + "'", line_no);
+      }
+      continue;
+    }
+
+    // name = OP(a, b, ...)
+    PendingCell cell;
+    cell.name = std::string(trim(line.substr(0, eq)));
+    cell.line = line_no;
+    if (cell.name.empty()) throw BenchParseError("empty cell name", line_no);
+    const std::string_view rhs = trim(line.substr(eq + 1));
+    const std::size_t lp = rhs.find('(');
+    const std::size_t rp = rhs.rfind(')');
+    if (lp == std::string_view::npos || rp == std::string_view::npos ||
+        rp < lp) {
+      throw BenchParseError("malformed cell definition", line_no);
+    }
+    cell.kind = parse_operator(trim(rhs.substr(0, lp)), cell.lut_mask, line_no);
+    const std::string_view args = rhs.substr(lp + 1, rp - lp - 1);
+    if (!trim(args).empty()) {
+      for (const auto& arg : split(args, ',')) {
+        const std::string net(trim(arg));
+        if (net.empty()) throw BenchParseError("empty fan-in name", line_no);
+        cell.fanin_names.push_back(net);
+      }
+    }
+    if (!defined.insert(cell.name).second) {
+      throw BenchParseError("net '" + cell.name + "' defined twice", line_no);
+    }
+    pending.push_back(std::move(cell));
+  }
+
+  // Materialize: inputs first, then cells in file order, then wire fan-ins.
+  Netlist nl(std::move(name));
+  for (auto& in : input_names) nl.add_input(std::move(in));
+  std::vector<CellId> ids;
+  ids.reserve(pending.size());
+  for (const auto& cell : pending) {
+    const CellId id = nl.add_cell(cell.kind, cell.name);
+    if (cell.kind == CellKind::kLut) {
+      nl.cell(id).lut_mask =
+          cell.lut_mask & full_mask(static_cast<int>(cell.fanin_names.size()));
+    }
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    std::vector<CellId> fanins;
+    fanins.reserve(pending[i].fanin_names.size());
+    for (const auto& net : pending[i].fanin_names) {
+      const CellId driver = nl.find(net);
+      if (driver == kNullCell) {
+        throw BenchParseError("undefined net '" + net + "'", pending[i].line);
+      }
+      fanins.push_back(driver);
+    }
+    nl.connect(ids[i], std::move(fanins));
+  }
+  for (const auto& net : output_names) {
+    const CellId id = nl.find(net);
+    if (id == kNullCell) {
+      throw BenchParseError("OUTPUT references undefined net '" + net + "'", 0);
+    }
+    nl.mark_output(id);
+  }
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return read_bench(buf.str(), stem);
+}
+
+std::string write_bench(const Netlist& nl, const BenchWriteOptions& opt) {
+  std::ostringstream os;
+  if (!opt.header.empty()) {
+    for (const auto& line : split(opt.header, '\n')) os << "# " << line << '\n';
+  }
+  os << "# " << nl.name() << '\n';
+  for (const CellId id : nl.inputs()) os << "INPUT(" << nl.cell(id).name << ")\n";
+  for (const CellId id : nl.outputs()) os << "OUTPUT(" << nl.cell(id).name << ")\n";
+  os << '\n';
+
+  // Flip-flops first, in interface order, so a write/read roundtrip
+  // preserves the state-bit ordering (scan-view positional equivalence);
+  // forward references are legal in .bench. Then everything else in
+  // topological order.
+  std::vector<CellId> emit_order(nl.dffs().begin(), nl.dffs().end());
+  for (const CellId id : nl.topo_order()) {
+    if (nl.cell(id).kind != CellKind::kDff) emit_order.push_back(id);
+  }
+  for (const CellId id : emit_order) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput) continue;
+    os << c.name << " = ";
+    if (c.kind == CellKind::kLut) {
+      if (opt.redact_luts) {
+        os << "LUT_X";
+      } else {
+        os << strformat("LUT_0x%llx",
+                        static_cast<unsigned long long>(c.lut_mask));
+      }
+    } else if (c.kind == CellKind::kConst0) {
+      os << "CONST0";
+    } else if (c.kind == CellKind::kConst1) {
+      os << "CONST1";
+    } else {
+      os << kind_name(c.kind);
+    }
+    os << '(';
+    for (int i = 0; i < c.fanin_count(); ++i) {
+      if (i) os << ", ";
+      os << nl.cell(c.fanins[i]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+void write_bench_file(const Netlist& nl, const std::string& path,
+                      const BenchWriteOptions& opt) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  out << write_bench(nl, opt);
+}
+
+}  // namespace stt

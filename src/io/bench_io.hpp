@@ -1,0 +1,55 @@
+// ISCAS'89 .bench reader/writer.
+//
+// The classic format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = DFF(G14)
+//   G11 = NAND(G0, G10)
+//
+// Hybrid-netlist extension (ours): reconfigurable LUT cells are written as
+//
+//   G11 = LUT_0x8(G0, G10)     # configured: mask in hex, row 0 = LSB
+//   G11 = LUT_X(G0, G10)       # unconfigured: contents withheld (what the
+//                              # untrusted foundry sees)
+//
+// An unconfigured LUT parses with mask 0; consumers that need the real
+// function must obtain the configuration (the key) out of band, mirroring
+// the paper's threat model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct BenchParseError : std::runtime_error {
+  BenchParseError(const std::string& msg, int line);
+  int line;
+};
+
+/// Parse a .bench document. `name` becomes the netlist name.
+Netlist read_bench(std::string_view text, std::string name = "bench");
+
+/// Parse from a file path; the file stem becomes the netlist name.
+Netlist read_bench_file(const std::string& path);
+
+struct BenchWriteOptions {
+  /// Write LUT cells as LUT_X(...) with their configuration withheld — the
+  /// foundry-facing view of a hybrid netlist.
+  bool redact_luts = false;
+  /// Leading comment block (each line is prefixed with "# ").
+  std::string header;
+};
+
+/// Serialize to .bench text (cells in topological order).
+std::string write_bench(const Netlist& nl, const BenchWriteOptions& opt = {});
+
+void write_bench_file(const Netlist& nl, const std::string& path,
+                      const BenchWriteOptions& opt = {});
+
+}  // namespace stt

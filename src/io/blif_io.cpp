@@ -1,0 +1,327 @@
+#include "io/blif_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+BlifParseError::BlifParseError(const std::string& msg, int line_no)
+    : std::runtime_error("blif:" + std::to_string(line_no) + ": " + msg),
+      line(line_no) {}
+
+namespace {
+
+// Recognize a truth mask as a standard cell so CMOS netlists survive a
+// BLIF round trip as CMOS (not as LUT soup).
+CellKind classify_mask(std::uint64_t mask, int fanin) {
+  if (fanin == 0) return mask ? CellKind::kConst1 : CellKind::kConst0;
+  if (fanin == 1) {
+    if (mask == 0b10ull) return CellKind::kBuf;
+    if (mask == 0b01ull) return CellKind::kNot;
+    return CellKind::kLut;
+  }
+  for (const CellKind kind :
+       {CellKind::kAnd, CellKind::kNand, CellKind::kOr, CellKind::kNor,
+        CellKind::kXor, CellKind::kXnor}) {
+    if (gate_truth_mask(kind, fanin) == (mask & full_mask(fanin))) return kind;
+  }
+  return CellKind::kLut;
+}
+
+struct NamesBlock {
+  std::vector<std::string> nets;  ///< inputs then the output net
+  std::vector<std::string> cubes;
+  int line = 0;
+};
+
+std::uint64_t cubes_to_mask(const NamesBlock& block) {
+  const int k = static_cast<int>(block.nets.size()) - 1;
+  if (k > kMaxLutInputs) {
+    throw BlifParseError(".names with more than " +
+                             std::to_string(kMaxLutInputs) + " inputs",
+                         block.line);
+  }
+  std::uint64_t on_cover = 0;
+  bool cover_is_offset = false;
+  bool first = true;
+  for (const auto& cube : block.cubes) {
+    const auto fields = split_ws(cube);
+    std::string bits;
+    std::string out;
+    if (k == 0) {
+      if (fields.size() != 1) {
+        throw BlifParseError("bad constant row '" + cube + "'", block.line);
+      }
+      out = fields[0];
+    } else {
+      if (fields.size() != 2 ||
+          fields[0].size() != static_cast<std::size_t>(k)) {
+        throw BlifParseError("bad cube '" + cube + "'", block.line);
+      }
+      bits = fields[0];
+      out = fields[1];
+    }
+    if (out != "0" && out != "1") {
+      throw BlifParseError("bad cube output '" + out + "'", block.line);
+    }
+    const bool off = (out == "0");
+    if (first) {
+      cover_is_offset = off;
+      first = false;
+    } else if (off != cover_is_offset) {
+      throw BlifParseError("mixed on-set/off-set cover", block.line);
+    }
+    // Expand don't-cares.
+    std::vector<std::uint32_t> rows{0};
+    for (int i = 0; i < k; ++i) {
+      const char c = bits[i];
+      if (c != '0' && c != '1' && c != '-') {
+        throw BlifParseError("bad cube character '" + std::string(1, c) + "'",
+                             block.line);
+      }
+      const std::size_t count = rows.size();
+      for (std::size_t r = 0; r < count; ++r) {
+        if (c == '1') {
+          rows[r] |= (1u << i);
+        } else if (c == '-') {
+          rows.push_back(rows[r] | (1u << i));
+        }
+      }
+    }
+    if (k == 0) rows = {0};
+    for (const std::uint32_t row : rows) on_cover |= (1ull << row);
+  }
+  if (block.cubes.empty()) return 0;  // empty cover = constant 0
+  return cover_is_offset ? (~on_cover & full_mask(k)) : on_cover;
+}
+
+}  // namespace
+
+Netlist read_blif(std::string_view text, std::string fallback_name) {
+  // Join continuation lines, strip comments.
+  std::vector<std::pair<std::string, int>> lines;
+  {
+    int line_no = 0;
+    std::string pending;
+    int pending_line = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      std::string raw(text.substr(
+          pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
+      pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+      ++line_no;
+      if (const auto hash = raw.find('#'); hash != std::string::npos) {
+        raw = raw.substr(0, hash);
+      }
+      std::string trimmed(trim(raw));
+      const bool continues = ends_with(trimmed, "\\");
+      if (continues) trimmed = std::string(trim(
+          std::string_view(trimmed).substr(0, trimmed.size() - 1)));
+      if (pending.empty()) pending_line = line_no;
+      pending += (pending.empty() ? "" : " ") + trimmed;
+      if (!continues) {
+        if (!trim(pending).empty()) {
+          lines.emplace_back(std::string(trim(pending)), pending_line);
+        }
+        pending.clear();
+      }
+    }
+  }
+
+  std::string model_name = std::move(fallback_name);
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, std::string>> latches;  // D, Q
+  std::vector<NamesBlock> blocks;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const auto& [line, line_no] = lines[li];
+    const auto fields = split_ws(line);
+    if (fields.empty()) continue;
+    const std::string& head = fields[0];
+    if (head == ".model") {
+      if (fields.size() >= 2) model_name = fields[1];
+    } else if (head == ".inputs") {
+      input_names.insert(input_names.end(), fields.begin() + 1, fields.end());
+    } else if (head == ".outputs") {
+      output_names.insert(output_names.end(), fields.begin() + 1,
+                          fields.end());
+    } else if (head == ".latch") {
+      if (fields.size() < 3) {
+        throw BlifParseError(".latch needs input and output", line_no);
+      }
+      latches.emplace_back(fields[1], fields[2]);
+    } else if (head == ".names") {
+      if (fields.size() < 2) {
+        throw BlifParseError(".names needs an output net", line_no);
+      }
+      NamesBlock block;
+      block.nets.assign(fields.begin() + 1, fields.end());
+      block.line = line_no;
+      while (li + 1 < lines.size() && lines[li + 1].first[0] != '.') {
+        block.cubes.push_back(lines[++li].first);
+      }
+      blocks.push_back(std::move(block));
+    } else if (head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      // Unknown directive (timing annotations etc.): ignore.
+    } else {
+      throw BlifParseError("unexpected line '" + line + "'", line_no);
+    }
+  }
+
+  Netlist nl(std::move(model_name));
+  for (const auto& name : input_names) nl.add_input(name);
+  for (const auto& [d, q] : latches) nl.add_cell(CellKind::kDff, q);
+  std::vector<CellId> block_cells;
+  for (const auto& block : blocks) {
+    const int k = static_cast<int>(block.nets.size()) - 1;
+    if (k > kMaxLutInputs) {
+      // Wide covers: accept the compact monotone single-cube forms.
+      if (block.cubes.size() != 1) {
+        throw BlifParseError("wide .names must be a single cube", block.line);
+      }
+      const auto fields = split_ws(block.cubes[0]);
+      if (fields.size() != 2 ||
+          fields[0].size() != static_cast<std::size_t>(k)) {
+        throw BlifParseError("bad wide cube", block.line);
+      }
+      const bool all1 = fields[0] == std::string(k, '1');
+      const bool all0 = fields[0] == std::string(k, '0');
+      const bool out1 = fields[1] == "1";
+      CellKind kind;
+      if (all1 && out1) {
+        kind = CellKind::kAnd;
+      } else if (all1) {
+        kind = CellKind::kNand;
+      } else if (all0 && out1) {
+        kind = CellKind::kNor;
+      } else if (all0) {
+        kind = CellKind::kOr;
+      } else {
+        throw BlifParseError("unsupported wide cover", block.line);
+      }
+      block_cells.push_back(nl.add_cell(kind, block.nets.back()));
+      continue;
+    }
+    const std::uint64_t mask = cubes_to_mask(block);
+    const CellKind kind = classify_mask(mask, k);
+    const CellId id = nl.add_cell(kind, block.nets.back());
+    if (kind == CellKind::kLut) nl.cell(id).lut_mask = mask & full_mask(k);
+    block_cells.push_back(id);
+  }
+  auto resolve = [&](const std::string& name, int line_no) {
+    const CellId id = nl.find(name);
+    if (id == kNullCell) {
+      throw BlifParseError("undefined net '" + name + "'", line_no);
+    }
+    return id;
+  };
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    nl.connect(nl.find(latches[i].second), {resolve(latches[i].first, 0)});
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const CellKind kind = nl.cell(block_cells[i]).kind;
+    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) continue;
+    std::vector<CellId> fanins;
+    for (std::size_t j = 0; j + 1 < blocks[i].nets.size(); ++j) {
+      fanins.push_back(resolve(blocks[i].nets[j], blocks[i].line));
+    }
+    nl.connect(block_cells[i], std::move(fanins));
+  }
+  for (const auto& name : output_names) nl.mark_output(resolve(name, 0));
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return read_blif(buf.str(), stem);
+}
+
+std::string write_blif(const Netlist& nl) {
+  std::ostringstream os;
+  os << ".model " << nl.name() << '\n';
+  os << ".inputs";
+  for (const CellId id : nl.inputs()) os << ' ' << nl.cell(id).name;
+  os << '\n';
+  os << ".outputs";
+  for (const CellId id : nl.outputs()) os << ' ' << nl.cell(id).name;
+  os << '\n';
+  for (const CellId id : nl.dffs()) {
+    const Cell& c = nl.cell(id);
+    os << ".latch " << nl.cell(c.fanins.at(0)).name << ' ' << c.name
+       << " re clk 0\n";
+  }
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    os << ".names";
+    for (const CellId f : c.fanins) os << ' ' << nl.cell(f).name;
+    os << ' ' << c.name << '\n';
+    const int k = c.fanin_count();
+    if (k > kMaxLutInputs) {
+      // Wide gates: compact single-cube covers for the monotone gates.
+      switch (c.kind) {
+        case CellKind::kAnd:
+          os << std::string(k, '1') << " 1\n";
+          break;
+        case CellKind::kNand:
+          os << std::string(k, '1') << " 0\n";
+          break;
+        case CellKind::kOr:
+          os << std::string(k, '0') << " 0\n";
+          break;
+        case CellKind::kNor:
+          os << std::string(k, '0') << " 1\n";
+          break;
+        default:
+          // A 2^(k-1)-cube parity cover is not worth emitting.
+          throw std::runtime_error(
+              "write_blif: wide XOR/XNOR not representable compactly; "
+              "decompose '" + c.name + "' first");
+      }
+      continue;
+    }
+    const std::uint64_t mask =
+        c.kind == CellKind::kLut ? c.lut_mask : (c.kind == CellKind::kConst0
+                ? 0ull
+                : c.kind == CellKind::kConst1
+                      ? 1ull
+                      : gate_truth_mask(c.kind, k));
+    if (k == 0) {
+      if (mask & 1ull) os << "1\n";
+      continue;
+    }
+    for (std::uint32_t row = 0; row < num_rows(k); ++row) {
+      if (!((mask >> row) & 1ull)) continue;
+      for (int i = 0; i < k; ++i) os << ((row & (1u << i)) ? '1' : '0');
+      os << " 1\n";
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+void write_blif_file(const Netlist& nl, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  out << write_blif(nl);
+}
+
+}  // namespace stt

@@ -1,0 +1,46 @@
+// Berkeley Logic Interchange Format (BLIF) reader/writer.
+//
+// BLIF is the natural exchange format for LUT-bearing netlists: `.names`
+// blocks carry arbitrary single-output truth tables (exactly a LUT) and
+// `.latch` carries state. The flow uses it to interoperate with academic
+// tooling (ABC, VTR):
+//
+//   .model s27
+//   .inputs G0 G1
+//   .outputs G17
+//   .latch G10 G5 re clk 0
+//   .names G0 G5 G9     # rows with output 1
+//   01 1
+//   11 1
+//   .end
+//
+// Reading maps `.names` blocks to LUT cells when the function is not a
+// recognizable standard gate, and to plain gates when it is (so a BLIF
+// round trip of a CMOS netlist reproduces CMOS cells). Writing emits gates
+// and LUTs as `.names` and flip-flops as `.latch`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct BlifParseError : std::runtime_error {
+  BlifParseError(const std::string& msg, int line);
+  int line;
+};
+
+Netlist read_blif(std::string_view text, std::string fallback_name = "blif");
+Netlist read_blif_file(const std::string& path);
+
+/// Note: BLIF has no gate/LUT distinction — every logic cell becomes a
+/// `.names` cover, and reading classifies covers back into standard cells
+/// where possible. A LUT configured as a standard gate therefore reads
+/// back as that gate; key extraction must happen before a BLIF round trip.
+std::string write_blif(const Netlist& nl);
+void write_blif_file(const Netlist& nl, const std::string& path);
+
+}  // namespace stt

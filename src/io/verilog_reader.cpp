@@ -1,0 +1,397 @@
+#include "io/verilog_reader.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+namespace {
+
+struct Token {
+  std::string text;
+  bool is_identifier = false;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) { tokenize(text); }
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const Token& peek() const {
+    static const Token kEof{"<eof>", false};
+    return done() ? kEof : tokens_[pos_];
+  }
+  Token next() {
+    if (done()) throw VerilogParseError("unexpected end of input");
+    return tokens_[pos_++];
+  }
+  void expect(std::string_view text) {
+    const Token t = next();
+    if (t.text != text) {
+      throw VerilogParseError("expected '" + std::string(text) + "', got '" +
+                              t.text + "'");
+    }
+  }
+  bool accept(std::string_view text) {
+    if (!done() && tokens_[pos_].text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string identifier() {
+    const Token t = next();
+    if (!t.is_identifier) {
+      throw VerilogParseError("expected identifier, got '" + t.text + "'");
+    }
+    return t.text;
+  }
+  /// Skip tokens until (and including) `text`.
+  void skip_past(std::string_view text) {
+    while (next().text != text) {
+    }
+  }
+
+ private:
+  void tokenize(std::string_view s) {
+    std::size_t i = 0;
+    const std::size_t n = s.size();
+    auto is_ident = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+             c == '$';
+    };
+    while (i < n) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+        while (i < n && s[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+        const std::size_t end = s.find("*/", i + 2);
+        if (end == std::string_view::npos) {
+          throw VerilogParseError("unterminated block comment");
+        }
+        i = end + 2;
+        continue;
+      }
+      if (c == '\\') {  // escaped identifier: up to whitespace
+        std::size_t j = i + 1;
+        while (j < n && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+        tokens_.push_back({std::string(s.substr(i + 1, j - i - 1)), true});
+        i = j;
+        continue;
+      }
+      if (is_ident(c) || c == '\'') {
+        // Identifier, number, or based literal like 16'hcafe (the quote
+        // glues the width to the base/value).
+        std::size_t j = i;
+        while (j < n && (is_ident(s[j]) || s[j] == '\'')) ++j;
+        const std::string text(s.substr(i, j - i));
+        const bool ident =
+            !std::isdigit(static_cast<unsigned char>(text[0])) &&
+            text.find('\'') == std::string::npos;
+        tokens_.push_back({text, ident});
+        i = j;
+        continue;
+      }
+      if (c == '<' && i + 1 < n && s[i + 1] == '=') {
+        tokens_.push_back({"<=", false});
+        i += 2;
+        continue;
+      }
+      tokens_.push_back({std::string(1, c), false});
+      ++i;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+// 4'h8 / 1'b0 / 16'hCAFE -> (width, value)
+std::optional<std::pair<int, std::uint64_t>> parse_based_literal(
+    const std::string& text) {
+  const auto quote = text.find('\'');
+  if (quote == std::string::npos || quote + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  int width = 0;
+  if (quote > 0) {
+    width = std::stoi(text.substr(0, quote));
+  }
+  const char base = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(text[quote + 1])));
+  const std::string digits = text.substr(quote + 2);
+  int radix = 0;
+  switch (base) {
+    case 'b': radix = 2; break;
+    case 'o': radix = 8; break;
+    case 'd': radix = 10; break;
+    case 'h': radix = 16; break;
+    default: return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), value, radix);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return std::make_pair(width, value);
+}
+
+struct PendingDef {
+  enum Kind { kGate, kDff, kAliasOrBuf, kConst, kLut, kLutMacro } kind;
+  CellKind gate_kind = CellKind::kBuf;
+  std::string name;                     ///< driven net
+  std::vector<std::string> fanins;      ///< LSB-first for LUTs
+  std::uint64_t mask = 0;               ///< LUT mask / const value
+};
+
+}  // namespace
+
+Netlist read_verilog(std::string_view text, std::string fallback_name) {
+  Tokenizer tok(text);
+
+  std::string module_name = fallback_name;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::unordered_set<std::string> clocks;
+  std::vector<PendingDef> defs;
+
+  // Find the first non-blackbox module.
+  bool in_module = false;
+  while (!tok.done() && !in_module) {
+    if (tok.next().text != "module") continue;
+    const std::string name = tok.identifier();
+    if (starts_with(name, "STT_LUT")) {
+      tok.skip_past("endmodule");
+      continue;
+    }
+    module_name = name;
+    in_module = true;
+    // Port list (names repeated in body declarations): skip it.
+    if (tok.accept("(")) tok.skip_past(")");
+    tok.expect(";");
+  }
+  if (!in_module) throw VerilogParseError("no module found");
+
+  auto parse_signal_list = [&](std::vector<std::string>* into) {
+    // Optional range, then comma-separated identifiers, semicolon.
+    if (tok.accept("[")) tok.skip_past("]");
+    do {
+      const std::string name = tok.identifier();
+      if (into) into->push_back(name);
+    } while (tok.accept(","));
+    tok.expect(";");
+  };
+
+  auto parse_concat_lsb_first = [&]() {
+    // {msb, ..., lsb} or a single identifier; returns LSB-first order.
+    std::vector<std::string> msb_first;
+    if (tok.accept("{")) {
+      do {
+        msb_first.push_back(tok.identifier());
+      } while (tok.accept(","));
+      tok.expect("}");
+    } else {
+      msb_first.push_back(tok.identifier());
+    }
+    return std::vector<std::string>(msb_first.rbegin(), msb_first.rend());
+  };
+
+  while (!tok.done()) {
+    const Token head = tok.next();
+    if (head.text == "endmodule") break;
+    if (head.text == "input") {
+      parse_signal_list(&input_names);
+      continue;
+    }
+    if (head.text == "output") {
+      parse_signal_list(&output_names);
+      continue;
+    }
+    if (head.text == "wire" || head.text == "reg") {
+      parse_signal_list(nullptr);
+      continue;
+    }
+    if (head.text == "assign") {
+      PendingDef def;
+      def.name = tok.identifier();
+      tok.expect("=");
+      const Token rhs = tok.next();
+      if (const auto lit = parse_based_literal(rhs.text)) {
+        if (tok.accept("[")) {
+          // Configured LUT: mask[{index vector}].
+          def.kind = PendingDef::kLut;
+          def.mask = lit->second;
+          def.fanins = parse_concat_lsb_first();
+          tok.expect("]");
+        } else {
+          def.kind = PendingDef::kConst;
+          def.mask = lit->second & 1ull;
+        }
+      } else if (rhs.is_identifier) {
+        def.kind = PendingDef::kAliasOrBuf;
+        def.fanins = {rhs.text};
+      } else {
+        throw VerilogParseError("unsupported assign RHS near '" + rhs.text +
+                                "'");
+      }
+      tok.expect(";");
+      defs.push_back(std::move(def));
+      continue;
+    }
+    if (head.text == "always") {
+      // always @(posedge clk) q <= d;
+      tok.expect("@");
+      tok.expect("(");
+      tok.expect("posedge");
+      clocks.insert(tok.identifier());
+      tok.expect(")");
+      PendingDef def;
+      def.kind = PendingDef::kDff;
+      def.name = tok.identifier();
+      tok.expect("<=");
+      def.fanins = {tok.identifier()};
+      tok.expect(";");
+      defs.push_back(std::move(def));
+      continue;
+    }
+    if (head.is_identifier) {
+      const auto kind = kind_from_name(head.text);
+      if (kind && is_replaceable_gate(*kind)) {
+        // Gate primitive: kind inst (out, in...);
+        PendingDef def;
+        def.kind = PendingDef::kGate;
+        def.gate_kind = *kind;
+        (void)tok.identifier();  // instance name
+        tok.expect("(");
+        def.name = tok.identifier();
+        while (tok.accept(",")) def.fanins.push_back(tok.identifier());
+        tok.expect(")");
+        tok.expect(";");
+        defs.push_back(std::move(def));
+        continue;
+      }
+      if (starts_with(head.text, "STT_LUT")) {
+        // STT_LUTk inst (.y(net), .a({...}));
+        PendingDef def;
+        def.kind = PendingDef::kLutMacro;
+        (void)tok.identifier();
+        tok.expect("(");
+        do {
+          tok.expect(".");
+          const std::string port = tok.identifier();
+          tok.expect("(");
+          if (port == "y") {
+            def.name = tok.identifier();
+          } else if (port == "a") {
+            def.fanins = parse_concat_lsb_first();
+          } else {
+            throw VerilogParseError("unknown STT_LUT port '." + port + "'");
+          }
+          tok.expect(")");
+        } while (tok.accept(","));
+        tok.expect(")");
+        tok.expect(";");
+        defs.push_back(std::move(def));
+        continue;
+      }
+      throw VerilogParseError("unsupported statement near '" + head.text +
+                              "'");
+    }
+    throw VerilogParseError("unsupported token '" + head.text + "'");
+  }
+
+  // Reference counts decide whether an `assign x = y` is a pure output
+  // alias (droppable) or a real buffer.
+  std::unordered_map<std::string, int> referenced;
+  for (const auto& def : defs) {
+    for (const auto& f : def.fanins) ++referenced[f];
+  }
+
+  Netlist nl(std::move(module_name));
+  std::unordered_map<std::string, std::string> alias;  // lhs -> rhs
+  for (const auto& name : input_names) {
+    if (!clocks.count(name)) nl.add_input(name);
+  }
+  // First pass: create cells (aliases resolved later).
+  for (const auto& def : defs) {
+    switch (def.kind) {
+      case PendingDef::kAliasOrBuf:
+        if (referenced[def.name] == 0) {
+          alias[def.name] = def.fanins[0];
+          continue;  // pure fan-out alias, e.g. the writer's po_N nets
+        }
+        nl.add_cell(CellKind::kBuf, def.name);
+        break;
+      case PendingDef::kConst:
+        nl.add_cell(def.mask ? CellKind::kConst1 : CellKind::kConst0,
+                    def.name);
+        break;
+      case PendingDef::kDff:
+        nl.add_cell(CellKind::kDff, def.name);
+        break;
+      case PendingDef::kGate:
+        nl.add_cell(def.gate_kind, def.name);
+        break;
+      case PendingDef::kLut:
+      case PendingDef::kLutMacro: {
+        const CellId id = nl.add_cell(CellKind::kLut, def.name);
+        nl.cell(id).lut_mask =
+            def.mask & full_mask(static_cast<int>(def.fanins.size()));
+        break;
+      }
+    }
+  }
+  // Second pass: connect.
+  auto resolve = [&](const std::string& name) {
+    std::string cursor = name;
+    for (int hops = 0; hops < 64; ++hops) {
+      const CellId id = nl.find(cursor);
+      if (id != kNullCell) return id;
+      const auto it = alias.find(cursor);
+      if (it == alias.end()) break;
+      cursor = it->second;
+    }
+    throw VerilogParseError("undefined net '" + name + "'");
+  };
+  for (const auto& def : defs) {
+    if (def.kind == PendingDef::kAliasOrBuf && alias.count(def.name)) continue;
+    const CellId id = nl.find(def.name);
+    std::vector<CellId> fanins;
+    for (const auto& f : def.fanins) fanins.push_back(resolve(f));
+    nl.connect(id, std::move(fanins));
+  }
+  for (const auto& name : output_names) nl.mark_output(resolve(name));
+  nl.finalize();
+  return nl;
+}
+
+Netlist read_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return read_verilog(buf.str(), stem);
+}
+
+}  // namespace stt

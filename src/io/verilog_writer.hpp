@@ -1,0 +1,31 @@
+// Structural Verilog export of (hybrid) netlists — the hand-off artifact of
+// the paper's flow into physical design (Fig. 2).
+//
+// CMOS gates map to Verilog gate primitives; flip-flops become a positive-
+// edge always block with an added `clk` port; configured LUTs become indexed
+// localparam truth tables, and redacted LUTs instantiate an opaque
+// `STT_LUT<k>` macro cell whose contents are programmed post-fabrication.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct VerilogWriteOptions {
+  /// Emit STT_LUT<k> blackbox instances instead of truth tables (the
+  /// foundry-facing view).
+  bool redact_luts = false;
+  /// Also emit empty `module STT_LUT<k> ...` blackbox declarations.
+  bool emit_lut_blackboxes = true;
+  std::string clock_name = "clk";
+};
+
+std::string write_verilog(const Netlist& nl,
+                          const VerilogWriteOptions& opt = {});
+
+void write_verilog_file(const Netlist& nl, const std::string& path,
+                        const VerilogWriteOptions& opt = {});
+
+}  // namespace stt

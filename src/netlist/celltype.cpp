@@ -1,0 +1,137 @@
+#include "netlist/celltype.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+bool is_replaceable_gate(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kNot:
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+    case CellKind::kXor:
+    case CellKind::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_combinational(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kDff:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_standard_gate(CellKind kind) {
+  switch (kind) {
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+    case CellKind::kXor:
+    case CellKind::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput: return "INPUT";
+    case CellKind::kConst0: return "CONST0";
+    case CellKind::kConst1: return "CONST1";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kNot: return "NOT";
+    case CellKind::kAnd: return "AND";
+    case CellKind::kNand: return "NAND";
+    case CellKind::kOr: return "OR";
+    case CellKind::kNor: return "NOR";
+    case CellKind::kXor: return "XOR";
+    case CellKind::kXnor: return "XNOR";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kLut: return "LUT";
+  }
+  return "?";
+}
+
+std::optional<CellKind> kind_from_name(std::string_view name) {
+  const std::string up = to_upper(name);
+  if (up == "INPUT") return CellKind::kInput;
+  if (up == "CONST0" || up == "GND" || up == "ZERO") return CellKind::kConst0;
+  if (up == "CONST1" || up == "VDD" || up == "ONE") return CellKind::kConst1;
+  if (up == "BUF" || up == "BUFF") return CellKind::kBuf;
+  if (up == "NOT" || up == "INV") return CellKind::kNot;
+  if (up == "AND") return CellKind::kAnd;
+  if (up == "NAND") return CellKind::kNand;
+  if (up == "OR") return CellKind::kOr;
+  if (up == "NOR") return CellKind::kNor;
+  if (up == "XOR") return CellKind::kXor;
+  if (up == "XNOR") return CellKind::kXnor;
+  if (up == "DFF" || up == "FF") return CellKind::kDff;
+  if (up == "LUT") return CellKind::kLut;
+  return std::nullopt;
+}
+
+bool eval_gate(CellKind kind, std::uint32_t inputs, int fanin) {
+  const std::uint32_t mask = (fanin >= 32) ? ~0u : ((1u << fanin) - 1u);
+  const std::uint32_t in = inputs & mask;
+  switch (kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kBuf: return in & 1u;
+    case CellKind::kNot: return !(in & 1u);
+    case CellKind::kAnd: return in == mask;
+    case CellKind::kNand: return in != mask;
+    case CellKind::kOr: return in != 0;
+    case CellKind::kNor: return in == 0;
+    case CellKind::kXor: return (std::popcount(in) & 1) != 0;
+    case CellKind::kXnor: return (std::popcount(in) & 1) == 0;
+    default:
+      throw std::invalid_argument("eval_gate: kind has no gate semantics");
+  }
+}
+
+std::uint64_t gate_truth_mask(CellKind kind, int fanin) {
+  const auto range = fanin_range(kind);
+  if (fanin < range.min || fanin > range.max || fanin > kMaxLutInputs) {
+    // The 64-bit mask representation covers at most kMaxLutInputs inputs;
+    // wider gates are evaluated arity-generically instead.
+    throw std::invalid_argument("gate_truth_mask: illegal fan-in");
+  }
+  std::uint64_t mask = 0;
+  for (std::uint32_t row = 0; row < num_rows(fanin); ++row) {
+    if (eval_gate(kind, row, fanin)) mask |= (1ull << row);
+  }
+  return mask;
+}
+
+FaninRange fanin_range(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return {0, 0};
+    case CellKind::kBuf:
+    case CellKind::kNot:
+    case CellKind::kDff:
+      return {1, 1};
+    case CellKind::kLut:
+      return {1, kMaxLutInputs};
+    default:
+      return {2, kMaxGateInputs};
+  }
+}
+
+}  // namespace stt

@@ -1,0 +1,92 @@
+// Cell-type algebra: the gate vocabulary of the hybrid STT-CMOS flow.
+//
+// The flow operates on synthesized gate-level netlists in the ISCAS'89
+// vocabulary (AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF/DFF) plus the reconfigurable
+// STT-based LUT that the selection algorithms insert. Every cell type has an
+// exact Boolean semantics, expressible as a truth-table mask over up to
+// kMaxLutInputs inputs; that single representation backs the simulator, the
+// SAT encoder, the similarity metric (the paper's alpha), and the LUT
+// replacement step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stt {
+
+/// Maximum LUT fan-in supported by the truth-mask representation. Six inputs
+/// fit a 64-bit mask; the paper only uses 2-4 input LUTs but complex-function
+/// packing (Section IV-A.3) benefits from headroom.
+inline constexpr int kMaxLutInputs = 6;
+
+/// Maximum fan-in of a standard CMOS gate. Wider than the LUT cap because
+/// externally synthesized netlists contain wide AND/OR trees; such gates
+/// are simulated, timed and encoded arity-generically, they just cannot be
+/// replaced by a single LUT (selection skips them, as the paper's flow
+/// implicitly does).
+inline constexpr int kMaxGateInputs = 16;
+
+enum class CellKind : std::uint8_t {
+  kInput,   ///< primary input (no fan-in)
+  kConst0,  ///< constant logic 0
+  kConst1,  ///< constant logic 1
+  kBuf,     ///< buffer (1 fan-in)
+  kNot,     ///< inverter (1 fan-in)
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,  ///< D flip-flop (1 fan-in); output is the state bit
+  kLut,  ///< reconfigurable STT-based LUT; semantics carried by a mask
+};
+
+/// True for the logic cells a selection algorithm may replace with an
+/// STT-based LUT (excludes PIs, constants and flip-flops; includes BUF/NOT,
+/// although the algorithms themselves may further restrict to fan-in >= 2).
+bool is_replaceable_gate(CellKind kind);
+
+/// True for any combinational cell (gate, buffer, inverter, constant, LUT).
+bool is_combinational(CellKind kind);
+
+/// True for the standard multi-input gates AND/NAND/OR/NOR/XOR/XNOR.
+bool is_standard_gate(CellKind kind);
+
+/// Canonical upper-case mnemonic ("NAND", "DFF", ...).
+std::string_view kind_name(CellKind kind);
+
+/// Parse a mnemonic as used by ISCAS'89 .bench files (case-insensitive).
+/// Returns nullopt for unknown operators.
+std::optional<CellKind> kind_from_name(std::string_view name);
+
+/// Evaluate a gate over an input assignment packed into the low bits of
+/// `inputs` (fan-in 0 is bit 0). Not valid for kInput/kDff/kLut.
+bool eval_gate(CellKind kind, std::uint32_t inputs, int fanin);
+
+/// The truth-table mask of a gate at the given fan-in: bit `i` of the result
+/// is the gate output for input assignment `i`. Valid for combinational
+/// kinds except kLut; fanin must be within [min_fanin, kMaxLutInputs].
+std::uint64_t gate_truth_mask(CellKind kind, int fanin);
+
+/// Mask covering all 2^fanin truth-table rows.
+constexpr std::uint64_t full_mask(int fanin) {
+  return fanin >= 6 ? ~0ull : ((1ull << (1u << fanin)) - 1ull);
+}
+
+/// Number of distinct input assignments for a fan-in.
+constexpr std::uint32_t num_rows(int fanin) { return 1u << fanin; }
+
+/// Legal fan-in range for a cell kind; returns {min, max}. DFF/BUF/NOT are
+/// exactly 1, standard gates are [2, kMaxGateInputs] (XOR/XNOR included —
+/// multi-input forms are parity/its complement, matching .bench semantics),
+/// LUT is [1, kMaxLutInputs].
+struct FaninRange {
+  int min;
+  int max;
+};
+FaninRange fanin_range(CellKind kind);
+
+}  // namespace stt

@@ -1,0 +1,61 @@
+#include "netlist/cleanup.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace stt {
+
+Netlist strip_dead_logic(const Netlist& nl) {
+  // Live = backward-reachable from the primary outputs (crossing DFFs).
+  std::vector<bool> live(nl.size(), false);
+  std::vector<CellId> work(nl.outputs().begin(), nl.outputs().end());
+  for (const CellId id : work) live[id] = true;
+  while (!work.empty()) {
+    const CellId u = work.back();
+    work.pop_back();
+    for (const CellId f : nl.cell(u).fanins) {
+      if (!live[f]) {
+        live[f] = true;
+        work.push_back(f);
+      }
+    }
+  }
+
+  Netlist out(nl.name());
+  std::unordered_map<CellId, CellId> remap;
+  // Interface stability: keep every primary input, live or not, and create
+  // live flip-flops in interface order so scan-view positional equivalence
+  // survives the rebuild.
+  for (const CellId id : nl.inputs()) {
+    remap[id] = out.add_input(nl.cell(id).name);
+  }
+  std::vector<CellId> ordered;
+  for (const CellId id : nl.dffs()) {
+    if (!live[id]) continue;
+    ordered.push_back(id);
+    remap[id] = out.add_cell(CellKind::kDff, nl.cell(id).name);
+  }
+  // Remaining live cells in topological order, two-pass for the sequential
+  // back-edges.
+  for (const CellId id : nl.topo_order()) {
+    const CellKind kind = nl.cell(id).kind;
+    if (!live[id] || kind == CellKind::kInput || kind == CellKind::kDff) {
+      continue;
+    }
+    ordered.push_back(id);
+    const Cell& c = nl.cell(id);
+    const CellId nid = out.add_cell(c.kind, c.name);
+    out.cell(nid).lut_mask = c.lut_mask;
+    remap[id] = nid;
+  }
+  for (const CellId id : ordered) {
+    std::vector<CellId> fanins;
+    for (const CellId f : nl.cell(id).fanins) fanins.push_back(remap.at(f));
+    out.connect(remap.at(id), std::move(fanins));
+  }
+  for (const CellId id : nl.outputs()) out.mark_output(remap.at(id));
+  out.finalize();
+  return out;
+}
+
+}  // namespace stt

@@ -1,0 +1,272 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("netlist: " + msg);
+}
+
+}  // namespace
+
+void Netlist::register_name(const std::string& net_name, CellId id) {
+  if (net_name.empty()) fail("empty net name");
+  const auto [it, inserted] = by_name_.emplace(net_name, id);
+  if (!inserted) fail("duplicate net name '" + net_name + "'");
+}
+
+CellId Netlist::add_cell(CellKind kind, std::string net_name) {
+  const auto id = static_cast<CellId>(cells_.size());
+  register_name(net_name, id);
+  Cell c;
+  c.kind = kind;
+  c.name = std::move(net_name);
+  cells_.push_back(std::move(c));
+  if (kind == CellKind::kInput) inputs_.push_back(id);
+  if (kind == CellKind::kDff) dffs_.push_back(id);
+  return id;
+}
+
+CellId Netlist::add_input(std::string net_name) {
+  return add_cell(CellKind::kInput, std::move(net_name));
+}
+
+CellId Netlist::add_const(bool value, std::string net_name) {
+  return add_cell(value ? CellKind::kConst1 : CellKind::kConst0,
+                  std::move(net_name));
+}
+
+CellId Netlist::add_dff(std::string net_name, CellId d) {
+  const CellId id = add_cell(CellKind::kDff, std::move(net_name));
+  if (d != kNullCell) connect(id, {d});
+  return id;
+}
+
+CellId Netlist::add_gate(CellKind kind, std::string net_name,
+                         std::vector<CellId> fanins) {
+  const auto range = fanin_range(kind);
+  if (static_cast<int>(fanins.size()) < range.min ||
+      static_cast<int>(fanins.size()) > range.max) {
+    fail("illegal fan-in count for " + std::string(kind_name(kind)) +
+         " '" + net_name + "'");
+  }
+  const CellId id = add_cell(kind, std::move(net_name));
+  connect(id, std::move(fanins));
+  return id;
+}
+
+CellId Netlist::add_lut(std::string net_name, std::vector<CellId> fanins,
+                        std::uint64_t mask) {
+  const CellId id = add_gate(CellKind::kLut, std::move(net_name),
+                             std::move(fanins));
+  cells_[id].lut_mask = mask & full_mask(cells_[id].fanin_count());
+  return id;
+}
+
+void Netlist::connect(CellId cell_id, std::vector<CellId> fanins) {
+  Cell& c = cells_.at(cell_id);
+  // Withdraw previous fanout registrations.
+  for (const CellId old : c.fanins) {
+    auto& outs = cells_.at(old).fanouts;
+    const auto it = std::find(outs.begin(), outs.end(), cell_id);
+    if (it != outs.end()) outs.erase(it);
+  }
+  c.fanins = std::move(fanins);
+  for (const CellId driver : c.fanins) {
+    if (driver == kNullCell) continue;  // resolved later by a parser pass
+    cells_.at(driver).fanouts.push_back(cell_id);
+  }
+}
+
+void Netlist::replace_fanin(CellId cell_id, std::size_t slot,
+                            CellId new_driver) {
+  Cell& c = cells_.at(cell_id);
+  if (slot >= c.fanins.size()) fail("replace_fanin: slot out of range");
+  const CellId old = c.fanins[slot];
+  if (old != kNullCell) {
+    auto& outs = cells_.at(old).fanouts;
+    const auto it = std::find(outs.begin(), outs.end(), cell_id);
+    if (it != outs.end()) outs.erase(it);
+  }
+  c.fanins[slot] = new_driver;
+  if (new_driver != kNullCell) cells_.at(new_driver).fanouts.push_back(cell_id);
+}
+
+void Netlist::mark_output(CellId cell_id) {
+  Cell& c = cells_.at(cell_id);
+  if (!c.is_output) {
+    c.is_output = true;
+    outputs_.push_back(cell_id);
+  }
+}
+
+void Netlist::rebuild_fanouts() {
+  for (Cell& c : cells_) c.fanouts.clear();
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    for (const CellId driver : cells_[id].fanins) {
+      if (driver == kNullCell) fail("unresolved fan-in on '" +
+                                    cells_[id].name + "'");
+      cells_.at(driver).fanouts.push_back(id);
+    }
+  }
+}
+
+void Netlist::finalize() {
+  rebuild_fanouts();
+  check();
+}
+
+CellId Netlist::find(std::string_view net_name) const {
+  const auto it = by_name_.find(std::string(net_name));
+  return it == by_name_.end() ? kNullCell : it->second;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.inputs = inputs_.size();
+  s.outputs = outputs_.size();
+  s.dffs = dffs_.size();
+  for (const Cell& c : cells_) {
+    s.max_fanin = std::max(s.max_fanin, c.fanin_count());
+    switch (c.kind) {
+      case CellKind::kInput:
+      case CellKind::kDff:
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        ++s.constants;
+        break;
+      case CellKind::kLut:
+        ++s.gates;
+        ++s.luts;
+        break;
+      default:
+        ++s.gates;
+    }
+  }
+  return s;
+}
+
+std::vector<CellId> Netlist::topo_order() const {
+  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  std::vector<CellId> ready;
+
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff ||
+        c.fanins.empty()) {
+      // Sources of the combinational graph: PIs, DFF outputs, constants.
+      ready.push_back(id);
+    } else {
+      pending[id] = static_cast<std::uint32_t>(c.fanins.size());
+    }
+  }
+
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    if (cells_[id].kind == CellKind::kDff && !order.empty()) {
+      // A DFF output is a source; its D input is consumed elsewhere. Nothing
+      // special to do: the DFF was scheduled as a source already.
+    }
+    for (const CellId reader : cells_[id].fanouts) {
+      if (cells_[reader].kind == CellKind::kDff) continue;  // sequential edge
+      if (--pending[reader] == 0) ready.push_back(reader);
+    }
+  }
+
+  // DFF D-pin edges were skipped above, so DFF cells appeared as sources and
+  // combinational cells must all be scheduled; anything left is a cycle.
+  if (order.size() != cells_.size()) {
+    fail("combinational cycle detected in '" + name_ + "'");
+  }
+  return order;
+}
+
+std::vector<CellId> Netlist::logic_cells() const {
+  std::vector<CellId> out;
+  for (const CellId id : topo_order()) {
+    const Cell& c = cells_[id];
+    if (is_combinational(c.kind) && c.kind != CellKind::kConst0 &&
+        c.kind != CellKind::kConst1) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Netlist::replace_with_lut(CellId id) {
+  const Cell& c = cells_.at(id);
+  if (!is_replaceable_gate(c.kind)) {
+    fail("replace_with_lut: cell '" + c.name + "' (" +
+         std::string(kind_name(c.kind)) + ") is not replaceable");
+  }
+  if (c.fanin_count() > kMaxLutInputs) {
+    fail("replace_with_lut: fan-in of '" + c.name + "' exceeds LUT capacity");
+  }
+  const std::uint64_t mask = gate_truth_mask(c.kind, c.fanin_count());
+  replace_with_lut(id, mask);
+  return mask;
+}
+
+void Netlist::replace_with_lut(CellId id, std::uint64_t mask) {
+  Cell& c = cells_.at(id);
+  if (!is_replaceable_gate(c.kind) && c.kind != CellKind::kLut) {
+    fail("replace_with_lut: cell '" + c.name + "' is not replaceable");
+  }
+  if (c.fanin_count() > kMaxLutInputs) {
+    fail("replace_with_lut: fan-in of '" + c.name + "' exceeds LUT capacity");
+  }
+  c.kind = CellKind::kLut;
+  c.lut_mask = mask & full_mask(c.fanin_count());
+}
+
+void Netlist::check() const {
+  if (by_name_.size() != cells_.size()) fail("name map out of sync");
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    const auto range = fanin_range(c.kind);
+    if (c.fanin_count() < range.min || c.fanin_count() > range.max) {
+      fail("cell '" + c.name + "' has illegal fan-in count " +
+           std::to_string(c.fanin_count()));
+    }
+    for (const CellId driver : c.fanins) {
+      if (driver == kNullCell || driver >= cells_.size()) {
+        fail("cell '" + c.name + "' has a dangling fan-in");
+      }
+      const auto& outs = cells_[driver].fanouts;
+      const auto expect = static_cast<std::size_t>(
+          std::count(c.fanins.begin(), c.fanins.end(), driver));
+      const auto have = static_cast<std::size_t>(
+          std::count(outs.begin(), outs.end(), id));
+      if (have != expect) fail("fanout list out of sync at '" + c.name + "'");
+    }
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+bool Netlist::structurally_equal(const Netlist& other) const {
+  if (cells_.size() != other.cells_.size()) return false;
+  if (outputs_.size() != other.outputs_.size()) return false;
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& a = cells_[id];
+    const Cell& b = other.cells_[id];
+    if (a.kind != b.kind || a.name != b.name || a.fanins != b.fanins ||
+        a.is_output != b.is_output) {
+      return false;
+    }
+    if (a.kind == CellKind::kLut && a.lut_mask != b.lut_mask) return false;
+  }
+  return true;
+}
+
+}  // namespace stt

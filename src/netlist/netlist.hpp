@@ -1,0 +1,142 @@
+// Gate-level sequential netlist: the central data structure of the flow.
+//
+// A Netlist is a flat multigraph of cells. Primary inputs and D flip-flops
+// are the combinational sources; primary outputs (a marking on driver cells)
+// and flip-flop D pins are the sinks. The selection-and-replacement stage
+// (src/core) edits a Netlist in place by converting CMOS gates to
+// reconfigurable LUT cells whose truth-table mask is the configuration
+// secret.
+//
+// Invariants (checked by `finalize()` / `check()`):
+//  * cell names are unique and non-empty;
+//  * every fan-in refers to an existing cell, with cardinality legal for the
+//    cell kind (see fanin_range);
+//  * the combinational subgraph (all edges except those entering a DFF D
+//    pin... i.e. edges out of DFF outputs are sources) is acyclic;
+//  * fanout lists exactly mirror fan-in lists.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/celltype.hpp"
+
+namespace stt {
+
+using CellId = std::uint32_t;
+inline constexpr CellId kNullCell = static_cast<CellId>(-1);
+
+struct Cell {
+  CellKind kind = CellKind::kBuf;
+  std::string name;               ///< name of the net this cell drives
+  std::vector<CellId> fanins;     ///< driver cells, position-significant
+  std::vector<CellId> fanouts;    ///< reader cells (duplicates allowed)
+  std::uint64_t lut_mask = 0;     ///< truth table; meaningful iff kind==kLut
+  bool is_output = false;         ///< drives a primary output
+
+  int fanin_count() const { return static_cast<int>(fanins.size()); }
+};
+
+/// Aggregate size statistics, aligned with the paper's Table I "size" column
+/// (logic gates excluding flip-flops).
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t dffs = 0;
+  std::size_t gates = 0;  ///< combinational logic cells incl. BUF/NOT/LUT
+  std::size_t luts = 0;   ///< of which reconfigurable LUTs
+  std::size_t constants = 0;
+  int max_fanin = 0;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // -- construction ---------------------------------------------------------
+
+  CellId add_input(std::string net_name);
+  CellId add_const(bool value, std::string net_name);
+  CellId add_dff(std::string net_name, CellId d = kNullCell);
+  CellId add_gate(CellKind kind, std::string net_name,
+                  std::vector<CellId> fanins);
+  CellId add_lut(std::string net_name, std::vector<CellId> fanins,
+                 std::uint64_t mask);
+
+  /// Low-level: create a cell with no fan-ins yet (two-pass parsers).
+  CellId add_cell(CellKind kind, std::string net_name);
+
+  /// Low-level: set the full fan-in list of a cell. Fanouts are rebuilt by
+  /// `finalize()`; callers that edit incrementally use `replace_fanin`.
+  void connect(CellId cell, std::vector<CellId> fanins);
+
+  /// Replace one fan-in slot, updating both fanout lists.
+  void replace_fanin(CellId cell, std::size_t slot, CellId new_driver);
+
+  /// Mark a cell as driving a primary output.
+  void mark_output(CellId cell);
+
+  /// Rebuild fanout lists and run `check()`. Must be called after any batch
+  /// of `add_cell`/`connect` edits.
+  void finalize();
+
+  // -- queries --------------------------------------------------------------
+
+  std::size_t size() const { return cells_.size(); }
+  const Cell& cell(CellId id) const { return cells_.at(id); }
+  Cell& cell(CellId id) { return cells_.at(id); }
+
+  std::span<const CellId> inputs() const { return inputs_; }
+  std::span<const CellId> outputs() const { return outputs_; }
+  std::span<const CellId> dffs() const { return dffs_; }
+
+  /// Find a cell by net name; kNullCell if absent.
+  CellId find(std::string_view net_name) const;
+
+  NetlistStats stats() const;
+
+  /// All cell ids in a combinational topological order: PIs, constants and
+  /// DFF outputs first, then gates such that every gate follows its drivers.
+  /// Throws std::runtime_error on a combinational cycle.
+  std::vector<CellId> topo_order() const;
+
+  /// Ids of all combinational logic cells (gates + LUTs + BUF/NOT), in topo
+  /// order.
+  std::vector<CellId> logic_cells() const;
+
+  // -- editing --------------------------------------------------------------
+
+  /// Convert a CMOS gate to a reconfigurable LUT. With no explicit mask the
+  /// LUT is configured to the gate's original function (functionality-
+  /// preserving replacement, as in the paper's flow). Returns the mask that
+  /// was installed (the configuration secret for this LUT).
+  std::uint64_t replace_with_lut(CellId id);
+  void replace_with_lut(CellId id, std::uint64_t mask);
+
+  /// Validate all invariants; throws std::runtime_error with a diagnostic.
+  void check() const;
+
+  /// Structural equality (same cells, kinds, names, connectivity, masks).
+  bool structurally_equal(const Netlist& other) const;
+
+ private:
+  void register_name(const std::string& net_name, CellId id);
+  void rebuild_fanouts();
+
+  std::string name_;
+  std::vector<Cell> cells_;
+  std::vector<CellId> inputs_;
+  std::vector<CellId> outputs_;
+  std::vector<CellId> dffs_;
+  std::unordered_map<std::string, CellId> by_name_;
+};
+
+}  // namespace stt

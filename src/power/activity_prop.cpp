@@ -1,0 +1,77 @@
+#include "power/activity_prop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stt {
+
+double mask_output_probability(std::uint64_t mask, int fanin,
+                               const std::vector<double>& input_prob1) {
+  if (static_cast<int>(input_prob1.size()) != fanin) {
+    throw std::invalid_argument("mask_output_probability: arity mismatch");
+  }
+  double p = 0;
+  for (std::uint32_t row = 0; row < num_rows(fanin); ++row) {
+    if (!((mask >> row) & 1ull)) continue;
+    double row_p = 1;
+    for (int i = 0; i < fanin; ++i) {
+      row_p *= (row & (1u << i)) ? input_prob1[i] : (1.0 - input_prob1[i]);
+    }
+    p += row_p;
+  }
+  return p;
+}
+
+SignalStats propagate_activity(const Netlist& nl,
+                               const ActivityPropOptions& opt) {
+  SignalStats stats;
+  stats.prob1.assign(nl.size(), 0.5);
+  stats.toggle.assign(nl.size(), 0.0);
+  const auto order = nl.topo_order();
+
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    double delta = 0;
+    for (const CellId id : order) {
+      const Cell& c = nl.cell(id);
+      double p = stats.prob1[id];
+      switch (c.kind) {
+        case CellKind::kInput:
+          p = opt.pi_prob1;
+          break;
+        case CellKind::kConst0:
+          p = 0;
+          break;
+        case CellKind::kConst1:
+          p = 1;
+          break;
+        case CellKind::kDff:
+          // Steady state: the state probability equals its next-state
+          // probability at the fixed point.
+          p = c.fanins.empty() ? 0.0 : stats.prob1[c.fanins[0]];
+          break;
+        default: {
+          const int k = c.fanin_count();
+          if (k > kMaxLutInputs) break;  // leave at 0.5
+          std::vector<double> in(k);
+          for (int i = 0; i < k; ++i) in[i] = stats.prob1[c.fanins[i]];
+          const std::uint64_t mask =
+              c.kind == CellKind::kLut ? c.lut_mask
+                                       : gate_truth_mask(c.kind, k);
+          p = mask_output_probability(mask, k, in);
+          break;
+        }
+      }
+      delta = std::max(delta, std::abs(p - stats.prob1[id]));
+      stats.prob1[id] = p;
+    }
+    if (delta < 1e-12) break;
+  }
+
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const double p = stats.prob1[id];
+    stats.toggle[id] = 2.0 * p * (1.0 - p);
+  }
+  return stats;
+}
+
+}  // namespace stt

@@ -1,0 +1,38 @@
+// Analytic switching-activity propagation (static probabilistic model).
+//
+// The simulation-based estimator (sim/activity.hpp) is exact but needs
+// stimulus; signing off large designs wants the classic closed-form model:
+// propagate signal probabilities through the truth tables assuming spatial
+// input independence, then derive the toggle rate under the temporal-
+// independence model, alpha = 2 * p * (1 - p). Flip-flops take their D
+// probability as steady state (iterated to a fixed point for feedback).
+//
+// Known model error: reconvergent fan-out correlation — documented, and
+// bounded by the cross-check test against the simulation estimator.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct SignalStats {
+  std::vector<double> prob1;   ///< P(signal = 1), indexed by CellId
+  std::vector<double> toggle;  ///< per-cycle toggle probability (alpha)
+};
+
+struct ActivityPropOptions {
+  double pi_prob1 = 0.5;
+  /// Fixed-point iterations for sequential feedback.
+  int iterations = 16;
+};
+
+SignalStats propagate_activity(const Netlist& nl,
+                               const ActivityPropOptions& opt = {});
+
+/// P(out = 1) of a function given independent input probabilities.
+double mask_output_probability(std::uint64_t mask, int fanin,
+                               const std::vector<double>& input_prob1);
+
+}  // namespace stt

@@ -1,0 +1,88 @@
+#include "power/power.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace stt {
+
+namespace {
+
+// Fraction of a DFF's dynamic energy drawn by the clock pin every cycle,
+// regardless of data activity.
+constexpr double kDffClockFactor = 0.3;
+
+}  // namespace
+
+PowerBreakdown estimate_power(const Netlist& nl, const TechLibrary& lib,
+                              std::span<const double> alpha, double freq_ghz) {
+  if (alpha.size() != nl.size()) {
+    throw std::invalid_argument("estimate_power: alpha size mismatch");
+  }
+  PowerBreakdown p;
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::kInput:
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        break;
+      case CellKind::kLut: {
+        const LutParams lut = lib.lut(c.fanin_count());
+        // Event-driven precharge: one read per input transition. The input
+        // rate is the mean fan-in output activity.
+        double alpha_in = 0;
+        for (const CellId f : c.fanins) alpha_in += alpha[f];
+        alpha_in /= std::max(1, c.fanin_count());
+        p.dynamic_uw += alpha_in * lut.e_cycle_fj * freq_ghz;
+        p.leakage_uw += lut.leak_nw * 1e-3;
+        break;
+      }
+      case CellKind::kDff: {
+        const CmosCellParams ff = lib.gate(CellKind::kDff, 1);
+        p.dynamic_uw +=
+            (alpha[id] + kDffClockFactor) * ff.e_active_fj * freq_ghz;
+        p.leakage_uw += ff.leak_nw * 1e-3;
+        break;
+      }
+      default: {
+        const CmosCellParams g = lib.gate(c.kind, c.fanin_count());
+        p.dynamic_uw += alpha[id] * g.e_active_fj * freq_ghz;
+        p.leakage_uw += g.leak_nw * 1e-3;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+PowerBreakdown estimate_power_uniform(const Netlist& nl,
+                                      const TechLibrary& lib, double alpha,
+                                      double freq_ghz) {
+  std::vector<double> uniform(nl.size(), alpha);
+  return estimate_power(nl, lib, uniform, freq_ghz);
+}
+
+double total_area_um2(const Netlist& nl, const TechLibrary& lib) {
+  double area = 0;
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    switch (c.kind) {
+      case CellKind::kInput:
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        break;
+      case CellKind::kLut:
+        area += lib.lut(c.fanin_count()).area_um2;
+        break;
+      case CellKind::kDff:
+        area += lib.gate(CellKind::kDff, 1).area_um2;
+        break;
+      default:
+        area += lib.gate(c.kind, c.fanin_count()).area_um2;
+    }
+  }
+  return area;
+}
+
+}  // namespace stt

@@ -1,0 +1,155 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace stt {
+
+std::uint64_t eval_cell_word(const Cell& cell,
+                             std::span<const std::uint64_t> fanin_words) {
+  const auto n = fanin_words.size();
+  switch (cell.kind) {
+    case CellKind::kConst0:
+      return 0;
+    case CellKind::kConst1:
+      return ~0ull;
+    case CellKind::kBuf:
+      return fanin_words[0];
+    case CellKind::kNot:
+      return ~fanin_words[0];
+    case CellKind::kAnd: {
+      std::uint64_t v = ~0ull;
+      for (std::size_t i = 0; i < n; ++i) v &= fanin_words[i];
+      return v;
+    }
+    case CellKind::kNand: {
+      std::uint64_t v = ~0ull;
+      for (std::size_t i = 0; i < n; ++i) v &= fanin_words[i];
+      return ~v;
+    }
+    case CellKind::kOr: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v |= fanin_words[i];
+      return v;
+    }
+    case CellKind::kNor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v |= fanin_words[i];
+      return ~v;
+    }
+    case CellKind::kXor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v ^= fanin_words[i];
+      return v;
+    }
+    case CellKind::kXnor: {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) v ^= fanin_words[i];
+      return ~v;
+    }
+    case CellKind::kLut: {
+      // Word-parallel LUT: OR over asserted truth-table rows of the AND of
+      // per-input (dis)agreement words.
+      std::uint64_t out = 0;
+      const auto rows = num_rows(static_cast<int>(n));
+      for (std::uint32_t row = 0; row < rows; ++row) {
+        if (!(cell.lut_mask & (1ull << row))) continue;
+        std::uint64_t match = ~0ull;
+        for (std::size_t i = 0; i < n; ++i) {
+          match &= (row & (1u << i)) ? fanin_words[i] : ~fanin_words[i];
+        }
+        out |= match;
+      }
+      return out;
+    }
+    default:
+      throw std::invalid_argument("eval_cell_word: not a combinational cell");
+  }
+}
+
+Simulator::Simulator(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {}
+
+std::vector<std::uint64_t> Simulator::eval_comb(
+    std::span<const std::uint64_t> pi_values,
+    std::span<const std::uint64_t> ff_values) const {
+  const Netlist& nl = *nl_;
+  if (pi_values.size() != nl.inputs().size() ||
+      ff_values.size() != nl.dffs().size()) {
+    throw std::invalid_argument("Simulator::eval_comb: stimulus size mismatch");
+  }
+  std::vector<std::uint64_t> wave(nl.size(), 0);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    wave[nl.inputs()[i]] = pi_values[i];
+  }
+  for (std::size_t j = 0; j < ff_values.size(); ++j) {
+    wave[nl.dffs()[j]] = ff_values[j];
+  }
+
+  std::uint64_t fin[kMaxGateInputs];
+  for (const CellId id : order_) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    const int n = c.fanin_count();
+    for (int i = 0; i < n; ++i) fin[i] = wave[c.fanins[i]];
+    wave[id] = eval_cell_word(c, std::span<const std::uint64_t>(fin, n));
+  }
+  return wave;
+}
+
+std::vector<std::uint64_t> Simulator::outputs_of(
+    std::span<const std::uint64_t> wave) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(nl_->outputs().size());
+  for (const CellId id : nl_->outputs()) out.push_back(wave[id]);
+  return out;
+}
+
+std::vector<std::uint64_t> Simulator::next_state_of(
+    std::span<const std::uint64_t> wave) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(nl_->dffs().size());
+  for (const CellId id : nl_->dffs()) {
+    out.push_back(wave[nl_->cell(id).fanins.at(0)]);
+  }
+  return out;
+}
+
+std::vector<bool> Simulator::eval_single(const std::vector<bool>& pi_values,
+                                         const std::vector<bool>& ff_values) const {
+  std::vector<std::uint64_t> pis(pi_values.size());
+  std::vector<std::uint64_t> ffs(ff_values.size());
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    pis[i] = pi_values[i] ? ~0ull : 0ull;
+  }
+  for (std::size_t j = 0; j < ff_values.size(); ++j) {
+    ffs[j] = ff_values[j] ? ~0ull : 0ull;
+  }
+  const auto wave = eval_comb(pis, ffs);
+  const auto po = outputs_of(wave);
+  std::vector<bool> out(po.size());
+  for (std::size_t i = 0; i < po.size(); ++i) out[i] = (po[i] & 1ull) != 0;
+  return out;
+}
+
+SequentialSimulator::SequentialSimulator(const Netlist& nl)
+    : sim_(nl), state_(nl.dffs().size(), 0) {}
+
+void SequentialSimulator::reset(bool bit) {
+  for (auto& word : state_) word = bit ? ~0ull : 0ull;
+}
+
+void SequentialSimulator::set_state(std::span<const std::uint64_t> state) {
+  if (state.size() != state_.size()) {
+    throw std::invalid_argument("SequentialSimulator::set_state: size mismatch");
+  }
+  state_.assign(state.begin(), state.end());
+}
+
+std::vector<std::uint64_t> SequentialSimulator::step(
+    std::span<const std::uint64_t> pi_values) {
+  wave_ = sim_.eval_comb(pi_values, state_);
+  auto outputs = sim_.outputs_of(wave_);
+  state_ = sim_.next_state_of(wave_);
+  return outputs;
+}
+
+}  // namespace stt

@@ -1,0 +1,86 @@
+// Event-free levelized gate-level simulation, 64 patterns per word.
+//
+// The simulator serves four clients:
+//  * functional-equivalence checks (hybrid netlist vs original, tests);
+//  * the oracle that attacks query (src/attack) — the attacker's configured
+//    chip, per the paper's threat model;
+//  * switching-activity extraction feeding the power model (src/power);
+//  * random-stimulus property tests.
+//
+// Representation: one std::uint64_t per cell = 64 independent Boolean
+// patterns evaluated simultaneously. Sequential state is carried the same
+// way, so 64 independent trajectories advance per step.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+class Simulator {
+ public:
+  /// The netlist must outlive the simulator. LUT cells evaluate their
+  /// configured mask (the simulator always models the *configured* chip).
+  explicit Simulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Evaluate the combinational fabric for one word of patterns.
+  /// `pi_values[i]` feeds inputs()[i]; `ff_values[j]` feeds dffs()[j]'s
+  /// output. Returns the full per-cell wave (indexed by CellId).
+  std::vector<std::uint64_t> eval_comb(
+      std::span<const std::uint64_t> pi_values,
+      std::span<const std::uint64_t> ff_values) const;
+
+  /// Gather primary-output values from a wave, ordered as nl.outputs().
+  std::vector<std::uint64_t> outputs_of(
+      std::span<const std::uint64_t> wave) const;
+
+  /// Gather the next flip-flop state (the D-pin values), ordered as dffs().
+  std::vector<std::uint64_t> next_state_of(
+      std::span<const std::uint64_t> wave) const;
+
+  /// Single-pattern convenience: bit 0 of every word.
+  std::vector<bool> eval_single(const std::vector<bool>& pi_values,
+                                const std::vector<bool>& ff_values) const;
+
+ private:
+  const Netlist* nl_;
+  std::vector<CellId> order_;  // cached topological order
+};
+
+/// Multi-cycle simulation of 64 parallel trajectories.
+class SequentialSimulator {
+ public:
+  explicit SequentialSimulator(const Netlist& nl);
+
+  /// Set every flip-flop of every trajectory to `bit`.
+  void reset(bool bit = false);
+
+  /// Set the state word of flip-flop j directly.
+  void set_state(std::span<const std::uint64_t> state);
+  std::span<const std::uint64_t> state() const { return state_; }
+
+  /// Apply one clock: evaluate combinationally with the given PI word
+  /// values, return PO word values, and latch the next state.
+  std::vector<std::uint64_t> step(std::span<const std::uint64_t> pi_values);
+
+  /// The wave of the most recent step (per-cell), for activity accounting.
+  std::span<const std::uint64_t> last_wave() const { return wave_; }
+
+ private:
+  Simulator sim_;
+  std::vector<std::uint64_t> state_;
+  std::vector<std::uint64_t> wave_;
+};
+
+/// Evaluate one cell from packed fan-in words (shared with the attack
+/// encoder's unit tests). `fanin_words[i]` is the word of fan-in i.
+std::uint64_t eval_cell_word(const Cell& cell,
+                             std::span<const std::uint64_t> fanin_words);
+
+}  // namespace stt

@@ -1,0 +1,129 @@
+#include "sim/ternary.hpp"
+
+#include <stdexcept>
+
+namespace stt {
+
+char tri_char(Tri t) {
+  switch (t) {
+    case Tri::kZero: return '0';
+    case Tri::kOne: return '1';
+    case Tri::kX: return 'X';
+  }
+  return '?';
+}
+
+Tri eval_cell_tri(const Cell& cell, std::span<const Tri> fanins,
+                  bool lut_unknown) {
+  if (cell.kind == CellKind::kLut && lut_unknown) return Tri::kX;
+  const int n = static_cast<int>(fanins.size());
+  if (n > kMaxLutInputs) {
+    // Wide standard gates: direct Kleene evaluation (no mask fits).
+    int ones = 0;
+    int zeros = 0;
+    int unknowns = 0;
+    for (const Tri v : fanins) {
+      if (v == Tri::kOne) ++ones;
+      if (v == Tri::kZero) ++zeros;
+      if (v == Tri::kX) ++unknowns;
+    }
+    switch (cell.kind) {
+      case CellKind::kAnd:
+        return zeros ? Tri::kZero : (unknowns ? Tri::kX : Tri::kOne);
+      case CellKind::kNand:
+        return zeros ? Tri::kOne : (unknowns ? Tri::kX : Tri::kZero);
+      case CellKind::kOr:
+        return ones ? Tri::kOne : (unknowns ? Tri::kX : Tri::kZero);
+      case CellKind::kNor:
+        return ones ? Tri::kZero : (unknowns ? Tri::kX : Tri::kOne);
+      case CellKind::kXor:
+        return unknowns ? Tri::kX
+                        : ((ones & 1) ? Tri::kOne : Tri::kZero);
+      case CellKind::kXnor:
+        return unknowns ? Tri::kX
+                        : ((ones & 1) ? Tri::kZero : Tri::kOne);
+      default:
+        throw std::invalid_argument("eval_cell_tri: fan-in too large");
+    }
+  }
+
+  // Enumerate completions of the unknown inputs; if all agree the output is
+  // known. With n <= 6 this costs at most 64 evaluations.
+  std::uint32_t known_bits = 0;
+  std::uint32_t unknown_positions[kMaxLutInputs];
+  int n_unknown = 0;
+  for (int i = 0; i < n; ++i) {
+    if (fanins[i] == Tri::kX) {
+      unknown_positions[n_unknown++] = static_cast<std::uint32_t>(i);
+    } else if (fanins[i] == Tri::kOne) {
+      known_bits |= (1u << i);
+    }
+  }
+
+  const std::uint64_t mask = cell.kind == CellKind::kLut
+                                 ? cell.lut_mask
+                                 : gate_truth_mask(cell.kind, n);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (std::uint32_t combo = 0; combo < (1u << n_unknown); ++combo) {
+    std::uint32_t row = known_bits;
+    for (int j = 0; j < n_unknown; ++j) {
+      if (combo & (1u << j)) row |= (1u << unknown_positions[j]);
+    }
+    ((mask >> row) & 1ull) ? saw1 = true : saw0 = true;
+    if (saw0 && saw1) return Tri::kX;
+  }
+  return saw1 ? Tri::kOne : Tri::kZero;
+}
+
+TernarySimulator::TernarySimulator(const Netlist& nl, bool lut_unknown)
+    : nl_(&nl), order_(nl.topo_order()), lut_unknown_(lut_unknown) {}
+
+std::vector<Tri> TernarySimulator::eval_comb(std::span<const Tri> pi_values,
+                                             std::span<const Tri> ff_values) const {
+  const Netlist& nl = *nl_;
+  if (pi_values.size() != nl.inputs().size() ||
+      ff_values.size() != nl.dffs().size()) {
+    throw std::invalid_argument("TernarySimulator: stimulus size mismatch");
+  }
+  std::vector<Tri> wave(nl.size(), Tri::kX);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    wave[nl.inputs()[i]] = pi_values[i];
+  }
+  for (std::size_t j = 0; j < ff_values.size(); ++j) {
+    wave[nl.dffs()[j]] = ff_values[j];
+  }
+  Tri fin[kMaxGateInputs];
+  for (const CellId id : order_) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    if (c.kind == CellKind::kConst0) {
+      wave[id] = Tri::kZero;
+      continue;
+    }
+    if (c.kind == CellKind::kConst1) {
+      wave[id] = Tri::kOne;
+      continue;
+    }
+    const int n = c.fanin_count();
+    for (int i = 0; i < n; ++i) fin[i] = wave[c.fanins[i]];
+    wave[id] = eval_cell_tri(c, std::span<const Tri>(fin, n), lut_unknown_);
+  }
+  return wave;
+}
+
+std::vector<Tri> TernarySimulator::outputs_of(std::span<const Tri> wave) const {
+  std::vector<Tri> out;
+  out.reserve(nl_->outputs().size());
+  for (const CellId id : nl_->outputs()) out.push_back(wave[id]);
+  return out;
+}
+
+std::vector<Tri> TernarySimulator::next_state_of(std::span<const Tri> wave) const {
+  std::vector<Tri> out;
+  out.reserve(nl_->dffs().size());
+  for (const CellId id : nl_->dffs()) out.push_back(wave[nl_->cell(id).fanins.at(0)]);
+  return out;
+}
+
+}  // namespace stt

@@ -1,0 +1,312 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/bench_io.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+const std::vector<CircuitProfile>& iscas89_profiles() {
+  // Gate counts ("size") exactly as in the paper's Table I; interface and
+  // flip-flop counts from the standard ISCAS'89 distribution; depth targets
+  // chosen in the 15-40 level range typical for these circuits.
+  static const std::vector<CircuitProfile> kProfiles = {
+      {"s641", 35, 24, 19, 287, 30},
+      {"s820", 18, 19, 5, 289, 15},
+      {"s832", 18, 19, 5, 379, 15},
+      {"s953", 16, 23, 29, 395, 18},
+      {"s1196", 14, 14, 18, 508, 24},
+      {"s1238", 14, 14, 18, 529, 22},
+      {"s1488", 8, 19, 6, 657, 17},
+      {"s5378a", 35, 49, 179, 2779, 25},
+      {"s9234a", 36, 39, 211, 5597, 38},
+      {"s13207", 62, 152, 638, 7951, 32},
+      {"s15850a", 77, 150, 534, 9772, 40},
+      {"s38584", 38, 304, 1426, 19253, 35},
+  };
+  return kProfiles;
+}
+
+std::optional<CircuitProfile> find_profile(const std::string& name) {
+  for (const auto& p : iscas89_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+CellKind pick_gate_kind(Rng& rng) {
+  // NAND/NOR-heavy mix, matching synthesized ISCAS'89 netlists.
+  const double r = rng.uniform();
+  if (r < 0.28) return CellKind::kNand;
+  if (r < 0.54) return CellKind::kNor;
+  if (r < 0.72) return CellKind::kAnd;
+  if (r < 0.86) return CellKind::kOr;
+  if (r < 0.94) return CellKind::kXor;
+  return CellKind::kXnor;
+}
+
+int pick_fanin_count(Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.22) return 1;
+  if (r < 0.80) return 2;
+  if (r < 0.93) return 3;
+  return 4;
+}
+
+}  // namespace
+
+Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
+  if (profile.n_pi < 1 || profile.n_gates < 4 || profile.depth < 2) {
+    throw std::invalid_argument("generate_circuit: degenerate profile");
+  }
+  Rng rng(seed ^ 0x5717c0de00000000ull);
+  Netlist nl(profile.name);
+
+  // Level 0 sources: primary inputs and flip-flop outputs.
+  std::vector<std::vector<CellId>> by_level(profile.depth + 1);
+  std::vector<CellId> ffs;
+  for (int i = 0; i < profile.n_pi; ++i) {
+    by_level[0].push_back(nl.add_input("I" + std::to_string(i)));
+  }
+  for (int i = 0; i < profile.n_ff; ++i) {
+    const CellId ff = nl.add_cell(CellKind::kDff, "R" + std::to_string(i));
+    ffs.push_back(ff);
+    by_level[0].push_back(ff);
+  }
+
+  // Gates, level by level; creation order guarantees acyclicity.
+  std::vector<CellId> all_lower;  // everything at a strictly lower level
+  std::vector<int> fanout_count(static_cast<std::size_t>(profile.n_gates) +
+                                    by_level[0].size() + 16,
+                                0);
+  auto grow_counts = [&](CellId id) {
+    if (id >= fanout_count.size()) fanout_count.resize(id + 1, 0);
+  };
+
+  all_lower = by_level[0];
+  std::vector<CellId> gates;
+  gates.reserve(profile.n_gates);
+
+  int created = 0;
+  for (int level = 1; level <= profile.depth && created < profile.n_gates;
+       ++level) {
+    // Spread gates across levels, giving lower levels slightly more cells
+    // (circuits narrow toward the outputs).
+    const int remaining_levels = profile.depth - level + 1;
+    const int remaining_gates = profile.n_gates - created;
+    int quota = remaining_gates / remaining_levels;
+    if (level < profile.depth / 3) quota = quota + quota / 3;
+    quota = std::max(1, std::min(quota, remaining_gates));
+    if (level == profile.depth) quota = remaining_gates;
+
+    for (int g = 0; g < quota; ++g) {
+      const int want_fanin = pick_fanin_count(rng);
+      const CellKind kind =
+          want_fanin == 1
+              ? (rng.chance(0.78) ? CellKind::kNot : CellKind::kBuf)
+              : pick_gate_kind(rng);
+
+      // Choose distinct fan-ins from lower levels: prefer the previous
+      // level (locality) and starved cells (keeps the graph connected).
+      std::vector<CellId> fanins;
+      int guard = 0;
+      while (static_cast<int>(fanins.size()) < want_fanin && guard++ < 64) {
+        CellId cand;
+        const double r = rng.uniform();
+        if (r < 0.45 && !by_level[level - 1].empty()) {
+          cand = rng.pick(by_level[level - 1]);
+        } else {
+          cand = rng.pick(all_lower);
+        }
+        if (r >= 0.45 && r < 0.75) {
+          // Try to re-aim at a zero-fanout cell for liveness.
+          for (int probe = 0; probe < 4; ++probe) {
+            const CellId alt = rng.pick(all_lower);
+            if (fanout_count[alt] == 0) {
+              cand = alt;
+              break;
+            }
+          }
+        }
+        if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end()) {
+          fanins.push_back(cand);
+        }
+      }
+      if (static_cast<int>(fanins.size()) < want_fanin) {
+        // Tiny level-0 pools can exhaust distinct candidates; shrink.
+        if (fanins.empty()) fanins.push_back(rng.pick(all_lower));
+      }
+      const CellKind final_kind =
+          fanins.size() == 1 && is_standard_gate(kind)
+              ? (rng.chance(0.78) ? CellKind::kNot : CellKind::kBuf)
+              : kind;
+
+      const CellId id = nl.add_gate(final_kind,
+                                    "G" + std::to_string(created), fanins);
+      grow_counts(id);
+      for (const CellId f : fanins) ++fanout_count[f];
+      by_level[level].push_back(id);
+      gates.push_back(id);
+      ++created;
+    }
+    all_lower.insert(all_lower.end(), by_level[level].begin(),
+                     by_level[level].end());
+  }
+
+  // Flip-flop D pins: state-update logic in real ISCAS circuits is mostly
+  // shallow (next-state functions a few levels deep), with a tail of deep
+  // updates — sample accordingly. Shallow D pins keep FF-to-FF timing
+  // segments short, which is what lets the dependent selection replace
+  // whole paths at a bounded delay cost (paper Table I).
+  std::vector<CellId> shallow_gates;
+  for (int level = 1; level <= std::max(2, profile.depth / 3); ++level) {
+    shallow_gates.insert(shallow_gates.end(), by_level[level].begin(),
+                         by_level[level].end());
+  }
+  if (shallow_gates.empty()) shallow_gates = gates;
+  for (const CellId ff : ffs) {
+    const CellId d =
+        rng.chance(0.6) ? rng.pick(shallow_gates) : rng.pick(gates);
+    nl.connect(ff, {d});
+    grow_counts(d);
+    ++fanout_count[d];
+  }
+  // Primary outputs stay biased toward the deep levels below.
+  std::vector<CellId> deep_gates;
+  for (int level = std::max(1, 2 * profile.depth / 3);
+       level <= profile.depth; ++level) {
+    deep_gates.insert(deep_gates.end(), by_level[level].begin(),
+                      by_level[level].end());
+  }
+  if (deep_gates.empty()) deep_gates = gates;
+
+  // Primary outputs: distinct gates, biased toward deep levels.
+  {
+    std::vector<CellId> candidates = deep_gates;
+    rng.shuffle(candidates);
+    for (const CellId g : gates) {
+      if (static_cast<int>(candidates.size()) >= profile.n_po * 3) break;
+      if (std::find(candidates.begin(), candidates.end(), g) ==
+          candidates.end()) {
+        candidates.push_back(g);
+      }
+    }
+    int marked = 0;
+    for (const CellId id : candidates) {
+      if (marked >= profile.n_po) break;
+      if (!nl.cell(id).is_output) {
+        nl.mark_output(id);
+        ++marked;
+      }
+    }
+  }
+
+  // Liveness pass: any cell with no reader and no PO marking gets stitched
+  // into the fabric. PIs and flip-flop outputs are attached as extra inputs
+  // of a standard gate; orphan top-level gates become additional fan-ins of
+  // a gate with spare capacity, or replace a redundant fan-in.
+  std::vector<int> level_of(nl.size(), 0);
+  for (int level = 0; level <= profile.depth; ++level) {
+    for (const CellId id : by_level[level]) level_of[id] = level;
+  }
+  auto try_attach = [&](CellId orphan) {
+    // A gate strictly above the orphan's level with spare input capacity.
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const CellId host = rng.pick(gates);
+      const Cell& hc = nl.cell(host);
+      if (level_of[host] <= level_of[orphan]) continue;
+      if (!is_standard_gate(hc.kind)) continue;
+      if (hc.fanin_count() >= kMaxLutInputs) continue;
+      if (std::find(hc.fanins.begin(), hc.fanins.end(), orphan) !=
+          hc.fanins.end()) {
+        continue;
+      }
+      auto fanins = hc.fanins;
+      fanins.push_back(orphan);
+      nl.connect(host, std::move(fanins));
+      return true;
+    }
+    // Fallback: replace a fan-in whose driver has other readers.
+    for (int attempt = 0; attempt < 400; ++attempt) {
+      const CellId host = rng.pick(gates);
+      Cell& hc = nl.cell(host);
+      if (level_of[host] <= level_of[orphan]) continue;
+      for (int slot = 0; slot < hc.fanin_count(); ++slot) {
+        const CellId victim = hc.fanins[slot];
+        if (victim != orphan && nl.cell(victim).fanouts.size() > 1 &&
+            std::find(hc.fanins.begin(), hc.fanins.end(), orphan) ==
+                hc.fanins.end()) {
+          nl.replace_fanin(host, slot, orphan);
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.fanouts.empty() && !c.is_output) {
+      if (!try_attach(id)) nl.mark_output(id);  // last resort: observe it
+    }
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+namespace {
+
+constexpr const char* kS27 = R"(# s27, genuine ISCAS'89 circuit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+// A compact two-bit counter with enable/clear — not an ISCAS circuit, but a
+// handy genuine sequential testbed with known behaviour.
+constexpr const char* kCount2 = R"(# 2-bit counter with enable and clear
+INPUT(en)
+INPUT(clr)
+OUTPUT(q0)
+OUTPUT(q1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+nclr = NOT(clr)
+t0 = XOR(q0, en)
+d0 = AND(t0, nclr)
+carry = AND(q0, en)
+t1 = XOR(q1, carry)
+d1 = AND(t1, nclr)
+)";
+
+}  // namespace
+
+std::vector<std::string> embedded_names() { return {"s27", "count2"}; }
+
+Netlist embedded_netlist(const std::string& name) {
+  if (name == "s27") return read_bench(kS27, "s27");
+  if (name == "count2") return read_bench(kCount2, "count2");
+  throw std::invalid_argument("embedded_netlist: unknown circuit '" + name +
+                              "'");
+}
+
+}  // namespace stt

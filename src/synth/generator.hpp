@@ -1,0 +1,54 @@
+// ISCAS'89 benchmark replicas.
+//
+// The paper evaluates on twelve ISCAS'89 netlists synthesized with a
+// commercial tool we cannot ship. What the selection algorithms and the
+// overhead/security trends actually consume is the circuits' *statistics*:
+// PI/PO/flip-flop counts, logic-gate count (Table I's "size" column), gate
+// mix, and logic depth. This module provides
+//
+//  * `iscas89_profiles()` — the published statistics of the twelve
+//    benchmarks used in Table I (gate counts exactly as the paper reports
+//    them, interface counts from the standard ISCAS'89 distribution);
+//  * `generate_circuit()` — a seeded, deterministic generator producing a
+//    connected sequential netlist matched to a profile: levelized DAG with
+//    an ISCAS-like gate mix (NAND/NOR heavy, ~20% inverters), flip-flop
+//    state loops, every cell live (reaches an output) and driven;
+//  * `embedded_netlist()` — genuine small ISCAS'89 circuits (s27) carried
+//    verbatim for exact-value unit tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct CircuitProfile {
+  std::string name;
+  int n_pi = 0;
+  int n_po = 0;
+  int n_ff = 0;
+  int n_gates = 0;  ///< combinational logic cells, the paper's "size"
+  int depth = 0;    ///< target combinational levels
+};
+
+/// The twelve benchmarks of Table I, in the paper's order.
+const std::vector<CircuitProfile>& iscas89_profiles();
+
+/// Lookup by name ("s641", "s38584", ...); nullopt if unknown.
+std::optional<CircuitProfile> find_profile(const std::string& name);
+
+/// Deterministically generate a replica circuit for the profile. The same
+/// (profile, seed) pair always yields the same netlist.
+Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed);
+
+/// Names of the genuine embedded circuits.
+std::vector<std::string> embedded_names();
+
+/// Parse an embedded genuine ISCAS'89 circuit; throws on unknown name.
+Netlist embedded_netlist(const std::string& name);
+
+}  // namespace stt

@@ -1,0 +1,213 @@
+#include "synth/optimize.hpp"
+
+#include <map>
+#include <tuple>
+
+#include "netlist/cleanup.hpp"
+
+namespace stt {
+
+namespace {
+
+// Truth mask of a combinational cell with a function.
+std::uint64_t cell_mask(const Cell& c) {
+  switch (c.kind) {
+    case CellKind::kConst0: return 0;
+    case CellKind::kConst1: return 1;
+    case CellKind::kLut: return c.lut_mask & full_mask(c.fanin_count());
+    default: return gate_truth_mask(c.kind, c.fanin_count());
+  }
+}
+
+// Classify a mask back into a named cell kind where possible.
+CellKind classify(std::uint64_t mask, int fanin) {
+  if (fanin == 0) return mask ? CellKind::kConst1 : CellKind::kConst0;
+  if (fanin == 1) {
+    if ((mask & 0b11ull) == 0b10ull) return CellKind::kBuf;
+    if ((mask & 0b11ull) == 0b01ull) return CellKind::kNot;
+    return CellKind::kLut;  // constant-of-one-input: handled by cofactor
+  }
+  for (const CellKind kind :
+       {CellKind::kAnd, CellKind::kNand, CellKind::kOr, CellKind::kNor,
+        CellKind::kXor, CellKind::kXnor}) {
+    if (gate_truth_mask(kind, fanin) == (mask & full_mask(fanin))) return kind;
+  }
+  return CellKind::kLut;
+}
+
+// Cofactor `mask` over `fanin` inputs with input `pos` fixed to `value`.
+std::uint64_t cofactor(std::uint64_t mask, int fanin, int pos, bool value) {
+  std::uint64_t out = 0;
+  std::uint32_t new_row = 0;
+  for (std::uint32_t row = 0; row < num_rows(fanin); ++row) {
+    if (((row >> pos) & 1u) != static_cast<std::uint32_t>(value)) continue;
+    // Drop bit `pos` from the row index.
+    if ((mask >> row) & 1ull) out |= (1ull << new_row);
+    ++new_row;
+  }
+  return out;
+}
+
+// Drop input `pos` when the function ignores it.
+bool ignores_input(std::uint64_t mask, int fanin, int pos) {
+  return cofactor(mask, fanin, pos, false) == cofactor(mask, fanin, pos, true);
+}
+
+// Collapse duplicate inputs i == j (i < j): drop input j, keeping only the
+// rows where the two bits agree.
+std::uint64_t merge_equal_inputs(std::uint64_t mask, int fanin, int i,
+                                 int j) {
+  std::uint64_t out = 0;
+  for (std::uint32_t new_row = 0; new_row < num_rows(fanin - 1); ++new_row) {
+    // Insert bit j equal to bit i.
+    const std::uint32_t low = new_row & ((1u << j) - 1u);
+    const std::uint32_t high = (new_row >> j) << (j + 1);
+    const std::uint32_t bit_i = (new_row >> i) & 1u;
+    const std::uint32_t old_row = low | high | (bit_i << j);
+    if ((mask >> old_row) & 1ull) out |= (1ull << new_row);
+  }
+  return out;
+}
+
+bool is_const_kind(CellKind k) {
+  return k == CellKind::kConst0 || k == CellKind::kConst1;
+}
+
+// One constant-propagation / function-simplification sweep.
+int fold_constants(Netlist& nl) {
+  int folded = 0;
+  for (const CellId id : nl.topo_order()) {
+    Cell& c = nl.cell(id);
+    if (!is_combinational(c.kind) || is_const_kind(c.kind)) continue;
+    if (c.fanin_count() == 0 || c.fanin_count() > kMaxLutInputs) continue;
+
+    std::uint64_t mask = cell_mask(c);
+    std::vector<CellId> fanins = c.fanins;
+    bool changed = false;
+
+    // Collapse duplicate fan-ins first (XOR(x, x) etc.), then cofactor out
+    // constant and ignored inputs (right-to-left so positions stay valid).
+    for (int j = static_cast<int>(fanins.size()) - 1; j >= 1; --j) {
+      for (int i = 0; i < j; ++i) {
+        if (fanins[i] == fanins[j]) {
+          mask = merge_equal_inputs(mask, static_cast<int>(fanins.size()),
+                                    i, j);
+          fanins.erase(fanins.begin() + j);
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (int i = static_cast<int>(fanins.size()) - 1; i >= 0; --i) {
+      const CellKind dk = nl.cell(fanins[i]).kind;
+      const int k = static_cast<int>(fanins.size());
+      if (is_const_kind(dk)) {
+        mask = cofactor(mask, k, i, dk == CellKind::kConst1);
+        fanins.erase(fanins.begin() + i);
+        changed = true;
+      } else if (ignores_input(mask, k, i)) {
+        mask = cofactor(mask, k, i, false);
+        fanins.erase(fanins.begin() + i);
+        changed = true;
+      }
+    }
+    if (!changed) continue;
+    ++folded;
+
+    const int k = static_cast<int>(fanins.size());
+    if (k == 0) {
+      nl.connect(id, {});
+      c.kind = (mask & 1ull) ? CellKind::kConst1 : CellKind::kConst0;
+      c.lut_mask = 0;
+      continue;
+    }
+    const CellKind kind = classify(mask, k);
+    nl.connect(id, std::move(fanins));
+    c.kind = kind;
+    c.lut_mask = (kind == CellKind::kLut) ? (mask & full_mask(k)) : 0;
+  }
+  return folded;
+}
+
+// Rewire readers of buffers (and of double inverters) to the source signal.
+void sweep_buffers(Netlist& nl, int* buffers, int* inv_pairs) {
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (c.fanouts.empty()) continue;  // nothing to rewire (or already dead)
+    CellId target = kNullCell;
+    if (c.kind == CellKind::kBuf) {
+      target = c.fanins[0];
+      ++*buffers;
+    } else if (c.kind == CellKind::kNot &&
+               nl.cell(c.fanins[0]).kind == CellKind::kNot) {
+      target = nl.cell(c.fanins[0]).fanins[0];
+      ++*inv_pairs;
+    }
+    if (target == kNullCell) continue;
+    // Rewire every reader slot that consumes `id`.
+    const std::vector<CellId> readers = c.fanouts;  // copy: mutation below
+    for (const CellId reader : readers) {
+      Cell& rc = nl.cell(reader);
+      for (int slot = 0; slot < rc.fanin_count(); ++slot) {
+        if (rc.fanins[slot] == id) nl.replace_fanin(reader, slot, target);
+      }
+    }
+    // If it drove an output, it must survive; the counter still reflects
+    // the rewiring of its readers.
+  }
+}
+
+// Merge structurally identical combinational cells.
+int merge_duplicates(Netlist& nl) {
+  int merged = 0;
+  std::map<std::tuple<CellKind, std::vector<CellId>, std::uint64_t>, CellId>
+      canon;
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (!is_combinational(c.kind) || is_const_kind(c.kind)) continue;
+    if (c.is_output) continue;  // keep named outputs stable
+    if (c.fanouts.empty()) continue;  // dead: nothing to merge
+    const auto key = std::make_tuple(
+        c.kind, c.fanins, c.kind == CellKind::kLut ? c.lut_mask : 0ull);
+    const auto [it, inserted] = canon.emplace(key, id);
+    if (inserted) continue;
+    const CellId rep = it->second;
+    const std::vector<CellId> readers = c.fanouts;
+    for (const CellId reader : readers) {
+      Cell& rc = nl.cell(reader);
+      for (int slot = 0; slot < rc.fanin_count(); ++slot) {
+        if (rc.fanins[slot] == id) nl.replace_fanin(reader, slot, rep);
+      }
+    }
+    ++merged;
+  }
+  return merged;
+}
+
+}  // namespace
+
+Netlist optimize_netlist(const Netlist& input, OptimizeStats* stats) {
+  OptimizeStats local;
+  local.cells_before = input.size();
+  Netlist nl = input;
+
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const int folded = fold_constants(nl);
+    int buffers = 0;
+    int pairs = 0;
+    sweep_buffers(nl, &buffers, &pairs);
+    const int merged = merge_duplicates(nl);
+    local.constants_folded += folded;
+    local.buffers_swept += buffers;
+    local.inverter_pairs += pairs;
+    local.duplicates_merged += merged;
+    if (folded + buffers + pairs + merged == 0) break;
+  }
+
+  Netlist out = strip_dead_logic(nl);
+  local.cells_after = out.size();
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace stt

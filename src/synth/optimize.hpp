@@ -1,0 +1,36 @@
+// Netlist cleanup/optimization passes — the logic-synthesis half of the
+// paper's Fig. 2 flow, in miniature.
+//
+// The passes run before gate selection (synthesized netlists from outside
+// sources arrive with redundancy) and after complex-function packing
+// (absorption orphans logic). All passes are functionality-preserving on
+// the scan view:
+//
+//  * constant propagation: gates with constant inputs fold (AND(x,0)->0,
+//    OR(x,0)->BUF(x), LUT cofactoring, constant-D flip-flops stay — state
+//    semantics differ in the first cycle);
+//  * buffer/double-inverter sweeping: BUF(x) readers rewire to x,
+//    NOT(NOT(x)) readers rewire to x;
+//  * structural hashing: combinational cells with identical kind, fan-ins
+//    and (for LUTs) mask merge into one;
+//  * dead-logic removal (core/packing's strip_dead_logic) as the final
+//    compaction.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+struct OptimizeStats {
+  int constants_folded = 0;
+  int buffers_swept = 0;
+  int inverter_pairs = 0;
+  int duplicates_merged = 0;
+  std::size_t cells_before = 0;
+  std::size_t cells_after = 0;
+};
+
+/// Run all passes to a fixed point and return the compacted netlist.
+Netlist optimize_netlist(const Netlist& nl, OptimizeStats* stats = nullptr);
+
+}  // namespace stt

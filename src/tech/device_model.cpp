@@ -1,0 +1,28 @@
+#include "tech/device_model.hpp"
+
+#include <stdexcept>
+
+namespace stt {
+
+double active_power_ratio(const TechLibrary& lib, CellKind kind, int fanin,
+                          double alpha) {
+  if (alpha <= 0) throw std::invalid_argument("active_power_ratio: alpha <= 0");
+  const auto cmos = lib.gate(kind, fanin);
+  const auto lut = lib.lut(fanin);
+  return lut.e_cycle_fj / (alpha * cmos.e_active_fj);
+}
+
+DeviceComparison compare_lut_vs_cmos(const TechLibrary& lib, CellKind kind,
+                                     int fanin) {
+  const auto cmos = lib.gate(kind, fanin);
+  const auto lut = lib.lut(fanin);
+  DeviceComparison cmp;
+  cmp.delay_ratio = lut.delay_ps / cmos.delay_ps;
+  cmp.active_power_ratio_a10 = active_power_ratio(lib, kind, fanin, 0.10);
+  cmp.active_power_ratio_a30 = active_power_ratio(lib, kind, fanin, 0.30);
+  cmp.standby_power_ratio = lut.leak_nw / cmos.leak_nw;
+  cmp.energy_per_switch_ratio = lut.e_switch_fj / cmos.e_switch_fj;
+  return cmp;
+}
+
+}  // namespace stt

@@ -1,0 +1,29 @@
+// Fig. 1 device characterization: STT-based LUT vs static CMOS, normalized.
+//
+// Produces the five metrics of the paper's Fig. 1 for a gate implemented
+// either as a static CMOS cell or as an STT-based LUT of the same fan-in:
+// delay, active power at a given output switching activity, standby power,
+// and energy per switching event — each as LUT/CMOS ratios.
+#pragma once
+
+#include "tech/tech_library.hpp"
+
+namespace stt {
+
+struct DeviceComparison {
+  double delay_ratio = 0;
+  double active_power_ratio_a10 = 0;  ///< at alpha = 10%
+  double active_power_ratio_a30 = 0;  ///< at alpha = 30%
+  double standby_power_ratio = 0;
+  double energy_per_switch_ratio = 0;
+};
+
+/// Ratio of LUT active power (activity-independent, = E_cycle * f) to CMOS
+/// active power (= alpha * E_active * f) — frequency cancels.
+double active_power_ratio(const TechLibrary& lib, CellKind kind, int fanin,
+                          double alpha);
+
+DeviceComparison compare_lut_vs_cmos(const TechLibrary& lib, CellKind kind,
+                                     int fanin);
+
+}  // namespace stt

@@ -1,0 +1,137 @@
+#include "tech/tech_library.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stt {
+
+namespace {
+
+// Built-in 90 nm-class calibration (see header). Values for NOR/XOR cells
+// are *derived* from the NAND anchors and the paper's Fig. 1 ratios:
+//   d_NOR2 = d_LUT2 / 4.85 with d_LUT2 = 6.46 * d_NAND2, etc.
+// The literal constants below are those closed-form results.
+constexpr CmosCellParams kInv{14.0, 0.45, 0.45, 1.2, 2.82};
+constexpr CmosCellParams kBuf{30.0, 0.90, 0.90, 1.8, 3.76};
+constexpr CmosCellParams kDffCell{120.0, 4.0, 4.0, 8.0, 18.8};
+
+// index 0 -> fan-in 2, 1 -> fan-in 3, 2 -> fan-in 4
+constexpr CmosCellParams kNand[3] = {
+    {40.0, 1.0, 1.0, 2.0, 4.70},
+    {55.0, 1.4, 1.4, 2.6, 5.64},
+    {72.0, 1.8, 1.8, 3.1, 7.52},
+};
+constexpr CmosCellParams kNor[3] = {
+    {258.4 / 4.85, 9.035 / 8.02, 58.36 / 38.89, 0.96 / 0.51, 4.70},
+    {78.0, 3.2, 4.5, 2.3, 5.64},
+    {323.28 / 3.06, 13.8114 / 2.425, 62.01 / 7.42, 2.976 / 1.06, 7.52},
+};
+constexpr CmosCellParams kXor[3] = {
+    {258.4 / 4.95, 9.035 / 2.245, 58.36 / 11.11, 0.96 / 0.13, 7.52},
+    {65.0, 2.6, 3.2, 20.0, 11.28},
+    {323.28 / 4.18, 13.8114 / 9.006, 62.01 / 37.64, 2.976 / 0.04, 15.04},
+};
+constexpr CmosCellParams kAnd[3] = {
+    {54.0, 1.45, 1.45, 3.2, 5.64},
+    {69.0, 1.85, 1.85, 3.8, 6.58},
+    {86.0, 2.25, 2.25, 4.3, 8.46},
+};
+constexpr CmosCellParams kOr[3] = {
+    {67.0, 1.57, 1.95, 3.08, 5.64},
+    {92.0, 3.65, 5.00, 3.50, 6.58},
+    {120.0, 6.14, 8.80, 4.00, 8.46},
+};
+
+// STT LUT macro calibration, index = fan-in - 1.
+// E_cycle(2) = 90.35 * 0.1 * E_active(NAND2); E_cycle(4) likewise from NAND4;
+// leak(2) = 0.48 * leak(NAND2); leak(4) = 0.96 * leak(NAND4);
+// delay(2) = 6.46 * d(NAND2); delay(4) = 4.49 * d(NAND4).
+constexpr LutParams kLut[kMaxLutInputs] = {
+    {200.0, 7.00, 45.00, 0.70, 9.0},    // LUT1
+    {258.4, 9.035, 58.36, 0.96, 12.0},  // LUT2
+    {290.0, 11.30, 60.00, 1.90, 16.5},  // LUT3 (interpolated)
+    {323.28, 13.8114, 62.01, 2.976, 22.0},  // LUT4
+    {380.0, 17.50, 75.00, 4.40, 32.0},  // LUT5 (extrapolated)
+    {450.0, 22.00, 90.00, 6.40, 45.0},  // LUT6 (extrapolated)
+};
+
+CmosCellParams scale(const CmosCellParams& p, double d, double e, double l,
+                     double a) {
+  return {p.delay_ps * d, p.e_active_fj * e, p.e_switch_fj * e, p.leak_nw * l,
+          p.area_um2 * a};
+}
+
+// Standard gates beyond the fan-in-4 table: compose as a tree of smaller
+// gates would in synthesis; modelled as geometric growth per extra input.
+CmosCellParams extrapolate(const CmosCellParams& base4, int fanin) {
+  const int extra = fanin - 4;
+  const double grow = std::pow(1.3, extra);
+  const double area_grow = std::pow(1.2, extra);
+  return {base4.delay_ps * grow, base4.e_active_fj * grow,
+          base4.e_switch_fj * grow, base4.leak_nw * grow,
+          base4.area_um2 * area_grow};
+}
+
+}  // namespace
+
+TechLibrary TechLibrary::cmos90_stt() {
+  TechLibrary lib;
+  lib.name_ = "cmos90+stt";
+  return lib;
+}
+
+TechLibrary TechLibrary::predictive32_stt() {
+  TechLibrary lib;
+  lib.name_ = "predictive32+stt";
+  lib.delay_scale_ = 0.35;
+  lib.energy_scale_ = 0.25;
+  lib.leak_scale_ = 0.50;
+  lib.area_scale_ = 0.126;
+  lib.load_delay_ps_ = 0.8;
+  lib.dff_clk_to_q_ps_ = 45.0;
+  lib.dff_setup_ps_ = 22.0;
+  return lib;
+}
+
+CmosCellParams TechLibrary::gate(CellKind kind, int fanin) const {
+  const CmosCellParams* table = nullptr;
+  switch (kind) {
+    case CellKind::kNot:
+      if (fanin != 1) throw std::invalid_argument("tech: NOT fan-in != 1");
+      return scale(kInv, delay_scale_, energy_scale_, leak_scale_, area_scale_);
+    case CellKind::kBuf:
+      if (fanin != 1) throw std::invalid_argument("tech: BUF fan-in != 1");
+      return scale(kBuf, delay_scale_, energy_scale_, leak_scale_, area_scale_);
+    case CellKind::kDff:
+      return scale(kDffCell, delay_scale_, energy_scale_, leak_scale_,
+                   area_scale_);
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return {};  // tie cells: negligible
+    case CellKind::kAnd: table = kAnd; break;
+    case CellKind::kNand: table = kNand; break;
+    case CellKind::kOr: table = kOr; break;
+    case CellKind::kNor: table = kNor; break;
+    case CellKind::kXor:
+    case CellKind::kXnor: table = kXor; break;
+    default:
+      throw std::invalid_argument("tech: no CMOS cell for kind");
+  }
+  if (fanin < 2) throw std::invalid_argument("tech: gate fan-in < 2");
+  CmosCellParams p = (fanin <= 4) ? table[fanin - 2]
+                                  : extrapolate(table[2], fanin);
+  if (kind == CellKind::kXnor) p.delay_ps *= 1.05;
+  return scale(p, delay_scale_, energy_scale_, leak_scale_, area_scale_);
+}
+
+LutParams TechLibrary::lut(int fanin) const {
+  if (fanin < 1 || fanin > kMaxLutInputs) {
+    throw std::invalid_argument("tech: LUT fan-in out of range");
+  }
+  const LutParams& p = kLut[fanin - 1];
+  return {p.delay_ps * delay_scale_, p.e_cycle_fj * energy_scale_,
+          p.e_switch_fj * energy_scale_, p.leak_nw * leak_scale_,
+          p.area_um2 * area_scale_};
+}
+
+}  // namespace stt

@@ -1,0 +1,93 @@
+// Technology models: a 90 nm-class CMOS standard-cell library and the
+// non-volatile STT-based LUT macro model.
+//
+// Calibration. The paper gives STT-LUT-vs-CMOS ratios (its Fig. 1, predictive
+// 32 nm SPICE) and evaluates the flow on 90 nm syntheses. We choose absolute
+// CMOS anchor values typical of a 90 nm process (NAND2 ~ 40 ps, ~1 fJ/switch,
+// ~2 nW leakage, ~4.7 um^2) and then *derive* the remaining CMOS cells and
+// all LUT parameters so that every ratio of the paper's Fig. 1 is reproduced
+// exactly:
+//
+//  * LUT delay depends only on fan-in (paper, Sec. III):
+//      d_LUT(2) = 6.46 x d_NAND2, and d_NOR2 = d_LUT(2)/4.85, etc.
+//  * LUT dynamic power is activity-independent (dynamic circuit style):
+//      P_dyn_LUT(k) = E_cycle(k) x f. E_cycle(2) is set from the NAND2
+//      "Active Power (alpha=10%)" ratio of 90.35; the alpha=30% column then
+//      reproduces automatically (90.35/3 = 30.12), exactly as in Fig. 1.
+//  * CMOS gate dynamic power is alpha x E_active x f; per-gate E_active is
+//    derived from the alpha=10% column.
+//  * "Energy per switching" is a separate per-event measurement in the
+//    paper's SPICE table (it includes different loading than the average-
+//    power run), so cells carry an independent E_switch used only for that
+//    characterization metric.
+//  * Leakage ("standby power") per gate derives from the standby columns.
+//  * LUT area is set at ~2.5x the average gate footprint, the value implied
+//    by Table I's area overheads (e.g. s641: five 2-input LUTs -> +2.64% of
+//    a 287-gate circuit).
+#pragma once
+
+#include <string>
+
+#include "netlist/celltype.hpp"
+
+namespace stt {
+
+/// Parameters of one CMOS standard cell at a specific fan-in.
+struct CmosCellParams {
+  double delay_ps = 0;     ///< pin-to-pin delay, unloaded
+  double e_active_fj = 0;  ///< energy per cycle at alpha=1 (power model)
+  double e_switch_fj = 0;  ///< energy per output switching event (Fig. 1)
+  double leak_nw = 0;      ///< standby leakage power
+  double area_um2 = 0;
+};
+
+/// Parameters of an STT-based LUT macro at fan-in k.
+struct LutParams {
+  double delay_ps = 0;
+  double e_cycle_fj = 0;   ///< dynamic energy per clock, activity-independent
+  double e_switch_fj = 0;  ///< per output switching event (Fig. 1 metric)
+  double leak_nw = 0;
+  double area_um2 = 0;
+};
+
+class TechLibrary {
+ public:
+  /// The default calibrated 90 nm-class CMOS + STT library (see file
+  /// comment). This is the library used for the Table I / Fig. 3 flows.
+  static TechLibrary cmos90_stt();
+
+  /// The same ratio calibration scaled to a predictive-32 nm-class anchor
+  /// (NAND2 = 14 ps, 0.25 fJ) — used by the Fig. 1 characterization bench.
+  static TechLibrary predictive32_stt();
+
+  const std::string& name() const { return name_; }
+
+  /// CMOS cell parameters; supports BUF/NOT at fan-in 1, standard gates at
+  /// fan-in 2..kMaxLutInputs (5/6-input cells are extrapolated), DFF.
+  CmosCellParams gate(CellKind kind, int fanin) const;
+
+  /// STT LUT macro parameters for fan-in 1..kMaxLutInputs.
+  LutParams lut(int fanin) const;
+
+  /// Incremental delay per fan-out load on any cell output.
+  double load_delay_ps() const { return load_delay_ps_; }
+
+  /// DFF clock-to-Q + setup margin charged on register-bounded paths.
+  double dff_clk_to_q_ps() const { return dff_clk_to_q_ps_; }
+  double dff_setup_ps() const { return dff_setup_ps_; }
+
+ private:
+  TechLibrary() = default;
+
+  std::string name_;
+  // Anchor scale factors applied to the built-in calibration tables.
+  double delay_scale_ = 1.0;
+  double energy_scale_ = 1.0;
+  double leak_scale_ = 1.0;
+  double area_scale_ = 1.0;
+  double load_delay_ps_ = 2.0;
+  double dff_clk_to_q_ps_ = 120.0;
+  double dff_setup_ps_ = 60.0;
+};
+
+}  // namespace stt

@@ -1,0 +1,104 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stt {
+
+double Sta::cell_delay_ps(const Netlist& nl, CellId id) const {
+  const Cell& c = nl.cell(id);
+  const double load =
+      lib_->load_delay_ps() * static_cast<double>(c.fanouts.size());
+  switch (c.kind) {
+    case CellKind::kInput:
+      return 0.0;
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+      return 0.0;
+    case CellKind::kDff:
+      return lib_->dff_clk_to_q_ps() + load;
+    case CellKind::kLut:
+      return lib_->lut(c.fanin_count()).delay_ps + load;
+    default:
+      return lib_->gate(c.kind, c.fanin_count()).delay_ps + load;
+  }
+}
+
+TimingResult Sta::analyze(const Netlist& nl) const {
+  TimingResult result;
+  result.arrival_ps.assign(nl.size(), 0.0);
+  std::vector<CellId> worst_fanin(nl.size(), kNullCell);
+
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    double launch = 0.0;
+    if (c.kind == CellKind::kInput) {
+      launch = 0.0;
+    } else if (c.kind == CellKind::kDff) {
+      launch = 0.0;  // cell_delay adds clk-to-Q below
+    } else {
+      for (const CellId f : c.fanins) {
+        if (result.arrival_ps[f] > launch) {
+          launch = result.arrival_ps[f];
+          worst_fanin[id] = f;
+        } else if (worst_fanin[id] == kNullCell) {
+          worst_fanin[id] = f;
+        }
+      }
+    }
+    result.arrival_ps[id] = launch + cell_delay_ps(nl, id);
+  }
+
+  // Endpoints: PO arrivals and DFF D-pin arrivals + setup.
+  auto consider = [&](CellId endpoint_cell, double t) {
+    if (t > result.critical_delay_ps) {
+      result.critical_delay_ps = t;
+      result.worst_endpoint = endpoint_cell;
+    }
+  };
+  for (const CellId id : nl.outputs()) consider(id, result.arrival_ps[id]);
+  for (const CellId id : nl.dffs()) {
+    const Cell& c = nl.cell(id);
+    if (!c.fanins.empty()) {
+      consider(c.fanins[0],
+               result.arrival_ps[c.fanins[0]] + lib_->dff_setup_ps());
+    }
+  }
+
+  // Trace the worst path backward through worst fan-ins.
+  CellId cursor = result.worst_endpoint;
+  while (cursor != kNullCell) {
+    result.critical_path.push_back(cursor);
+    cursor = worst_fanin[cursor];
+  }
+  std::reverse(result.critical_path.begin(), result.critical_path.end());
+  return result;
+}
+
+std::vector<double> Sta::slacks(const Netlist& nl, const TimingResult& timing,
+                                double period_ps) const {
+  // required[id] = latest allowed arrival at id's output.
+  std::vector<double> required(nl.size(), 1e300);
+  const auto order = nl.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const CellId id = *it;
+    const Cell& c = nl.cell(id);
+    double req = required[id];
+    if (c.is_output) req = std::min(req, period_ps);
+    for (const CellId reader : c.fanouts) {
+      if (nl.cell(reader).kind == CellKind::kDff) {
+        req = std::min(req, period_ps - lib_->dff_setup_ps());
+      } else {
+        req = std::min(req, required[reader] - cell_delay_ps(nl, reader));
+      }
+    }
+    required[id] = req;
+  }
+  std::vector<double> slack(nl.size());
+  for (CellId id = 0; id < nl.size(); ++id) {
+    slack[id] = required[id] - timing.arrival_ps[id];
+  }
+  return slack;
+}
+
+}  // namespace stt

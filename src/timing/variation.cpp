@@ -1,0 +1,81 @@
+#include "timing/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/sta.hpp"
+#include "util/stats.hpp"
+
+namespace stt {
+
+namespace {
+
+// Box-Muller standard normal from two uniforms.
+double standard_normal(Rng& rng) {
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace
+
+double VariationResult::yield_at(double period_ps) const {
+  if (critical_delays_ps.empty()) return 0;
+  std::size_t pass = 0;
+  for (const double d : critical_delays_ps) pass += (d <= period_ps);
+  return static_cast<double>(pass) /
+         static_cast<double>(critical_delays_ps.size());
+}
+
+VariationResult variation_analysis(const Netlist& nl, const TechLibrary& lib,
+                                   const VariationOptions& opt) {
+  const Sta sta(lib);
+  // Nominal per-cell delays, computed once; samples scale them.
+  std::vector<double> nominal(nl.size(), 0.0);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    nominal[id] = sta.cell_delay_ps(nl, id);
+  }
+  const auto order = nl.topo_order();
+
+  Rng rng(opt.seed ^ 0x5a5a1ab5ull);
+  VariationResult result;
+  result.critical_delays_ps.reserve(opt.samples);
+  Accumulator acc;
+
+  std::vector<double> arrival(nl.size());
+  for (int s = 0; s < opt.samples; ++s) {
+    double critical = 0;
+    for (const CellId id : order) {
+      const Cell& c = nl.cell(id);
+      const double sigma =
+          c.kind == CellKind::kLut ? opt.lut_sigma : opt.cmos_sigma;
+      const double factor = std::exp(sigma * standard_normal(rng));
+      double launch = 0;
+      if (c.kind != CellKind::kInput && c.kind != CellKind::kDff) {
+        for (const CellId f : c.fanins) launch = std::max(launch, arrival[f]);
+      }
+      arrival[id] = launch + nominal[id] * factor;
+      if (c.is_output) critical = std::max(critical, arrival[id]);
+    }
+    for (const CellId id : nl.dffs()) {
+      const Cell& c = nl.cell(id);
+      if (!c.fanins.empty()) {
+        critical = std::max(critical,
+                            arrival[c.fanins[0]] + lib.dff_setup_ps());
+      }
+    }
+    result.critical_delays_ps.push_back(critical);
+    acc.add(critical);
+  }
+
+  result.mean_ps = acc.mean();
+  result.stddev_ps = acc.stddev();
+  std::vector<double> sorted = result.critical_delays_ps;
+  std::sort(sorted.begin(), sorted.end());
+  result.p99_ps =
+      sorted[std::min(sorted.size() - 1,
+                      static_cast<std::size_t>(0.99 * sorted.size()))];
+  return result;
+}
+
+}  // namespace stt

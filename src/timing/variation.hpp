@@ -1,0 +1,42 @@
+// Monte-Carlo process-variation timing analysis.
+//
+// Section III claims high thermal robustness and resilience for the STT
+// cells; the practical sign-off question for a hybrid design is whether the
+// inserted LUTs erode the circuit's *timing yield* under process variation.
+// This module samples per-cell delay multipliers (lognormal around 1.0,
+// with separate sigmas for CMOS cells and STT LUT macros — MTJ read timing
+// varies less than transistor drive strength) and reports the critical-
+// delay distribution and the yield at a target clock period.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tech/tech_library.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+
+struct VariationOptions {
+  std::uint64_t seed = 1;
+  int samples = 200;
+  /// Lognormal sigma of the per-cell delay multiplier.
+  double cmos_sigma = 0.08;
+  double lut_sigma = 0.03;  ///< MTJ read path: tighter distribution
+};
+
+struct VariationResult {
+  std::vector<double> critical_delays_ps;  ///< one per Monte-Carlo sample
+  double mean_ps = 0;
+  double stddev_ps = 0;
+  double p99_ps = 0;  ///< 99th percentile critical delay
+
+  /// Fraction of samples meeting the period.
+  double yield_at(double period_ps) const;
+};
+
+VariationResult variation_analysis(const Netlist& nl, const TechLibrary& lib,
+                                   const VariationOptions& opt = {});
+
+}  // namespace stt

@@ -1,0 +1,55 @@
+// Minimal command-line argument parser for the sttlock CLI tool.
+//
+// Supports `--name value`, `--name=value`, boolean `--flag`, and positional
+// arguments. Unknown options raise; every option must be declared first so
+// typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stt {
+
+struct ArgError : std::runtime_error {
+  explicit ArgError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class ArgParser {
+ public:
+  /// Declare a value option (e.g. "--seed"). `doc` feeds help().
+  void add_option(const std::string& name, const std::string& doc,
+                  std::optional<std::string> default_value = std::nullopt);
+  /// Declare a boolean flag (e.g. "--pack").
+  void add_flag(const std::string& name, const std::string& doc);
+
+  /// Parse argv-style input (not including the program/subcommand name).
+  void parse(const std::vector<std::string>& args);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool flag(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// One line per declared option/flag.
+  std::string help() const;
+
+ private:
+  struct Spec {
+    std::string doc;
+    bool is_flag = false;
+    std::optional<std::string> default_value;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace stt

@@ -1,0 +1,86 @@
+#include "util/bignum.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace stt {
+
+BigNum BigNum::from_double(double v) {
+  if (v < 0) throw std::invalid_argument("BigNum: negative value");
+  if (v == 0) return BigNum();
+  return BigNum(std::log10(v));
+}
+
+BigNum BigNum::from_mantissa_exp(double mantissa, double exp10) {
+  if (mantissa < 0) throw std::invalid_argument("BigNum: negative mantissa");
+  if (mantissa == 0) return BigNum();
+  return BigNum(std::log10(mantissa) + exp10);
+}
+
+BigNum BigNum::pow2(double e) { return BigNum(e * std::log10(2.0)); }
+
+BigNum BigNum::pow(double base, double e) {
+  if (base <= 0) throw std::invalid_argument("BigNum::pow: base <= 0");
+  return BigNum(e * std::log10(base));
+}
+
+double BigNum::to_double() const {
+  if (zero_) return 0.0;
+  if (log10_ > 308.0) return HUGE_VAL;
+  return std::pow(10.0, log10_);
+}
+
+BigNum BigNum::operator*(const BigNum& o) const {
+  if (zero_ || o.zero_) return BigNum();
+  return BigNum(log10_ + o.log10_);
+}
+
+BigNum BigNum::operator+(const BigNum& o) const {
+  if (zero_) return o;
+  if (o.zero_) return *this;
+  // log10(a + b) = max + log10(1 + 10^(min - max))
+  const double hi = std::max(log10_, o.log10_);
+  const double lo = std::min(log10_, o.log10_);
+  const double delta = lo - hi;  // <= 0
+  // Below ~16 decimal digits of separation the smaller term vanishes.
+  if (delta < -18.0) return BigNum(hi);
+  return BigNum(hi + std::log10(1.0 + std::pow(10.0, delta)));
+}
+
+BigNum BigNum::powi(std::uint64_t e) const {
+  if (zero_) return e == 0 ? from_double(1.0) : BigNum();
+  return BigNum(log10_ * static_cast<double>(e));
+}
+
+std::partial_ordering BigNum::operator<=>(const BigNum& o) const {
+  if (zero_ && o.zero_) return std::partial_ordering::equivalent;
+  if (zero_) return std::partial_ordering::less;
+  if (o.zero_) return std::partial_ordering::greater;
+  return log10_ <=> o.log10_;
+}
+
+bool BigNum::operator==(const BigNum& o) const {
+  return (*this <=> o) == std::partial_ordering::equivalent;
+}
+
+std::string BigNum::to_string(int digits) const {
+  if (zero_) return "0";
+  const double floor_exp = std::floor(log10_);
+  double mantissa = std::pow(10.0, log10_ - floor_exp);
+  auto exp = static_cast<long long>(floor_exp);
+  // Rounding the mantissa can push it to 10.0; renormalize.
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", digits);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, mantissa);
+  if (std::string(buf).substr(0, 2) == "10") {
+    mantissa /= 10.0;
+    exp += 1;
+    std::snprintf(buf, sizeof(buf), fmt, mantissa);
+  }
+  char out[96];
+  std::snprintf(out, sizeof(out), "%sE%+lld", buf, exp);
+  return out;
+}
+
+}  // namespace stt

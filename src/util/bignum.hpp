@@ -1,0 +1,65 @@
+// Log-domain arbitrary-magnitude positive numbers.
+//
+// The paper's security metrics (Eqs. 1-3) produce values such as 6.07E+219
+// test clocks, far beyond double range for large benchmarks. BigNum keeps
+// log10(value) as the representation, which supports the multiply/power
+// chains of Eq. (2) and Eq. (3) exactly in the operations that matter, plus
+// a log-sum-exp addition for Eq. (1).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace stt {
+
+class BigNum {
+ public:
+  /// Zero value.
+  BigNum() : log10_(-kInfLog), zero_(true) {}
+
+  /// From a non-negative double.
+  static BigNum from_double(double v);
+
+  /// From an explicit decimal exponent: value = mantissa * 10^exp10.
+  static BigNum from_mantissa_exp(double mantissa, double exp10);
+
+  /// 2^e for large e.
+  static BigNum pow2(double e);
+
+  /// base^e for base > 0.
+  static BigNum pow(double base, double e);
+
+  bool is_zero() const { return zero_; }
+
+  /// log10 of the value (meaningless for zero; returns a large negative).
+  double log10() const { return zero_ ? -kInfLog : log10_; }
+
+  /// Best-effort conversion; +inf when out of double range.
+  double to_double() const;
+
+  BigNum operator*(const BigNum& o) const;
+  BigNum operator+(const BigNum& o) const;
+  BigNum& operator*=(const BigNum& o) { return *this = *this * o; }
+  BigNum& operator+=(const BigNum& o) { return *this = *this + o; }
+
+  /// Raise to an integer power (for P^M style terms).
+  BigNum powi(std::uint64_t e) const;
+
+  std::partial_ordering operator<=>(const BigNum& o) const;
+  bool operator==(const BigNum& o) const;
+
+  /// Scientific notation like "6.07E+219" (matching the paper's style).
+  std::string to_string(int digits = 2) const;
+
+ private:
+  static constexpr double kInfLog = 1e300;
+
+  explicit BigNum(double lg) : log10_(lg), zero_(false) {}
+
+  double log10_;
+  bool zero_;
+};
+
+}  // namespace stt

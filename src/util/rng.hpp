@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic step in the flow (benchmark-replica generation, the 2%
+// component sample, random gate selection, random stimulus) draws from an
+// explicitly seeded Rng so that each table row in the paper reproduction is
+// bit-for-bit repeatable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace stt {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Seeded through SplitMix64 so that any 64-bit seed yields a well-mixed
+/// initial state (including zero).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 state expansion.
+    auto next_sm = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& word : state_) word = next_sm();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound == 0) throw std::invalid_argument("Rng::below: bound == 0");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  /// Uniformly pick one element (container must be non-empty).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty");
+    return items[below(items.size())];
+  }
+
+  /// Sample k distinct elements without replacement (k may exceed size, in
+  /// which case all elements are returned, shuffled).
+  template <typename T>
+  std::vector<T> sample(std::span<const T> items, std::size_t k) {
+    std::vector<T> pool(items.begin(), items.end());
+    shuffle(pool);
+    if (k < pool.size()) pool.resize(k);
+    return pool;
+  }
+
+  /// Derive an independent child generator (for parallel or per-phase use).
+  Rng split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace stt

@@ -1,0 +1,34 @@
+// Small string helpers shared by the parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stt {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a single delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any run of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace stt

@@ -1,0 +1,34 @@
+// Text-table and CSV rendering for the benchmark harnesses.
+//
+// Every bench binary regenerating a paper table/figure prints its result via
+// TextTable so that rows visually line up with the paper's layout, and can
+// additionally dump machine-readable CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace stt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Comma-separated rendering, header first. Cells containing commas or
+  /// quotes are quoted per RFC 4180.
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stt

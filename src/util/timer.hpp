@@ -1,0 +1,37 @@
+// Wall-clock timer used for the Table II CPU-time reproduction.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace stt {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+  /// Format as the paper's "MM:SS.t" style (Table II).
+  static std::string format_mmss(double seconds);
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+inline std::string Timer::format_mmss(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const int minutes = static_cast<int>(seconds / 60.0);
+  const double rem = seconds - minutes * 60.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d:%04.1f", minutes, rem);
+  return buf;
+}
+
+}  // namespace stt

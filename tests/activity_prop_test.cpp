@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "power/activity_prop.hpp"
+#include "power/power.hpp"
+#include "sim/activity.hpp"
+#include "synth/generator.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+namespace {
+
+TEST(MaskProbability, TextbookGateValues) {
+  const std::vector<double> half{0.5, 0.5};
+  EXPECT_NEAR(mask_output_probability(gate_truth_mask(CellKind::kAnd, 2), 2,
+                                      half),
+              0.25, 1e-12);
+  EXPECT_NEAR(mask_output_probability(gate_truth_mask(CellKind::kOr, 2), 2,
+                                      half),
+              0.75, 1e-12);
+  EXPECT_NEAR(mask_output_probability(gate_truth_mask(CellKind::kXor, 2), 2,
+                                      half),
+              0.50, 1e-12);
+}
+
+TEST(MaskProbability, BiasedInputs) {
+  // P(AND) = p_a * p_b.
+  EXPECT_NEAR(mask_output_probability(gate_truth_mask(CellKind::kAnd, 2), 2,
+                                      {0.9, 0.2}),
+              0.18, 1e-12);
+  EXPECT_THROW(mask_output_probability(0b1000, 2, {0.5}),
+               std::invalid_argument);
+}
+
+TEST(ActivityProp, SingleGateToggleRates) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g = nl.add_gate(CellKind::kAnd, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  const auto stats = propagate_activity(nl);
+  EXPECT_NEAR(stats.prob1[g], 0.25, 1e-12);
+  // alpha = 2 * 0.25 * 0.75 = 0.375; inputs: 2 * 0.5 * 0.5 = 0.5.
+  EXPECT_NEAR(stats.toggle[g], 0.375, 1e-12);
+  EXPECT_NEAR(stats.toggle[a], 0.5, 1e-12);
+}
+
+TEST(ActivityProp, ConstantsNeverToggle) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId one = nl.add_const(true, "one");
+  const CellId g = nl.add_gate(CellKind::kOr, "g", {a, one});
+  nl.mark_output(g);
+  nl.finalize();
+  const auto stats = propagate_activity(nl);
+  EXPECT_DOUBLE_EQ(stats.prob1[one], 1.0);
+  EXPECT_DOUBLE_EQ(stats.toggle[one], 0.0);
+  EXPECT_DOUBLE_EQ(stats.toggle[g], 0.0);  // OR(x, 1) is constant 1
+}
+
+TEST(ActivityProp, SequentialFixedPointConverges) {
+  const Netlist nl = embedded_netlist("s27");
+  const auto stats = propagate_activity(nl);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    EXPECT_GE(stats.prob1[id], 0.0);
+    EXPECT_LE(stats.prob1[id], 1.0);
+    EXPECT_GE(stats.toggle[id], 0.0);
+    EXPECT_LE(stats.toggle[id], 0.5 + 1e-12);
+  }
+}
+
+TEST(ActivityProp, AgreesWithSimulationOnAverage) {
+  // Spatial correlations make per-signal values diverge, but the average
+  // activity over a generated circuit must land in the same regime as the
+  // simulation estimator.
+  const CircuitProfile profile{"ap", 10, 8, 8, 250, 9};
+  const Netlist nl = generate_circuit(profile, 3);
+  const auto analytic = propagate_activity(nl);
+  Rng rng(3);
+  ActivityOptions sopt;
+  sopt.cycles = 256;
+  const auto simulated = estimate_activity(nl, rng, sopt);
+
+  double analytic_avg = 0;
+  double simulated_avg = 0;
+  std::size_t count = 0;
+  for (const CellId id : nl.logic_cells()) {
+    analytic_avg += analytic.toggle[id];
+    simulated_avg += simulated.alpha[id];
+    ++count;
+  }
+  analytic_avg /= static_cast<double>(count);
+  simulated_avg /= static_cast<double>(count);
+  EXPECT_GT(analytic_avg, 0.0);
+  EXPECT_NEAR(analytic_avg, simulated_avg,
+              std::max(simulated_avg, analytic_avg));  // same regime
+}
+
+TEST(ActivityProp, FeedsPowerModel) {
+  const CircuitProfile profile{"ap2", 8, 6, 6, 120, 8};
+  const Netlist nl = generate_circuit(profile, 5);
+  const auto stats = propagate_activity(nl);
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const auto p = estimate_power(nl, lib, stats.toggle, 1.0);
+  EXPECT_GT(p.dynamic_uw, 0.0);
+  EXPECT_GT(p.leakage_uw, 0.0);
+}
+
+TEST(ActivityProp, BiasedPrimaryInputs) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g = nl.add_gate(CellKind::kNot, "g", {a});
+  nl.mark_output(g);
+  nl.finalize();
+  ActivityPropOptions opt;
+  opt.pi_prob1 = 0.9;
+  const auto stats = propagate_activity(nl, opt);
+  EXPECT_NEAR(stats.prob1[g], 0.1, 1e-12);
+  EXPECT_NEAR(stats.toggle[g], 2 * 0.9 * 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace stt {
+namespace {
+
+ArgParser make() {
+  ArgParser p;
+  p.add_option("--in", "input");
+  p.add_option("--seed", "seed", "1");
+  p.add_flag("--pack", "enable packing");
+  return p;
+}
+
+TEST(Args, ValueForms) {
+  auto p = make();
+  p.parse({"--in", "a.bench", "--seed=42"});
+  EXPECT_EQ(p.get("--in"), "a.bench");
+  EXPECT_EQ(p.get_int("--seed"), 42);
+}
+
+TEST(Args, DefaultsApply) {
+  auto p = make();
+  p.parse({"--in", "x"});
+  EXPECT_TRUE(p.has("--seed"));
+  EXPECT_EQ(p.get_int("--seed"), 1);
+  EXPECT_FALSE(p.flag("--pack"));
+}
+
+TEST(Args, FlagsAndPositionals) {
+  auto p = make();
+  p.parse({"run", "--pack", "extra"});
+  EXPECT_TRUE(p.flag("--pack"));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "run");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(Args, Errors) {
+  auto p = make();
+  EXPECT_THROW(p.parse({"--unknown", "1"}), ArgError);
+  auto q = make();
+  EXPECT_THROW(q.parse({"--in"}), ArgError);           // missing value
+  auto r = make();
+  EXPECT_THROW(r.parse({"--pack=yes"}), ArgError);     // flag with value
+  auto s = make();
+  s.parse({});
+  EXPECT_THROW(s.get("--in"), ArgError);               // required missing
+  EXPECT_EQ(s.get_or("--in", "fallback"), "fallback");
+}
+
+TEST(Args, NumericValidation) {
+  auto p = make();
+  p.parse({"--seed", "abc", "--in", "x"});
+  EXPECT_THROW(p.get_int("--seed"), ArgError);
+  auto q = make();
+  q.parse({"--seed", "2.5", "--in", "x"});
+  EXPECT_THROW(q.get_int("--seed"), ArgError);
+  EXPECT_DOUBLE_EQ(q.get_double("--seed"), 2.5);
+}
+
+TEST(Args, DeclarationValidation) {
+  ArgParser p;
+  EXPECT_THROW(p.add_option("in", "no dashes"), ArgError);
+  EXPECT_THROW(p.add_flag("pack", "no dashes"), ArgError);
+}
+
+TEST(Args, HelpListsEverything) {
+  const auto p = make();
+  const std::string help = p.help();
+  EXPECT_NE(help.find("--in"), std::string::npos);
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("default: 1"), std::string::npos);
+  EXPECT_NE(help.find("--pack"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "attack/brute_force.hpp"
+#include "attack/encode.hpp"
+#include "attack/sat_attack.hpp"
+#include "attack/sensitization.hpp"
+#include "core/selection.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+const TechLibrary& lib() {
+  static const TechLibrary kLib = TechLibrary::cmos90_stt();
+  return kLib;
+}
+
+// Lock a circuit with the given algorithm; returns (original, hybrid).
+std::pair<Netlist, Netlist> lock(const Netlist& original,
+                                 SelectionAlgorithm alg, std::uint64_t seed,
+                                 int indep_count = 5) {
+  Netlist hybrid = original;
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = seed;
+  opt.indep_count = indep_count;
+  (void)selector.run(hybrid, alg, opt);
+  return {original, hybrid};
+}
+
+TEST(ScanOracle, CountsQueriesAndChecksSizes) {
+  const Netlist nl = embedded_netlist("s27");
+  ScanOracle oracle(nl);
+  EXPECT_EQ(oracle.num_inputs(), 7u);   // 4 PI + 3 FF
+  EXPECT_EQ(oracle.num_outputs(), 4u);  // 1 PO + 3 FF
+  EXPECT_EQ(oracle.queries(), 0u);
+  (void)oracle.query(std::vector<bool>(7, false));
+  EXPECT_EQ(oracle.queries(), 1u);
+  EXPECT_THROW(oracle.query(std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+TEST(ScanOracle, MatchesSimulatorSemantics) {
+  const Netlist nl = embedded_netlist("s27");
+  ScanOracle oracle(nl);
+  const auto out = oracle.query(std::vector<bool>(7, false));
+  // From the hand-computed s27 vector: G17=1, next state (G10,G11,G13) =
+  // (0,0,0).
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+  EXPECT_FALSE(out[3]);
+}
+
+TEST(SatAttack, ThrowsWithoutLuts) {
+  const Netlist nl = embedded_netlist("s27");
+  EXPECT_THROW(run_sat_attack(nl, nl), std::invalid_argument);
+}
+
+TEST(SatAttack, RecoversIndependentLockOnS27) {
+  const auto [original, hybrid] =
+      lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 3);
+  const Netlist attacker_view = foundry_view(hybrid);
+  const auto result = run_sat_attack(attacker_view, original);
+  ASSERT_TRUE(result.success);
+  EXPECT_GT(result.iterations, 0);
+
+  // The recovered key need not equal the planted key bit-for-bit (don't-
+  // care rows), but applying it must yield a functionally equivalent chip.
+  Netlist recovered = attacker_view;
+  apply_key(recovered, result.key);
+  EXPECT_TRUE(comb_equivalent(recovered, original));
+}
+
+TEST(SatAttack, RecoversDependentLockOnSmallCircuit) {
+  // The SAT attack (with scan access) also defeats dependent selection on
+  // small circuits — consistent with the paper's position that these
+  // defenses presume a locked/disabled scan chain.
+  const CircuitProfile profile{"sat-dep", 6, 5, 4, 60, 6};
+  const Netlist original = generate_circuit(profile, 11);
+  const auto [orig, hybrid] = lock(original, SelectionAlgorithm::kDependent, 5);
+  const auto result = run_sat_attack(foundry_view(hybrid), orig);
+  ASSERT_TRUE(result.success);
+  Netlist recovered = foundry_view(hybrid);
+  apply_key(recovered, result.key);
+  EXPECT_TRUE(comb_equivalent(recovered, orig));
+}
+
+TEST(SatAttack, BudgetCapsAreHonoured) {
+  const CircuitProfile profile{"sat-cap", 8, 6, 6, 150, 8};
+  const Netlist original = generate_circuit(profile, 13);
+  const auto [orig, hybrid] =
+      lock(original, SelectionAlgorithm::kParametric, 7);
+  SatAttackOptions opt;
+  opt.max_iterations = 1;  // absurdly small: must stop early, not hang
+  const auto result = run_sat_attack(foundry_view(hybrid), orig, opt);
+  if (!result.success) {
+    EXPECT_TRUE(result.budget_exhausted || result.timed_out);
+    EXPECT_LE(result.iterations, 1);
+  }
+}
+
+TEST(SatAttack, MoreLutsNeedMoreIterations) {
+  const CircuitProfile profile{"sat-grow", 8, 6, 6, 150, 8};
+  const Netlist original = generate_circuit(profile, 17);
+  const auto [o1, small] = lock(original, SelectionAlgorithm::kIndependent, 3, 2);
+  const auto [o2, large] = lock(original, SelectionAlgorithm::kIndependent, 3, 14);
+  const auto r_small = run_sat_attack(foundry_view(small), original);
+  const auto r_large = run_sat_attack(foundry_view(large), original);
+  ASSERT_TRUE(r_small.success);
+  ASSERT_TRUE(r_large.success);
+  EXPECT_GE(r_large.iterations, r_small.iterations);
+}
+
+TEST(Sensitization, ResolvesIsolatedLut) {
+  // One LUT, fully controllable and observable: the testing attack must
+  // rebuild its truth table.
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g = nl.add_gate(CellKind::kXor, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+  Netlist hybrid = nl;
+  hybrid.replace_with_lut(g);
+
+  ScanOracle oracle(nl);
+  const auto result = run_sensitization_attack(hybrid, oracle);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.rows_resolved, 4);
+  EXPECT_EQ(result.key.at("g"), gate_truth_mask(CellKind::kXor, 2));
+}
+
+TEST(Sensitization, IndependentLocksMostlyResolve) {
+  // A single lock instance can by chance pick adjacent or poorly
+  // observable gates, so aggregate over several locks: on average a
+  // substantial share of independent-lock rows falls to testing.
+  int rows_total = 0;
+  int rows_resolved = 0;
+  int luts_resolved = 0;
+  for (const int seed : {23, 24, 25}) {
+    const CircuitProfile profile{"sens-i", 8, 8, 5, 100, 6};
+    const Netlist original = generate_circuit(profile, seed);
+    const auto [orig, hybrid] =
+        lock(original, SelectionAlgorithm::kIndependent, 9 + seed, 3);
+    ScanOracle oracle(orig);
+    SensitizationOptions opt;
+    opt.max_patterns = 20000;
+    const auto result = run_sensitization_attack(hybrid, oracle, opt);
+    rows_total += result.rows_total;
+    rows_resolved += result.rows_resolved;
+    luts_resolved += result.luts_resolved;
+  }
+  EXPECT_GT(rows_resolved, rows_total / 4);
+  EXPECT_GT(luts_resolved, 0);
+}
+
+TEST(Sensitization, DependentChainBlocksResolution) {
+  // Hand-built chain: LUT1 feeds LUT2 feeds the only PO. Justifying LUT2's
+  // input requires knowing LUT1, and observing LUT1 requires knowing LUT2:
+  // the paper's argument for dependent selection, executable.
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId c = nl.add_input("c");
+  const CellId g1 = nl.add_gate(CellKind::kNand, "g1", {a, b});
+  const CellId g2 = nl.add_gate(CellKind::kNor, "g2", {g1, c});
+  nl.mark_output(g2);
+  nl.finalize();
+  Netlist hybrid = nl;
+  hybrid.replace_with_lut(g1);
+  hybrid.replace_with_lut(g2);
+
+  ScanOracle oracle(nl);
+  SensitizationOptions opt;
+  opt.max_patterns = 4000;
+  const auto result = run_sensitization_attack(hybrid, oracle, opt);
+  EXPECT_FALSE(result.success);
+  // Neither LUT can be completed through the other unknown.
+  EXPECT_EQ(result.luts_resolved, 0);
+}
+
+TEST(Sensitization, NoLutsSucceedsTrivially) {
+  const Netlist nl = embedded_netlist("s27");
+  ScanOracle oracle(nl);
+  const auto result = run_sensitization_attack(nl, oracle);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.patterns_used, 0u);
+}
+
+TEST(BruteForce, RecoversStandardGateLock) {
+  const auto [original, hybrid] =
+      lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 5, 3);
+  ScanOracle oracle(original);
+  const auto result = run_brute_force(foundry_view(hybrid), oracle);
+  ASSERT_TRUE(result.success);
+  Netlist recovered = foundry_view(hybrid);
+  apply_key(recovered, result.key);
+  EXPECT_TRUE(comb_equivalent(recovered, original));
+  EXPECT_GT(result.combinations_tried, 0u);
+}
+
+TEST(BruteForce, SearchSpaceMatchesCandidateProduct) {
+  const auto [original, hybrid] =
+      lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 5, 4);
+  ScanOracle oracle(original);
+  BruteForceOptions opt;
+  opt.max_combinations = 1;  // only care about the bookkeeping
+  const auto result = run_brute_force(foundry_view(hybrid), oracle, opt);
+  // Each replaced cell contributes 6 (fan-in >= 2) or 2 (fan-in 1)
+  // candidates; the product's log must match.
+  double expect_log = 0;
+  for (CellId id = 0; id < hybrid.size(); ++id) {
+    if (hybrid.cell(id).kind != CellKind::kLut) continue;
+    expect_log +=
+        std::log10(hybrid.cell(id).fanin_count() >= 2 ? 6.0 : 2.0);
+  }
+  EXPECT_NEAR(result.search_space.log10(), expect_log, 1e-9);
+}
+
+TEST(BruteForce, BudgetExhaustionReported) {
+  const CircuitProfile profile{"bf-cap", 8, 6, 5, 120, 8};
+  const Netlist original = generate_circuit(profile, 29);
+  const auto [orig, hybrid] =
+      lock(original, SelectionAlgorithm::kIndependent, 11, 10);
+  ScanOracle oracle(orig);
+  BruteForceOptions opt;
+  opt.max_combinations = 3;
+  const auto result = run_brute_force(foundry_view(hybrid), oracle, opt);
+  if (!result.success) {
+    EXPECT_TRUE(result.budget_exhausted);
+    EXPECT_EQ(result.combinations_tried, 3u);
+  }
+}
+
+TEST(BruteForce, NoLutsTrivial) {
+  const Netlist nl = embedded_netlist("s27");
+  ScanOracle oracle(nl);
+  const auto result = run_brute_force(nl, oracle);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.combinations_tried, 0u);
+}
+
+TEST(AttackOrdering, SensitizationWeakerThanSat) {
+  // On a dependent lock the sensitization attack stalls while the SAT
+  // attack (scan access) still succeeds — matching the paper's layered
+  // threat discussion.
+  const CircuitProfile profile{"order", 6, 5, 4, 70, 6};
+  const Netlist original = generate_circuit(profile, 31);
+  const auto [orig, hybrid] = lock(original, SelectionAlgorithm::kDependent, 13);
+
+  ScanOracle o1(orig);
+  SensitizationOptions sopt;
+  sopt.max_patterns = 3000;
+  const auto sens = run_sensitization_attack(hybrid, o1, sopt);
+
+  const auto sat = run_sat_attack(foundry_view(hybrid), orig);
+  EXPECT_TRUE(sat.success);
+  EXPECT_LE(sens.rows_resolved, sens.rows_total);
+  if (sens.success) {
+    // If sensitization did fully succeed the chain was shallow; at minimum
+    // SAT must not have been harder than enumeration of all rows.
+    EXPECT_GT(sens.patterns_used, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace stt

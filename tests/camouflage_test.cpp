@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "attack/brute_force.hpp"
+#include "attack/encode.hpp"
+#include "core/camouflage.hpp"
+#include "core/security.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+TEST(Camouflage, CandidateSetIsNandNorXnor) {
+  const auto masks = camouflage_candidate_masks();
+  ASSERT_EQ(masks.size(), 3u);
+  EXPECT_EQ(masks[0], gate_truth_mask(CellKind::kNand, 2));
+  EXPECT_EQ(masks[1], gate_truth_mask(CellKind::kNor, 2));
+  EXPECT_EQ(masks[2], gate_truth_mask(CellKind::kXnor, 2));
+}
+
+TEST(Camouflage, OnlyEligibleGatesAreCamouflaged) {
+  const CircuitProfile profile{"camo", 10, 8, 6, 300, 9};
+  const Netlist original = generate_circuit(profile, 2);
+  Netlist camo = original;
+  CamouflageOptions opt;
+  opt.seed = 2;
+  opt.count = 8;
+  const auto result = apply_camouflage(camo, opt);
+  EXPECT_EQ(result.camouflaged.size(), 8u);
+  const auto candidates = camouflage_candidate_masks();
+  for (const CellId id : result.camouflaged) {
+    const Cell& c = camo.cell(id);
+    EXPECT_EQ(c.kind, CellKind::kLut);
+    EXPECT_EQ(c.fanin_count(), 2);
+    // The planted function is a member of the camouflage set.
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), c.lut_mask),
+              candidates.end());
+  }
+  EXPECT_TRUE(comb_equivalent(original, camo));
+}
+
+TEST(Camouflage, SearchSpaceIsThreeToTheM) {
+  EXPECT_NEAR(camouflage_search_space(4).to_double(), 81.0, 1e-9);
+  EXPECT_NEAR(camouflage_search_space(20).log10(), 20 * std::log10(3.0),
+              1e-9);
+}
+
+TEST(Camouflage, SimilarityModelReflectsSmallSet) {
+  const auto camo = camouflage_similarity_model();
+  const auto stt_model = SimilarityModel::paper();
+  EXPECT_DOUBLE_EQ(camo.candidates_for(2), 3.0);
+  EXPECT_DOUBLE_EQ(camo.alpha_for(2), 3.0);  // 1 + mean similarity of 2
+  // The STT candidate count is strictly smaller for camouflage -> lower
+  // brute-force exponent per gate.
+  EXPECT_LT(camo.candidates_for(2), 6.0);
+  EXPECT_GT(stt_model.candidates_for(3), camo.candidates_for(2));
+}
+
+TEST(Camouflage, BruteForceWithCamoSetBeatsStandardSet) {
+  const CircuitProfile profile{"camo2", 8, 8, 5, 150, 8};
+  const Netlist original = generate_circuit(profile, 4);
+  Netlist camo = original;
+  CamouflageOptions opt;
+  opt.seed = 4;
+  opt.count = 6;
+  const auto applied = apply_camouflage(camo, opt);
+  ASSERT_EQ(applied.camouflaged.size(), 6u);
+
+  const auto camo_set = camouflage_candidate_masks();
+  ScanOracle o1(camo);
+  BruteForceOptions bf_camo;
+  bf_camo.candidates_2in = &camo_set;
+  const auto narrow = run_brute_force(foundry_view(camo), o1, bf_camo);
+  ASSERT_TRUE(narrow.success);
+  // 3^6 = 729 versus 6^6 = 46656 candidate combinations.
+  EXPECT_NEAR(narrow.search_space.to_double(), 729.0, 1e-6);
+
+  ScanOracle o2(camo);
+  BruteForceOptions bf_std;
+  const auto wide = run_brute_force(foundry_view(camo), o2, bf_std);
+  ASSERT_TRUE(wide.success);
+  EXPECT_GT(wide.search_space.to_double(), narrow.search_space.to_double());
+}
+
+TEST(Camouflage, SecurityEstimateBelowSttHybrid) {
+  // Same gate count, same circuit: the camouflage candidate space yields a
+  // strictly smaller Eq. (2)/Eq. (3) estimate than the STT-LUT space.
+  const CircuitProfile profile{"camo3", 10, 8, 6, 300, 9};
+  const Netlist original = generate_circuit(profile, 6);
+
+  Netlist camo = original;
+  CamouflageOptions copt;
+  copt.seed = 6;
+  copt.count = 10;
+  (void)apply_camouflage(camo, copt);
+  const auto camo_report = security_report(camo, camouflage_similarity_model());
+
+  Netlist stt_locked = original;
+  // Lock the *same* cells as STT LUTs for a controlled comparison.
+  Netlist camo_ref = original;
+  CamouflageOptions same;
+  same.seed = 6;
+  same.count = 10;
+  const auto chosen = apply_camouflage(camo_ref, same);
+  for (const CellId id : chosen.camouflaged) stt_locked.replace_with_lut(id);
+  // Use the computed model (8 meaningful 2-input classes) for the STT side:
+  // the paper's quoted P = 2.5 is, oddly, *below* the camouflage set size,
+  // so the paper constants cannot express its own "not limited to a small
+  // number of gates" argument at fan-in 2.
+  const auto stt_report =
+      security_report(stt_locked, SimilarityModel::computed());
+
+  EXPECT_TRUE(camo_report.n_bf < stt_report.n_bf);
+  EXPECT_TRUE(camo_report.n_dep < stt_report.n_dep);
+}
+
+TEST(Camouflage, Deterministic) {
+  const CircuitProfile profile{"camo4", 8, 6, 5, 120, 8};
+  Netlist a = generate_circuit(profile, 9);
+  Netlist b = generate_circuit(profile, 9);
+  CamouflageOptions opt;
+  opt.seed = 11;
+  const auto ra = apply_camouflage(a, opt);
+  const auto rb = apply_camouflage(b, opt);
+  EXPECT_EQ(ra.camouflaged, rb.camouflaged);
+  EXPECT_TRUE(a.structurally_equal(b));
+}
+
+}  // namespace
+}  // namespace stt

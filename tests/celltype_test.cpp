@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <tuple>
+
+#include "netlist/celltype.hpp"
+
+namespace stt {
+namespace {
+
+TEST(CellKindNames, Roundtrip) {
+  for (const CellKind kind :
+       {CellKind::kInput, CellKind::kConst0, CellKind::kConst1, CellKind::kBuf,
+        CellKind::kNot, CellKind::kAnd, CellKind::kNand, CellKind::kOr,
+        CellKind::kNor, CellKind::kXor, CellKind::kXnor, CellKind::kDff,
+        CellKind::kLut}) {
+    const auto parsed = kind_from_name(kind_name(kind));
+    ASSERT_TRUE(parsed.has_value()) << kind_name(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(CellKindNames, Aliases) {
+  EXPECT_EQ(kind_from_name("buff"), CellKind::kBuf);
+  EXPECT_EQ(kind_from_name("INV"), CellKind::kNot);
+  EXPECT_EQ(kind_from_name("ff"), CellKind::kDff);
+  EXPECT_EQ(kind_from_name("vdd"), CellKind::kConst1);
+  EXPECT_EQ(kind_from_name("gnd"), CellKind::kConst0);
+  EXPECT_EQ(kind_from_name("nand"), CellKind::kNand);  // case-insensitive
+  EXPECT_FALSE(kind_from_name("MUX21").has_value());
+}
+
+TEST(Replaceability, OnlyLogicGates) {
+  EXPECT_TRUE(is_replaceable_gate(CellKind::kNand));
+  EXPECT_TRUE(is_replaceable_gate(CellKind::kNot));
+  EXPECT_TRUE(is_replaceable_gate(CellKind::kBuf));
+  EXPECT_FALSE(is_replaceable_gate(CellKind::kDff));
+  EXPECT_FALSE(is_replaceable_gate(CellKind::kInput));
+  EXPECT_FALSE(is_replaceable_gate(CellKind::kLut));
+  EXPECT_FALSE(is_replaceable_gate(CellKind::kConst1));
+}
+
+TEST(Combinationality, Classification) {
+  EXPECT_FALSE(is_combinational(CellKind::kInput));
+  EXPECT_FALSE(is_combinational(CellKind::kDff));
+  EXPECT_TRUE(is_combinational(CellKind::kLut));
+  EXPECT_TRUE(is_combinational(CellKind::kConst0));
+  EXPECT_TRUE(is_combinational(CellKind::kXnor));
+}
+
+TEST(EvalGate, TwoInputTruthTables) {
+  // rows: 00, 01, 10, 11 (fan-in 0 = LSB)
+  EXPECT_EQ(gate_truth_mask(CellKind::kAnd, 2), 0b1000ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kNand, 2), 0b0111ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kOr, 2), 0b1110ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kNor, 2), 0b0001ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kXor, 2), 0b0110ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kXnor, 2), 0b1001ull);
+}
+
+TEST(EvalGate, UnaryAndConst) {
+  EXPECT_EQ(gate_truth_mask(CellKind::kBuf, 1), 0b10ull);
+  EXPECT_EQ(gate_truth_mask(CellKind::kNot, 1), 0b01ull);
+  EXPECT_FALSE(eval_gate(CellKind::kConst0, 0, 0));
+  EXPECT_TRUE(eval_gate(CellKind::kConst1, 0, 0));
+}
+
+TEST(EvalGate, MultiInputXorIsParity) {
+  for (int k = 2; k <= kMaxLutInputs; ++k) {
+    for (std::uint32_t row = 0; row < num_rows(k); ++row) {
+      EXPECT_EQ(eval_gate(CellKind::kXor, row, k),
+                (std::popcount(row) & 1) != 0);
+      EXPECT_EQ(eval_gate(CellKind::kXnor, row, k),
+                (std::popcount(row) & 1) == 0);
+    }
+  }
+}
+
+TEST(EvalGate, InvalidKindThrows) {
+  EXPECT_THROW(eval_gate(CellKind::kInput, 0, 0), std::invalid_argument);
+  EXPECT_THROW(eval_gate(CellKind::kDff, 0, 1), std::invalid_argument);
+  EXPECT_THROW(eval_gate(CellKind::kLut, 0, 2), std::invalid_argument);
+}
+
+TEST(TruthMask, IllegalFaninThrows) {
+  EXPECT_THROW(gate_truth_mask(CellKind::kAnd, 1), std::invalid_argument);
+  EXPECT_THROW(gate_truth_mask(CellKind::kNot, 2), std::invalid_argument);
+  EXPECT_THROW(gate_truth_mask(CellKind::kAnd, kMaxLutInputs + 1),
+               std::invalid_argument);
+}
+
+TEST(FullMask, Widths) {
+  EXPECT_EQ(full_mask(1), 0b11ull);
+  EXPECT_EQ(full_mask(2), 0xFull);
+  EXPECT_EQ(full_mask(4), 0xFFFFull);
+  EXPECT_EQ(full_mask(6), ~0ull);
+}
+
+TEST(FaninRange, PerKind) {
+  EXPECT_EQ(fanin_range(CellKind::kInput).max, 0);
+  EXPECT_EQ(fanin_range(CellKind::kNot).min, 1);
+  EXPECT_EQ(fanin_range(CellKind::kNot).max, 1);
+  EXPECT_EQ(fanin_range(CellKind::kAnd).min, 2);
+  EXPECT_EQ(fanin_range(CellKind::kAnd).max, kMaxGateInputs);
+  EXPECT_EQ(fanin_range(CellKind::kLut).min, 1);
+  EXPECT_EQ(fanin_range(CellKind::kDff).min, 1);
+}
+
+// Property sweep: complementary gate pairs have complementary truth masks
+// at every fan-in.
+using GatePair = std::tuple<CellKind, CellKind>;
+class ComplementaryGates
+    : public ::testing::TestWithParam<std::tuple<GatePair, int>> {};
+
+TEST_P(ComplementaryGates, MasksAreComplements) {
+  const auto [pair, fanin] = GetParam();
+  const auto [a, b] = pair;
+  const std::uint64_t ma = gate_truth_mask(a, fanin);
+  const std::uint64_t mb = gate_truth_mask(b, fanin);
+  EXPECT_EQ(ma ^ mb, full_mask(fanin));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFanins, ComplementaryGates,
+    ::testing::Combine(
+        ::testing::Values(GatePair{CellKind::kAnd, CellKind::kNand},
+                          GatePair{CellKind::kOr, CellKind::kNor},
+                          GatePair{CellKind::kXor, CellKind::kXnor}),
+        ::testing::Range(2, kMaxLutInputs + 1)));
+
+// Property sweep: eval_gate agrees with the truth mask bit for every row.
+class EvalMatchesMask
+    : public ::testing::TestWithParam<std::tuple<CellKind, int>> {};
+
+TEST_P(EvalMatchesMask, AllRows) {
+  const auto [kind, fanin] = GetParam();
+  const std::uint64_t mask = gate_truth_mask(kind, fanin);
+  for (std::uint32_t row = 0; row < num_rows(fanin); ++row) {
+    EXPECT_EQ(eval_gate(kind, row, fanin), ((mask >> row) & 1ull) != 0)
+        << kind_name(kind) << " fanin=" << fanin << " row=" << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardGates, EvalMatchesMask,
+    ::testing::Combine(::testing::Values(CellKind::kAnd, CellKind::kNand,
+                                         CellKind::kOr, CellKind::kNor,
+                                         CellKind::kXor, CellKind::kXnor),
+                       ::testing::Range(2, kMaxLutInputs + 1)));
+
+TEST(EvalGate, IgnoresBitsAboveFanin) {
+  // High garbage bits in the input word must not affect the result.
+  EXPECT_TRUE(eval_gate(CellKind::kAnd, 0b111111u, 2));
+  EXPECT_FALSE(eval_gate(CellKind::kOr, 0b111100u, 2));
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "attack/dpa.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+const TechLibrary& lib() {
+  static const TechLibrary kLib = TechLibrary::cmos90_stt();
+  return kLib;
+}
+
+// Test circuit: the secret cell sits in the middle of surrounding logic so
+// its contribution is a fraction of the total trace.
+Netlist testbed(CellKind secret_kind, bool as_lut, CellId* target) {
+  Netlist nl("dpa");
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId c = nl.add_input("c");
+  const CellId d = nl.add_input("d");
+  const CellId g1 = nl.add_gate(CellKind::kNand, "g1", {a, b});
+  const CellId secret = nl.add_gate(secret_kind, "secret", {g1, c});
+  const CellId g2 = nl.add_gate(CellKind::kOr, "g2", {secret, d});
+  const CellId g3 = nl.add_gate(CellKind::kXor, "g3", {g2, a});
+  const CellId ff = nl.add_dff("ff", g3);
+  const CellId g4 = nl.add_gate(CellKind::kAnd, "g4", {ff, b});
+  nl.mark_output(g4);
+  nl.mark_output(g2);
+  nl.finalize();
+  if (as_lut) nl.replace_with_lut(secret);
+  *target = secret;
+  return nl;
+}
+
+TEST(PowerTrace, DeterministicAndShaped) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kXor, false, &target);
+  TraceOptions opt;
+  opt.cycles = 64;
+  const auto t1 = simulate_power_trace(nl, lib(), opt);
+  const auto t2 = simulate_power_trace(nl, lib(), opt);
+  EXPECT_EQ(t1.trace_fj, t2.trace_fj);
+  EXPECT_EQ(t1.trace_fj.size(), 64u);
+  EXPECT_EQ(t1.pi_bits.size(), 64u);
+  EXPECT_EQ(t1.state_bits[0].size(), nl.dffs().size());
+  // Energy is strictly positive from leakage and activity.
+  for (const double e : t1.trace_fj) EXPECT_GT(e, 0.0);
+}
+
+TEST(PowerTrace, NoiseChangesSamplesOnly) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kXor, false, &target);
+  TraceOptions clean;
+  clean.cycles = 64;
+  TraceOptions noisy = clean;
+  noisy.noise_sigma_fj = 1.0;
+  const auto a = simulate_power_trace(nl, lib(), clean);
+  const auto b = simulate_power_trace(nl, lib(), noisy);
+  EXPECT_EQ(a.pi_bits, b.pi_bits);  // same stimulus stream
+  EXPECT_NE(a.trace_fj, b.trace_fj);
+}
+
+TEST(Dpa, CmosGateLeaksItsFunction) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kXor, false, &target);
+  TraceOptions opt;
+  opt.cycles = 512;
+  const auto trace = simulate_power_trace(nl, lib(), opt);
+  const auto result = run_dpa_attack(
+      nl, target, gate_truth_mask(CellKind::kXor, 2), trace);
+  // Output-toggle CPA resolves the function up to complement.
+  EXPECT_TRUE(result.identified_up_to_complement);
+  EXPECT_GT(result.margin(), 0.02);
+  EXPECT_GT(result.best_correlation, 0.1);
+}
+
+TEST(Dpa, SttLutDoesNotLeakConfiguration) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kXor, true, &target);
+  TraceOptions opt;
+  opt.cycles = 512;
+  const auto trace = simulate_power_trace(nl, lib(), opt);
+  const auto result = run_dpa_attack(
+      nl, target, gate_truth_mask(CellKind::kXor, 2), trace);
+  // The LUT read energy is identical for every configuration: the
+  // discrimination margin collapses versus the CMOS case.
+  CellId cmos_target;
+  const Netlist cmos = testbed(CellKind::kXor, false, &cmos_target);
+  const auto cmos_trace = simulate_power_trace(cmos, lib(), opt);
+  const auto cmos_result = run_dpa_attack(
+      cmos, cmos_target, gate_truth_mask(CellKind::kXor, 2), cmos_trace);
+  EXPECT_LT(result.margin(), cmos_result.margin());
+  EXPECT_LT(result.margin(), 0.05);
+}
+
+TEST(Dpa, NoiseDegradesCmosAttackGracefully) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kNor, false, &target);
+  TraceOptions clean;
+  clean.cycles = 512;
+  TraceOptions noisy = clean;
+  noisy.noise_sigma_fj = 50.0;  // swamp the per-gate energies
+  const auto clean_result = run_dpa_attack(
+      nl, target, gate_truth_mask(CellKind::kNor, 2),
+      simulate_power_trace(nl, lib(), clean));
+  const auto noisy_result = run_dpa_attack(
+      nl, target, gate_truth_mask(CellKind::kNor, 2),
+      simulate_power_trace(nl, lib(), noisy));
+  EXPECT_GE(clean_result.best_correlation, noisy_result.best_correlation);
+}
+
+TEST(Dpa, RankingCoversAllCandidates) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kAnd, false, &target);
+  TraceOptions opt;
+  opt.cycles = 128;
+  const auto trace = simulate_power_trace(nl, lib(), opt);
+  const auto result = run_dpa_attack(
+      nl, target, gate_truth_mask(CellKind::kAnd, 2), trace);
+  EXPECT_EQ(result.ranking.size(), 6u);
+  // Sorted descending.
+  for (std::size_t i = 1; i < result.ranking.size(); ++i) {
+    EXPECT_GE(result.ranking[i - 1].second, result.ranking[i].second);
+  }
+}
+
+TEST(Dpa, ShortTraceRejected) {
+  CellId target;
+  const Netlist nl = testbed(CellKind::kAnd, false, &target);
+  PowerTraceResult tiny;
+  tiny.trace_fj = {1.0, 2.0};
+  EXPECT_THROW(run_dpa_attack(nl, target, 0, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stt

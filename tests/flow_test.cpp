@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "attack/encode.hpp"
+#include "core/flow.hpp"
+#include "io/bench_io.hpp"
+#include "io/verilog_writer.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+TEST(SecureFlow, EndToEndOnS641Replica) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = generate_circuit(*find_profile("s641"), 1);
+
+  FlowOptions opt;
+  opt.algorithm = SelectionAlgorithm::kParametric;
+  opt.selection.seed = 2026;
+  const FlowResult result = run_secure_flow(original, lib, opt);
+
+  // The flow must not mutate its input.
+  EXPECT_EQ(original.stats().luts, 0u);
+  EXPECT_GT(result.hybrid.stats().luts, 0u);
+  result.hybrid.check();
+
+  // Sign-off metrics are populated and sane.
+  EXPECT_EQ(result.overhead.num_stt_luts,
+            static_cast<int>(result.selection.replaced.size()));
+  EXPECT_LE(result.overhead.perf_degradation_pct(),
+            opt.selection.timing_margin * 100.0 + 1e-6);
+  EXPECT_GT(result.overhead.power_overhead_pct(), 0.0);
+  EXPECT_GT(result.overhead.area_overhead_pct(), 0.0);
+  EXPECT_EQ(result.security.missing_gates, result.overhead.num_stt_luts);
+  EXPECT_FALSE(result.security.n_bf.is_zero());
+}
+
+TEST(SecureFlow, AllThreeAlgorithmsProduceDistinctProfiles) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = generate_circuit(*find_profile("s953"), 3);
+  FlowOptions opt;
+  opt.selection.seed = 5;
+
+  opt.algorithm = SelectionAlgorithm::kIndependent;
+  const auto indep = run_secure_flow(original, lib, opt);
+  opt.algorithm = SelectionAlgorithm::kDependent;
+  const auto dep = run_secure_flow(original, lib, opt);
+  opt.algorithm = SelectionAlgorithm::kParametric;
+  const auto para = run_secure_flow(original, lib, opt);
+
+  EXPECT_EQ(indep.selection.replaced.size(), 5u);
+  EXPECT_GT(dep.selection.replaced.size(), indep.selection.replaced.size());
+  // Table I trend: dependent has the worst power overhead of the three.
+  EXPECT_GE(dep.overhead.power_overhead_pct(),
+            indep.overhead.power_overhead_pct());
+}
+
+TEST(SecureFlow, FullArtifactRoundtrip) {
+  // The deployment story: export the foundry view, fabricate, then program
+  // the key and obtain a chip equivalent to the original design.
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const CircuitProfile profile{"artifact", 8, 6, 6, 120, 8};
+  const Netlist original = generate_circuit(profile, 4);
+  FlowOptions opt;
+  opt.selection.seed = 6;
+  const FlowResult flow = run_secure_flow(original, lib, opt);
+
+  BenchWriteOptions redact;
+  redact.redact_luts = true;
+  const std::string foundry_text = write_bench(flow.hybrid, redact);
+  EXPECT_EQ(foundry_text.find("LUT_0x"), std::string::npos);
+
+  Netlist fabricated = read_bench(foundry_text, "fab");
+  EXPECT_FALSE(comb_equivalent(fabricated, original));  // unconfigured
+
+  apply_key(fabricated, flow.selection.key);
+  EXPECT_TRUE(comb_equivalent(fabricated, original));  // programmed
+}
+
+TEST(SecureFlow, VerilogHandoffContainsLutMacros) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = generate_circuit(*find_profile("s820"), 7);
+  FlowOptions opt;
+  opt.algorithm = SelectionAlgorithm::kIndependent;
+  const FlowResult flow = run_secure_flow(original, lib, opt);
+  VerilogWriteOptions vopt;
+  vopt.redact_luts = true;
+  const std::string v = write_verilog(flow.hybrid, vopt);
+  EXPECT_NE(v.find("STT_LUT"), std::string::npos);
+}
+
+TEST(SecureFlow, SimilarityModelIsConfigurable) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = generate_circuit(*find_profile("s820"), 8);
+  FlowOptions paper_opt;
+  paper_opt.selection.seed = 9;
+  FlowOptions computed_opt = paper_opt;
+  computed_opt.similarity = SimilarityModel::computed();
+  const auto a = run_secure_flow(original, lib, paper_opt);
+  const auto b = run_secure_flow(original, lib, computed_opt);
+  // Same selection (same seed), different estimator constants.
+  EXPECT_EQ(a.selection.replaced, b.selection.replaced);
+  EXPECT_FALSE(a.security.n_bf == b.security.n_bf);
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/analysis.hpp"
+#include "graph/paths.hpp"
+#include "io/bench_io.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+// PI -> g1 -> FF1 -> g2 -> FF2 -> g3 -> PO : a clean 2-flip-flop pipeline.
+Netlist pipeline() {
+  Netlist nl("pipe");
+  const CellId x = nl.add_input("x");
+  const CellId y = nl.add_input("y");
+  const CellId g1 = nl.add_gate(CellKind::kAnd, "g1", {x, y});
+  const CellId f1 = nl.add_dff("f1", g1);
+  const CellId g2 = nl.add_gate(CellKind::kOr, "g2", {f1, x});
+  const CellId f2 = nl.add_dff("f2", g2);
+  const CellId g3 = nl.add_gate(CellKind::kXor, "g3", {f2, y});
+  nl.mark_output(g3);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Levels, Pipeline) {
+  const Netlist nl = pipeline();
+  const auto lvl = combinational_levels(nl);
+  EXPECT_EQ(lvl[nl.find("x")], 0);
+  EXPECT_EQ(lvl[nl.find("f1")], 0);  // FF outputs are sources
+  EXPECT_EQ(lvl[nl.find("g1")], 1);
+  EXPECT_EQ(lvl[nl.find("g2")], 1);
+  EXPECT_EQ(lvl[nl.find("g3")], 1);
+}
+
+TEST(Levels, ChainDepth) {
+  Netlist nl;
+  CellId prev = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  for (int i = 0; i < 5; ++i) {
+    prev = nl.add_gate(CellKind::kNand, "n" + std::to_string(i), {prev, b});
+  }
+  nl.mark_output(prev);
+  nl.finalize();
+  EXPECT_EQ(combinational_levels(nl)[prev], 5);
+}
+
+TEST(SeqDepth, ToPoCountsFlipFlops) {
+  const Netlist nl = pipeline();
+  const auto d = seq_depth_to_po(nl);
+  EXPECT_EQ(d[nl.find("g3")], 0);
+  EXPECT_EQ(d[nl.find("f2")], 0);  // f2's *output* reaches PO directly
+  EXPECT_EQ(d[nl.find("g2")], 1);  // must cross f2
+  EXPECT_EQ(d[nl.find("g1")], 2);  // crosses f1 and f2
+  EXPECT_EQ(d[nl.find("x")], 1);   // best route: via g2, crossing f2
+  EXPECT_EQ(d[nl.find("y")], 0);   // y feeds g3 directly
+}
+
+TEST(SeqDepth, FromPi) {
+  const Netlist nl = pipeline();
+  const auto d = seq_depth_from_pi(nl);
+  EXPECT_EQ(d[nl.find("g1")], 0);
+  EXPECT_EQ(d[nl.find("f1")], 1);
+  // f2's cheapest justification is x -> g2 -> f2: one flip-flop crossing.
+  EXPECT_EQ(d[nl.find("f2")], 1);
+  EXPECT_EQ(d[nl.find("g3")], 0);  // y reaches g3 with no flip-flop
+}
+
+TEST(SeqDepth, UnreachableIsMarked) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g = nl.add_gate(CellKind::kNot, "g", {a});
+  (void)g;  // g drives nothing and is not an output
+  nl.finalize();
+  const auto d = seq_depth_to_po(nl);
+  EXPECT_EQ(d[g], kUnreachable);
+}
+
+TEST(CircuitSeqDepth, PipelineIsTwo) {
+  EXPECT_EQ(circuit_seq_depth(pipeline()), 2);
+}
+
+TEST(CircuitSeqDepth, CombinationalIsOne) {
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId g = nl.add_gate(CellKind::kNot, "g", {a});
+  nl.mark_output(g);
+  nl.finalize();
+  EXPECT_EQ(circuit_seq_depth(nl), 1);
+}
+
+TEST(CircuitSeqDepth, SelfLoopCountsOnce) {
+  // An FF in a feedback loop is one SCC: contributes its size once.
+  const Netlist nl = embedded_netlist("count2");
+  const int d = circuit_seq_depth(nl);
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, 2);
+}
+
+TEST(CircuitSeqDepth, S27) {
+  const Netlist nl = embedded_netlist("s27");
+  const int d = circuit_seq_depth(nl);
+  // s27's three flip-flops form a feedback structure; depth is bounded by 3.
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, 3);
+}
+
+TEST(Tarjan, KnownComponents) {
+  // 0 -> 1 -> 2 -> 0 (SCC of 3), 3 -> 4, 2 -> 3.
+  std::vector<std::vector<std::uint32_t>> adj(5);
+  adj[0] = {1};
+  adj[1] = {2};
+  adj[2] = {0, 3};
+  adj[3] = {4};
+  int n = 0;
+  const auto comp = tarjan_scc(adj, n);
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+  // Reverse topological numbering: edges go to lower component ids.
+  EXPECT_GT(comp[2], comp[3]);
+  EXPECT_GT(comp[3], comp[4]);
+}
+
+TEST(Tarjan, EmptyAndSingleton) {
+  std::vector<std::vector<std::uint32_t>> adj;
+  int n = -1;
+  tarjan_scc(adj, n);
+  EXPECT_EQ(n, 0);
+  adj.resize(1);
+  const auto comp = tarjan_scc(adj, n);
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(comp[0], 0);
+}
+
+TEST(Cones, FaninConeOfPipeline) {
+  const Netlist nl = pipeline();
+  const CellId roots[] = {nl.find("g2")};
+  const auto cone = fanin_cone(nl, roots);
+  const std::set<CellId> set(cone.begin(), cone.end());
+  EXPECT_TRUE(set.count(nl.find("g2")));
+  EXPECT_TRUE(set.count(nl.find("f1")));
+  EXPECT_TRUE(set.count(nl.find("g1")));  // crosses the flip-flop
+  EXPECT_TRUE(set.count(nl.find("x")));
+  EXPECT_FALSE(set.count(nl.find("g3")));
+}
+
+TEST(Cones, FanoutConeOfPipeline) {
+  const Netlist nl = pipeline();
+  const CellId roots[] = {nl.find("g1")};
+  const auto cone = fanout_cone(nl, roots);
+  const std::set<CellId> set(cone.begin(), cone.end());
+  EXPECT_TRUE(set.count(nl.find("f1")));
+  EXPECT_TRUE(set.count(nl.find("g3")));
+  EXPECT_FALSE(set.count(nl.find("y")));
+}
+
+TEST(IoPath, SegmentsSplitAtSequentialCells) {
+  const Netlist nl = pipeline();
+  IoPath path;
+  path.cells = {nl.find("x"), nl.find("g1"), nl.find("f1"),
+                nl.find("g2"), nl.find("f2"), nl.find("g3")};
+  path.ff_count = 2;
+  const auto segs = path.segments(nl);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0], std::vector<CellId>{nl.find("g1")});
+  EXPECT_EQ(segs[1], std::vector<CellId>{nl.find("g2")});
+  EXPECT_EQ(segs[2], std::vector<CellId>{nl.find("g3")});
+}
+
+TEST(PathSampling, WalkEndsAtPiAndPo) {
+  const Netlist nl = pipeline();
+  Rng rng(1);
+  const IoPath path = sample_io_path(nl, nl.find("g2"), rng);
+  ASSERT_FALSE(path.cells.empty());
+  EXPECT_EQ(nl.cell(path.cells.front()).kind, CellKind::kInput);
+  EXPECT_TRUE(nl.cell(path.cells.back()).is_output);
+  // ff_count matches the DFFs actually on the walk.
+  int ffs = 0;
+  for (const CellId id : path.cells) {
+    ffs += nl.cell(id).kind == CellKind::kDff;
+  }
+  EXPECT_EQ(ffs, path.ff_count);
+}
+
+class PathPoolProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathPoolProperty, PoolInvariantsOnGeneratedCircuits) {
+  CircuitProfile profile{"pool", 8, 6, 8, 120, 8};
+  const Netlist nl = generate_circuit(profile, GetParam());
+  Rng rng(GetParam() * 31);
+  PathPoolOptions opt;
+  opt.sample_fraction = 0.10;
+  const auto pool = build_path_pool(nl, rng, opt);
+  ASSERT_FALSE(pool.empty());
+  int prev_depth = std::numeric_limits<int>::max();
+  std::set<std::vector<CellId>> unique;
+  for (const IoPath& p : pool) {
+    EXPECT_EQ(nl.cell(p.cells.front()).kind, CellKind::kInput);
+    EXPECT_TRUE(nl.cell(p.cells.back()).is_output);
+    EXPECT_LE(p.ff_count, prev_depth);  // sorted deepest first
+    prev_depth = p.ff_count;
+    EXPECT_TRUE(unique.insert(p.cells).second);  // deduplicated
+    // Consecutive cells are actually connected.
+    for (std::size_t i = 1; i < p.cells.size(); ++i) {
+      const auto& fi = nl.cell(p.cells[i]).fanins;
+      EXPECT_NE(std::find(fi.begin(), fi.end(), p.cells[i - 1]), fi.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathPoolProperty, ::testing::Range(1, 9));
+
+TEST(PathPool, ExcludeFilterApplies) {
+  const Netlist nl = pipeline();
+  Rng rng(5);
+  PathPoolOptions opt;
+  opt.min_ffs = 0;
+  const auto all = build_path_pool(nl, rng, opt);
+  ASSERT_FALSE(all.empty());
+  // Excluding everything gives an empty pool.
+  const auto none = build_path_pool(nl, rng, opt,
+                                    [](const IoPath&) { return true; });
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace stt

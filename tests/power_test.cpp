@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/overhead.hpp"
+#include "power/power.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+Netlist two_gate() {
+  Netlist nl("two");
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g = nl.add_gate(CellKind::kNand, "g", {a, b});
+  const CellId h = nl.add_gate(CellKind::kNor, "h", {g, b});
+  nl.mark_output(h);
+  nl.finalize();
+  return nl;
+}
+
+TEST(Power, HandComputedRollup) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist nl = two_gate();
+  const double alpha = 0.2;
+  const double f = 2.0;  // GHz
+  const auto p = estimate_power_uniform(nl, lib, alpha, f);
+  const auto nand = lib.gate(CellKind::kNand, 2);
+  const auto nor = lib.gate(CellKind::kNor, 2);
+  EXPECT_NEAR(p.dynamic_uw,
+              alpha * f * (nand.e_active_fj + nor.e_active_fj), 1e-9);
+  EXPECT_NEAR(p.leakage_uw, (nand.leak_nw + nor.leak_nw) * 1e-3, 1e-12);
+  EXPECT_NEAR(p.total_uw(), p.dynamic_uw + p.leakage_uw, 1e-12);
+}
+
+TEST(Power, LutPowerIsContentIndependent) {
+  // The MTJ read energy does not depend on the configured function: a LUT
+  // programmed as NAND draws exactly what the same LUT programmed as XOR
+  // draws (the paper's side-channel argument).
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist as_nand = two_gate();
+  as_nand.replace_with_lut(as_nand.find("g"),
+                           gate_truth_mask(CellKind::kNand, 2));
+  Netlist as_xor = two_gate();
+  as_xor.replace_with_lut(as_xor.find("g"),
+                          gate_truth_mask(CellKind::kXor, 2));
+  const auto pa = estimate_power_uniform(as_nand, lib, 0.10, 1.0);
+  const auto pb = estimate_power_uniform(as_xor, lib, 0.10, 1.0);
+  EXPECT_DOUBLE_EQ(pa.dynamic_uw, pb.dynamic_uw);
+  EXPECT_DOUBLE_EQ(pa.leakage_uw, pb.leakage_uw);
+}
+
+TEST(Power, LutPowerIsEventDriven) {
+  // Sign-off model: one precharge per input transition, so LUT dynamic
+  // power scales with the fan-in activity (see power.hpp; Fig. 1's
+  // continuously-clocked characterization lives in tech/device_model).
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist nl = two_gate();
+  nl.replace_with_lut(nl.find("g"));
+  const auto p_low = estimate_power_uniform(nl, lib, 0.05, 1.0);
+  const auto p_high = estimate_power_uniform(nl, lib, 0.50, 1.0);
+  const auto nor = lib.gate(CellKind::kNor, 2);
+  const auto lut = lib.lut(2);
+  EXPECT_NEAR(p_high.dynamic_uw - p_low.dynamic_uw,
+              (0.50 - 0.05) * (nor.e_active_fj + lut.e_cycle_fj), 1e-9);
+}
+
+TEST(Power, HybridConsumesMoreAtNominalActivity) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = two_gate();
+  Netlist hybrid = original;
+  hybrid.replace_with_lut(hybrid.find("g"));
+  const auto p0 = estimate_power_uniform(original, lib, 0.10, 1.0);
+  const auto p1 = estimate_power_uniform(hybrid, lib, 0.10, 1.0);
+  EXPECT_GT(p1.total_uw(), p0.total_uw());
+}
+
+TEST(Power, AlphaSizeMismatchThrows) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist nl = two_gate();
+  std::vector<double> bad(nl.size() - 1, 0.1);
+  EXPECT_THROW(estimate_power(nl, lib, bad, 1.0), std::invalid_argument);
+}
+
+TEST(Power, DffClockTermPresent) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId ff = nl.add_dff("ff", a);
+  nl.mark_output(ff);
+  nl.finalize();
+  // Even at alpha = 0, a flip-flop draws clock power.
+  const auto p = estimate_power_uniform(nl, lib, 0.0, 1.0);
+  EXPECT_GT(p.dynamic_uw, 0.0);
+}
+
+TEST(Area, SumsCellFootprints) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist nl = two_gate();
+  EXPECT_NEAR(total_area_um2(nl, lib),
+              lib.gate(CellKind::kNand, 2).area_um2 +
+                  lib.gate(CellKind::kNor, 2).area_um2,
+              1e-9);
+}
+
+TEST(Area, LutReplacementGrowsArea) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = two_gate();
+  Netlist hybrid = original;
+  hybrid.replace_with_lut(hybrid.find("g"));
+  EXPECT_GT(total_area_um2(hybrid, lib), total_area_um2(original, lib));
+}
+
+TEST(Overhead, PercentagesAgainstHandValues) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist original = two_gate();
+  Netlist hybrid = original;
+  hybrid.replace_with_lut(hybrid.find("g"));
+  const auto report = compare_overhead(original, hybrid, lib, 0.10);
+  EXPECT_EQ(report.num_stt_luts, 1);
+  EXPECT_GT(report.perf_degradation_pct(), 0.0);
+  EXPECT_GT(report.power_overhead_pct(), 0.0);
+  EXPECT_GT(report.area_overhead_pct(), 0.0);
+  // Cross-check one percentage by hand.
+  EXPECT_NEAR(report.area_overhead_pct(),
+              (report.hybrid_area_um2 - report.original_area_um2) /
+                  report.original_area_um2 * 100.0,
+              1e-9);
+}
+
+TEST(Overhead, IdenticalNetlistsAreZero) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Netlist nl = two_gate();
+  const auto report = compare_overhead(nl, nl, lib);
+  EXPECT_DOUBLE_EQ(report.perf_degradation_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(report.power_overhead_pct(), 0.0);
+  EXPECT_DOUBLE_EQ(report.area_overhead_pct(), 0.0);
+  EXPECT_EQ(report.num_stt_luts, 0);
+}
+
+TEST(Overhead, GeneratedCircuitStaysFinite) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  CircuitProfile profile{"po", 8, 6, 5, 150, 10};
+  const Netlist original = generate_circuit(profile, 3);
+  Netlist hybrid = original;
+  int n = 0;
+  for (const CellId id : hybrid.logic_cells()) {
+    if (is_replaceable_gate(hybrid.cell(id).kind) && n < 5) {
+      hybrid.replace_with_lut(id);
+      ++n;
+    }
+  }
+  const auto report = compare_overhead(original, hybrid, lib);
+  EXPECT_TRUE(std::isfinite(report.power_overhead_pct()));
+  EXPECT_GE(report.power_overhead_pct(), 0.0);
+  EXPECT_LT(report.power_overhead_pct(), 500.0);
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "attack/sat.hpp"
+#include "util/rng.hpp"
+
+namespace stt::sat {
+namespace {
+
+TEST(SatSolver, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a) || s.value(b));
+}
+
+TEST(SatSolver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  EXPECT_FALSE(s.add_unit(neg(a)));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_FALSE(s.add_clause(std::span<const Lit>{}));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, TautologyIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, DuplicateLiteralsCollapsed) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), pos(a), pos(a)}));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(a));
+}
+
+TEST(SatSolver, UnitPropagationChain) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 10; ++i) s.add_binary(neg(v[i]), pos(v[i + 1]));
+  s.add_unit(pos(v[0]));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.value(v[i]));
+}
+
+TEST(SatSolver, XorChainForcesParity) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  // c = a XOR b, with c=1, a=1 -> b must be 0.
+  s.add_ternary(neg(c), pos(a), pos(b));
+  s.add_ternary(neg(c), neg(a), neg(b));
+  s.add_ternary(pos(c), neg(a), pos(b));
+  s.add_ternary(pos(c), pos(a), neg(b));
+  s.add_unit(pos(c));
+  s.add_unit(pos(a));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.value(b));
+}
+
+// Pigeonhole principle: n+1 pigeons into n holes is UNSAT — a classic
+// resolution-hard family exercising conflict analysis and learning.
+void add_php(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> p(pigeons, std::vector<Var>(holes));
+  for (auto& row : p) {
+    for (auto& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < pigeons; ++i) {
+    std::vector<Lit> at_least;
+    for (int j = 0; j < holes; ++j) at_least.push_back(pos(p[i][j]));
+    s.add_clause(at_least);
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        s.add_binary(neg(p[i1][j]), neg(p[i2][j]));
+      }
+    }
+  }
+}
+
+TEST(SatSolver, Pigeonhole5Into4Unsat) {
+  Solver s;
+  add_php(s, 5, 4);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.conflicts(), 0);
+}
+
+TEST(SatSolver, Pigeonhole4Into4Sat) {
+  Solver s;
+  add_php(s, 4, 4);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  add_php(s, 8, 7);  // hard enough to exceed a tiny budget
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), Result::kUnknown);
+  // With the budget lifted it finishes.
+  s.set_conflict_budget(-1);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, AssumptionsRestrictModels) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  const Lit assume_na[] = {neg(a)};
+  ASSERT_EQ(s.solve(assume_na), Result::kSat);
+  EXPECT_FALSE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  // Conflicting assumptions: UNSAT under assumptions, SAT without.
+  s.add_unit(pos(a));
+  EXPECT_EQ(s.solve(assume_na), Result::kUnsat);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, IncrementalAddAfterSolve) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  s.add_unit(neg(a));
+  ASSERT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(b));
+  s.add_unit(neg(b));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Property: on random 3-SAT instances the solver agrees with an exhaustive
+// truth-table check, for both satisfiable and unsatisfiable formulas.
+class RandomThreeSat : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomThreeSat, MatchesBruteForce) {
+  Rng rng(GetParam() * 1000003ull);
+  const int n_vars = 10;
+  // ~4.3 clauses/var sits at the phase transition: a mix of SAT and UNSAT.
+  const int n_clauses = 43;
+
+  std::vector<std::vector<Lit>> clauses;
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < n_vars; ++i) vars.push_back(s.new_var());
+  for (int c = 0; c < n_clauses; ++c) {
+    std::vector<Lit> clause;
+    while (clause.size() < 3) {
+      const Var v = vars[rng.below(n_vars)];
+      const Lit l(v, rng.chance(0.5));
+      bool dup = false;
+      for (const Lit e : clause) dup |= (e.var() == l.var());
+      if (!dup) clause.push_back(l);
+    }
+    clauses.push_back(clause);
+    s.add_clause(clause);
+  }
+
+  // Exhaustive reference.
+  bool brute_sat = false;
+  for (std::uint32_t m = 0; m < (1u << n_vars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) {
+        const bool v = (m >> l.var()) & 1u;
+        any |= (v != l.negated());
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  const Result r = s.solve();
+  EXPECT_EQ(r == Result::kSat, brute_sat);
+  if (r == Result::kSat) {
+    // The returned model must actually satisfy every clause.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (const Lit l : clause) any |= (s.value(l.var()) != l.negated());
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomThreeSat, ::testing::Range(1, 25));
+
+TEST(SatSolver, DeepRestartSequenceTerminates) {
+  // Regression: the Luby restart computation must stay correct far past the
+  // first few restarts (an early version hung at restart index 3).
+  Solver s;
+  add_php(s, 8, 7);  // thousands of conflicts -> many restarts
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.conflicts(), 500);
+}
+
+TEST(SatSolver, StatisticsAdvance) {
+  Solver s;
+  add_php(s, 5, 4);
+  (void)s.solve();
+  EXPECT_GT(s.propagations(), 0);
+  EXPECT_GT(s.decisions(), 0);
+}
+
+}  // namespace
+}  // namespace stt::sat

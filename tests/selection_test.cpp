@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/encode.hpp"
+#include "core/selection.hpp"
+#include "synth/generator.hpp"
+#include "timing/sta.hpp"
+
+namespace stt {
+namespace {
+
+const TechLibrary& lib() {
+  static const TechLibrary kLib = TechLibrary::cmos90_stt();
+  return kLib;
+}
+
+CircuitProfile medium_profile() { return {"sel", 10, 8, 10, 250, 12}; }
+
+TEST(AlgorithmName, Mapping) {
+  EXPECT_EQ(algorithm_name(SelectionAlgorithm::kIndependent), "independent");
+  EXPECT_EQ(algorithm_name(SelectionAlgorithm::kDependent), "dependent");
+  EXPECT_EQ(algorithm_name(SelectionAlgorithm::kParametric), "parametric");
+}
+
+TEST(Selection, RejectsAlreadyHybridNetlist) {
+  Netlist nl = embedded_netlist("s27");
+  nl.replace_with_lut(nl.find("G9"));
+  GateSelector selector(lib());
+  EXPECT_THROW(selector.run(nl, SelectionAlgorithm::kIndependent, {}),
+               std::invalid_argument);
+}
+
+TEST(IndependentSelection, ReplacesExactlyFiveByDefault) {
+  Netlist nl = generate_circuit(medium_profile(), 1);
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = 9;
+  const auto result = selector.run(nl, SelectionAlgorithm::kIndependent, opt);
+  EXPECT_EQ(result.replaced.size(), 5u);
+  EXPECT_EQ(result.key.size(), 5u);
+  EXPECT_EQ(nl.stats().luts, 5u);
+  for (const CellId id : result.replaced) {
+    EXPECT_EQ(nl.cell(id).kind, CellKind::kLut);
+  }
+}
+
+TEST(IndependentSelection, CountIsConfigurable) {
+  Netlist nl = generate_circuit(medium_profile(), 2);
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.indep_count = 12;
+  const auto result = selector.run(nl, SelectionAlgorithm::kIndependent, opt);
+  EXPECT_EQ(result.replaced.size(), 12u);
+}
+
+TEST(IndependentSelection, WorksOnTinyCircuit) {
+  // s27 has only 10 gates and few eligible paths: the fallback must still
+  // deliver five replacements.
+  Netlist nl = embedded_netlist("s27");
+  GateSelector selector(lib());
+  const auto result = selector.run(nl, SelectionAlgorithm::kIndependent, {});
+  EXPECT_EQ(result.replaced.size(), 5u);
+}
+
+TEST(DependentSelection, LutsFormDependentChain) {
+  Netlist nl = generate_circuit(medium_profile(), 3);
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = 4;
+  const auto result = selector.run(nl, SelectionAlgorithm::kDependent, opt);
+  ASSERT_GE(result.replaced.size(), 2u);
+  // The defining property: some missing gate is driven by another missing
+  // gate (directly), since whole path segments were replaced.
+  bool chained = false;
+  const std::set<CellId> lut_set(result.replaced.begin(),
+                                 result.replaced.end());
+  for (const CellId id : result.replaced) {
+    for (const CellId f : nl.cell(id).fanins) {
+      if (lut_set.count(f)) chained = true;
+    }
+  }
+  EXPECT_TRUE(chained);
+}
+
+TEST(DependentSelection, ReplacesMoreThanIndependent) {
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = 5;
+  Netlist a = generate_circuit(medium_profile(), 4);
+  Netlist b = generate_circuit(medium_profile(), 4);
+  const auto indep = selector.run(a, SelectionAlgorithm::kIndependent, opt);
+  const auto dep = selector.run(b, SelectionAlgorithm::kDependent, opt);
+  EXPECT_GT(dep.replaced.size(), indep.replaced.size());
+}
+
+TEST(ParametricSelection, MeetsTimingConstraint) {
+  GateSelector selector(lib());
+  const Sta sta(lib());
+  for (int seed = 1; seed <= 4; ++seed) {
+    Netlist nl = generate_circuit(medium_profile(), seed);
+    const double t0 = sta.analyze(nl).critical_delay_ps;
+    SelectionOptions opt;
+    opt.seed = seed;
+    opt.timing_margin = 0.05;
+    const auto result = selector.run(nl, SelectionAlgorithm::kParametric, opt);
+    const double t1 = sta.analyze(nl).critical_delay_ps;
+    EXPECT_LE(t1, t0 * 1.05 + 1e-6) << "seed " << seed;
+    EXPECT_FALSE(result.replaced.empty()) << "seed " << seed;
+  }
+}
+
+TEST(ParametricSelection, OnPathSelectionRespectsMinFanin) {
+  Netlist nl = generate_circuit(medium_profile(), 6);
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = 6;
+  opt.usl_closure = false;  // isolate the on-path L1 selection
+  const auto result = selector.run(nl, SelectionAlgorithm::kParametric, opt);
+  for (const CellId id : result.replaced) {
+    EXPECT_GE(nl.cell(id).fanin_count(), opt.para_min_fanin);
+  }
+}
+
+TEST(ParametricSelection, UslClosureAddsNeighbours) {
+  // Whether the closure fires depends on how many path gates stay
+  // unselected, so check across seeds: closure-off never reports USL
+  // replacements, and at least one seed must exercise the closure.
+  GateSelector selector(lib());
+  bool closure_seen = false;
+  for (int seed = 1; seed <= 8; ++seed) {
+    SelectionOptions with;
+    with.seed = seed;
+    with.usl_closure = true;
+    SelectionOptions without = with;
+    without.usl_closure = false;
+
+    Netlist a = generate_circuit(medium_profile(), seed);
+    Netlist b = generate_circuit(medium_profile(), seed);
+    const auto r_with = selector.run(a, SelectionAlgorithm::kParametric, with);
+    const auto r_without =
+        selector.run(b, SelectionAlgorithm::kParametric, without);
+    EXPECT_EQ(r_without.usl_replacements, 0);
+    if (r_with.usl_replacements > 0) {
+      closure_seen = true;
+      EXPECT_GT(r_with.replaced.size(), r_without.replaced.size());
+    }
+  }
+  EXPECT_TRUE(closure_seen);
+}
+
+TEST(Selection, DeterministicPerSeed) {
+  GateSelector selector(lib());
+  for (const auto alg :
+       {SelectionAlgorithm::kIndependent, SelectionAlgorithm::kDependent,
+        SelectionAlgorithm::kParametric}) {
+    Netlist a = generate_circuit(medium_profile(), 8);
+    Netlist b = generate_circuit(medium_profile(), 8);
+    SelectionOptions opt;
+    opt.seed = 99;
+    const auto ra = selector.run(a, alg, opt);
+    const auto rb = selector.run(b, alg, opt);
+    EXPECT_EQ(ra.replaced, rb.replaced) << algorithm_name(alg);
+    EXPECT_TRUE(a.structurally_equal(b)) << algorithm_name(alg);
+  }
+}
+
+TEST(Selection, KeyMatchesNetlistMasks) {
+  Netlist nl = generate_circuit(medium_profile(), 9);
+  GateSelector selector(lib());
+  const auto result = selector.run(nl, SelectionAlgorithm::kParametric, {});
+  EXPECT_EQ(result.key, extract_key(nl));
+}
+
+// Property: every algorithm preserves functionality — the hybrid netlist is
+// SAT-provably equivalent to the original on the scan view.
+class SelectionPreservesFunction
+    : public ::testing::TestWithParam<std::tuple<SelectionAlgorithm, int>> {};
+
+TEST_P(SelectionPreservesFunction, SatEquivalence) {
+  const auto [alg, seed] = GetParam();
+  CircuitProfile profile{"eq", 8, 6, 6, 120, 8};
+  const Netlist original = generate_circuit(profile, seed);
+  Netlist hybrid = original;
+  GateSelector selector(lib());
+  SelectionOptions opt;
+  opt.seed = seed * 7 + 1;
+  const auto result = selector.run(hybrid, alg, opt);
+  ASSERT_FALSE(result.replaced.empty());
+  hybrid.check();
+  EXPECT_TRUE(comb_equivalent(original, hybrid))
+      << algorithm_name(alg) << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSeeds, SelectionPreservesFunction,
+    ::testing::Combine(::testing::Values(SelectionAlgorithm::kIndependent,
+                                         SelectionAlgorithm::kDependent,
+                                         SelectionAlgorithm::kParametric),
+                       ::testing::Range(1, 6)));
+
+TEST(Selection, TracksSelectionTime) {
+  Netlist nl = generate_circuit(medium_profile(), 10);
+  GateSelector selector(lib());
+  const auto result = selector.run(nl, SelectionAlgorithm::kDependent, {});
+  EXPECT_GE(result.selection_seconds, 0.0);
+  EXPECT_LT(result.selection_seconds, 60.0);
+  EXPECT_GT(result.paths_considered, 0);
+}
+
+}  // namespace
+}  // namespace stt

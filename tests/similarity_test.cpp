@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "core/similarity.hpp"
+
+namespace stt {
+namespace {
+
+TEST(GateSimilarity, PaperExamples) {
+  // "the similarity of 2-input AND gate and 2-input NOR gate is 2"
+  EXPECT_EQ(gate_similarity(gate_truth_mask(CellKind::kAnd, 2),
+                            gate_truth_mask(CellKind::kNor, 2), 2),
+            2);
+  // "the similarity of 2-input AND gate and 2-input NAND gate is 0"
+  EXPECT_EQ(gate_similarity(gate_truth_mask(CellKind::kAnd, 2),
+                            gate_truth_mask(CellKind::kNand, 2), 2),
+            0);
+}
+
+TEST(GateSimilarity, SelfSimilarityIsFullRows) {
+  for (int k = 1; k <= 4; ++k) {
+    const std::uint64_t m = gate_truth_mask(CellKind::kXor, std::max(2, k));
+    EXPECT_EQ(gate_similarity(m, m, std::max(2, k)),
+              static_cast<int>(num_rows(std::max(2, k))));
+  }
+}
+
+TEST(GateSimilarity, SymmetricInArguments) {
+  const auto a = gate_truth_mask(CellKind::kOr, 3);
+  const auto b = gate_truth_mask(CellKind::kXnor, 3);
+  EXPECT_EQ(gate_similarity(a, b, 3), gate_similarity(b, a, 3));
+}
+
+TEST(StandardCandidates, SixGatesEachFanin) {
+  for (int k = 2; k <= kMaxLutInputs; ++k) {
+    const auto masks = standard_candidate_masks(k);
+    EXPECT_EQ(masks.size(), 6u);
+    // All distinct.
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      for (std::size_t j = i + 1; j < masks.size(); ++j) {
+        EXPECT_NE(masks[i], masks[j]);
+      }
+    }
+  }
+}
+
+TEST(AverageSimilarity, StandardTwoInputSet) {
+  // Over {AND,NAND,OR,NOR,XOR,XNOR} the mean pairwise agreement is 1.6
+  // (24 agreements over 15 pairs) — bracketing the paper's 1.45, which was
+  // computed over a slightly different candidate set.
+  const auto masks = standard_candidate_masks(2);
+  EXPECT_NEAR(average_similarity(masks, 2), 1.6, 1e-9);
+}
+
+TEST(AverageSimilarity, DegenerateSets) {
+  EXPECT_EQ(average_similarity({}, 2), 0.0);
+  EXPECT_EQ(average_similarity({0b1000ull}, 2), 0.0);
+}
+
+TEST(MeaningfulFunctions, KnownCounts) {
+  // k=1: BUF and NOT.
+  EXPECT_EQ(meaningful_function_count(1), 2u);
+  // k=2: 10 functions with full support = 8 classes under permutation:
+  // AND, NAND, OR, NOR, XOR, XNOR, {a&!b,b&!a}, {a|!b,b|!a}.
+  EXPECT_EQ(meaningful_function_count(2), 8u);
+  // The paper: "3-/4-input STT-based LUTs can also implement more than 12
+  // meaningful gates."
+  EXPECT_GT(meaningful_function_count(3), 12u);
+  EXPECT_GT(meaningful_function_count(4), meaningful_function_count(3));
+}
+
+TEST(MeaningfulFunctions, OutOfRangeThrows) {
+  EXPECT_THROW(meaningful_function_count(0), std::invalid_argument);
+  EXPECT_THROW(meaningful_function_count(5), std::invalid_argument);
+}
+
+TEST(SimilarityModel, PaperConstants) {
+  const auto m = SimilarityModel::paper();
+  EXPECT_DOUBLE_EQ(m.alpha_for(2), 2.45);
+  EXPECT_DOUBLE_EQ(m.alpha_for(3), 4.2);
+  EXPECT_DOUBLE_EQ(m.alpha_for(4), 7.4);
+  EXPECT_DOUBLE_EQ(m.candidates_for(2), 2.5);
+  EXPECT_THROW(m.alpha_for(0), std::invalid_argument);
+  EXPECT_THROW(m.candidates_for(kMaxLutInputs + 1), std::invalid_argument);
+}
+
+TEST(SimilarityModel, ComputedBracketsPaper) {
+  const auto paper = SimilarityModel::paper();
+  const auto computed = SimilarityModel::computed();
+  // alpha(2) = 1 + 1.6 = 2.6, within ~10% of the paper's 2.45.
+  EXPECT_NEAR(computed.alpha_for(2), 2.6, 1e-9);
+  EXPECT_NEAR(computed.alpha_for(2), paper.alpha_for(2),
+              paper.alpha_for(2) * 0.15);
+  // At fan-in 3 the six-gate derivation lands exactly on the paper's 4.2
+  // (mean pairwise agreement 3.2 + 1), and fan-in 4 is within 15% of 7.4.
+  EXPECT_NEAR(computed.alpha_for(3), paper.alpha_for(3), 1e-9);
+  EXPECT_NEAR(computed.alpha_for(4), paper.alpha_for(4),
+              paper.alpha_for(4) * 0.15);
+  // Both grow with fan-in.
+  for (int k = 2; k < kMaxLutInputs; ++k) {
+    EXPECT_GT(computed.alpha_for(k + 1), computed.alpha_for(k));
+    EXPECT_GT(paper.alpha_for(k + 1), paper.alpha_for(k));
+  }
+}
+
+TEST(SimilarityModel, CandidateCountsGrow) {
+  const auto m = SimilarityModel::computed();
+  EXPECT_EQ(m.candidates_for(1), 2.0);
+  EXPECT_GT(m.candidates_for(3), m.candidates_for(2));
+  EXPECT_GT(m.candidates_for(4), m.candidates_for(3));
+}
+
+}  // namespace
+}  // namespace stt

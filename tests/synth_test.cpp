@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/analysis.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+TEST(Profiles, TwelvePaperBenchmarks) {
+  const auto& profiles = iscas89_profiles();
+  ASSERT_EQ(profiles.size(), 12u);
+  EXPECT_EQ(profiles.front().name, "s641");
+  EXPECT_EQ(profiles.front().n_gates, 287);
+  EXPECT_EQ(profiles.back().name, "s38584");
+  EXPECT_EQ(profiles.back().n_gates, 19253);
+  // The paper's Table I average size is 4033.
+  double total = 0;
+  for (const auto& p : profiles) total += p.n_gates;
+  EXPECT_NEAR(total / 12.0, 4033.0, 1.0);
+}
+
+TEST(Profiles, Lookup) {
+  ASSERT_TRUE(find_profile("s1238").has_value());
+  EXPECT_EQ(find_profile("s1238")->n_gates, 529);
+  EXPECT_FALSE(find_profile("s9999").has_value());
+}
+
+TEST(Generator, DegenerateProfileThrows) {
+  EXPECT_THROW(generate_circuit({"bad", 0, 1, 0, 10, 5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_circuit({"bad", 4, 1, 0, 2, 5}, 1),
+               std::invalid_argument);
+}
+
+TEST(Generator, Deterministic) {
+  const CircuitProfile p{"det", 8, 6, 5, 100, 8};
+  const Netlist a = generate_circuit(p, 42);
+  const Netlist b = generate_circuit(p, 42);
+  EXPECT_TRUE(a.structurally_equal(b));
+  const Netlist c = generate_circuit(p, 43);
+  EXPECT_FALSE(a.structurally_equal(c));
+}
+
+class GeneratorMatchesProfile : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorMatchesProfile, SmallPaperProfiles) {
+  // Check the first 7 (small) paper profiles exactly.
+  const auto& profile = iscas89_profiles()[GetParam()];
+  const Netlist nl = generate_circuit(profile, 1);
+  const auto s = nl.stats();
+  EXPECT_EQ(s.inputs, static_cast<std::size_t>(profile.n_pi));
+  EXPECT_EQ(s.dffs, static_cast<std::size_t>(profile.n_ff));
+  EXPECT_EQ(s.gates, static_cast<std::size_t>(profile.n_gates));
+  // The liveness pass may add a few POs beyond the profile.
+  EXPECT_GE(s.outputs, static_cast<std::size_t>(profile.n_po));
+  EXPECT_LE(s.outputs, static_cast<std::size_t>(profile.n_po) +
+                           static_cast<std::size_t>(profile.n_gates) / 20 + 4);
+  nl.check();
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, GeneratorMatchesProfile,
+                         ::testing::Range(0, 7));
+
+TEST(Generator, EveryCellIsLive) {
+  const CircuitProfile p{"live", 10, 8, 6, 200, 10};
+  const Netlist nl = generate_circuit(p, 3);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    EXPECT_TRUE(!c.fanouts.empty() || c.is_output)
+        << "dead cell " << c.name << " (" << kind_name(c.kind) << ")";
+  }
+}
+
+TEST(Generator, SequentialDepthAchievable) {
+  // The generator must produce multi-flip-flop PI->PO structure, otherwise
+  // the paper's >= 2-FF path requirement can never be met.
+  const CircuitProfile p{"depth", 10, 8, 12, 300, 10};
+  const Netlist nl = generate_circuit(p, 8);
+  EXPECT_GE(circuit_seq_depth(nl), 2);
+}
+
+TEST(Generator, GateMixIsIscasLike) {
+  const CircuitProfile p{"mix", 10, 8, 10, 1000, 15};
+  const Netlist nl = generate_circuit(p, 5);
+  std::size_t inverters = 0;
+  std::size_t nand_nor = 0;
+  std::size_t total = 0;
+  for (const CellId id : nl.logic_cells()) {
+    const CellKind k = nl.cell(id).kind;
+    ++total;
+    if (k == CellKind::kNot || k == CellKind::kBuf) ++inverters;
+    if (k == CellKind::kNand || k == CellKind::kNor) ++nand_nor;
+  }
+  EXPECT_GT(inverters, total / 10);
+  EXPECT_LT(inverters, total / 2);
+  EXPECT_GT(nand_nor, total / 5);
+}
+
+TEST(Generator, FaninsAreDistinct) {
+  const CircuitProfile p{"fan", 8, 6, 5, 150, 8};
+  const Netlist nl = generate_circuit(p, 6);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const auto& f = nl.cell(id).fanins;
+    const std::set<CellId> uniq(f.begin(), f.end());
+    EXPECT_EQ(uniq.size(), f.size()) << nl.cell(id).name;
+  }
+}
+
+TEST(Generator, LargeProfileScales) {
+  const Netlist nl = generate_circuit(*find_profile("s5378a"), 2);
+  EXPECT_EQ(nl.stats().gates, 2779u);
+  EXPECT_EQ(nl.stats().dffs, 179u);
+  nl.check();
+}
+
+TEST(Embedded, NamesAndLoad) {
+  const auto names = embedded_names();
+  ASSERT_GE(names.size(), 2u);
+  for (const auto& name : names) {
+    const Netlist nl = embedded_netlist(name);
+    EXPECT_EQ(nl.name(), name);
+    nl.check();
+  }
+  EXPECT_THROW(embedded_netlist("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stt

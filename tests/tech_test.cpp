@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "tech/device_model.hpp"
+#include "tech/tech_library.hpp"
+
+namespace stt {
+namespace {
+
+// The paper's Fig. 1: every ratio must be reproduced by the calibrated
+// library (values normalized to the static CMOS implementation).
+struct Fig1Row {
+  CellKind kind;
+  int fanin;
+  double delay;
+  double ap10;
+  double ap30;
+  double standby;
+  double eps;
+};
+
+constexpr Fig1Row kFig1[] = {
+    {CellKind::kNand, 2, 6.46, 90.35, 30.12, 0.48, 58.36},
+    {CellKind::kNand, 4, 4.49, 76.73, 25.57, 0.96, 34.45},
+    {CellKind::kNor, 2, 4.85, 80.20, 26.73, 0.51, 38.89},
+    {CellKind::kNor, 4, 3.06, 24.25, 8.08, 1.06, 7.42},
+    {CellKind::kXor, 2, 4.95, 22.45, 7.48, 0.13, 11.11},
+    {CellKind::kXor, 4, 4.18, 90.06, 30.02, 0.04, 37.64},
+};
+
+class Fig1Reproduction : public ::testing::TestWithParam<Fig1Row> {};
+
+TEST_P(Fig1Reproduction, Cmos90Ratios) {
+  const Fig1Row row = GetParam();
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const DeviceComparison cmp = compare_lut_vs_cmos(lib, row.kind, row.fanin);
+  EXPECT_NEAR(cmp.delay_ratio, row.delay, row.delay * 0.005);
+  EXPECT_NEAR(cmp.active_power_ratio_a10, row.ap10, row.ap10 * 0.005);
+  EXPECT_NEAR(cmp.active_power_ratio_a30, row.ap30, row.ap30 * 0.005);
+  EXPECT_NEAR(cmp.standby_power_ratio, row.standby, row.standby * 0.01);
+  EXPECT_NEAR(cmp.energy_per_switch_ratio, row.eps, row.eps * 0.005);
+}
+
+TEST_P(Fig1Reproduction, RatiosAreScaleInvariant) {
+  const Fig1Row row = GetParam();
+  const TechLibrary lib32 = TechLibrary::predictive32_stt();
+  const DeviceComparison cmp = compare_lut_vs_cmos(lib32, row.kind, row.fanin);
+  EXPECT_NEAR(cmp.delay_ratio, row.delay, row.delay * 0.005);
+  EXPECT_NEAR(cmp.active_power_ratio_a10, row.ap10, row.ap10 * 0.005);
+  EXPECT_NEAR(cmp.standby_power_ratio, row.standby, row.standby * 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Fig1Reproduction,
+                         ::testing::ValuesIn(kFig1));
+
+TEST(TechLibrary, ActivePowerRatioScalesInverselyWithAlpha) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  // The LUT's dynamic power is activity-independent, so the ratio at
+  // alpha = 30% is exactly one third of the ratio at 10% (paper Fig. 1).
+  const double r10 = active_power_ratio(lib, CellKind::kNand, 2, 0.10);
+  const double r30 = active_power_ratio(lib, CellKind::kNand, 2, 0.30);
+  EXPECT_NEAR(r10 / r30, 3.0, 1e-9);
+}
+
+TEST(TechLibrary, AlphaZeroThrows) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_THROW(active_power_ratio(lib, CellKind::kNand, 2, 0.0),
+               std::invalid_argument);
+}
+
+TEST(TechLibrary, LutDelayDependsOnlyOnFanin) {
+  // Verified indirectly: the same LUT delay divided by each gate's CMOS
+  // delay gives the distinct Fig. 1 ratios; the LUT params are per-fanin.
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_EQ(lib.lut(2).delay_ps, lib.lut(2).delay_ps);
+  EXPECT_GT(lib.lut(4).delay_ps, lib.lut(2).delay_ps);
+  EXPECT_GT(lib.lut(6).delay_ps, lib.lut(4).delay_ps);
+}
+
+TEST(TechLibrary, CmosDelaysGrowWithFanin) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  for (const CellKind kind : {CellKind::kNand, CellKind::kNor, CellKind::kAnd,
+                              CellKind::kOr}) {
+    double prev = 0;
+    for (int k = 2; k <= kMaxLutInputs; ++k) {
+      const double d = lib.gate(kind, k).delay_ps;
+      EXPECT_GT(d, prev) << kind_name(kind) << " fanin " << k;
+      prev = d;
+    }
+  }
+}
+
+TEST(TechLibrary, LutLeakageBelowCmosForLowFanin) {
+  // Paper Sec. III: "for low fan-in (4-input or less) standard logic gates,
+  // the STT-based LUT style implementation offers less leakage" — true for
+  // NAND-class anchors at fan-in 2.
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_LT(lib.lut(2).leak_nw, lib.gate(CellKind::kNand, 2).leak_nw);
+  // But NOT for high fan-in NAND/NOR (stacking effect): LUT4 leakage is
+  // within 10% of NAND4 (ratio 0.96) and above NOR4 (ratio 1.06).
+  EXPECT_GT(lib.lut(4).leak_nw, lib.gate(CellKind::kNor, 4).leak_nw);
+}
+
+TEST(TechLibrary, InvalidQueriesThrow) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_THROW(lib.gate(CellKind::kNot, 2), std::invalid_argument);
+  EXPECT_THROW(lib.gate(CellKind::kAnd, 1), std::invalid_argument);
+  EXPECT_THROW(lib.gate(CellKind::kInput, 0), std::invalid_argument);
+  EXPECT_THROW(lib.lut(0), std::invalid_argument);
+  EXPECT_THROW(lib.lut(kMaxLutInputs + 1), std::invalid_argument);
+}
+
+TEST(TechLibrary, ExtrapolatedCellsAreFinite) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  for (int k = 5; k <= kMaxLutInputs; ++k) {
+    const auto p = lib.gate(CellKind::kNand, k);
+    EXPECT_GT(p.delay_ps, 0);
+    EXPECT_GT(p.e_active_fj, 0);
+    EXPECT_GT(p.area_um2, 0);
+  }
+}
+
+TEST(TechLibrary, XnorSlightlySlowerThanXor) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_GT(lib.gate(CellKind::kXnor, 2).delay_ps,
+            lib.gate(CellKind::kXor, 2).delay_ps);
+}
+
+TEST(TechLibrary, LutAreaImpliedByTableI) {
+  // Table I implies LUT2 area ~ 2.5x an average gate footprint; check the
+  // calibration stays in that neighbourhood.
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const double nand2 = lib.gate(CellKind::kNand, 2).area_um2;
+  const double ratio = lib.lut(2).area_um2 / nand2;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(TechLibrary, ConstCellsAreFree) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  EXPECT_EQ(lib.gate(CellKind::kConst0, 0).area_um2, 0);
+  EXPECT_EQ(lib.gate(CellKind::kConst1, 0).delay_ps, 0);
+}
+
+TEST(TechLibrary, Predictive32IsSmallerAndFaster) {
+  const TechLibrary a = TechLibrary::cmos90_stt();
+  const TechLibrary b = TechLibrary::predictive32_stt();
+  EXPECT_LT(b.gate(CellKind::kNand, 2).delay_ps,
+            a.gate(CellKind::kNand, 2).delay_ps);
+  EXPECT_LT(b.gate(CellKind::kNand, 2).area_um2,
+            a.gate(CellKind::kNand, 2).area_um2);
+  EXPECT_NE(a.name(), b.name());
+}
+
+}  // namespace
+}  // namespace stt

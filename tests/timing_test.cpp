@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "synth/generator.hpp"
+#include "timing/sta.hpp"
+
+namespace stt {
+namespace {
+
+TEST(Sta, ChainDelayAccumulates) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g1 = nl.add_gate(CellKind::kNand, "g1", {a, b});
+  const CellId g2 = nl.add_gate(CellKind::kNand, "g2", {g1, b});
+  nl.mark_output(g2);
+  nl.finalize();
+
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+  // g1 drives one reader, g2 drives none.
+  const double d_nand = lib.gate(CellKind::kNand, 2).delay_ps;
+  const double expect = (d_nand + lib.load_delay_ps()) + d_nand;
+  EXPECT_NEAR(t.critical_delay_ps, expect, 1e-9);
+  EXPECT_EQ(t.worst_endpoint, g2);
+  ASSERT_EQ(t.critical_path.size(), 3u);  // a/b -> g1 -> g2
+  EXPECT_EQ(t.critical_path.back(), g2);
+  EXPECT_EQ(t.critical_path[1], g1);
+}
+
+TEST(Sta, DffLaunchAndSetup) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId ff = nl.add_cell(CellKind::kDff, "ff");
+  const CellId g = nl.add_gate(CellKind::kNand, "g", {ff, a});
+  nl.connect(ff, {g});
+  nl.mark_output(g);
+  nl.finalize();
+
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+  // Worst endpoint: the DFF D pin (arrival of g + setup) vs PO (arrival g).
+  const double clk_q = lib.dff_clk_to_q_ps() + lib.load_delay_ps();
+  const double arr_g = clk_q + lib.gate(CellKind::kNand, 2).delay_ps +
+                       lib.load_delay_ps();  // g drives the ff D pin only
+  EXPECT_NEAR(t.critical_delay_ps, arr_g + lib.dff_setup_ps(), 1e-9);
+}
+
+TEST(Sta, LutReplacementIncreasesDelay) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  CircuitProfile profile{"sta", 8, 6, 5, 100, 8};
+  Netlist nl = generate_circuit(profile, 4);
+  const Sta sta(lib);
+  const double before = sta.analyze(nl).critical_delay_ps;
+
+  // Replace every gate on the critical path that is replaceable.
+  const auto t = sta.analyze(nl);
+  int replaced = 0;
+  for (const CellId id : t.critical_path) {
+    if (is_replaceable_gate(nl.cell(id).kind) &&
+        nl.cell(id).fanin_count() <= kMaxLutInputs) {
+      nl.replace_with_lut(id);
+      ++replaced;
+    }
+  }
+  ASSERT_GT(replaced, 0);
+  const double after = sta.analyze(nl).critical_delay_ps;
+  EXPECT_GT(after, before);
+}
+
+TEST(Sta, SlackSignsAgainstPeriod) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  CircuitProfile profile{"slack", 8, 6, 5, 120, 8};
+  const Netlist nl = generate_circuit(profile, 5);
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+
+  // At a period equal to the critical delay, no cell has negative slack and
+  // the endpoint of the critical path has (near) zero slack.
+  const auto s_ok = sta.slacks(nl, t, t.critical_delay_ps);
+  double min_slack = 1e300;
+  for (const CellId id : nl.topo_order()) {
+    if (nl.cell(id).kind == CellKind::kInput) continue;
+    min_slack = std::min(min_slack, s_ok[id]);
+  }
+  EXPECT_GE(min_slack, -1e-6);
+  EXPECT_NEAR(min_slack, 0.0, 1e-6);
+
+  // Tightening the period makes some slack negative.
+  const auto s_bad = sta.slacks(nl, t, t.critical_delay_ps * 0.5);
+  bool negative = false;
+  for (const CellId id : nl.topo_order()) {
+    if (s_bad[id] < 0) negative = true;
+  }
+  EXPECT_TRUE(negative);
+}
+
+TEST(Sta, CriticalPathIsConnected) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  CircuitProfile profile{"crit", 8, 6, 5, 150, 10};
+  const Netlist nl = generate_circuit(profile, 6);
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+  ASSERT_GE(t.critical_path.size(), 2u);
+  for (std::size_t i = 1; i < t.critical_path.size(); ++i) {
+    const auto& fi = nl.cell(t.critical_path[i]).fanins;
+    EXPECT_NE(std::find(fi.begin(), fi.end(), t.critical_path[i - 1]),
+              fi.end());
+  }
+}
+
+TEST(Sta, MonotoneNonDecreasingArrivals) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  CircuitProfile profile{"mono", 6, 5, 4, 80, 7};
+  const Netlist nl = generate_circuit(profile, 7);
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    for (const CellId f : c.fanins) {
+      EXPECT_GE(t.arrival_ps[id], t.arrival_ps[f]);
+    }
+  }
+}
+
+TEST(Sta, PureCombinationalCircuit) {
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  Netlist nl;
+  const CellId a = nl.add_input("a");
+  const CellId n = nl.add_gate(CellKind::kNot, "n", {a});
+  nl.mark_output(n);
+  nl.finalize();
+  const Sta sta(lib);
+  const auto t = sta.analyze(nl);
+  EXPECT_NEAR(t.critical_delay_ps, lib.gate(CellKind::kNot, 1).delay_ps, 1e-9);
+}
+
+}  // namespace
+}  // namespace stt

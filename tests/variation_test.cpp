@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/selection.hpp"
+#include "synth/generator.hpp"
+#include "timing/sta.hpp"
+#include "timing/variation.hpp"
+
+namespace stt {
+namespace {
+
+const TechLibrary& lib() {
+  static const TechLibrary kLib = TechLibrary::cmos90_stt();
+  return kLib;
+}
+
+TEST(Variation, DeterministicPerSeed) {
+  const Netlist nl = generate_circuit({"var", 8, 6, 6, 120, 8}, 2);
+  VariationOptions opt;
+  opt.samples = 50;
+  const auto a = variation_analysis(nl, lib(), opt);
+  const auto b = variation_analysis(nl, lib(), opt);
+  EXPECT_EQ(a.critical_delays_ps, b.critical_delays_ps);
+}
+
+TEST(Variation, DistributionBracketsNominal) {
+  const Netlist nl = generate_circuit({"var2", 8, 6, 6, 150, 9}, 3);
+  const Sta sta(lib());
+  const double nominal = sta.analyze(nl).critical_delay_ps;
+  VariationOptions opt;
+  opt.samples = 300;
+  const auto r = variation_analysis(nl, lib(), opt);
+  EXPECT_EQ(r.critical_delays_ps.size(), 300u);
+  // Lognormal multipliers with sigma ~8%: the mean sits near nominal
+  // (max over paths biases slightly high), the spread is nonzero.
+  EXPECT_NEAR(r.mean_ps, nominal, nominal * 0.15);
+  EXPECT_GT(r.stddev_ps, 0.0);
+  EXPECT_GE(r.p99_ps, r.mean_ps);
+}
+
+TEST(Variation, YieldIsMonotoneInPeriod) {
+  const Netlist nl = generate_circuit({"var3", 8, 6, 6, 120, 8}, 4);
+  VariationOptions opt;
+  opt.samples = 200;
+  const auto r = variation_analysis(nl, lib(), opt);
+  EXPECT_NEAR(r.yield_at(r.p99_ps * 2.0), 1.0, 1e-9);
+  EXPECT_LE(r.yield_at(r.mean_ps * 0.5), 0.01);
+  EXPECT_LE(r.yield_at(r.mean_ps), 1.0);
+  EXPECT_GE(r.yield_at(r.mean_ps + 3 * r.stddev_ps),
+            r.yield_at(r.mean_ps - 3 * r.stddev_ps));
+}
+
+TEST(Variation, ZeroSigmaCollapsesToNominalSta) {
+  const Netlist nl = generate_circuit({"var4", 6, 5, 4, 80, 7}, 5);
+  VariationOptions opt;
+  opt.samples = 10;
+  opt.cmos_sigma = 0.0;
+  opt.lut_sigma = 0.0;
+  const auto r = variation_analysis(nl, lib(), opt);
+  const Sta sta(lib());
+  const double nominal = sta.analyze(nl).critical_delay_ps;
+  for (const double d : r.critical_delays_ps) {
+    EXPECT_NEAR(d, nominal, nominal * 1e-9);
+  }
+}
+
+TEST(Variation, HybridYieldAtMarginStaysHigh) {
+  // The parametric selection promises <= +5% delay; under variation the
+  // hybrid design should still yield well at the +10% period (LUT sigma is
+  // tighter than CMOS sigma, per the STT robustness claims).
+  const Netlist original = generate_circuit({"var5", 10, 8, 8, 250, 10}, 6);
+  Netlist hybrid = original;
+  GateSelector selector(lib());
+  SelectionOptions sopt;
+  sopt.seed = 6;
+  (void)selector.run(hybrid, SelectionAlgorithm::kParametric, sopt);
+
+  const Sta sta(lib());
+  const double t0 = sta.analyze(original).critical_delay_ps;
+  VariationOptions opt;
+  opt.samples = 200;
+  const auto r = variation_analysis(hybrid, lib(), opt);
+  EXPECT_GT(r.yield_at(t0 * 1.10), 0.5);
+}
+
+}  // namespace
+}  // namespace stt

@@ -1,0 +1,325 @@
+// sttlock — command-line front end for the hybrid STT-CMOS flow.
+//
+//   sttlock gen     --profile s641 --seed 1 --out s641.bench
+//   sttlock info    --in s641.bench
+//   sttlock lock    --in s641.bench --algorithm parametric --seed 7
+//                   --out-hybrid h.bench --out-foundry f.bench --out-key k.key
+//                   [--margin 0.05] [--pack] [--paths N]
+//   sttlock attack  --view f.bench --oracle h.bench --method sat|sens|bf|ml
+//   sttlock convert --in x.bench --out y.v     (format by extension:
+//                                               .bench / .v / .blif)
+//   sttlock program --in f.bench --key k.key --out chip.bench
+//
+// Netlist files are read by extension as well.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/brute_force.hpp"
+#include "attack/encode.hpp"
+#include "attack/ml_attack.hpp"
+#include "attack/sat_attack.hpp"
+#include "attack/sensitization.hpp"
+#include "core/flow.hpp"
+#include "core/bitstream.hpp"
+#include "core/packing.hpp"
+#include "graph/analysis.hpp"
+#include "io/blif_io.hpp"
+#include "io/bench_io.hpp"
+#include "io/verilog_reader.hpp"
+#include "io/verilog_writer.hpp"
+#include "power/power.hpp"
+#include "synth/generator.hpp"
+#include "timing/sta.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace stt;
+
+Netlist load_netlist(const std::string& path) {
+  if (ends_with(path, ".bench")) return read_bench_file(path);
+  if (ends_with(path, ".v")) return read_verilog_file(path);
+  if (ends_with(path, ".blif")) return read_blif_file(path);
+  throw std::runtime_error("unknown netlist extension: " + path);
+}
+
+void save_netlist(const Netlist& nl, const std::string& path,
+                  bool redact_luts) {
+  if (ends_with(path, ".bench")) {
+    BenchWriteOptions opt;
+    opt.redact_luts = redact_luts;
+    write_bench_file(nl, path, opt);
+    return;
+  }
+  if (ends_with(path, ".v")) {
+    VerilogWriteOptions opt;
+    opt.redact_luts = redact_luts;
+    write_verilog_file(nl, path, opt);
+    return;
+  }
+  if (ends_with(path, ".blif")) {
+    if (redact_luts) {
+      throw std::runtime_error("BLIF cannot express redacted LUTs");
+    }
+    write_blif_file(nl, path);
+    return;
+  }
+  throw std::runtime_error("unknown netlist extension: " + path);
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--profile", "ISCAS'89 profile name (e.g. s641, s38584)");
+  p.add_option("--seed", "generator seed", "1");
+  p.add_option("--out", "output netlist path");
+  p.parse(args);
+  const auto profile = find_profile(p.get("--profile"));
+  if (!profile) {
+    std::fprintf(stderr, "unknown profile '%s'; available:",
+                 p.get("--profile").c_str());
+    for (const auto& pr : iscas89_profiles()) {
+      std::fprintf(stderr, " %s", pr.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+  const Netlist nl = generate_circuit(
+      *profile, static_cast<std::uint64_t>(p.get_int("--seed")));
+  save_netlist(nl, p.get("--out"), false);
+  std::printf("wrote %s (%zu gates, %zu FFs)\n", p.get("--out").c_str(),
+              nl.stats().gates, nl.stats().dffs);
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "input netlist");
+  p.parse(args);
+  const Netlist nl = load_netlist(p.get("--in"));
+  const auto s = nl.stats();
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  const Sta sta(lib);
+  const auto timing = sta.analyze(nl);
+  const auto power = estimate_power_uniform(nl, lib, 0.10,
+                                            1000.0 / timing.critical_delay_ps);
+  std::printf("netlist:        %s\n", nl.name().c_str());
+  std::printf("inputs/outputs: %zu / %zu\n", s.inputs, s.outputs);
+  std::printf("flip-flops:     %zu\n", s.dffs);
+  std::printf("logic gates:    %zu (of which %zu STT LUTs)\n", s.gates,
+              s.luts);
+  std::printf("max fan-in:     %d\n", s.max_fanin);
+  std::printf("seq depth (D):  %d\n", circuit_seq_depth(nl));
+  std::printf("critical path:  %.1f ps\n", timing.critical_delay_ps);
+  std::printf("power @a=10%%:   %.2f uW\n", power.total_uw());
+  std::printf("area:           %.1f um^2\n", total_area_um2(nl, lib));
+  if (s.luts) std::printf("key bits:       %zu\n", key_bits(nl));
+  return 0;
+}
+
+int cmd_lock(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "input netlist (pure CMOS)");
+  p.add_option("--algorithm", "independent | dependent | parametric",
+               "parametric");
+  p.add_option("--seed", "selection seed", "1");
+  p.add_option("--margin", "parametric timing margin", "0.05");
+  p.add_option("--paths", "parametric timing-path count (0 = auto)", "0");
+  p.add_option("--count", "independent gate count", "5");
+  p.add_option("--out-hybrid", "configured hybrid netlist output", "");
+  p.add_option("--out-foundry", "redacted netlist output", "");
+  p.add_option("--out-key", "plain key-file output", "");
+  p.add_option("--out-bitstream", "CRC-protected programming image output",
+               "");
+  p.add_flag("--pack", "apply complex-function packing + dummy inputs");
+  p.parse(args);
+
+  const Netlist original = load_netlist(p.get("--in"));
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  FlowOptions opt;
+  const std::string alg = p.get("--algorithm");
+  if (alg == "independent") {
+    opt.algorithm = SelectionAlgorithm::kIndependent;
+  } else if (alg == "dependent") {
+    opt.algorithm = SelectionAlgorithm::kDependent;
+  } else if (alg == "parametric") {
+    opt.algorithm = SelectionAlgorithm::kParametric;
+  } else {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", alg.c_str());
+    return 1;
+  }
+  opt.selection.seed = static_cast<std::uint64_t>(p.get_int("--seed"));
+  opt.selection.timing_margin = p.get_double("--margin");
+  opt.selection.para_num_paths = static_cast<int>(p.get_int("--paths"));
+  opt.selection.indep_count = static_cast<int>(p.get_int("--count"));
+
+  FlowResult flow = run_secure_flow(original, lib, opt);
+  if (p.flag("--pack")) {
+    PackingOptions popt;
+    popt.seed = opt.selection.seed;
+    popt.lib = &lib;
+    popt.max_delay_ps = flow.overhead.original_delay_ps *
+                        (1.0 + opt.selection.timing_margin);
+    const auto packed = pack_complex_functions(flow.hybrid, popt);
+    flow.hybrid = strip_dead_logic(flow.hybrid);
+    flow.selection.key = extract_key(flow.hybrid);
+    flow.overhead = compare_overhead(original, flow.hybrid, lib);
+    flow.security = security_report(flow.hybrid, SimilarityModel::paper());
+    std::printf("packing: absorbed %d gates, added %d dummy inputs\n",
+                packed.absorbed_gates, packed.dummies_added);
+  }
+
+  std::printf("%s: %zu LUTs | perf %+.2f%% | power %+.2f%% | area %+.2f%%\n",
+              algorithm_name(opt.algorithm).c_str(),
+              flow.selection.key.size(),
+              flow.overhead.perf_degradation_pct(),
+              flow.overhead.power_overhead_pct(),
+              flow.overhead.area_overhead_pct());
+  std::printf("attack cost: N_indep=%s  N_dep=%s  N_bf=%s test clocks\n",
+              flow.security.n_indep.to_string().c_str(),
+              flow.security.n_dep.to_string().c_str(),
+              flow.security.n_bf.to_string().c_str());
+
+  if (!p.get("--out-hybrid").empty()) {
+    save_netlist(flow.hybrid, p.get("--out-hybrid"), false);
+  }
+  if (!p.get("--out-foundry").empty()) {
+    save_netlist(flow.hybrid, p.get("--out-foundry"), true);
+  }
+  if (!p.get("--out-key").empty()) {
+    std::ofstream key(p.get("--out-key"));
+    key << key_to_string(flow.selection.key);
+  }
+  if (!p.get("--out-bitstream").empty()) {
+    std::ofstream image(p.get("--out-bitstream"));
+    image << write_bitstream(flow.hybrid);
+  }
+  return 0;
+}
+
+int cmd_attack(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--view", "attacker's netlist (LUT contents ignored)");
+  p.add_option("--oracle", "configured netlist standing in for the chip");
+  p.add_option("--method", "sat | sens | bf | ml", "sat");
+  p.add_option("--time-limit", "seconds (sat)", "60");
+  p.parse(args);
+
+  const Netlist view = foundry_view(load_netlist(p.get("--view")));
+  const Netlist chip = load_netlist(p.get("--oracle"));
+  const std::string method = p.get("--method");
+
+  if (method == "sat") {
+    SatAttackOptions opt;
+    opt.time_limit_s = p.get_double("--time-limit");
+    const auto r = run_sat_attack(view, chip, opt);
+    std::printf("sat attack: %s after %d DIPs, %lld conflicts, %.2fs\n",
+                r.success ? "KEY RECOVERED"
+                          : (r.timed_out ? "timeout" : "budget exhausted"),
+                r.iterations, static_cast<long long>(r.conflicts), r.seconds);
+    if (r.success) std::fputs(key_to_string(r.key).c_str(), stdout);
+    return r.success ? 0 : 2;
+  }
+  if (method == "sens") {
+    ScanOracle oracle(chip);
+    const auto r = run_sensitization_attack(view, oracle);
+    std::printf("sensitization: %d/%d rows with %llu patterns (%s)\n",
+                r.rows_resolved, r.rows_total,
+                static_cast<unsigned long long>(r.patterns_used),
+                r.success ? "complete" : "incomplete");
+    return r.success ? 0 : 2;
+  }
+  if (method == "bf") {
+    ScanOracle oracle(chip);
+    const auto r = run_brute_force(view, oracle);
+    std::printf("brute force: %s after %llu of %s combinations\n",
+                r.success ? "KEY FOUND" : "gave up",
+                static_cast<unsigned long long>(r.combinations_tried),
+                r.search_space.to_string().c_str());
+    return r.success ? 0 : 2;
+  }
+  if (method == "ml") {
+    ScanOracle oracle(chip);
+    const auto r = run_ml_attack(view, oracle);
+    std::printf("ml attack: accuracy %.4f after %d steps (%s)\n",
+                r.final_accuracy, r.steps,
+                r.success ? "perfect" : "imperfect");
+    return r.success ? 0 : 2;
+  }
+  std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+  return 1;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "input netlist");
+  p.add_option("--out", "output netlist");
+  p.add_flag("--redact", "withhold LUT configurations in the output");
+  p.parse(args);
+  const Netlist nl = load_netlist(p.get("--in"));
+  save_netlist(nl, p.get("--out"), p.flag("--redact"));
+  std::printf("wrote %s\n", p.get("--out").c_str());
+  return 0;
+}
+
+int cmd_program(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "fabricated (redacted) netlist");
+  p.add_option("--key", "key file or STTB programming image");
+  p.add_option("--out", "configured netlist output");
+  p.parse(args);
+  Netlist nl = load_netlist(p.get("--in"));
+  std::ifstream key_file(p.get("--key"));
+  if (!key_file) {
+    std::fprintf(stderr, "cannot open key file\n");
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << key_file.rdbuf();
+  const std::string content = buf.str();
+  if (starts_with(content, "STTB")) {
+    // CRC + fingerprint verified image.
+    program_from_bitstream(nl, content);
+  } else {
+    apply_key(nl, key_from_string(content));
+  }
+  save_netlist(nl, p.get("--out"), false);
+  std::printf("programmed %zu LUTs -> %s\n", extract_key(nl).size(),
+              p.get("--out").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: sttlock <command> [options]\n"
+      "commands: gen, info, lock, attack, convert, program\n"
+      "run 'sttlock <command> --help' is not needed — errors list options.\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "convert") return cmd_convert(args);
+    if (cmd == "program") return cmd_program(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}
