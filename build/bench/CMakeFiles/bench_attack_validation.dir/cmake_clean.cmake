@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attack_validation.dir/bench_attack_validation.cpp.o"
+  "CMakeFiles/bench_attack_validation.dir/bench_attack_validation.cpp.o.d"
+  "bench_attack_validation"
+  "bench_attack_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_device.dir/bench_fig1_device.cpp.o"
+  "CMakeFiles/bench_fig1_device.dir/bench_fig1_device.cpp.o.d"
+  "bench_fig1_device"
+  "bench_fig1_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

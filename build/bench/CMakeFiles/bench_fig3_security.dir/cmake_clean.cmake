@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_security.dir/bench_fig3_security.cpp.o"
+  "CMakeFiles/bench_fig3_security.dir/bench_fig3_security.cpp.o.d"
+  "bench_fig3_security"
+  "bench_fig3_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

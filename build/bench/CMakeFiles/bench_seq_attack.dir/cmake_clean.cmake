@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_seq_attack.dir/bench_seq_attack.cpp.o"
+  "CMakeFiles/bench_seq_attack.dir/bench_seq_attack.cpp.o.d"
+  "bench_seq_attack"
+  "bench_seq_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seq_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_side_channel.dir/bench_side_channel.cpp.o"
+  "CMakeFiles/bench_side_channel.dir/bench_side_channel.cpp.o.d"
+  "bench_side_channel"
+  "bench_side_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_side_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

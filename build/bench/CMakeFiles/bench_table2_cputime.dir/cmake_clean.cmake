@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cputime.dir/bench_table2_cputime.cpp.o"
+  "CMakeFiles/bench_table2_cputime.dir/bench_table2_cputime.cpp.o.d"
+  "bench_table2_cputime"
+  "bench_table2_cputime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cputime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

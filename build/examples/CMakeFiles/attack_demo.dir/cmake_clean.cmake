@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_demo.dir/attack_demo.cpp.o"
+  "CMakeFiles/attack_demo.dir/attack_demo.cpp.o.d"
+  "attack_demo"
+  "attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

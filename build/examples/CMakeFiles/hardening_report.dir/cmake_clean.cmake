@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardening_report.dir/hardening_report.cpp.o"
+  "CMakeFiles/hardening_report.dir/hardening_report.cpp.o.d"
+  "hardening_report"
+  "hardening_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardening_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

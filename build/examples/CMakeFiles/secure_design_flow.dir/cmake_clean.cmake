@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_design_flow.dir/secure_design_flow.cpp.o"
+  "CMakeFiles/secure_design_flow.dir/secure_design_flow.cpp.o.d"
+  "secure_design_flow"
+  "secure_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

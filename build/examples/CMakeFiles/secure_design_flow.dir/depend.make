@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_design_flow.
+# This may be replaced when dependencies are built.

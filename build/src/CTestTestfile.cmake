@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("io")
+subdirs("graph")
+subdirs("sim")
+subdirs("tech")
+subdirs("timing")
+subdirs("power")
+subdirs("synth")
+subdirs("core")
+subdirs("attack")

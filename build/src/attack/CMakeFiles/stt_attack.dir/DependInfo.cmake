@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/brute_force.cpp" "src/attack/CMakeFiles/stt_attack.dir/brute_force.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/brute_force.cpp.o.d"
+  "/root/repo/src/attack/dpa.cpp" "src/attack/CMakeFiles/stt_attack.dir/dpa.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/dpa.cpp.o.d"
+  "/root/repo/src/attack/encode.cpp" "src/attack/CMakeFiles/stt_attack.dir/encode.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/encode.cpp.o.d"
+  "/root/repo/src/attack/guided_sens.cpp" "src/attack/CMakeFiles/stt_attack.dir/guided_sens.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/guided_sens.cpp.o.d"
+  "/root/repo/src/attack/ml_attack.cpp" "src/attack/CMakeFiles/stt_attack.dir/ml_attack.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/ml_attack.cpp.o.d"
+  "/root/repo/src/attack/oracle.cpp" "src/attack/CMakeFiles/stt_attack.dir/oracle.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/oracle.cpp.o.d"
+  "/root/repo/src/attack/partial_eval.cpp" "src/attack/CMakeFiles/stt_attack.dir/partial_eval.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/partial_eval.cpp.o.d"
+  "/root/repo/src/attack/sat.cpp" "src/attack/CMakeFiles/stt_attack.dir/sat.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/sat.cpp.o.d"
+  "/root/repo/src/attack/sat_attack.cpp" "src/attack/CMakeFiles/stt_attack.dir/sat_attack.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/sat_attack.cpp.o.d"
+  "/root/repo/src/attack/sensitization.cpp" "src/attack/CMakeFiles/stt_attack.dir/sensitization.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/sensitization.cpp.o.d"
+  "/root/repo/src/attack/seq_attack.cpp" "src/attack/CMakeFiles/stt_attack.dir/seq_attack.cpp.o" "gcc" "src/attack/CMakeFiles/stt_attack.dir/seq_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/stt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/stt_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/stt_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

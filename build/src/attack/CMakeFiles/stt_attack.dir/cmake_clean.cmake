@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_attack.dir/brute_force.cpp.o"
+  "CMakeFiles/stt_attack.dir/brute_force.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/dpa.cpp.o"
+  "CMakeFiles/stt_attack.dir/dpa.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/encode.cpp.o"
+  "CMakeFiles/stt_attack.dir/encode.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/guided_sens.cpp.o"
+  "CMakeFiles/stt_attack.dir/guided_sens.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/ml_attack.cpp.o"
+  "CMakeFiles/stt_attack.dir/ml_attack.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/oracle.cpp.o"
+  "CMakeFiles/stt_attack.dir/oracle.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/partial_eval.cpp.o"
+  "CMakeFiles/stt_attack.dir/partial_eval.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/sat.cpp.o"
+  "CMakeFiles/stt_attack.dir/sat.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/sat_attack.cpp.o"
+  "CMakeFiles/stt_attack.dir/sat_attack.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/sensitization.cpp.o"
+  "CMakeFiles/stt_attack.dir/sensitization.cpp.o.d"
+  "CMakeFiles/stt_attack.dir/seq_attack.cpp.o"
+  "CMakeFiles/stt_attack.dir/seq_attack.cpp.o.d"
+  "libstt_attack.a"
+  "libstt_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stt_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bitstream.cpp" "src/core/CMakeFiles/stt_core.dir/bitstream.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/bitstream.cpp.o.d"
+  "/root/repo/src/core/camouflage.cpp" "src/core/CMakeFiles/stt_core.dir/camouflage.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/camouflage.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/stt_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/stt_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/stt_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/packing.cpp" "src/core/CMakeFiles/stt_core.dir/packing.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/packing.cpp.o.d"
+  "/root/repo/src/core/security.cpp" "src/core/CMakeFiles/stt_core.dir/security.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/security.cpp.o.d"
+  "/root/repo/src/core/selection.cpp" "src/core/CMakeFiles/stt_core.dir/selection.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/selection.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/stt_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/stt_core.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/stt_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/stt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_core.dir/bitstream.cpp.o"
+  "CMakeFiles/stt_core.dir/bitstream.cpp.o.d"
+  "CMakeFiles/stt_core.dir/camouflage.cpp.o"
+  "CMakeFiles/stt_core.dir/camouflage.cpp.o.d"
+  "CMakeFiles/stt_core.dir/flow.cpp.o"
+  "CMakeFiles/stt_core.dir/flow.cpp.o.d"
+  "CMakeFiles/stt_core.dir/hybrid.cpp.o"
+  "CMakeFiles/stt_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/stt_core.dir/overhead.cpp.o"
+  "CMakeFiles/stt_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/stt_core.dir/packing.cpp.o"
+  "CMakeFiles/stt_core.dir/packing.cpp.o.d"
+  "CMakeFiles/stt_core.dir/security.cpp.o"
+  "CMakeFiles/stt_core.dir/security.cpp.o.d"
+  "CMakeFiles/stt_core.dir/selection.cpp.o"
+  "CMakeFiles/stt_core.dir/selection.cpp.o.d"
+  "CMakeFiles/stt_core.dir/similarity.cpp.o"
+  "CMakeFiles/stt_core.dir/similarity.cpp.o.d"
+  "libstt_core.a"
+  "libstt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/stt_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/stt_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/graph/CMakeFiles/stt_graph.dir/paths.cpp.o" "gcc" "src/graph/CMakeFiles/stt_graph.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

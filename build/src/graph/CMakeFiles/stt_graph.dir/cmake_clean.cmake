@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_graph.dir/analysis.cpp.o"
+  "CMakeFiles/stt_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/stt_graph.dir/paths.cpp.o"
+  "CMakeFiles/stt_graph.dir/paths.cpp.o.d"
+  "libstt_graph.a"
+  "libstt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstt_graph.a"
+)

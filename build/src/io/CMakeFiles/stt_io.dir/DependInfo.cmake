@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bench_io.cpp" "src/io/CMakeFiles/stt_io.dir/bench_io.cpp.o" "gcc" "src/io/CMakeFiles/stt_io.dir/bench_io.cpp.o.d"
+  "/root/repo/src/io/blif_io.cpp" "src/io/CMakeFiles/stt_io.dir/blif_io.cpp.o" "gcc" "src/io/CMakeFiles/stt_io.dir/blif_io.cpp.o.d"
+  "/root/repo/src/io/verilog_reader.cpp" "src/io/CMakeFiles/stt_io.dir/verilog_reader.cpp.o" "gcc" "src/io/CMakeFiles/stt_io.dir/verilog_reader.cpp.o.d"
+  "/root/repo/src/io/verilog_writer.cpp" "src/io/CMakeFiles/stt_io.dir/verilog_writer.cpp.o" "gcc" "src/io/CMakeFiles/stt_io.dir/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

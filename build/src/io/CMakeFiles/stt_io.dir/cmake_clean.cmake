@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_io.dir/bench_io.cpp.o"
+  "CMakeFiles/stt_io.dir/bench_io.cpp.o.d"
+  "CMakeFiles/stt_io.dir/blif_io.cpp.o"
+  "CMakeFiles/stt_io.dir/blif_io.cpp.o.d"
+  "CMakeFiles/stt_io.dir/verilog_reader.cpp.o"
+  "CMakeFiles/stt_io.dir/verilog_reader.cpp.o.d"
+  "CMakeFiles/stt_io.dir/verilog_writer.cpp.o"
+  "CMakeFiles/stt_io.dir/verilog_writer.cpp.o.d"
+  "libstt_io.a"
+  "libstt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/celltype.cpp" "src/netlist/CMakeFiles/stt_netlist.dir/celltype.cpp.o" "gcc" "src/netlist/CMakeFiles/stt_netlist.dir/celltype.cpp.o.d"
+  "/root/repo/src/netlist/cleanup.cpp" "src/netlist/CMakeFiles/stt_netlist.dir/cleanup.cpp.o" "gcc" "src/netlist/CMakeFiles/stt_netlist.dir/cleanup.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/stt_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/stt_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_netlist.dir/celltype.cpp.o"
+  "CMakeFiles/stt_netlist.dir/celltype.cpp.o.d"
+  "CMakeFiles/stt_netlist.dir/cleanup.cpp.o"
+  "CMakeFiles/stt_netlist.dir/cleanup.cpp.o.d"
+  "CMakeFiles/stt_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/stt_netlist.dir/netlist.cpp.o.d"
+  "libstt_netlist.a"
+  "libstt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

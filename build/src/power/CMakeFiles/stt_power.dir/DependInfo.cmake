@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity_prop.cpp" "src/power/CMakeFiles/stt_power.dir/activity_prop.cpp.o" "gcc" "src/power/CMakeFiles/stt_power.dir/activity_prop.cpp.o.d"
+  "/root/repo/src/power/power.cpp" "src/power/CMakeFiles/stt_power.dir/power.cpp.o" "gcc" "src/power/CMakeFiles/stt_power.dir/power.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/stt_power.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/stt_power.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/stt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

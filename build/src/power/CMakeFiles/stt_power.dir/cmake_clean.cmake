@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_power.dir/activity_prop.cpp.o"
+  "CMakeFiles/stt_power.dir/activity_prop.cpp.o.d"
+  "CMakeFiles/stt_power.dir/power.cpp.o"
+  "CMakeFiles/stt_power.dir/power.cpp.o.d"
+  "CMakeFiles/stt_power.dir/trace.cpp.o"
+  "CMakeFiles/stt_power.dir/trace.cpp.o.d"
+  "libstt_power.a"
+  "libstt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_sim.dir/activity.cpp.o"
+  "CMakeFiles/stt_sim.dir/activity.cpp.o.d"
+  "CMakeFiles/stt_sim.dir/scoap.cpp.o"
+  "CMakeFiles/stt_sim.dir/scoap.cpp.o.d"
+  "CMakeFiles/stt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/stt_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/stt_sim.dir/ternary.cpp.o"
+  "CMakeFiles/stt_sim.dir/ternary.cpp.o.d"
+  "libstt_sim.a"
+  "libstt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

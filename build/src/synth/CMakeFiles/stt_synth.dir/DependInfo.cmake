@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/stt_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/stt_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/optimize.cpp" "src/synth/CMakeFiles/stt_synth.dir/optimize.cpp.o" "gcc" "src/synth/CMakeFiles/stt_synth.dir/optimize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/stt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

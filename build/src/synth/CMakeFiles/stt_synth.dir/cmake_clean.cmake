@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_synth.dir/generator.cpp.o"
+  "CMakeFiles/stt_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/stt_synth.dir/optimize.cpp.o"
+  "CMakeFiles/stt_synth.dir/optimize.cpp.o.d"
+  "libstt_synth.a"
+  "libstt_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/device_model.cpp" "src/tech/CMakeFiles/stt_tech.dir/device_model.cpp.o" "gcc" "src/tech/CMakeFiles/stt_tech.dir/device_model.cpp.o.d"
+  "/root/repo/src/tech/tech_library.cpp" "src/tech/CMakeFiles/stt_tech.dir/tech_library.cpp.o" "gcc" "src/tech/CMakeFiles/stt_tech.dir/tech_library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

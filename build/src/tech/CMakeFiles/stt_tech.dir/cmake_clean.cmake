@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_tech.dir/device_model.cpp.o"
+  "CMakeFiles/stt_tech.dir/device_model.cpp.o.d"
+  "CMakeFiles/stt_tech.dir/tech_library.cpp.o"
+  "CMakeFiles/stt_tech.dir/tech_library.cpp.o.d"
+  "libstt_tech.a"
+  "libstt_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

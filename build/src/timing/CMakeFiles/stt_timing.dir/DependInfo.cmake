@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/sta.cpp" "src/timing/CMakeFiles/stt_timing.dir/sta.cpp.o" "gcc" "src/timing/CMakeFiles/stt_timing.dir/sta.cpp.o.d"
+  "/root/repo/src/timing/variation.cpp" "src/timing/CMakeFiles/stt_timing.dir/variation.cpp.o" "gcc" "src/timing/CMakeFiles/stt_timing.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/stt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_timing.dir/sta.cpp.o"
+  "CMakeFiles/stt_timing.dir/sta.cpp.o.d"
+  "CMakeFiles/stt_timing.dir/variation.cpp.o"
+  "CMakeFiles/stt_timing.dir/variation.cpp.o.d"
+  "libstt_timing.a"
+  "libstt_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

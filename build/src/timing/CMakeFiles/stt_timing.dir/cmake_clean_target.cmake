@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstt_timing.a"
+)

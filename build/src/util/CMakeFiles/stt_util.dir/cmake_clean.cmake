@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stt_util.dir/args.cpp.o"
+  "CMakeFiles/stt_util.dir/args.cpp.o.d"
+  "CMakeFiles/stt_util.dir/bignum.cpp.o"
+  "CMakeFiles/stt_util.dir/bignum.cpp.o.d"
+  "CMakeFiles/stt_util.dir/strings.cpp.o"
+  "CMakeFiles/stt_util.dir/strings.cpp.o.d"
+  "CMakeFiles/stt_util.dir/table.cpp.o"
+  "CMakeFiles/stt_util.dir/table.cpp.o.d"
+  "libstt_util.a"
+  "libstt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_prop_test.dir/activity_prop_test.cpp.o"
+  "CMakeFiles/activity_prop_test.dir/activity_prop_test.cpp.o.d"
+  "activity_prop_test"
+  "activity_prop_test.pdb"
+  "activity_prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

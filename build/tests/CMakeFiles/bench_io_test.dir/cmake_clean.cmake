@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_test.dir/bench_io_test.cpp.o"
+  "CMakeFiles/bench_io_test.dir/bench_io_test.cpp.o.d"
+  "bench_io_test"
+  "bench_io_test.pdb"
+  "bench_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camouflage_test.dir/camouflage_test.cpp.o"
+  "CMakeFiles/camouflage_test.dir/camouflage_test.cpp.o.d"
+  "camouflage_test"
+  "camouflage_test.pdb"
+  "camouflage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camouflage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celltype_test.dir/celltype_test.cpp.o"
+  "CMakeFiles/celltype_test.dir/celltype_test.cpp.o.d"
+  "celltype_test"
+  "celltype_test.pdb"
+  "celltype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celltype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpa_test.dir/dpa_test.cpp.o"
+  "CMakeFiles/dpa_test.dir/dpa_test.cpp.o.d"
+  "dpa_test"
+  "dpa_test.pdb"
+  "dpa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

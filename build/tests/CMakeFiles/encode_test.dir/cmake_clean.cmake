@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encode_test.dir/encode_test.cpp.o"
+  "CMakeFiles/encode_test.dir/encode_test.cpp.o.d"
+  "encode_test"
+  "encode_test.pdb"
+  "encode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

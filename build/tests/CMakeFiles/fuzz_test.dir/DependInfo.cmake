@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fuzz_test.dir/fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/stt_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/stt_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/stt_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/stt_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stt_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/stt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/stt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guided_sens_test.dir/guided_sens_test.cpp.o"
+  "CMakeFiles/guided_sens_test.dir/guided_sens_test.cpp.o.d"
+  "guided_sens_test"
+  "guided_sens_test.pdb"
+  "guided_sens_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guided_sens_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for guided_sens_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_formats_test.dir/io_formats_test.cpp.o"
+  "CMakeFiles/io_formats_test.dir/io_formats_test.cpp.o.d"
+  "io_formats_test"
+  "io_formats_test.pdb"
+  "io_formats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_formats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_attack_test.dir/ml_attack_test.cpp.o"
+  "CMakeFiles/ml_attack_test.dir/ml_attack_test.cpp.o.d"
+  "ml_attack_test"
+  "ml_attack_test.pdb"
+  "ml_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packing_test.dir/packing_test.cpp.o"
+  "CMakeFiles/packing_test.dir/packing_test.cpp.o.d"
+  "packing_test"
+  "packing_test.pdb"
+  "packing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproducibility_test.dir/reproducibility_test.cpp.o"
+  "CMakeFiles/reproducibility_test.dir/reproducibility_test.cpp.o.d"
+  "reproducibility_test"
+  "reproducibility_test.pdb"
+  "reproducibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

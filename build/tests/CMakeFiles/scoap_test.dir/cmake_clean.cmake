@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoap_test.dir/scoap_test.cpp.o"
+  "CMakeFiles/scoap_test.dir/scoap_test.cpp.o.d"
+  "scoap_test"
+  "scoap_test.pdb"
+  "scoap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

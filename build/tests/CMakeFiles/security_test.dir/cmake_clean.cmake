@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_test.dir/security_test.cpp.o"
+  "CMakeFiles/security_test.dir/security_test.cpp.o.d"
+  "security_test"
+  "security_test.pdb"
+  "security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_attack_test.dir/seq_attack_test.cpp.o"
+  "CMakeFiles/seq_attack_test.dir/seq_attack_test.cpp.o.d"
+  "seq_attack_test"
+  "seq_attack_test.pdb"
+  "seq_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_test.dir/similarity_test.cpp.o"
+  "CMakeFiles/similarity_test.dir/similarity_test.cpp.o.d"
+  "similarity_test"
+  "similarity_test.pdb"
+  "similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_test.dir/tech_test.cpp.o"
+  "CMakeFiles/tech_test.dir/tech_test.cpp.o.d"
+  "tech_test"
+  "tech_test.pdb"
+  "tech_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test.dir/timing_test.cpp.o"
+  "CMakeFiles/timing_test.dir/timing_test.cpp.o.d"
+  "timing_test"
+  "timing_test.pdb"
+  "timing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

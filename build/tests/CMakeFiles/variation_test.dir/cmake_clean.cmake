@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variation_test.dir/variation_test.cpp.o"
+  "CMakeFiles/variation_test.dir/variation_test.cpp.o.d"
+  "variation_test"
+  "variation_test.pdb"
+  "variation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

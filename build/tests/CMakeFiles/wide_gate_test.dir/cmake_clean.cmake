@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_gate_test.dir/wide_gate_test.cpp.o"
+  "CMakeFiles/wide_gate_test.dir/wide_gate_test.cpp.o.d"
+  "wide_gate_test"
+  "wide_gate_test.pdb"
+  "wide_gate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_gate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

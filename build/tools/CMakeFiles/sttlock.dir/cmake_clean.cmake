@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttlock.dir/sttlock_cli.cpp.o"
+  "CMakeFiles/sttlock.dir/sttlock_cli.cpp.o.d"
+  "sttlock"
+  "sttlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

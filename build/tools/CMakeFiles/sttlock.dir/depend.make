@@ -1,0 +1,2 @@
+# Empty dependencies file for sttlock.
+# This may be replaced when dependencies are built.
