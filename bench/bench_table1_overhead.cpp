@@ -10,19 +10,37 @@
 // stays within its timing margin by construction.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "core/flow.hpp"
+#include "runtime/job.hpp"
+#include "runtime/thread_pool.hpp"
 #include "synth/generator.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace stt;
 
 constexpr std::uint64_t kSeed = 20160605;  // DAC'16 conference date
+
+// Worker threads for the table regeneration; STT_BENCH_JOBS overrides
+// (set to 1 to reproduce the old serial behaviour — values are identical
+// either way, only wall time changes).
+unsigned bench_jobs() {
+  if (const char* env = std::getenv("STT_BENCH_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 0;  // ThreadPool: hardware concurrency
+}
 
 void print_table1() {
   const TechLibrary lib = TechLibrary::cmos90_stt();
@@ -31,39 +49,68 @@ void print_table1() {
                    "Area% Dep", "Area% Par", "#STT Ind", "#STT Dep",
                    "#STT Par", "size"});
 
-  Accumulator perf[3], power[3], area[3], count[3], sizes;
-  for (const CircuitProfile& profile : iscas89_profiles()) {
-    const Netlist original = generate_circuit(profile, kSeed);
-    FlowResult results[3];
-    const SelectionAlgorithm algs[3] = {SelectionAlgorithm::kIndependent,
-                                        SelectionAlgorithm::kDependent,
-                                        SelectionAlgorithm::kParametric};
+  // The whole benchmark x algorithm grid runs on the campaign engine's
+  // job graph: one circuit-generation job per benchmark, three dependent
+  // secure-flow jobs per circuit. Results land in grid-indexed slots, so
+  // the table below is byte-identical to the historical serial loop.
+  const auto& profiles = iscas89_profiles();
+  const SelectionAlgorithm algs[3] = {SelectionAlgorithm::kIndependent,
+                                      SelectionAlgorithm::kDependent,
+                                      SelectionAlgorithm::kParametric};
+  std::vector<std::shared_ptr<const Netlist>> circuits(profiles.size());
+  std::vector<std::array<FlowResult, 3>> results(profiles.size());
+
+  Timer wall;
+  ThreadPool pool(bench_jobs());
+  JobGraph graph;
+  for (std::size_t b = 0; b < profiles.size(); ++b) {
+    const JobId gen = graph.add("gen/" + profiles[b].name,
+                                [&circuits, &profiles, b](JobContext&) {
+                                  circuits[b] = std::make_shared<const Netlist>(
+                                      generate_circuit(profiles[b], kSeed));
+                                });
     for (int a = 0; a < 3; ++a) {
-      FlowOptions opt;
-      opt.algorithm = algs[a];
-      opt.selection.seed = kSeed + a;
-      results[a] = run_secure_flow(original, lib, opt);
-      perf[a].add(results[a].overhead.perf_degradation_pct());
-      power[a].add(results[a].overhead.power_overhead_pct());
-      area[a].add(results[a].overhead.area_overhead_pct());
-      count[a].add(results[a].overhead.num_stt_luts);
+      graph.add(
+          "flow/" + profiles[b].name + "/" + algorithm_name(algs[a]),
+          [&circuits, &results, &lib, &algs, b, a](JobContext&) {
+            FlowOptions opt;
+            opt.algorithm = algs[a];
+            opt.selection.seed = kSeed + static_cast<std::uint64_t>(a);
+            results[b][a] = run_secure_flow(*circuits[b], lib, opt);
+          },
+          {gen});
+    }
+  }
+  graph.run(pool);
+  std::fprintf(stderr, "table1 grid: %zu jobs on %u threads in %.1fs\n",
+               graph.size(), pool.size(), wall.seconds());
+
+  Accumulator perf[3], power[3], area[3], count[3], sizes;
+  for (std::size_t b = 0; b < profiles.size(); ++b) {
+    const CircuitProfile& profile = profiles[b];
+    const auto& row = results[b];
+    for (int a = 0; a < 3; ++a) {
+      perf[a].add(row[a].overhead.perf_degradation_pct());
+      power[a].add(row[a].overhead.power_overhead_pct());
+      area[a].add(row[a].overhead.area_overhead_pct());
+      count[a].add(row[a].overhead.num_stt_luts);
     }
     sizes.add(static_cast<double>(profile.n_gates));
 
     auto pct = [](double v) { return strformat("%.2f", v); };
     table.add_row({profile.name,
-                   pct(results[0].overhead.perf_degradation_pct()),
-                   pct(results[1].overhead.perf_degradation_pct()),
-                   pct(results[2].overhead.perf_degradation_pct()),
-                   pct(results[0].overhead.power_overhead_pct()),
-                   pct(results[1].overhead.power_overhead_pct()),
-                   pct(results[2].overhead.power_overhead_pct()),
-                   pct(results[0].overhead.area_overhead_pct()),
-                   pct(results[1].overhead.area_overhead_pct()),
-                   pct(results[2].overhead.area_overhead_pct()),
-                   std::to_string(results[0].overhead.num_stt_luts),
-                   std::to_string(results[1].overhead.num_stt_luts),
-                   std::to_string(results[2].overhead.num_stt_luts),
+                   pct(row[0].overhead.perf_degradation_pct()),
+                   pct(row[1].overhead.perf_degradation_pct()),
+                   pct(row[2].overhead.perf_degradation_pct()),
+                   pct(row[0].overhead.power_overhead_pct()),
+                   pct(row[1].overhead.power_overhead_pct()),
+                   pct(row[2].overhead.power_overhead_pct()),
+                   pct(row[0].overhead.area_overhead_pct()),
+                   pct(row[1].overhead.area_overhead_pct()),
+                   pct(row[2].overhead.area_overhead_pct()),
+                   std::to_string(row[0].overhead.num_stt_luts),
+                   std::to_string(row[1].overhead.num_stt_luts),
+                   std::to_string(row[2].overhead.num_stt_luts),
                    std::to_string(profile.n_gates)});
   }
   auto pct = [](double v) { return strformat("%.2f", v); };

@@ -5,9 +5,15 @@
 // must hold.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "core/selection.hpp"
+#include "runtime/job.hpp"
+#include "runtime/thread_pool.hpp"
 #include "synth/generator.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -18,30 +24,61 @@ using namespace stt;
 
 constexpr std::uint64_t kSeed = 20160605;
 
+unsigned bench_jobs() {
+  if (const char* env = std::getenv("STT_BENCH_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 0;  // ThreadPool: hardware concurrency
+}
+
 void print_table2() {
   const TechLibrary lib = TechLibrary::cmos90_stt();
   const GateSelector selector(lib);
   TextTable table({"Circuit", "Independent", "Dependent", "Parametric",
                    "Ind ms", "Dep ms", "Par ms"});
 
-  for (const CircuitProfile& profile : iscas89_profiles()) {
-    const Netlist original = generate_circuit(profile, kSeed);
+  // Selection timings for the whole grid, measured inside campaign-engine
+  // jobs (each timing comes from the selector's own monotonic timer, so
+  // parallel execution perturbs only scheduling, not the measured span).
+  const auto& profiles = iscas89_profiles();
+  const SelectionAlgorithm algs[3] = {SelectionAlgorithm::kIndependent,
+                                      SelectionAlgorithm::kDependent,
+                                      SelectionAlgorithm::kParametric};
+  std::vector<std::shared_ptr<const Netlist>> circuits(profiles.size());
+  std::vector<std::array<double, 3>> seconds(profiles.size());
+
+  ThreadPool pool(bench_jobs());
+  JobGraph graph;
+  for (std::size_t b = 0; b < profiles.size(); ++b) {
+    const JobId gen = graph.add("gen/" + profiles[b].name,
+                                [&circuits, &profiles, b](JobContext&) {
+                                  circuits[b] = std::make_shared<const Netlist>(
+                                      generate_circuit(profiles[b], kSeed));
+                                });
+    for (int a = 0; a < 3; ++a) {
+      graph.add(
+          "select/" + profiles[b].name + "/" + algorithm_name(algs[a]),
+          [&circuits, &seconds, &selector, &algs, b, a](JobContext&) {
+            Netlist work = *circuits[b];
+            SelectionOptions opt;
+            opt.seed = kSeed + static_cast<std::uint64_t>(a);
+            seconds[b][a] = selector.run(work, algs[a], opt).selection_seconds;
+          },
+          {gen});
+    }
+  }
+  graph.run(pool);
+
+  for (std::size_t b = 0; b < profiles.size(); ++b) {
     std::string cells[3];
     std::string ms[3];
-    const SelectionAlgorithm algs[3] = {SelectionAlgorithm::kIndependent,
-                                        SelectionAlgorithm::kDependent,
-                                        SelectionAlgorithm::kParametric};
     for (int a = 0; a < 3; ++a) {
-      Netlist work = original;
-      SelectionOptions opt;
-      opt.seed = kSeed + a;
-      const auto result = selector.run(work, algs[a], opt);
-      cells[a] = Timer::format_mmss(result.selection_seconds);
-      ms[a] = std::to_string(
-          static_cast<long long>(result.selection_seconds * 1e3 + 0.5));
+      cells[a] = Timer::format_mmss(seconds[b][a]);
+      ms[a] = std::to_string(static_cast<long long>(seconds[b][a] * 1e3 + 0.5));
     }
-    table.add_row({profile.name, cells[0], cells[1], cells[2], ms[0], ms[1],
-                   ms[2]});
+    table.add_row({profiles[b].name, cells[0], cells[1], cells[2], ms[0],
+                   ms[1], ms[2]});
   }
   std::printf(
       "Table II — The CPU time (MM:SS.t) for selecting gates for replacement\n"

@@ -27,6 +27,14 @@ struct FlowOptions {
 
 /// Run selection-and-replacement on a copy of `original` and evaluate the
 /// resulting hybrid design. The original netlist is left untouched.
+///
+/// Thread safety: safe to call concurrently from many threads, including
+/// with a shared `original` and a shared `lib` (audited for the campaign
+/// engine in src/runtime/). The flow owns all mutable state — the working
+/// netlist copy, the selector's Rng (seeded from opt.selection.seed), and
+/// the STA/power scratch — and TechLibrary, SimilarityModel and Netlist
+/// expose only genuinely const reads (no lazy caches, no mutable members,
+/// no global state anywhere in the flow's call tree).
 FlowResult run_secure_flow(const Netlist& original, const TechLibrary& lib,
                            const FlowOptions& opt = {});
 

@@ -1,0 +1,302 @@
+#include "runtime/campaign.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "attack/brute_force.hpp"
+#include "attack/ml_attack.hpp"
+#include "attack/oracle.hpp"
+#include "attack/sensitization.hpp"
+#include "core/hybrid.hpp"
+#include "synth/generator.hpp"
+#include "util/timer.hpp"
+
+namespace stt {
+
+namespace {
+
+// Distinct stream tags for the independent RNG streams of one grid point.
+constexpr int kStageCircuit = 0;
+constexpr int kStageSelection = 1;
+constexpr int kStageAttack = 2;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string campaign_attack_name(CampaignAttack attack) {
+  switch (attack) {
+    case CampaignAttack::kNone:
+      return "none";
+    case CampaignAttack::kSensitization:
+      return "sens";
+    case CampaignAttack::kBruteForce:
+      return "bf";
+    case CampaignAttack::kMl:
+      return "ml";
+  }
+  return "?";
+}
+
+CampaignAttack parse_campaign_attack(const std::string& name) {
+  if (name == "none") return CampaignAttack::kNone;
+  if (name == "sens") return CampaignAttack::kSensitization;
+  if (name == "bf") return CampaignAttack::kBruteForce;
+  if (name == "ml") return CampaignAttack::kMl;
+  throw std::invalid_argument("unknown campaign attack '" + name +
+                              "' (expected none|sens|bf|ml)");
+}
+
+std::uint64_t campaign_seed(std::uint64_t master_seed,
+                            std::string_view benchmark, int stage,
+                            int algorithm_index, int trial, int attempt) {
+  // Feed every coordinate through two SplitMix64 rounds so neighbouring
+  // grid points (trial k vs k+1, attempt 0 vs 1) get uncorrelated streams.
+  std::uint64_t h = splitmix64(master_seed ^ fnv1a(benchmark));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(stage) << 48) ^
+                 (static_cast<std::uint64_t>(algorithm_index + 1) << 32) ^
+                 (static_cast<std::uint64_t>(trial) << 8) ^
+                 static_cast<std::uint64_t>(attempt));
+  return h;
+}
+
+RetryOutcome run_with_seed_backoff(
+    int max_attempts, const std::function<std::uint64_t(int)>& seed_for,
+    const std::function<void(std::uint64_t seed, int attempt)>& body) {
+  RetryOutcome outcome;
+  if (max_attempts < 1) max_attempts = 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++outcome.attempts;
+    try {
+      body(seed_for(attempt), attempt);
+      outcome.ok = true;
+      return outcome;
+    } catch (const std::exception& e) {
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.error = "unknown exception";
+    }
+  }
+  return outcome;
+}
+
+namespace {
+
+using ProgressFn = std::function<void(std::size_t, std::size_t,
+                                      const std::string&)>;
+
+/// Serialized progress fan-in for the worker threads.
+class ProgressSink {
+ public:
+  ProgressSink(ProgressFn fn, std::size_t total)
+      : fn_(std::move(fn)), total_(total) {}
+
+  void tick(const std::string& label) {
+    if (!fn_) return;
+    std::lock_guard lock(mutex_);
+    fn_(++done_, total_, label);
+  }
+
+ private:
+  ProgressFn fn_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::mutex mutex_;
+};
+
+void run_attack_stage(CampaignRow& row, const Netlist& hybrid,
+                      CampaignAttack attack, std::uint64_t attack_seed) {
+  if (attack == CampaignAttack::kNone) return;
+  const Netlist view = foundry_view(hybrid);
+  ScanOracle oracle(hybrid);
+  row.attack_ran = true;
+  switch (attack) {
+    case CampaignAttack::kSensitization: {
+      SensitizationOptions opt;
+      opt.seed = attack_seed;
+      const auto r = run_sensitization_attack(view, oracle, opt);
+      row.attack_success = r.success;
+      row.attack_queries = r.patterns_used;
+      break;
+    }
+    case CampaignAttack::kBruteForce: {
+      const auto r = run_brute_force(view, oracle);
+      row.attack_success = r.success;
+      row.attack_queries = r.oracle_queries;
+      break;
+    }
+    case CampaignAttack::kMl: {
+      MlAttackOptions opt;
+      opt.seed = attack_seed;
+      const auto r = run_ml_attack(view, oracle, opt);
+      row.attack_success = r.success;
+      row.attack_queries = r.oracle_queries;
+      break;
+    }
+    case CampaignAttack::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignSpec& spec) {
+  CampaignReport report;
+  report.benchmarks = spec.benchmarks;
+  if (report.benchmarks.empty()) {
+    for (const CircuitProfile& profile : iscas89_profiles()) {
+      report.benchmarks.push_back(profile.name);
+    }
+  }
+  std::vector<CircuitProfile> profiles;
+  for (const std::string& name : report.benchmarks) {
+    const auto profile = find_profile(name);
+    if (!profile) {
+      throw std::invalid_argument("unknown benchmark '" + name + "'");
+    }
+    profiles.push_back(*profile);
+  }
+  report.algorithms = spec.algorithms;
+  report.trials = spec.trials;
+  report.master_seed = spec.master_seed;
+  report.attack = spec.attack;
+  if (profiles.empty() || report.algorithms.empty() || spec.trials < 1) {
+    throw std::invalid_argument("campaign grid is empty");
+  }
+
+  const std::size_t n_bench = profiles.size();
+  const std::size_t n_alg = report.algorithms.size();
+  const std::size_t n_trial = static_cast<std::size_t>(spec.trials);
+  report.rows.resize(n_bench * n_alg * n_trial);
+
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+
+  // Per-(benchmark, trial) shared circuit, produced by a generation job and
+  // consumed read-only by the per-algorithm flow jobs hanging off it.
+  std::vector<std::shared_ptr<const Netlist>> circuits(n_bench * n_trial);
+
+  ProgressSink progress(spec.on_progress, report.rows.size());
+
+  ThreadPool pool(spec.jobs == 0 ? 0 : spec.jobs);
+  JobGraph graph;
+  Timer campaign_timer;
+
+  std::vector<JobId> flow_jobs(report.rows.size());
+  for (std::size_t b = 0; b < n_bench; ++b) {
+    for (std::size_t t = 0; t < n_trial; ++t) {
+      const CircuitProfile& profile = profiles[b];
+      const std::size_t circuit_index = b * n_trial + t;
+      const std::uint64_t circuit_seed =
+          campaign_seed(spec.master_seed, profile.name, kStageCircuit, -1,
+                        static_cast<int>(t), 0);
+      const JobId gen_job = graph.add(
+          "gen/" + profile.name + "/t" + std::to_string(t),
+          [&circuits, circuit_index, profile, circuit_seed](JobContext&) {
+            circuits[circuit_index] = std::make_shared<const Netlist>(
+                generate_circuit(profile, circuit_seed));
+          });
+      for (std::size_t a = 0; a < n_alg; ++a) {
+        const SelectionAlgorithm alg = report.algorithms[a];
+        const std::size_t row_index = (b * n_alg + a) * n_trial + t;
+        CampaignRow& row = report.rows[row_index];
+        row.benchmark = profile.name;
+        row.algorithm = alg;
+        row.trial = static_cast<int>(t);
+        row.circuit_seed = circuit_seed;
+        const std::string label =
+            profile.name + "/" + algorithm_name(alg) + "/t" + std::to_string(t);
+        flow_jobs[row_index] = graph.add(
+            "flow/" + label,
+            [&spec, &lib, &circuits, &progress, &row, circuit_index, alg,
+             label, a, t](JobContext&) {
+              const Netlist& original = *circuits[circuit_index];
+              const auto seed_for = [&spec, &row, a, t](int attempt) {
+                return campaign_seed(spec.master_seed, row.benchmark,
+                                     kStageSelection, static_cast<int>(a),
+                                     static_cast<int>(t), attempt);
+              };
+              const Timer flow_timer;
+              const RetryOutcome outcome = run_with_seed_backoff(
+                  spec.max_attempts, seed_for,
+                  [&](std::uint64_t seed, int /*attempt*/) {
+                    FlowOptions opt;
+                    opt.algorithm = alg;
+                    opt.selection.seed = seed;
+                    opt.selection.timing_margin = spec.timing_margin;
+                    opt.activity = spec.activity;
+                    const FlowResult flow =
+                        run_secure_flow(original, lib, opt);
+                    row.selection_seed = seed;
+                    row.num_luts = flow.overhead.num_stt_luts;
+                    row.perf_pct = flow.overhead.perf_degradation_pct();
+                    row.power_pct = flow.overhead.power_overhead_pct();
+                    row.area_pct = flow.overhead.area_overhead_pct();
+                    row.original_delay_ps = flow.overhead.original_delay_ps;
+                    row.hybrid_delay_ps = flow.overhead.hybrid_delay_ps;
+                    row.n_indep = flow.security.n_indep.to_string();
+                    row.n_dep = flow.security.n_dep.to_string();
+                    row.n_bf = flow.security.n_bf.to_string();
+                    row.paths_considered = flow.selection.paths_considered;
+                    row.timing_retries = flow.selection.timing_retries;
+                    row.usl_replacements = flow.selection.usl_replacements;
+                    row.selection_ms = flow.selection.selection_seconds * 1e3;
+                    run_attack_stage(
+                        row, flow.hybrid, spec.attack,
+                        campaign_seed(spec.master_seed, row.benchmark,
+                                      kStageAttack, static_cast<int>(a),
+                                      static_cast<int>(t), 0));
+                  });
+              row.attempts = outcome.attempts;
+              row.ok = outcome.ok;
+              row.error = outcome.error;
+              row.flow_ms = flow_timer.millis();
+              progress.tick(label);
+              if (!outcome.ok) {
+                throw std::runtime_error(outcome.error);
+              }
+            },
+            {gen_job});
+      }
+    }
+  }
+
+  graph.run(pool);
+
+  // Jobs that never ran (generation failed upstream) still need their rows
+  // closed out, and queue latency only the graph knows.
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    CampaignRow& row = report.rows[i];
+    const JobRecord record = graph.record(flow_jobs[i]);
+    row.queue_ms = record.queue_ms;
+    if (record.state == JobState::kCancelled && row.error.empty()) {
+      row.error = record.error;
+    }
+    report.profile.job_cpu_seconds += record.run_ms / 1e3;
+    if (!row.ok) ++report.profile.failed_rows;
+  }
+
+  pool.wait_idle();
+  report.profile.threads = pool.size();
+  report.profile.wall_seconds = campaign_timer.seconds();
+  const ThreadPool::Stats stats = pool.stats();
+  report.profile.executed = stats.executed;
+  report.profile.stolen = stats.stolen;
+  return report;
+}
+
+}  // namespace stt

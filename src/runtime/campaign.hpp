@@ -1,0 +1,144 @@
+// Experiment-campaign driver: expands a benchmark x algorithm x trial grid
+// into a dependency graph of jobs (one circuit-generation job per
+// (benchmark, trial), one secure-flow job per grid point hanging off it)
+// and executes it on a work-stealing ThreadPool.
+//
+// Determinism contract: every stochastic stage of a grid point derives its
+// RNG stream from (master_seed, benchmark, algorithm, trial, attempt) via
+// `campaign_seed`, and results land in a preallocated slot addressed by the
+// grid index — so an N-thread campaign produces byte-identical result rows
+// to a single-thread one regardless of execution interleaving. Measured
+// durations (selection/flow/queue time) are inherently non-deterministic
+// and are segregated by the report layer (report.hpp) into the timing
+// views, never into the deterministic result CSV.
+//
+// Failure policy: a grid point whose flow throws (e.g. a timing-infeasible
+// parametric selection) is retried with the *next attempt's* seed — a
+// bounded "backoff in seed space" — and only after `max_attempts` tries is
+// the row recorded as failed; the rest of the campaign always completes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "runtime/job.hpp"
+
+namespace stt {
+
+/// Optional oracle-based attack stage appended to every grid point. All
+/// three are deterministic for a fixed seed, so attack columns stay inside
+/// the byte-identical result rows. (The SAT attack is excluded here: its
+/// wall-clock cutoff would break the determinism contract.)
+enum class CampaignAttack { kNone, kSensitization, kBruteForce, kMl };
+
+std::string campaign_attack_name(CampaignAttack attack);
+
+/// Parses "none" | "sens" | "bf" | "ml"; throws on anything else.
+CampaignAttack parse_campaign_attack(const std::string& name);
+
+struct CampaignSpec {
+  /// ISCAS'89 profile names; empty = all twelve Table I benchmarks.
+  std::vector<std::string> benchmarks;
+  std::vector<SelectionAlgorithm> algorithms = {
+      SelectionAlgorithm::kIndependent, SelectionAlgorithm::kDependent,
+      SelectionAlgorithm::kParametric};
+  int trials = 1;
+  std::uint64_t master_seed = 20160605;  ///< the repo's Table I/II seed
+  unsigned jobs = 1;                     ///< worker threads (0 = hardware)
+  int max_attempts = 3;                  ///< seed-backoff retry bound
+  CampaignAttack attack = CampaignAttack::kNone;
+  double activity = 0.10;       ///< power sign-off switching activity
+  double timing_margin = 0.05;  ///< parametric timing margin
+  /// Progress callback, invoked once per settled grid point from worker
+  /// threads (serialized by the driver). May be empty.
+  std::function<void(std::size_t done, std::size_t total,
+                     const std::string& label)>
+      on_progress;
+};
+
+/// One grid point's outcome. Fields above the "measured" marker are
+/// deterministic; the measured block varies run to run.
+struct CampaignRow {
+  std::string benchmark;
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kIndependent;
+  int trial = 0;
+  std::uint64_t circuit_seed = 0;
+  std::uint64_t selection_seed = 0;  ///< seed of the successful attempt
+  int attempts = 1;
+  bool ok = false;
+  std::string error;  ///< last failure message when !ok
+
+  // Flow metrics (Table I + security sign-off).
+  int num_luts = 0;
+  double perf_pct = 0;
+  double power_pct = 0;
+  double area_pct = 0;
+  double original_delay_ps = 0;
+  double hybrid_delay_ps = 0;
+  std::string n_indep;
+  std::string n_dep;
+  std::string n_bf;
+  int paths_considered = 0;
+  int timing_retries = 0;
+  int usl_replacements = 0;
+
+  // Attack stage (when spec.attack != kNone).
+  bool attack_ran = false;
+  bool attack_success = false;
+  std::uint64_t attack_queries = 0;
+
+  // -- measured (non-deterministic; reported separately) ------------------
+  double selection_ms = 0;  ///< Table II metric, from the selector's timer
+  double flow_ms = 0;       ///< whole-job run time
+  double queue_ms = 0;      ///< ready -> running scheduling latency
+};
+
+struct CampaignReport {
+  std::vector<std::string> benchmarks;  ///< resolved benchmark list
+  std::vector<SelectionAlgorithm> algorithms;
+  int trials = 1;
+  std::uint64_t master_seed = 0;
+  CampaignAttack attack = CampaignAttack::kNone;
+
+  /// Grid order: benchmark-major, then algorithm, then trial — independent
+  /// of execution interleaving.
+  std::vector<CampaignRow> rows;
+
+  struct Profile {
+    unsigned threads = 0;
+    double wall_seconds = 0;
+    double job_cpu_seconds = 0;  ///< sum of per-job run times
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    std::size_t failed_rows = 0;
+  } profile;
+};
+
+/// Seed derivation for every stochastic stage of a grid point. `stage`
+/// namespaces independent streams of the same grid point (circuit
+/// generation vs selection vs attack); `attempt` implements the retry
+/// backoff-in-seed policy.
+std::uint64_t campaign_seed(std::uint64_t master_seed,
+                            std::string_view benchmark, int stage,
+                            int algorithm_index, int trial, int attempt);
+
+/// Retry helper: calls `body(seed_for(attempt), attempt)` until it returns
+/// without throwing or `max_attempts` is exhausted.
+struct RetryOutcome {
+  int attempts = 0;
+  bool ok = false;
+  std::string error;  ///< last exception message when !ok
+};
+RetryOutcome run_with_seed_backoff(
+    int max_attempts, const std::function<std::uint64_t(int)>& seed_for,
+    const std::function<void(std::uint64_t seed, int attempt)>& body);
+
+/// Expand the grid, run it, aggregate. Throws std::invalid_argument on an
+/// unknown benchmark name or an empty grid before any job starts.
+CampaignReport run_campaign(const CampaignSpec& spec);
+
+}  // namespace stt

@@ -1,0 +1,228 @@
+#include "runtime/report.hpp"
+
+#include <map>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace stt {
+
+namespace {
+
+std::string fmt(double v) { return strformat("%.4f", v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strformat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string row_status(const CampaignRow& row) {
+  return row.ok ? "ok" : "failed";
+}
+
+}  // namespace
+
+std::string campaign_results_csv(const CampaignReport& report) {
+  TextTable table({"benchmark",    "algorithm",      "trial",
+                   "circuit_seed", "selection_seed", "status",
+                   "attempts",     "luts",           "perf_pct",
+                   "power_pct",    "area_pct",       "orig_delay_ps",
+                   "hybrid_delay_ps", "n_indep",     "n_dep",
+                   "n_bf",         "paths",          "timing_retries",
+                   "usl",          "attack",         "attack_success",
+                   "attack_queries", "error"});
+  for (const CampaignRow& row : report.rows) {
+    table.add_row({row.benchmark,
+                   algorithm_name(row.algorithm),
+                   std::to_string(row.trial),
+                   std::to_string(row.circuit_seed),
+                   std::to_string(row.selection_seed),
+                   row_status(row),
+                   std::to_string(row.attempts),
+                   std::to_string(row.num_luts),
+                   fmt(row.perf_pct),
+                   fmt(row.power_pct),
+                   fmt(row.area_pct),
+                   fmt(row.original_delay_ps),
+                   fmt(row.hybrid_delay_ps),
+                   row.n_indep,
+                   row.n_dep,
+                   row.n_bf,
+                   std::to_string(row.paths_considered),
+                   std::to_string(row.timing_retries),
+                   std::to_string(row.usl_replacements),
+                   row.attack_ran ? campaign_attack_name(report.attack) : "none",
+                   row.attack_ran ? (row.attack_success ? "1" : "0") : "",
+                   row.attack_ran ? std::to_string(row.attack_queries) : "",
+                   row.error});
+  }
+  return table.to_csv();
+}
+
+std::string campaign_timing_csv(const CampaignReport& report) {
+  TextTable table({"benchmark", "algorithm", "trial", "selection_mmss",
+                   "selection_ms", "flow_ms", "queue_ms"});
+  for (const CampaignRow& row : report.rows) {
+    table.add_row({row.benchmark, algorithm_name(row.algorithm),
+                   std::to_string(row.trial),
+                   Timer::format_mmss(row.selection_ms / 1e3),
+                   strformat("%.1f", row.selection_ms),
+                   strformat("%.1f", row.flow_ms),
+                   strformat("%.2f", row.queue_ms)});
+  }
+  return table.to_csv();
+}
+
+std::vector<AlgorithmSummary> summarize_by_algorithm(
+    const CampaignReport& report) {
+  std::vector<AlgorithmSummary> summaries;
+  for (const SelectionAlgorithm alg : report.algorithms) {
+    AlgorithmSummary summary;
+    summary.algorithm = alg;
+    for (const CampaignRow& row : report.rows) {
+      if (row.algorithm != alg) continue;
+      ++summary.rows;
+      if (!row.ok) {
+        ++summary.failed;
+        continue;
+      }
+      summary.perf_pct.add(row.perf_pct);
+      summary.power_pct.add(row.power_pct);
+      summary.area_pct.add(row.area_pct);
+      summary.luts.add(row.num_luts);
+    }
+    summaries.push_back(summary);
+  }
+  return summaries;
+}
+
+std::string campaign_summary_text(const CampaignReport& report) {
+  TextTable table({"Algorithm", "Rows", "Failed", "Perf% mean", "Pwr% mean",
+                   "Area% mean", "#STT mean"});
+  for (const AlgorithmSummary& s : summarize_by_algorithm(report)) {
+    table.add_row({algorithm_name(s.algorithm), std::to_string(s.rows),
+                   std::to_string(s.failed), strformat("%.2f", s.perf_pct.mean()),
+                   strformat("%.2f", s.power_pct.mean()),
+                   strformat("%.2f", s.area_pct.mean()),
+                   strformat("%.1f", s.luts.mean())});
+  }
+  return table.render();
+}
+
+std::string campaign_json(const CampaignReport& report, bool include_profile) {
+  std::string out = "{\n";
+  out += strformat("  \"master_seed\": %llu,\n",
+                   static_cast<unsigned long long>(report.master_seed));
+  out += strformat("  \"trials\": %d,\n", report.trials);
+  out += "  \"attack\": \"" + campaign_attack_name(report.attack) + "\",\n";
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const CampaignRow& row = report.rows[i];
+    out += "    {";
+    out += "\"benchmark\": \"" + json_escape(row.benchmark) + "\", ";
+    out += "\"algorithm\": \"" + algorithm_name(row.algorithm) + "\", ";
+    out += strformat("\"trial\": %d, ", row.trial);
+    out += strformat("\"circuit_seed\": %llu, ",
+                     static_cast<unsigned long long>(row.circuit_seed));
+    out += strformat("\"selection_seed\": %llu, ",
+                     static_cast<unsigned long long>(row.selection_seed));
+    out += "\"status\": \"" + row_status(row) + "\", ";
+    out += strformat("\"attempts\": %d, ", row.attempts);
+    out += strformat("\"luts\": %d, ", row.num_luts);
+    out += "\"perf_pct\": " + fmt(row.perf_pct) + ", ";
+    out += "\"power_pct\": " + fmt(row.power_pct) + ", ";
+    out += "\"area_pct\": " + fmt(row.area_pct) + ", ";
+    out += "\"n_indep\": \"" + json_escape(row.n_indep) + "\", ";
+    out += "\"n_dep\": \"" + json_escape(row.n_dep) + "\", ";
+    out += "\"n_bf\": \"" + json_escape(row.n_bf) + "\", ";
+    out += strformat("\"timing_retries\": %d, ", row.timing_retries);
+    out += strformat("\"usl\": %d", row.usl_replacements);
+    if (row.attack_ran) {
+      out += strformat(", \"attack_success\": %s, \"attack_queries\": %llu",
+                       row.attack_success ? "true" : "false",
+                       static_cast<unsigned long long>(row.attack_queries));
+    }
+    if (!row.ok) {
+      out += ", \"error\": \"" + json_escape(row.error) + "\"";
+    }
+    out += "}";
+    if (i + 1 < report.rows.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ],\n";
+  out += "  \"summary\": [\n";
+  const auto summaries = summarize_by_algorithm(report);
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const AlgorithmSummary& s = summaries[i];
+    out += "    {\"algorithm\": \"" + algorithm_name(s.algorithm) + "\", ";
+    out += strformat("\"rows\": %zu, \"failed\": %zu, ", s.rows, s.failed);
+    out += "\"perf_pct_mean\": " + fmt(s.perf_pct.mean()) + ", ";
+    out += "\"power_pct_mean\": " + fmt(s.power_pct.mean()) + ", ";
+    out += "\"area_pct_mean\": " + fmt(s.area_pct.mean()) + ", ";
+    out += "\"luts_mean\": " + fmt(s.luts.mean()) + "}";
+    if (i + 1 < summaries.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]";
+  if (include_profile) {
+    const auto& p = report.profile;
+    out += ",\n  \"runtime\": {";
+    out += strformat("\"threads\": %u, ", p.threads);
+    out += strformat("\"wall_seconds\": %.3f, ", p.wall_seconds);
+    out += strformat("\"job_cpu_seconds\": %.3f, ", p.job_cpu_seconds);
+    out += strformat("\"executed\": %llu, ",
+                     static_cast<unsigned long long>(p.executed));
+    out += strformat("\"stolen\": %llu, ",
+                     static_cast<unsigned long long>(p.stolen));
+    out += strformat("\"failed_rows\": %zu}", p.failed_rows);
+  }
+  out += "\n}\n";
+  return out;
+}
+
+ProgressMeter::ProgressMeter(std::size_t total, bool enabled, std::FILE* out)
+    : total_(total), enabled_(enabled), out_(out) {}
+
+void ProgressMeter::tick(std::size_t done, const std::string& label) {
+  if (!enabled_) return;
+  std::lock_guard lock(mutex_);
+  std::fprintf(out_, "\r[%zu/%zu] %-40s t=%.1fs", done, total_, label.c_str(),
+               timer_.seconds());
+  std::fflush(out_);
+  dirty_ = true;
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  std::lock_guard lock(mutex_);
+  if (dirty_) {
+    std::fputc('\n', out_);
+    std::fflush(out_);
+    dirty_ = false;
+  }
+}
+
+}  // namespace stt

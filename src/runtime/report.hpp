@@ -1,0 +1,68 @@
+// Structured reporting for campaign runs.
+//
+// Two classes of output, deliberately kept apart:
+//  * deterministic views — `campaign_results_csv` (one row per grid point)
+//    and the "results"/"summary" sections of `campaign_json`. Byte-identical
+//    across runs and across --jobs values; the determinism test and any
+//    diff-based regression tracking key off these.
+//  * measured views — `campaign_timing_csv` (Table II-style selection CPU
+//    times plus scheduling latency) and the "runtime" JSON section. These
+//    report what actually happened on this machine and vary run to run.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace stt {
+
+/// Deterministic per-grid-point result rows (RFC 4180 CSV, header first).
+std::string campaign_results_csv(const CampaignReport& report);
+
+/// Measured per-grid-point timings: selection CPU time in the paper's
+/// MM:SS.t style and milliseconds, whole-flow and queue latency.
+std::string campaign_timing_csv(const CampaignReport& report);
+
+/// Per-algorithm aggregates over the successful rows.
+struct AlgorithmSummary {
+  SelectionAlgorithm algorithm = SelectionAlgorithm::kIndependent;
+  Accumulator perf_pct, power_pct, area_pct, luts;
+  std::size_t rows = 0;
+  std::size_t failed = 0;
+};
+std::vector<AlgorithmSummary> summarize_by_algorithm(
+    const CampaignReport& report);
+
+/// Human-readable aggregate table (TextTable-rendered).
+std::string campaign_summary_text(const CampaignReport& report);
+
+/// Full JSON document: results + summary (+ runtime profile unless
+/// `include_profile` is false, which callers comparing documents across
+/// runs should use).
+std::string campaign_json(const CampaignReport& report,
+                          bool include_profile = true);
+
+/// Thread-safe single-line progress meter ("\r[done/total] label  t=..s"),
+/// written to `out` only when `enabled` (pass isatty() or a --progress
+/// flag). finish() terminates the line.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::size_t total, bool enabled, std::FILE* out = stderr);
+  void tick(std::size_t done, const std::string& label);
+  void finish();
+
+ private:
+  std::mutex mutex_;
+  std::size_t total_;
+  bool enabled_;
+  std::FILE* out_;
+  Timer timer_;
+  bool dirty_ = false;  ///< a progress line is pending termination
+};
+
+}  // namespace stt

@@ -1,0 +1,131 @@
+#include "runtime/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace stt {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(Shutdown::kDrain); }
+
+void ThreadPool::submit(Task task) {
+  if (!task) throw std::invalid_argument("ThreadPool::submit: empty task");
+  unsigned target;
+  {
+    std::lock_guard lock(coord_mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("ThreadPool::submit: pool is shut down");
+    }
+    ++pending_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % static_cast<unsigned>(queues_.size());
+  }
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  // Lock-then-notify so a worker between its predicate check and its wait
+  // cannot miss the signal.
+  { std::lock_guard lock(coord_mutex_); }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(coord_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::shutdown(Shutdown mode) {
+  {
+    std::lock_guard lock(coord_mutex_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  if (mode == Shutdown::kDiscard) {
+    std::size_t dropped = 0;
+    for (auto& queue : queues_) {
+      std::lock_guard lock(queue->mutex);
+      dropped += queue->tasks.size();
+      queue->tasks.clear();
+    }
+    if (dropped) {
+      std::lock_guard lock(coord_mutex_);
+      discarded_ += dropped;
+      pending_ -= dropped;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::lock_guard lock(coord_mutex_);
+  return {executed_, stolen_, discarded_};
+}
+
+bool ThreadPool::try_pop_local(unsigned index, Task& out) {
+  auto& queue = *queues_[index];
+  std::lock_guard lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  out = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(unsigned index, Task& out) {
+  const auto n = queues_.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    auto& victim = *queues_[(index + hop) % n];
+    std::lock_guard lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    out = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::any_queued() {
+  for (auto& queue : queues_) {
+    std::lock_guard lock(queue->mutex);
+    if (!queue->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  for (;;) {
+    Task task;
+    const bool got_local = try_pop_local(index, task);
+    const bool got = got_local || try_steal(index, task);
+    if (got) {
+      task();
+      std::lock_guard lock(coord_mutex_);
+      ++executed_;
+      if (!got_local) ++stolen_;
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock lock(coord_mutex_);
+    work_cv_.wait(lock, [this] { return stopping_ || any_queued(); });
+    if (stopping_ && !any_queued()) return;
+  }
+}
+
+}  // namespace stt

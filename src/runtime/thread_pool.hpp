@@ -1,0 +1,97 @@
+// Work-stealing thread pool: the execution backbone of the experiment
+// campaign engine.
+//
+// Each worker owns a deque; `submit` distributes tasks round-robin across
+// the worker deques. A worker pops from the back of its own deque (LIFO,
+// cache-friendly) and, when empty, steals from the front of a sibling's
+// deque (FIFO, oldest-first, which keeps stolen work coarse). Campaign
+// jobs are heavyweight (a full secure-flow run is milliseconds to seconds),
+// so queues are mutex-protected — contention is negligible at this
+// granularity and the implementation stays ThreadSanitizer-clean.
+//
+// Shutdown semantics are explicit because the campaign driver needs both:
+//  * shutdown(kDrain)   — finish every pending task, then join (default,
+//                         also what the destructor does);
+//  * shutdown(kDiscard) — drop tasks that have not started, finish only
+//                         the ones already running, then join. Pending
+//                         tasks are counted in stats().discarded.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stt {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  enum class Shutdown { kDrain, kDiscard };
+
+  struct Stats {
+    std::uint64_t executed = 0;   ///< tasks run to completion
+    std::uint64_t stolen = 0;     ///< tasks taken from a sibling's deque
+    std::uint64_t discarded = 0;  ///< tasks dropped by shutdown(kDiscard)
+  };
+
+  /// `num_threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains pending work and joins (equivalent to shutdown(kDrain)).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Throws std::runtime_error after shutdown().
+  void submit(Task task);
+
+  /// Block until every submitted task has finished (or been discarded).
+  /// The pool remains usable afterwards.
+  void wait_idle();
+
+  /// Stop the pool and join all workers. Idempotent; `mode` of the first
+  /// call wins.
+  void shutdown(Shutdown mode = Shutdown::kDrain);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  Stats stats() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop_local(unsigned index, Task& out);
+  bool try_steal(unsigned index, Task& out);
+  bool any_queued();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // One coordination mutex guards the condition variables and the
+  // stop/pending transitions observed by their predicates.
+  mutable std::mutex coord_mutex_;
+  std::condition_variable work_cv_;  ///< workers sleep here
+  std::condition_variable idle_cv_;  ///< wait_idle() sleeps here
+  bool stopping_ = false;
+  bool accepting_ = true;
+  std::size_t pending_ = 0;  ///< submitted, not yet finished or discarded
+
+  unsigned next_queue_ = 0;  ///< round-robin submit cursor (under coord_mutex_)
+
+  std::uint64_t executed_ = 0;
+  std::uint64_t stolen_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace stt

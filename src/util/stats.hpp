@@ -1,10 +1,12 @@
-// Streaming statistics accumulator (Welford) used by the overhead reports
-// and the attack-cost measurements.
+// Streaming statistics accumulator (Welford) used by the overhead reports,
+// the attack-cost measurements, and the campaign engine's cross-thread
+// metric aggregation.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <limits>
+#include <vector>
 
 namespace stt {
 
@@ -31,6 +33,26 @@ class Accumulator {
   }
   double stddev() const { return std::sqrt(variance()); }
 
+  /// Fold another accumulator into this one (Chan et al.'s parallel
+  /// variance combination), so per-thread accumulators can be reduced
+  /// after a parallel campaign without losing the exact mean/variance.
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -38,6 +60,37 @@ class Accumulator {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// One Accumulator shard per worker thread, padded to a cache line so
+/// concurrent add() calls from different shards never false-share.
+/// Each shard is single-writer (the owning worker); combined() is called
+/// after the workers have finished.
+class ShardedAccumulator {
+ public:
+  explicit ShardedAccumulator(std::size_t shards)
+      : shards_(shards ? shards : 1) {}
+
+  std::size_t shards() const { return shards_.size(); }
+
+  /// The shard index must identify the calling thread (e.g. the pool's
+  /// worker index); two threads must not share a shard concurrently.
+  void add(std::size_t shard, double x) { shards_.at(shard).acc.add(x); }
+
+  Accumulator& shard(std::size_t index) { return shards_.at(index).acc; }
+
+  /// Exact reduction across shards (order-independent counts/means).
+  Accumulator combined() const {
+    Accumulator total;
+    for (const Padded& p : shards_) total.merge(p.acc);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Padded {
+    Accumulator acc;
+  };
+  std::vector<Padded> shards_;
 };
 
 }  // namespace stt

@@ -1,4 +1,9 @@
-// Wall-clock timer used for the Table II CPU-time reproduction.
+// Monotonic timing used for the Table II CPU-time reproduction and the
+// campaign engine's per-job accounting.
+//
+// Everything here is std::chrono::steady_clock on purpose: campaign jobs
+// time themselves concurrently and must never observe wall-clock
+// adjustments (NTP slew, suspend) as negative or inflated durations.
 #pragma once
 
 #include <chrono>
@@ -16,6 +21,13 @@ class Timer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
   double millis() const { return seconds() * 1e3; }
+
+  /// Monotonic "now" in seconds since an arbitrary epoch — for stamping
+  /// events (e.g. job ready/start times) that are later subtracted.
+  static double now_seconds() {
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+  }
 
   /// Format as the paper's "MM:SS.t" style (Table II).
   static std::string format_mmss(double seconds);

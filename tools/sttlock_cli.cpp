@@ -9,6 +9,9 @@
 //   sttlock convert --in x.bench --out y.v     (format by extension:
 //                                               .bench / .v / .blif)
 //   sttlock program --in f.bench --key k.key --out chip.bench
+//   sttlock campaign --jobs 8 --seeds 3 --algorithms parametric
+//                    --benchmarks s641,s1238 --out-csv results.csv
+//                    --out-json results.json [--attack sens] [--progress]
 //
 // Netlist files are read by extension as well.
 #include <cstdio>
@@ -31,6 +34,8 @@
 #include "io/verilog_reader.hpp"
 #include "io/verilog_writer.hpp"
 #include "power/power.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/report.hpp"
 #include "synth/generator.hpp"
 #include "timing/sta.hpp"
 #include "util/args.hpp"
@@ -253,6 +258,91 @@ int cmd_attack(const std::vector<std::string>& args) {
   return 1;
 }
 
+int cmd_campaign(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--benchmarks",
+               "comma-separated ISCAS'89 profile names (default: all 12)", "");
+  p.add_option("--algorithms",
+               "comma-separated subset of independent,dependent,parametric",
+               "independent,dependent,parametric");
+  p.add_option("--seeds", "trials per (benchmark, algorithm) grid point", "1");
+  p.add_option("--master-seed", "campaign master seed", "20160605");
+  p.add_option("--jobs", "worker threads (0 = all hardware threads)", "1");
+  p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
+  p.add_option("--attack", "per-point oracle attack: none|sens|bf|ml", "none");
+  p.add_option("--margin", "parametric timing margin", "0.05");
+  p.add_option("--out-csv", "deterministic result rows (CSV)", "");
+  p.add_option("--out-times-csv", "measured per-job timing rows (CSV)", "");
+  p.add_option("--out-json", "full JSON report (results+summary+runtime)", "");
+  p.add_flag("--progress", "live progress line on stderr");
+  p.add_flag("--quiet", "suppress the summary table on stdout");
+  p.parse(args);
+
+  CampaignSpec spec;
+  if (!p.get("--benchmarks").empty()) {
+    spec.benchmarks = split(p.get("--benchmarks"), ',');
+  }
+  spec.algorithms.clear();
+  for (const std::string& name : split(p.get("--algorithms"), ',')) {
+    if (name == "independent") {
+      spec.algorithms.push_back(SelectionAlgorithm::kIndependent);
+    } else if (name == "dependent") {
+      spec.algorithms.push_back(SelectionAlgorithm::kDependent);
+    } else if (name == "parametric") {
+      spec.algorithms.push_back(SelectionAlgorithm::kParametric);
+    } else {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+      return 1;
+    }
+  }
+  spec.trials = static_cast<int>(p.get_int("--seeds"));
+  spec.master_seed = static_cast<std::uint64_t>(p.get_int("--master-seed"));
+  spec.jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  spec.max_attempts = static_cast<int>(p.get_int("--retries"));
+  spec.attack = parse_campaign_attack(p.get("--attack"));
+  spec.timing_margin = p.get_double("--margin");
+
+  const std::size_t grid =
+      (spec.benchmarks.empty() ? iscas89_profiles().size()
+                               : spec.benchmarks.size()) *
+      spec.algorithms.size() * static_cast<std::size_t>(spec.trials);
+  ProgressMeter meter(grid, p.flag("--progress"));
+  spec.on_progress = [&meter](std::size_t done, std::size_t,
+                              const std::string& label) {
+    meter.tick(done, label);
+  };
+
+  const CampaignReport report = run_campaign(spec);
+  meter.finish();
+
+  auto write_file = [](const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    out << content;
+  };
+  if (!p.get("--out-csv").empty()) {
+    write_file(p.get("--out-csv"), campaign_results_csv(report));
+  }
+  if (!p.get("--out-times-csv").empty()) {
+    write_file(p.get("--out-times-csv"), campaign_timing_csv(report));
+  }
+  if (!p.get("--out-json").empty()) {
+    write_file(p.get("--out-json"), campaign_json(report));
+  }
+
+  if (!p.flag("--quiet")) {
+    std::printf("%s\n", campaign_summary_text(report).c_str());
+  }
+  std::printf(
+      "campaign: %zu rows (%zu failed) on %u threads in %.1fs "
+      "(job cpu %.1fs, %llu tasks, %llu stolen)\n",
+      report.rows.size(), report.profile.failed_rows, report.profile.threads,
+      report.profile.wall_seconds, report.profile.job_cpu_seconds,
+      static_cast<unsigned long long>(report.profile.executed),
+      static_cast<unsigned long long>(report.profile.stolen));
+  return report.profile.failed_rows == 0 ? 0 : 2;
+}
+
 int cmd_convert(const std::vector<std::string>& args) {
   ArgParser p;
   p.add_option("--in", "input netlist");
@@ -295,7 +385,7 @@ int cmd_program(const std::vector<std::string>& args) {
 void usage() {
   std::fputs(
       "usage: sttlock <command> [options]\n"
-      "commands: gen, info, lock, attack, convert, program\n"
+      "commands: gen, info, lock, attack, campaign, convert, program\n"
       "run 'sttlock <command> --help' is not needed — errors list options.\n",
       stderr);
 }
@@ -314,6 +404,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "lock") return cmd_lock(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "program") return cmd_program(args);
   } catch (const std::exception& e) {
