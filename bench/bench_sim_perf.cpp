@@ -1,0 +1,249 @@
+// Simulation-engine throughput: the perf trajectory of the compiled batch
+// simulator against the seed's single-pattern oracle path.
+//
+// Four modes apply the *same* scan patterns to the same locked circuit:
+//  * single         — one ScanOracle::query (bool in/out) per pattern, the
+//                     seed-era attack-loop driving style (1/64 word lanes);
+//  * word           — ScanOracle::query_word, 64 packed patterns per call;
+//  * batch          — ScanOracle::query_batch, W words per call through the
+//                     blocked wave layout;
+//  * batch_threaded — the same batch fanned out across the runtime
+//                     ThreadPool.
+//
+// Every mode folds the oracle responses into one checksum, which must be
+// identical across modes (bit-identical results are a hard requirement of
+// the engine), and emits JSON to BENCH_sim_perf.json (override with --out)
+// so CI can archive the trajectory. `--smoke` runs a seconds-scale
+// configuration for CI; the default exercises the largest bundled
+// benchmark (s38584, ~20k gates).
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "core/selection.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "synth/generator.hpp"
+#include "tech/tech_library.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace stt;
+
+constexpr std::uint64_t kSeed = 20160605;
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0;
+  std::uint64_t patterns = 0;
+  std::uint64_t checksum = 0;
+};
+
+double rate(const ModeResult& m) {
+  return m.seconds > 0 ? static_cast<double>(m.patterns) / m.seconds : 0.0;
+}
+
+// Fold a response word-set into the running checksum so a single flipped
+// output bit anywhere changes the digest.
+std::uint64_t fold(std::uint64_t acc, std::span<const std::uint64_t> words) {
+  for (const std::uint64_t w : words) {
+    acc = (acc ^ w) * 0x9e3779b97f4a7c15ull;
+    acc ^= acc >> 29;
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_option("--benchmark",
+                  "ISCAS'89 profile name (default s38584; s641 with --smoke)");
+  args.add_option("--patterns", "patterns per mode (rounded up to words)");
+  args.add_option("--batch-words", "words per query_batch call", "256");
+  args.add_option("--jobs", "threads for batch_threaded (0 = hardware)", "0");
+  args.add_option("--out", "output JSON path", "BENCH_sim_perf.json");
+  args.add_flag("--smoke", "seconds-scale CI configuration (s641, few words)");
+  try {
+    args.parse({argv + 1, argv + argc});
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "bench_sim_perf: %s\n%s", e.what(),
+                 args.help().c_str());
+    return 2;
+  }
+
+  const bool smoke = args.flag("--smoke");
+  const std::string bench_name =
+      args.get_or("--benchmark", smoke ? "s641" : "s38584");
+  const auto profile = find_profile(bench_name);
+  if (!profile) {
+    std::fprintf(stderr, "bench_sim_perf: unknown benchmark %s\n",
+                 bench_name.c_str());
+    return 2;
+  }
+  const std::size_t n_words =
+      args.has("--patterns")
+          ? (static_cast<std::size_t>(args.get_int("--patterns")) + 63) / 64
+          : (smoke ? 32 : 256);
+  const std::size_t n_patterns = n_words * 64;
+  const std::size_t batch_words =
+      std::min<std::size_t>(args.get_int("--batch-words"), n_words);
+
+  // Build the evaluated chip: generated replica, locked with the paper's
+  // parametric selection so the instruction stream contains LUTs.
+  Netlist chip = generate_circuit(*profile, kSeed);
+  {
+    const TechLibrary lib = TechLibrary::cmos90_stt();
+    GateSelector selector(lib);
+    SelectionOptions opt;
+    opt.seed = kSeed;
+    (void)selector.run(chip, SelectionAlgorithm::kIndependent, opt);
+  }
+  const std::size_t n_gates = chip.stats().gates;
+  const std::size_t n_in = chip.inputs().size() + chip.dffs().size();
+  const std::size_t n_out = chip.outputs().size() + chip.dffs().size();
+
+  // One shared stimulus set in blocked layout: bit position i, word w at
+  // stim[i * n_words + w].
+  Rng rng(kSeed ^ 0xbadc0ffeull);
+  std::vector<std::uint64_t> stim(n_in * n_words);
+  for (auto& w : stim) w = rng();
+
+  std::vector<ModeResult> modes;
+
+  {  // single: the seed-era driving style, one bool pattern per query.
+    ScanOracle oracle(chip);
+    ModeResult m{"single", 0, n_patterns, 0};
+    std::vector<bool> pattern(n_in);
+    std::vector<std::uint64_t> packed(n_out, 0);
+    Timer timer;
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t o = 0; o < n_out; ++o) packed[o] = 0;
+      for (int b = 0; b < 64; ++b) {
+        for (std::size_t i = 0; i < n_in; ++i) {
+          pattern[i] = (stim[i * n_words + w] >> b) & 1ull;
+        }
+        const auto response = oracle.query(pattern);
+        for (std::size_t o = 0; o < n_out; ++o) {
+          if (response[o]) packed[o] |= (1ull << b);
+        }
+      }
+      m.checksum = fold(m.checksum, packed);
+    }
+    m.seconds = timer.seconds();
+    modes.push_back(m);
+  }
+
+  {  // word: 64 packed patterns per oracle call.
+    ScanOracle oracle(chip);
+    ModeResult m{"word", 0, n_patterns, 0};
+    std::vector<std::uint64_t> in(n_in), out(n_out);
+    Timer timer;
+    for (std::size_t w = 0; w < n_words; ++w) {
+      for (std::size_t i = 0; i < n_in; ++i) in[i] = stim[i * n_words + w];
+      oracle.query_word(in, out);
+      m.checksum = fold(m.checksum, out);
+    }
+    m.seconds = timer.seconds();
+    modes.push_back(m);
+  }
+
+  const auto run_batch = [&](const std::string& name, ParallelFor* par) {
+    ScanOracle oracle(chip);
+    ModeResult m{name, 0, n_patterns, 0};
+    std::vector<std::uint64_t> in(n_in * batch_words);
+    std::vector<std::uint64_t> out(n_out * batch_words);
+    std::vector<std::uint64_t> packed(n_out, 0);
+    Timer timer;
+    for (std::size_t w0 = 0; w0 < n_words; w0 += batch_words) {
+      const std::size_t bw = std::min(batch_words, n_words - w0);
+      for (std::size_t i = 0; i < n_in; ++i) {
+        for (std::size_t w = 0; w < bw; ++w) {
+          in[i * bw + w] = stim[i * n_words + w0 + w];
+        }
+      }
+      oracle.query_batch(bw, std::span(in.data(), n_in * bw),
+                         std::span(out.data(), n_out * bw), par);
+      // Checksum word-by-word so every mode folds identical sequences.
+      for (std::size_t w = 0; w < bw; ++w) {
+        for (std::size_t o = 0; o < n_out; ++o) packed[o] = out[o * bw + w];
+        m.checksum = fold(m.checksum, packed);
+      }
+    }
+    m.seconds = timer.seconds();
+    modes.push_back(m);
+  };
+
+  run_batch("batch", nullptr);
+
+  const unsigned jobs = static_cast<unsigned>(args.get_int("--jobs"));
+  ThreadPool pool(jobs);
+  ThreadPoolParallelFor par(pool);
+  run_batch("batch_threaded", &par);
+
+  for (const ModeResult& m : modes) {
+    if (m.checksum != modes.front().checksum) {
+      std::fprintf(stderr,
+                   "bench_sim_perf: checksum mismatch in mode %s "
+                   "(%016llx vs %016llx) — batched results are NOT "
+                   "bit-identical\n",
+                   m.name.c_str(),
+                   static_cast<unsigned long long>(m.checksum),
+                   static_cast<unsigned long long>(modes.front().checksum));
+      return 1;
+    }
+  }
+
+  const double single_rate = rate(modes.front());
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"" + profile->name + "\",\n";
+  json += "  \"gates\": " + std::to_string(n_gates) + ",\n";
+  json += "  \"patterns\": " + std::to_string(n_patterns) + ",\n";
+  json += "  \"batch_words\": " + std::to_string(batch_words) + ",\n";
+  json += "  \"threads\": " + std::to_string(pool.size()) + ",\n";
+  json += "  \"checksum\": \"" + std::to_string(modes.front().checksum) +
+          "\",\n";
+  json += "  \"modes\": [\n";
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const ModeResult& m = modes[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                  "\"patterns_per_sec\": %.1f, \"gates_per_sec\": %.3e, "
+                  "\"speedup_vs_single\": %.2f}%s\n",
+                  m.name.c_str(), m.seconds, rate(m),
+                  rate(m) * static_cast<double>(n_gates),
+                  single_rate > 0 ? rate(m) / single_rate : 0.0,
+                  i + 1 < modes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  const std::string out_path = args.get("--out");
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "bench_sim_perf: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+
+  // Acceptance gate: the batched path must beat the seed-era single-pattern
+  // oracle by at least 5x (in practice ~64x from lane packing alone).
+  const double batch_rate = rate(modes[2]);
+  if (single_rate > 0 && batch_rate < 5.0 * single_rate) {
+    std::fprintf(stderr,
+                 "bench_sim_perf: batch speedup %.2fx below the 5x gate\n",
+                 batch_rate / single_rate);
+    return 1;
+  }
+  return 0;
+}

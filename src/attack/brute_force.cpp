@@ -53,7 +53,6 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
   const std::size_t n_pi = work.inputs().size();
   const std::size_t n_ff = work.dffs().size();
   const int n_words = (opt.screening_patterns + 63) / 64;
-  const int n_patterns = n_words * 64;
   std::vector<std::vector<std::uint64_t>> pi_words(
       static_cast<std::size_t>(n_words),
       std::vector<std::uint64_t>(n_pi, 0));
@@ -65,41 +64,45 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
       static_cast<std::size_t>(n_words),
       std::vector<std::uint64_t>(n_out, 0));
 
+  // One word-batched oracle call per 64 patterns (bit draw order matches the
+  // seed's pattern-at-a-time loop, so results are reproducible across PRs).
   const std::uint64_t start_queries = oracle.queries();
-  for (int p = 0; p < n_patterns; ++p) {
-    std::vector<bool> pattern(n_pi + n_ff);
-    for (auto&& bit : pattern) bit = rng.chance(0.5);
-    const auto response = oracle.query(pattern);
-    const int w = p / 64;
-    const int b = p % 64;
-    for (std::size_t i = 0; i < n_pi; ++i) {
-      if (pattern[i]) pi_words[w][i] |= (1ull << b);
+  std::vector<std::uint64_t> scan_in(n_pi + n_ff);
+  for (int w = 0; w < n_words; ++w) {
+    for (auto& word : scan_in) word = 0;
+    for (int b = 0; b < 64; ++b) {
+      for (std::size_t i = 0; i < scan_in.size(); ++i) {
+        if (rng.chance(0.5)) scan_in[i] |= (1ull << b);
+      }
     }
+    for (std::size_t i = 0; i < n_pi; ++i) pi_words[w][i] = scan_in[i];
     for (std::size_t j = 0; j < n_ff; ++j) {
-      if (pattern[n_pi + j]) ff_words[w][j] |= (1ull << b);
+      ff_words[w][j] = scan_in[n_pi + j];
     }
-    for (std::size_t o = 0; o < n_out; ++o) {
-      if (response[o]) expected[w][o] |= (1ull << b);
-    }
+    oracle.query_word(scan_in, expected[w]);
   }
 
-  Simulator sim(work);
+  // Candidate screening runs on the compiled engine: lower once, patch the
+  // candidate masks in place, evaluate into a reused scratch wave.
+  CompiledSim sim(work);
+  std::vector<std::uint64_t> wave(sim.wave_size());
   std::vector<std::size_t> odometer(lut_ids.size(), 0);
   auto install = [&] {
     for (std::size_t i = 0; i < lut_ids.size(); ++i) {
       work.cell(lut_ids[i]).lut_mask = candidates[i][odometer[i]];
+      sim.set_lut_mask(lut_ids[i], candidates[i][odometer[i]]);
     }
   };
+  const auto po_cells = sim.output_cells();
+  const auto ns_cells = sim.next_state_cells();
   auto matches = [&] {
     for (int w = 0; w < n_words; ++w) {
-      const auto wave = sim.eval_comb(pi_words[w], ff_words[w]);
-      const auto po = sim.outputs_of(wave);
-      const auto ns = sim.next_state_of(wave);
-      for (std::size_t o = 0; o < po.size(); ++o) {
-        if (po[o] != expected[w][o]) return false;
+      sim.eval_word(pi_words[w], ff_words[w], wave);
+      for (std::size_t o = 0; o < po_cells.size(); ++o) {
+        if (wave[po_cells[o]] != expected[w][o]) return false;
       }
-      for (std::size_t j = 0; j < ns.size(); ++j) {
-        if (ns[j] != expected[w][po.size() + j]) return false;
+      for (std::size_t j = 0; j < ns_cells.size(); ++j) {
+        if (wave[ns_cells[j]] != expected[w][po_cells.size() + j]) return false;
       }
     }
     return true;

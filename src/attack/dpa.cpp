@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "core/similarity.hpp"
-#include "sim/simulator.hpp"
+#include "sim/compiled.hpp"
 
 namespace stt {
 
@@ -62,28 +62,49 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
     model.replace_with_lut(target);
   }
 
+  // Pack the recorded stimulus into word lanes once (lane b of word w is
+  // cycle w*64+b), so every candidate replays 64 cycles per evaluation.
+  const std::size_t n_cycles = measurement.pi_bits.size();
+  const std::size_t n_words = (n_cycles + 63) / 64;
+  const std::size_t n_pi = model.inputs().size();
+  const std::size_t n_ff = model.dffs().size();
+  std::vector<std::vector<std::uint64_t>> pi_words(
+      n_words, std::vector<std::uint64_t>(n_pi, 0));
+  std::vector<std::vector<std::uint64_t>> ff_words(
+      n_words, std::vector<std::uint64_t>(n_ff, 0));
+  for (std::size_t t = 0; t < n_cycles; ++t) {
+    const std::size_t w = t / 64;
+    const std::uint64_t bit = 1ull << (t % 64);
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      if (measurement.pi_bits[t][i]) pi_words[w][i] |= bit;
+    }
+    for (std::size_t j = 0; j < n_ff; ++j) {
+      if (measurement.state_bits[t][j]) ff_words[w][j] |= bit;
+    }
+  }
+
+  // Compile the model once; each candidate is an O(1) mask patch plus
+  // n_words zero-allocation evaluations into a reused scratch wave.
+  CompiledSim sim(model);
+  std::vector<std::uint64_t> wave(sim.wave_size());
+  std::vector<double> prediction;
   for (const std::uint64_t candidate : candidates) {
-    model.cell(target).lut_mask = candidate & full_mask(k);
-    const Simulator sim(model);
+    sim.set_lut_mask(target, candidate & full_mask(k));
 
     // Predict the target's output-toggle indicator per cycle from the
     // recorded stimulus and state.
-    std::vector<double> prediction;
+    prediction.clear();
     prediction.reserve(measured.size());
     bool prev_out = false;
-    for (std::size_t t = 0; t < measurement.pi_bits.size(); ++t) {
-      std::vector<std::uint64_t> pi(measurement.pi_bits[t].size());
-      std::vector<std::uint64_t> ff(measurement.state_bits[t].size());
-      for (std::size_t i = 0; i < pi.size(); ++i) {
-        pi[i] = measurement.pi_bits[t][i] ? ~0ull : 0ull;
+    for (std::size_t w = 0; w < n_words; ++w) {
+      sim.eval_word(pi_words[w], ff_words[w], wave);
+      const std::uint64_t target_word = wave[target];
+      const std::size_t lanes = std::min<std::size_t>(64, n_cycles - w * 64);
+      for (std::size_t b = 0; b < lanes; ++b) {
+        const bool out = (target_word >> b) & 1ull;
+        if (w * 64 + b >= 1) prediction.push_back(out != prev_out ? 1.0 : 0.0);
+        prev_out = out;
       }
-      for (std::size_t j = 0; j < ff.size(); ++j) {
-        ff[j] = measurement.state_bits[t][j] ? ~0ull : 0ull;
-      }
-      const auto wave = sim.eval_comb(pi, ff);
-      const bool out = wave[target] & 1ull;
-      if (t >= 1) prediction.push_back(out != prev_out ? 1.0 : 0.0);
-      prev_out = out;
     }
 
     const double corr = pearson(prediction, measured);

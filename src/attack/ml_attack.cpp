@@ -46,38 +46,46 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
   const std::size_t n_out = oracle.num_outputs();
   std::vector<std::vector<std::uint64_t>> expected(
       n_words, std::vector<std::uint64_t>(n_out, 0));
+  // One word-batched oracle call per 64 training patterns (bit draw order
+  // matches the seed's pattern-at-a-time loop for reproducibility).
   const std::uint64_t start_queries = oracle.queries();
-  for (int p = 0; p < n_words * 64; ++p) {
-    std::vector<bool> pattern(n_pi + n_ff);
-    for (auto&& b : pattern) b = rng.chance(0.5);
-    const auto response = oracle.query(pattern);
-    const int w = p / 64;
-    const int b = p % 64;
-    for (std::size_t i = 0; i < n_pi; ++i) {
-      if (pattern[i]) pi_words[w][i] |= (1ull << b);
+  std::vector<std::uint64_t> scan_in(n_pi + n_ff);
+  for (int w = 0; w < n_words; ++w) {
+    for (auto& word : scan_in) word = 0;
+    for (int b = 0; b < 64; ++b) {
+      for (std::size_t i = 0; i < scan_in.size(); ++i) {
+        if (rng.chance(0.5)) scan_in[i] |= (1ull << b);
+      }
     }
+    for (std::size_t i = 0; i < n_pi; ++i) pi_words[w][i] = scan_in[i];
     for (std::size_t j = 0; j < n_ff; ++j) {
-      if (pattern[n_pi + j]) ff_words[w][j] |= (1ull << b);
+      ff_words[w][j] = scan_in[n_pi + j];
     }
-    for (std::size_t o = 0; o < n_out; ++o) {
-      if (response[o]) expected[w][o] |= (1ull << b);
-    }
+    oracle.query_word(scan_in, expected[w]);
   }
 
-  Simulator sim(work);
+  // Scoring runs on the compiled engine with in-place mask patches and a
+  // reused scratch wave: zero allocations per annealing step.
+  CompiledSim sim(work);
+  std::vector<std::uint64_t> wave(sim.wave_size());
+  const auto po_cells = sim.output_cells();
+  const auto ns_cells = sim.next_state_cells();
+  const auto set_mask = [&](CellId id, std::uint64_t mask) {
+    work.cell(id).lut_mask = mask;
+    sim.set_lut_mask(id, mask);
+  };
   const auto total_bits =
       static_cast<double>(n_words) * 64.0 * static_cast<double>(n_out);
   auto score = [&]() -> long long {
     long long mismatches = 0;
     for (int w = 0; w < n_words; ++w) {
-      const auto wave = sim.eval_comb(pi_words[w], ff_words[w]);
-      const auto po = sim.outputs_of(wave);
-      const auto ns = sim.next_state_of(wave);
-      for (std::size_t o = 0; o < po.size(); ++o) {
-        mismatches += std::popcount(po[o] ^ expected[w][o]);
+      sim.eval_word(pi_words[w], ff_words[w], wave);
+      for (std::size_t o = 0; o < po_cells.size(); ++o) {
+        mismatches += std::popcount(wave[po_cells[o]] ^ expected[w][o]);
       }
-      for (std::size_t j = 0; j < ns.size(); ++j) {
-        mismatches += std::popcount(ns[j] ^ expected[w][po.size() + j]);
+      for (std::size_t j = 0; j < ns_cells.size(); ++j) {
+        mismatches +=
+            std::popcount(wave[ns_cells[j]] ^ expected[w][po_cells.size() + j]);
       }
     }
     return mismatches;
@@ -85,11 +93,11 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
 
   // Random initial guess.
   for (std::size_t i = 0; i < luts.size(); ++i) {
-    Cell& c = work.cell(luts[i]);
+    const int k = work.cell(luts[i]).fanin_count();
     if (!candidates[i].empty()) {
-      c.lut_mask = rng.pick(candidates[i]);
+      set_mask(luts[i], rng.pick(candidates[i]));
     } else {
-      c.lut_mask = rng() & full_mask(c.fanin_count());
+      set_mask(luts[i], rng() & full_mask(k));
     }
   }
 
@@ -101,12 +109,13 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
   for (int step = 0; step < opt.max_steps && best > 0; ++step) {
     ++result.steps;
     const std::size_t pick = rng.below(luts.size());
-    Cell& c = work.cell(luts[pick]);
+    const Cell& c = work.cell(luts[pick]);
     const std::uint64_t old_mask = c.lut_mask;
     if (!candidates[pick].empty()) {
-      c.lut_mask = rng.pick(candidates[pick]);
+      set_mask(luts[pick], rng.pick(candidates[pick]));
     } else {
-      c.lut_mask = old_mask ^ (1ull << rng.below(num_rows(c.fanin_count())));
+      set_mask(luts[pick],
+               old_mask ^ (1ull << rng.below(num_rows(c.fanin_count()))));
     }
     const long long trial = score();
     const long long delta = trial - current;
@@ -119,7 +128,7 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
         best_key = extract_key(work);
       }
     } else {
-      c.lut_mask = old_mask;  // reject
+      set_mask(luts[pick], old_mask);  // reject
     }
     temperature *= opt.cooling;
   }

@@ -5,7 +5,7 @@
 namespace stt {
 
 ScanOracle::ScanOracle(const Netlist& configured)
-    : nl_(&configured), sim_(configured) {}
+    : nl_(&configured), sim_(configured), wave_(configured.size(), 0) {}
 
 std::size_t ScanOracle::num_inputs() const {
   return nl_->inputs().size() + nl_->dffs().size();
@@ -27,12 +27,60 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
   for (std::size_t j = 0; j < ff.size(); ++j) {
     ff[j] = inputs[n_pi + j] ? ~0ull : 0;
   }
-  const auto wave = sim_.eval_comb(pi, ff);
+  sim_.eval_word(pi, ff, wave_);
   std::vector<bool> out;
   out.reserve(num_outputs());
-  for (const auto w : sim_.outputs_of(wave)) out.push_back(w & 1ull);
-  for (const auto w : sim_.next_state_of(wave)) out.push_back(w & 1ull);
+  for (const CellId id : sim_.output_cells()) out.push_back(wave_[id] & 1ull);
+  for (const CellId id : sim_.next_state_cells()) {
+    out.push_back(wave_[id] & 1ull);
+  }
   return out;
+}
+
+void ScanOracle::query_word(std::span<const std::uint64_t> inputs,
+                            std::span<std::uint64_t> outputs) {
+  if (inputs.size() != num_inputs()) {
+    throw std::invalid_argument("ScanOracle::query_word: input size mismatch");
+  }
+  if (outputs.size() != num_outputs()) {
+    throw std::invalid_argument("ScanOracle::query_word: output size mismatch");
+  }
+  queries_ += 64;
+  const std::size_t n_pi = nl_->inputs().size();
+  const std::size_t n_ff = nl_->dffs().size();
+  if (wave_.size() != sim_.wave_size()) wave_.resize(sim_.wave_size());
+  sim_.eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff), wave_);
+  const std::size_t n_po = sim_.num_outputs();
+  for (std::size_t o = 0; o < n_po; ++o) {
+    outputs[o] = wave_[sim_.output_cells()[o]];
+  }
+  for (std::size_t j = 0; j < n_ff; ++j) {
+    outputs[n_po + j] = wave_[sim_.next_state_cells()[j]];
+  }
+}
+
+void ScanOracle::query_batch(std::size_t W,
+                             std::span<const std::uint64_t> inputs,
+                             std::span<std::uint64_t> outputs,
+                             ParallelFor* par) {
+  if (inputs.size() != num_inputs() * W) {
+    throw std::invalid_argument("ScanOracle::query_batch: input size mismatch");
+  }
+  if (outputs.size() != num_outputs() * W) {
+    throw std::invalid_argument(
+        "ScanOracle::query_batch: output size mismatch");
+  }
+  if (W == 0) return;
+  queries_ += 64 * static_cast<std::uint64_t>(W);
+  const std::size_t n_pi = nl_->inputs().size();
+  const std::size_t n_ff = nl_->dffs().size();
+  if (wave_.size() < sim_.wave_size() * W) wave_.resize(sim_.wave_size() * W);
+  const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size() * W);
+  sim_.eval_batch(W, inputs.first(n_pi * W), inputs.subspan(n_pi * W, n_ff * W),
+                  wave, par);
+  const std::size_t n_po = sim_.num_outputs();
+  sim_.gather_outputs(W, wave, outputs.first(n_po * W));
+  sim_.gather_next_state(W, wave, outputs.subspan(n_po * W, n_ff * W));
 }
 
 }  // namespace stt

@@ -4,13 +4,22 @@
 // Scan view: controllable bits are the PIs plus the flip-flop states,
 // observable bits the POs plus the next-state (D-pin) values — one scan
 // load / capture / unload per query.
+//
+// Three query granularities, all drawing from the same compiled engine and
+// the same attack-cost metric (`queries()` counts *patterns applied*, so a
+// word of 64 packed patterns costs exactly 64 queries — batching changes
+// CPU time, never the reported attack cost):
+//  * `query`       — one pattern, bool in / bool out (seed-compatible);
+//  * `query_word`  — 64 packed patterns per call;
+//  * `query_batch` — W words (64*W patterns), optionally fanned out across
+//    threads via a `ParallelFor`.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
-#include "sim/simulator.hpp"
+#include "sim/compiled.hpp"
 
 namespace stt {
 
@@ -26,13 +35,29 @@ class ScanOracle {
   /// One scan query. `inputs` is PI bits followed by FF state bits.
   std::vector<bool> query(const std::vector<bool>& inputs);
 
+  /// 64 packed scan queries. `inputs` is num_inputs() words (PI words then
+  /// FF words; bit b of each word belongs to pattern b); `outputs` receives
+  /// num_outputs() words (PO words then next-state words). Counts 64
+  /// queries. No allocation.
+  void query_word(std::span<const std::uint64_t> inputs,
+                  std::span<std::uint64_t> outputs);
+
+  /// W-word batch (64*W packed queries) in the blocked layout: bit position
+  /// i's words occupy inputs[i*W .. i*W+W). `outputs` uses the same layout
+  /// (num_outputs()*W words). Counts 64*W queries. With `par`, word blocks
+  /// evaluate concurrently; results are bit-identical regardless.
+  void query_batch(std::size_t W, std::span<const std::uint64_t> inputs,
+                   std::span<std::uint64_t> outputs,
+                   ParallelFor* par = nullptr);
+
   /// Number of queries made so far (the attack-cost metric: each query is
   /// one test-clock pattern application in the paper's terms).
   std::uint64_t queries() const { return queries_; }
 
  private:
   const Netlist* nl_;
-  Simulator sim_;
+  CompiledSim sim_;
+  std::vector<std::uint64_t> wave_;  ///< scratch, grown on demand
   std::uint64_t queries_ = 0;
 };
 

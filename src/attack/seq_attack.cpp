@@ -8,12 +8,15 @@
 
 namespace stt {
 
-SequenceOracle::SequenceOracle(const Netlist& configured) : nl_(&configured) {}
+SequenceOracle::SequenceOracle(const Netlist& configured)
+    : nl_(&configured),
+      sim_(configured),
+      pi_buf_(configured.inputs().size(), 0),
+      po_buf_(configured.outputs().size(), 0) {}
 
 std::vector<std::vector<bool>> SequenceOracle::query(
     const std::vector<std::vector<bool>>& pi_seq) {
-  SequentialSimulator sim(*nl_);
-  sim.reset(false);
+  sim_.reset(false);
   std::vector<std::vector<bool>> result;
   result.reserve(pi_seq.size());
   const std::size_t n_pi = nl_->inputs().size();
@@ -21,11 +24,10 @@ std::vector<std::vector<bool>> SequenceOracle::query(
     if (pi.size() != n_pi) {
       throw std::invalid_argument("SequenceOracle: PI vector size mismatch");
     }
-    std::vector<std::uint64_t> words(n_pi);
-    for (std::size_t i = 0; i < n_pi; ++i) words[i] = pi[i] ? ~0ull : 0ull;
-    const auto po = sim.step(words);
-    std::vector<bool> bits(po.size());
-    for (std::size_t o = 0; o < po.size(); ++o) bits[o] = po[o] & 1ull;
+    for (std::size_t i = 0; i < n_pi; ++i) pi_buf_[i] = pi[i] ? ~0ull : 0ull;
+    sim_.step_into(pi_buf_, po_buf_);
+    std::vector<bool> bits(po_buf_.size());
+    for (std::size_t o = 0; o < po_buf_.size(); ++o) bits[o] = po_buf_[o] & 1ull;
     result.push_back(std::move(bits));
     ++cycles_;
   }

@@ -17,6 +17,7 @@
 
 #include "attack/sat_attack.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/simulator.hpp"
 
 namespace stt {
 
@@ -36,6 +37,9 @@ class SequenceOracle {
 
  private:
   const Netlist* nl_;
+  SequentialSimulator sim_;            ///< compiled once, reset per query
+  std::vector<std::uint64_t> pi_buf_;  ///< reused per-cycle scratch
+  std::vector<std::uint64_t> po_buf_;
   std::uint64_t cycles_ = 0;
 };
 

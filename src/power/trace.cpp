@@ -64,6 +64,7 @@ PowerTraceResult simulate_power_trace(const Netlist& nl,
   sim.reset(false);
   const std::size_t n_pi = nl.inputs().size();
   std::vector<std::uint64_t> pi(n_pi, 0);
+  std::vector<std::uint64_t> po(nl.outputs().size());  // reused scratch
   std::vector<std::uint64_t> prev_wave;
 
   for (int cycle = 0; cycle < opt.cycles; ++cycle) {
@@ -78,7 +79,7 @@ PowerTraceResult simulate_power_trace(const Netlist& nl,
     std::vector<bool> pi_vec(n_pi);
     for (std::size_t i = 0; i < n_pi; ++i) pi_vec[i] = pi[i] & 1ull;
 
-    (void)sim.step(pi);
+    sim.step_into(pi, po);
     const auto wave = sim.last_wave();
 
     double energy = leak_baseline;

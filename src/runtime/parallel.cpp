@@ -1,0 +1,31 @@
+#include "runtime/parallel.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace stt {
+
+void ThreadPoolParallelFor::run(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Private latch rather than pool.wait_idle(): the pool may be shared with
+  // unrelated campaign jobs whose completion this batch must not wait on.
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_->submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace stt

@@ -1,0 +1,29 @@
+// Adapter between the sim layer's ParallelFor interface and the campaign
+// engine's work-stealing ThreadPool.
+//
+// The sim layer cannot link stt_runtime (the dependency runs the other way:
+// runtime -> attack -> sim), so CompiledSim::eval_batch accepts the abstract
+// `ParallelFor`; this adapter is how callers that own a ThreadPool (benches,
+// the campaign driver) plug it in.
+#pragma once
+
+#include "runtime/thread_pool.hpp"
+#include "sim/compiled.hpp"
+
+namespace stt {
+
+/// Runs the n index tasks of one batch on the wrapped pool and blocks until
+/// all complete. Must not be invoked from inside a pool worker (the caller
+/// blocks on a latch; a 1-thread pool would deadlock).
+class ThreadPoolParallelFor : public ParallelFor {
+ public:
+  explicit ThreadPoolParallelFor(ThreadPool& pool) : pool_(&pool) {}
+
+  void run(std::size_t n,
+           const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace stt

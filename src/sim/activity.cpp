@@ -16,6 +16,7 @@ ActivityResult estimate_activity(const Netlist& nl, Rng& rng,
 
   std::vector<std::uint64_t> prev_wave;
   std::vector<std::uint64_t> toggles(nl.size(), 0);
+  std::vector<std::uint64_t> po(nl.outputs().size());  // reused scratch
 
   const int total = opt.warmup + opt.cycles;
   for (int cycle = 0; cycle < total; ++cycle) {
@@ -27,7 +28,7 @@ ActivityResult estimate_activity(const Netlist& nl, Rng& rng,
       }
       w ^= flip;
     }
-    (void)sim.step(pi);
+    sim.step_into(pi, po);
     const auto wave = sim.last_wave();
     if (cycle >= opt.warmup && !prev_wave.empty()) {
       for (std::size_t id = 0; id < wave.size(); ++id) {

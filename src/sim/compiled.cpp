@@ -1,0 +1,337 @@
+#include "sim/compiled.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stt {
+
+namespace {
+
+constexpr std::uint32_t kNoInstr = static_cast<std::uint32_t>(-1);
+
+}  // namespace
+
+CompiledSim::Op CompiledSim::opcode_for(const Cell& cell) {
+  const int n = cell.fanin_count();
+  switch (cell.kind) {
+    case CellKind::kConst0:
+      return Op::kConst0;
+    case CellKind::kConst1:
+      return Op::kConst1;
+    case CellKind::kBuf:
+      return Op::kBuf;
+    case CellKind::kNot:
+      return Op::kNot;
+    case CellKind::kAnd:
+      return n == 2 ? Op::kAnd2 : Op::kAndN;
+    case CellKind::kNand:
+      return n == 2 ? Op::kNand2 : Op::kNandN;
+    case CellKind::kOr:
+      return n == 2 ? Op::kOr2 : Op::kOrN;
+    case CellKind::kNor:
+      return n == 2 ? Op::kNor2 : Op::kNorN;
+    case CellKind::kXor:
+      return n == 2 ? Op::kXor2 : Op::kXorN;
+    case CellKind::kXnor:
+      return n == 2 ? Op::kXnor2 : Op::kXnorN;
+    case CellKind::kLut:
+      return n == 1 ? Op::kLut1 : n == 2 ? Op::kLut2 : Op::kLutN;
+    default:
+      throw std::invalid_argument("CompiledSim: not a combinational cell");
+  }
+}
+
+CompiledSim::CompiledSim(const Netlist& nl)
+    : nl_(&nl),
+      n_cells_(nl.size()),
+      inputs_(nl.inputs().begin(), nl.inputs().end()),
+      dffs_(nl.dffs().begin(), nl.dffs().end()),
+      outputs_(nl.outputs().begin(), nl.outputs().end()) {
+  ns_cells_.reserve(dffs_.size());
+  for (const CellId id : dffs_) ns_cells_.push_back(nl.cell(id).fanins.at(0));
+
+  instr_of_.assign(n_cells_, kNoInstr);
+  const auto order = nl.topo_order();
+  instrs_.reserve(order.size());
+  for (const CellId id : order) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    Instr ins;
+    ins.out = id;
+    ins.fanin_begin = static_cast<std::uint32_t>(fanins_.size());
+    ins.fanin_count = static_cast<std::uint16_t>(c.fanin_count());
+    ins.op = opcode_for(c);
+    ins.mask = c.kind == CellKind::kLut
+                   ? (c.lut_mask & full_mask(c.fanin_count()))
+                   : 0;
+    for (const CellId f : c.fanins) fanins_.push_back(f);
+    instr_of_[id] = static_cast<std::uint32_t>(instrs_.size());
+    instrs_.push_back(ins);
+  }
+}
+
+void CompiledSim::set_lut_mask(CellId id, std::uint64_t mask) {
+  const std::uint32_t idx = id < instr_of_.size() ? instr_of_[id] : kNoInstr;
+  if (idx == kNoInstr) {
+    throw std::invalid_argument("CompiledSim::set_lut_mask: not an instruction");
+  }
+  Instr& ins = instrs_[idx];
+  if (ins.op != Op::kLut1 && ins.op != Op::kLut2 && ins.op != Op::kLutN) {
+    throw std::invalid_argument("CompiledSim::set_lut_mask: cell is not a LUT");
+  }
+  ins.mask = mask & full_mask(ins.fanin_count);
+}
+
+std::uint64_t CompiledSim::lut_mask(CellId id) const {
+  const std::uint32_t idx = id < instr_of_.size() ? instr_of_[id] : kNoInstr;
+  if (idx == kNoInstr) {
+    throw std::invalid_argument("CompiledSim::lut_mask: not an instruction");
+  }
+  return instrs_[idx].mask;
+}
+
+void CompiledSim::resync_functions() {
+  for (Instr& ins : instrs_) {
+    const Cell& c = nl_->cell(ins.out);
+    if (c.fanin_count() != static_cast<int>(ins.fanin_count)) {
+      throw std::runtime_error(
+          "CompiledSim::resync_functions: netlist structure changed");
+    }
+    const Op op = opcode_for(c);
+    const std::uint64_t mask =
+        c.kind == CellKind::kLut ? (c.lut_mask & full_mask(c.fanin_count()))
+                                 : 0;
+    // Write only on change so read-only concurrent use stays data-race free.
+    if (ins.op != op) ins.op = op;
+    if (ins.mask != mask) ins.mask = mask;
+  }
+}
+
+void CompiledSim::run_instrs(std::span<const std::uint64_t> pi,
+                             std::span<const std::uint64_t> ff,
+                             std::span<std::uint64_t> wave, std::size_t stride,
+                             std::size_t w0, std::size_t nw) const {
+  std::uint64_t* const wv = wave.data();
+  // Seed the combinational sources: PI and flip-flop output rows.
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const std::uint64_t* src = pi.data() + i * stride + w0;
+    std::uint64_t* dst = wv + inputs_[i] * stride + w0;
+    for (std::size_t w = 0; w < nw; ++w) dst[w] = src[w];
+  }
+  for (std::size_t j = 0; j < dffs_.size(); ++j) {
+    const std::uint64_t* src = ff.data() + j * stride + w0;
+    std::uint64_t* dst = wv + dffs_[j] * stride + w0;
+    for (std::size_t w = 0; w < nw; ++w) dst[w] = src[w];
+  }
+
+  const std::uint32_t* const fans = fanins_.data();
+  for (const Instr& ins : instrs_) {
+    std::uint64_t* out = wv + ins.out * stride + w0;
+    const std::uint32_t* f = fans + ins.fanin_begin;
+    const auto row = [&](std::size_t i) -> const std::uint64_t* {
+      return wv + f[i] * stride + w0;
+    };
+    switch (ins.op) {
+      case Op::kConst0:
+        for (std::size_t w = 0; w < nw; ++w) out[w] = 0;
+        break;
+      case Op::kConst1:
+        for (std::size_t w = 0; w < nw; ++w) out[w] = ~0ull;
+        break;
+      case Op::kBuf: {
+        const std::uint64_t* a = row(0);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
+        break;
+      }
+      case Op::kNot: {
+        const std::uint64_t* a = row(0);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = ~a[w];
+        break;
+      }
+      case Op::kAnd2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] & b[w];
+        break;
+      }
+      case Op::kNand2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] & b[w]);
+        break;
+      }
+      case Op::kOr2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] | b[w];
+        break;
+      }
+      case Op::kNor2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] | b[w]);
+        break;
+      }
+      case Op::kXor2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] ^ b[w];
+        break;
+      }
+      case Op::kXnor2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] ^ b[w]);
+        break;
+      }
+      case Op::kAndN:
+      case Op::kNandN: {
+        const std::uint64_t* a = row(0);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
+        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
+          const std::uint64_t* b = row(i);
+          for (std::size_t w = 0; w < nw; ++w) out[w] &= b[w];
+        }
+        if (ins.op == Op::kNandN) {
+          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case Op::kOrN:
+      case Op::kNorN: {
+        const std::uint64_t* a = row(0);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
+        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
+          const std::uint64_t* b = row(i);
+          for (std::size_t w = 0; w < nw; ++w) out[w] |= b[w];
+        }
+        if (ins.op == Op::kNorN) {
+          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case Op::kXorN:
+      case Op::kXnorN: {
+        const std::uint64_t* a = row(0);
+        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
+        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
+          const std::uint64_t* b = row(i);
+          for (std::size_t w = 0; w < nw; ++w) out[w] ^= b[w];
+        }
+        if (ins.op == Op::kXnorN) {
+          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+      case Op::kLut1: {
+        const std::uint64_t* a = row(0);
+        const std::uint64_t m0 = ins.mask & 1u ? ~0ull : 0ull;
+        const std::uint64_t m1 = ins.mask & 2u ? ~0ull : 0ull;
+        for (std::size_t w = 0; w < nw; ++w) {
+          out[w] = (m1 & a[w]) | (m0 & ~a[w]);
+        }
+        break;
+      }
+      case Op::kLut2: {
+        const std::uint64_t *a = row(0), *b = row(1);
+        const std::uint64_t m0 = ins.mask & 1u ? ~0ull : 0ull;
+        const std::uint64_t m1 = ins.mask & 2u ? ~0ull : 0ull;
+        const std::uint64_t m2 = ins.mask & 4u ? ~0ull : 0ull;
+        const std::uint64_t m3 = ins.mask & 8u ? ~0ull : 0ull;
+        for (std::size_t w = 0; w < nw; ++w) {
+          const std::uint64_t av = a[w], bv = b[w];
+          out[w] = (m0 & ~av & ~bv) | (m1 & av & ~bv) | (m2 & ~av & bv) |
+                   (m3 & av & bv);
+        }
+        break;
+      }
+      case Op::kLutN: {
+        // Sparse-row OR-of-minterms; when more than half the rows are
+        // asserted, evaluate the complement function and invert.
+        const int n = static_cast<int>(ins.fanin_count);
+        const std::uint64_t full = full_mask(n);
+        std::uint64_t m = ins.mask;
+        const bool inv =
+            2 * std::popcount(m) > static_cast<int>(num_rows(n));
+        if (inv) m = ~m & full;
+        for (std::size_t w = 0; w < nw; ++w) out[w] = 0;
+        while (m) {
+          const unsigned r = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          for (std::size_t w = 0; w < nw; ++w) {
+            std::uint64_t match = ~0ull;
+            for (int i = 0; i < n; ++i) {
+              const std::uint64_t v = row(i)[w];
+              match &= (r >> i) & 1u ? v : ~v;
+            }
+            out[w] |= match;
+          }
+        }
+        if (inv) {
+          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
+        }
+        break;
+      }
+    }
+  }
+}
+
+void CompiledSim::eval_word(std::span<const std::uint64_t> pi,
+                            std::span<const std::uint64_t> ff,
+                            std::span<std::uint64_t> wave) const {
+  if (pi.size() != inputs_.size() || ff.size() != dffs_.size()) {
+    throw std::invalid_argument("CompiledSim::eval_word: stimulus size mismatch");
+  }
+  if (wave.size() != n_cells_) {
+    throw std::invalid_argument("CompiledSim::eval_word: wave size mismatch");
+  }
+  run_instrs(pi, ff, wave, /*stride=*/1, /*w0=*/0, /*nw=*/1);
+}
+
+void CompiledSim::eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
+                             std::span<const std::uint64_t> ff,
+                             std::span<std::uint64_t> wave,
+                             ParallelFor* par) const {
+  if (W == 0) return;
+  if (pi.size() != inputs_.size() * W || ff.size() != dffs_.size() * W) {
+    throw std::invalid_argument(
+        "CompiledSim::eval_batch: stimulus size mismatch");
+  }
+  if (wave.size() != n_cells_ * W) {
+    throw std::invalid_argument("CompiledSim::eval_batch: wave size mismatch");
+  }
+  const std::size_t n_blocks = (W + kWordsPerBlock - 1) / kWordsPerBlock;
+  const auto run_block = [&](std::size_t b) {
+    const std::size_t w0 = b * kWordsPerBlock;
+    const std::size_t nw = std::min(kWordsPerBlock, W - w0);
+    run_instrs(pi, ff, wave, W, w0, nw);
+  };
+  if (par != nullptr && n_blocks > 1) {
+    par->run(n_blocks, run_block);
+  } else {
+    for (std::size_t b = 0; b < n_blocks; ++b) run_block(b);
+  }
+}
+
+void CompiledSim::gather_outputs(std::size_t W,
+                                 std::span<const std::uint64_t> wave,
+                                 std::span<std::uint64_t> out) const {
+  if (wave.size() != n_cells_ * W || out.size() != outputs_.size() * W) {
+    throw std::invalid_argument("CompiledSim::gather_outputs: size mismatch");
+  }
+  for (std::size_t o = 0; o < outputs_.size(); ++o) {
+    const std::uint64_t* src = wave.data() + outputs_[o] * W;
+    std::uint64_t* dst = out.data() + o * W;
+    for (std::size_t w = 0; w < W; ++w) dst[w] = src[w];
+  }
+}
+
+void CompiledSim::gather_next_state(std::size_t W,
+                                    std::span<const std::uint64_t> wave,
+                                    std::span<std::uint64_t> out) const {
+  if (wave.size() != n_cells_ * W || out.size() != ns_cells_.size() * W) {
+    throw std::invalid_argument(
+        "CompiledSim::gather_next_state: size mismatch");
+  }
+  for (std::size_t j = 0; j < ns_cells_.size(); ++j) {
+    const std::uint64_t* src = wave.data() + ns_cells_[j] * W;
+    std::uint64_t* dst = out.data() + j * W;
+    for (std::size_t w = 0; w < W; ++w) dst[w] = src[w];
+  }
+}
+
+}  // namespace stt

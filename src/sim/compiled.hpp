@@ -1,0 +1,143 @@
+// Compiled batch simulation engine: the hot path of every expensive loop.
+//
+// `CompiledSim` lowers a `Netlist` once into a flat instruction stream —
+// topologically ordered opcodes specialized by (kind, fan-in), fan-in wave
+// indices packed into one contiguous CSR array, LUT truth-table masks inline
+// in the instruction — and evaluates into caller-provided scratch buffers,
+// so the hot path performs zero heap allocations. Three entry points:
+//
+//  * `eval_word`  — one 64-pattern word per net, the classic lane layout;
+//  * `eval_batch` — W words per net in a *blocked* wave layout (the value of
+//    net r, word w lives at `wave[r * W + w]`), which amortizes instruction
+//    decode and fan-in index loads across W words per instruction;
+//  * `eval_batch` with a `ParallelFor` — fans fixed-size word blocks out
+//    across worker threads; lanes are independent, so results are
+//    bit-identical for every batch width and thread count.
+//
+// LUT masks can be re-patched in place (`set_lut_mask`) without re-lowering,
+// which is what the key-guessing attack loops (brute force, ML, DPA) need:
+// compile once, mutate the candidate key, re-evaluate.
+//
+// The engine snapshots the netlist *structure* at construction. Function
+// changes that keep every cell's fan-in list intact (LUT mask edits,
+// gate -> LUT conversion via `replace_with_lut`) can be absorbed with
+// `resync_functions`; anything structural requires a fresh `CompiledSim`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace stt {
+
+/// Minimal parallel-execution interface so the sim layer can fan work out
+/// across the runtime ThreadPool without linking against it (stt_runtime
+/// already depends on stt_attack -> stt_sim). `run` must invoke fn(i) for
+/// every i in [0, n) and return only when all invocations finished.
+/// `ThreadPoolParallelFor` (src/runtime/parallel.hpp) is the adapter.
+class ParallelFor {
+ public:
+  virtual ~ParallelFor() = default;
+  virtual void run(std::size_t n,
+                   const std::function<void(std::size_t)>& fn) = 0;
+};
+
+class CompiledSim {
+ public:
+  /// Words evaluated per instruction-stream pass in `eval_batch`; also the
+  /// granularity at which word blocks are handed to a `ParallelFor`.
+  static constexpr std::size_t kWordsPerBlock = 8;
+
+  /// Lower `nl` into the instruction stream. The netlist must outlive the
+  /// engine (it is re-read by `resync_functions` only).
+  explicit CompiledSim(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Rows in a wave buffer: one per netlist cell, indexed by CellId, so
+  /// existing per-cell consumers (activity counting, DPA's wave[target])
+  /// keep their indexing.
+  std::size_t wave_size() const { return n_cells_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Combinational-source / sink id lists (same order as the netlist's).
+  std::span<const CellId> input_cells() const { return inputs_; }
+  std::span<const CellId> dff_cells() const { return dffs_; }
+  std::span<const CellId> output_cells() const { return outputs_; }
+  /// D-pin drivers, ordered as dff_cells(): wave[next_state_cells()[j]] is
+  /// flip-flop j's next state.
+  std::span<const CellId> next_state_cells() const { return ns_cells_; }
+
+  /// Patch the truth table of a compiled LUT in place (O(1), no re-lower).
+  /// Throws std::invalid_argument if `id` is not a LUT instruction.
+  void set_lut_mask(CellId id, std::uint64_t mask);
+  std::uint64_t lut_mask(CellId id) const;
+
+  /// Re-read every cell's kind and LUT mask from the netlist, re-deriving
+  /// opcodes. Absorbs mask edits and in-place gate<->LUT conversions; the
+  /// fan-in structure must be unchanged (unchecked in release builds).
+  void resync_functions();
+
+  /// Evaluate one word of 64 patterns into `wave` (size wave_size()); no
+  /// allocation. `pi[i]` feeds input_cells()[i], `ff[j]` dff_cells()[j].
+  void eval_word(std::span<const std::uint64_t> pi,
+                 std::span<const std::uint64_t> ff,
+                 std::span<std::uint64_t> wave) const;
+
+  /// Evaluate W words in the blocked layout: element (row r, word w) of
+  /// `wave` (size wave_size()*W) is wave[r*W + w]; `pi` (num_inputs()*W)
+  /// and `ff` (num_dffs()*W) use the same layout. With `par`, word blocks
+  /// run concurrently; results are bit-identical regardless.
+  void eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
+                  std::span<const std::uint64_t> ff,
+                  std::span<std::uint64_t> wave,
+                  ParallelFor* par = nullptr) const;
+
+  /// Gather primary-output rows of a blocked wave into `out`
+  /// (num_outputs()*W, blocked layout).
+  void gather_outputs(std::size_t W, std::span<const std::uint64_t> wave,
+                      std::span<std::uint64_t> out) const;
+  /// Gather next-state rows of a blocked wave into `out` (num_dffs()*W).
+  void gather_next_state(std::size_t W, std::span<const std::uint64_t> wave,
+                         std::span<std::uint64_t> out) const;
+
+ private:
+  // Opcodes: cell kinds pre-specialized by fan-in so the dispatch switch
+  // does no per-gate arity analysis.
+  enum class Op : std::uint8_t {
+    kConst0, kConst1, kBuf, kNot,
+    kAnd2, kNand2, kOr2, kNor2, kXor2, kXnor2,
+    kAndN, kNandN, kOrN, kNorN, kXorN, kXnorN,
+    kLut1, kLut2, kLutN,
+  };
+
+  struct Instr {
+    std::uint32_t out;          ///< wave row written (== CellId)
+    std::uint32_t fanin_begin;  ///< first index into fanins_
+    std::uint16_t fanin_count;
+    Op op;
+    std::uint64_t mask;  ///< LUT truth table, pre-masked to full_mask(n)
+  };
+
+  static Op opcode_for(const Cell& cell);
+  void run_instrs(std::span<const std::uint64_t> pi,
+                  std::span<const std::uint64_t> ff,
+                  std::span<std::uint64_t> wave, std::size_t stride,
+                  std::size_t w0, std::size_t nw) const;
+
+  const Netlist* nl_;
+  std::size_t n_cells_ = 0;
+  std::vector<Instr> instrs_;            ///< topological order
+  std::vector<std::uint32_t> fanins_;    ///< CSR fan-in wave rows
+  std::vector<std::uint32_t> instr_of_;  ///< CellId -> instr index or -1
+  std::vector<CellId> inputs_, dffs_, outputs_, ns_cells_;
+};
+
+}  // namespace stt

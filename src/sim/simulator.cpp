@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace stt {
@@ -48,68 +49,83 @@ std::uint64_t eval_cell_word(const Cell& cell,
     }
     case CellKind::kLut: {
       // Word-parallel LUT: OR over asserted truth-table rows of the AND of
-      // per-input (dis)agreement words.
+      // per-input (dis)agreement words. 1- and 2-input LUTs (the common
+      // cases after selection) evaluate closed-form; wider LUTs visit only
+      // the asserted rows, taking the complement when more than half the
+      // rows are asserted so at most rows/2 iterations remain.
+      if (n == 1) {
+        const std::uint64_t a = fanin_words[0];
+        return ((cell.lut_mask & 2u) ? a : 0ull) |
+               ((cell.lut_mask & 1u) ? ~a : 0ull);
+      }
+      if (n == 2) {
+        const std::uint64_t a = fanin_words[0], b = fanin_words[1];
+        std::uint64_t out = 0;
+        if (cell.lut_mask & 1u) out |= ~a & ~b;
+        if (cell.lut_mask & 2u) out |= a & ~b;
+        if (cell.lut_mask & 4u) out |= ~a & b;
+        if (cell.lut_mask & 8u) out |= a & b;
+        return out;
+      }
+      const std::uint64_t full = full_mask(static_cast<int>(n));
+      std::uint64_t mask = cell.lut_mask & full;
+      const bool inv =
+          2 * std::popcount(mask) > static_cast<int>(num_rows(static_cast<int>(n)));
+      if (inv) mask = ~mask & full;
       std::uint64_t out = 0;
-      const auto rows = num_rows(static_cast<int>(n));
-      for (std::uint32_t row = 0; row < rows; ++row) {
-        if (!(cell.lut_mask & (1ull << row))) continue;
+      while (mask) {
+        const unsigned row = static_cast<unsigned>(std::countr_zero(mask));
+        mask &= mask - 1;
         std::uint64_t match = ~0ull;
         for (std::size_t i = 0; i < n; ++i) {
           match &= (row & (1u << i)) ? fanin_words[i] : ~fanin_words[i];
         }
         out |= match;
       }
-      return out;
+      return inv ? ~out : out;
     }
     default:
       throw std::invalid_argument("eval_cell_word: not a combinational cell");
   }
 }
 
-Simulator::Simulator(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {}
+Simulator::Simulator(const Netlist& nl) : csim_(nl) {}
+
+void Simulator::eval_comb_into(std::span<const std::uint64_t> pi_values,
+                               std::span<const std::uint64_t> ff_values,
+                               std::span<std::uint64_t> wave) const {
+  if (pi_values.size() != csim_.num_inputs() ||
+      ff_values.size() != csim_.num_dffs()) {
+    throw std::invalid_argument("Simulator::eval_comb: stimulus size mismatch");
+  }
+  // Historical contract: the simulator reads cell functions live, so LUT
+  // mask edits (and gate->LUT conversions) made after construction are
+  // visible. Structure edits still require a fresh Simulator, as before.
+  csim_.resync_functions();
+  csim_.eval_word(pi_values, ff_values, wave);
+}
 
 std::vector<std::uint64_t> Simulator::eval_comb(
     std::span<const std::uint64_t> pi_values,
     std::span<const std::uint64_t> ff_values) const {
-  const Netlist& nl = *nl_;
-  if (pi_values.size() != nl.inputs().size() ||
-      ff_values.size() != nl.dffs().size()) {
-    throw std::invalid_argument("Simulator::eval_comb: stimulus size mismatch");
-  }
-  std::vector<std::uint64_t> wave(nl.size(), 0);
-  for (std::size_t i = 0; i < pi_values.size(); ++i) {
-    wave[nl.inputs()[i]] = pi_values[i];
-  }
-  for (std::size_t j = 0; j < ff_values.size(); ++j) {
-    wave[nl.dffs()[j]] = ff_values[j];
-  }
-
-  std::uint64_t fin[kMaxGateInputs];
-  for (const CellId id : order_) {
-    const Cell& c = nl.cell(id);
-    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
-    const int n = c.fanin_count();
-    for (int i = 0; i < n; ++i) fin[i] = wave[c.fanins[i]];
-    wave[id] = eval_cell_word(c, std::span<const std::uint64_t>(fin, n));
-  }
+  std::vector<std::uint64_t> wave(csim_.wave_size());
+  eval_comb_into(pi_values, ff_values, wave);
   return wave;
 }
 
 std::vector<std::uint64_t> Simulator::outputs_of(
     std::span<const std::uint64_t> wave) const {
   std::vector<std::uint64_t> out;
-  out.reserve(nl_->outputs().size());
-  for (const CellId id : nl_->outputs()) out.push_back(wave[id]);
+  out.reserve(csim_.num_outputs());
+  for (const CellId id : csim_.output_cells()) out.push_back(wave[id]);
   return out;
 }
 
 std::vector<std::uint64_t> Simulator::next_state_of(
     std::span<const std::uint64_t> wave) const {
   std::vector<std::uint64_t> out;
-  out.reserve(nl_->dffs().size());
-  for (const CellId id : nl_->dffs()) {
-    out.push_back(wave[nl_->cell(id).fanins.at(0)]);
-  }
+  out.reserve(csim_.num_dffs());
+  for (const CellId id : csim_.next_state_cells()) out.push_back(wave[id]);
   return out;
 }
 
@@ -124,14 +140,16 @@ std::vector<bool> Simulator::eval_single(const std::vector<bool>& pi_values,
     ffs[j] = ff_values[j] ? ~0ull : 0ull;
   }
   const auto wave = eval_comb(pis, ffs);
-  const auto po = outputs_of(wave);
-  std::vector<bool> out(po.size());
-  for (std::size_t i = 0; i < po.size(); ++i) out[i] = (po[i] & 1ull) != 0;
+  std::vector<bool> out;
+  out.reserve(csim_.num_outputs());
+  for (const CellId id : csim_.output_cells()) {
+    out.push_back((wave[id] & 1ull) != 0);
+  }
   return out;
 }
 
 SequentialSimulator::SequentialSimulator(const Netlist& nl)
-    : sim_(nl), state_(nl.dffs().size(), 0) {}
+    : sim_(nl), state_(nl.dffs().size(), 0), wave_(nl.size(), 0) {}
 
 void SequentialSimulator::reset(bool bit) {
   for (auto& word : state_) word = bit ? ~0ull : 0ull;
@@ -144,11 +162,26 @@ void SequentialSimulator::set_state(std::span<const std::uint64_t> state) {
   state_.assign(state.begin(), state.end());
 }
 
+void SequentialSimulator::step_into(std::span<const std::uint64_t> pi_values,
+                                    std::span<std::uint64_t> po_out) {
+  const CompiledSim& csim = sim_.compiled();
+  if (po_out.size() != csim.num_outputs()) {
+    throw std::invalid_argument("SequentialSimulator::step_into: PO size mismatch");
+  }
+  sim_.eval_comb_into(pi_values, state_, wave_);
+  for (std::size_t o = 0; o < po_out.size(); ++o) {
+    po_out[o] = wave_[csim.output_cells()[o]];
+  }
+  // Latch next state in place: wave_ already holds every D-pin value.
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    state_[j] = wave_[csim.next_state_cells()[j]];
+  }
+}
+
 std::vector<std::uint64_t> SequentialSimulator::step(
     std::span<const std::uint64_t> pi_values) {
-  wave_ = sim_.eval_comb(pi_values, state_);
-  auto outputs = sim_.outputs_of(wave_);
-  state_ = sim_.next_state_of(wave_);
+  std::vector<std::uint64_t> outputs(sim_.compiled().num_outputs());
+  step_into(pi_values, outputs);
   return outputs;
 }
 

@@ -10,6 +10,15 @@
 // Representation: one std::uint64_t per cell = 64 independent Boolean
 // patterns evaluated simultaneously. Sequential state is carried the same
 // way, so 64 independent trajectories advance per step.
+//
+// Both classes delegate to the compiled engine (sim/compiled.hpp): the
+// netlist is lowered once into a flat instruction stream and evaluated into
+// reused buffers. `Simulator` re-syncs cell functions (LUT masks, in-place
+// gate<->LUT conversions) from the netlist on every evaluation, preserving
+// the historical live-read semantics that the attack loops relied on;
+// performance-critical callers use `CompiledSim` directly and patch masks
+// explicitly. The allocating `eval_comb` API is preserved; `eval_comb_into`
+// is the zero-allocation equivalent.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +26,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace stt {
@@ -27,7 +37,11 @@ class Simulator {
   /// configured mask (the simulator always models the *configured* chip).
   explicit Simulator(const Netlist& nl);
 
-  const Netlist& netlist() const { return *nl_; }
+  const Netlist& netlist() const { return csim_.netlist(); }
+
+  /// The underlying compiled engine (function snapshot as of the last
+  /// evaluation; batch/threaded entry points live here).
+  const CompiledSim& compiled() const { return csim_; }
 
   /// Evaluate the combinational fabric for one word of patterns.
   /// `pi_values[i]` feeds inputs()[i]; `ff_values[j]` feeds dffs()[j]'s
@@ -35,6 +49,11 @@ class Simulator {
   std::vector<std::uint64_t> eval_comb(
       std::span<const std::uint64_t> pi_values,
       std::span<const std::uint64_t> ff_values) const;
+
+  /// Zero-allocation variant: evaluate into `wave` (size netlist().size()).
+  void eval_comb_into(std::span<const std::uint64_t> pi_values,
+                      std::span<const std::uint64_t> ff_values,
+                      std::span<std::uint64_t> wave) const;
 
   /// Gather primary-output values from a wave, ordered as nl.outputs().
   std::vector<std::uint64_t> outputs_of(
@@ -49,11 +68,12 @@ class Simulator {
                                 const std::vector<bool>& ff_values) const;
 
  private:
-  const Netlist* nl_;
-  std::vector<CellId> order_;  // cached topological order
+  // resync_functions mutates opcode/mask fields; logically const evaluation.
+  mutable CompiledSim csim_;
 };
 
-/// Multi-cycle simulation of 64 parallel trajectories.
+/// Multi-cycle simulation of 64 parallel trajectories. All per-step buffers
+/// (wave, state, output scratch) are allocated once and reused.
 class SequentialSimulator {
  public:
   explicit SequentialSimulator(const Netlist& nl);
@@ -68,6 +88,11 @@ class SequentialSimulator {
   /// Apply one clock: evaluate combinationally with the given PI word
   /// values, return PO word values, and latch the next state.
   std::vector<std::uint64_t> step(std::span<const std::uint64_t> pi_values);
+
+  /// Zero-allocation step: PO words are written into `po_out` (size
+  /// nl.outputs().size()).
+  void step_into(std::span<const std::uint64_t> pi_values,
+                 std::span<std::uint64_t> po_out);
 
   /// The wave of the most recent step (per-cell), for activity accounting.
   std::span<const std::uint64_t> last_wave() const { return wave_; }

@@ -1,0 +1,339 @@
+// Compiled batch simulation engine: equivalence against an independent
+// reference evaluator on randomly generated netlists, bit-identical results
+// across batch widths and thread counts, in-place mask patching, and the
+// word-batched oracle's query accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attack/oracle.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/compiled.hpp"
+#include "sim/simulator.hpp"
+#include "synth/generator.hpp"
+#include "util/rng.hpp"
+
+namespace stt {
+namespace {
+
+// Independent reference: per-lane naive evaluation via eval_gate / direct
+// truth-table row lookup — shares no code with the compiled kernels (in
+// particular not eval_cell_word's specialized LUT paths).
+std::vector<std::uint64_t> ref_eval(const Netlist& nl,
+                                    std::span<const std::uint64_t> pi,
+                                    std::span<const std::uint64_t> ff) {
+  std::vector<std::uint64_t> wave(nl.size(), 0);
+  for (std::size_t i = 0; i < pi.size(); ++i) wave[nl.inputs()[i]] = pi[i];
+  for (std::size_t j = 0; j < ff.size(); ++j) wave[nl.dffs()[j]] = ff[j];
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    std::uint64_t out = 0;
+    for (int lane = 0; lane < 64; ++lane) {
+      std::uint32_t assignment = 0;
+      for (int i = 0; i < c.fanin_count(); ++i) {
+        if ((wave[c.fanins[i]] >> lane) & 1ull) assignment |= (1u << i);
+      }
+      bool bit = false;
+      switch (c.kind) {
+        case CellKind::kConst0:
+          bit = false;
+          break;
+        case CellKind::kConst1:
+          bit = true;
+          break;
+        case CellKind::kLut:
+          bit = (c.lut_mask >> assignment) & 1ull;
+          break;
+        default:
+          bit = eval_gate(c.kind, assignment, c.fanin_count());
+          break;
+      }
+      if (bit) out |= (1ull << lane);
+    }
+    wave[id] = out;
+  }
+  return wave;
+}
+
+// A generated circuit with a random subset of gates converted to LUTs with
+// random masks (dense masks included, to exercise the complement path).
+Netlist locked_circuit(int seed, int gates = 120) {
+  CircuitProfile profile{"cs", 8, 6, 5, gates, 7};
+  Netlist nl = generate_circuit(profile, static_cast<std::uint64_t>(seed));
+  Rng rng(seed * 31 + 7);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (!is_replaceable_gate(c.kind) || c.fanin_count() > kMaxLutInputs) {
+      continue;
+    }
+    if (!rng.chance(0.3)) continue;
+    nl.replace_with_lut(id, rng() & full_mask(c.fanin_count()));
+  }
+  return nl;
+}
+
+void random_stimulus(Rng& rng, const Netlist& nl,
+                     std::vector<std::uint64_t>& pi,
+                     std::vector<std::uint64_t>& ff) {
+  pi.resize(nl.inputs().size());
+  ff.resize(nl.dffs().size());
+  for (auto& w : pi) w = rng();
+  for (auto& w : ff) w = rng();
+}
+
+class CompiledVsReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledVsReference, RandomNetlistsMatch) {
+  const int seed = GetParam();
+  const Netlist nl = locked_circuit(seed);
+  const CompiledSim csim(nl);
+  const Simulator sim(nl);
+  Rng rng(seed * 977);
+  std::vector<std::uint64_t> pi, ff;
+  std::vector<std::uint64_t> wave(csim.wave_size());
+  for (int trial = 0; trial < 8; ++trial) {
+    random_stimulus(rng, nl, pi, ff);
+    const auto expect = ref_eval(nl, pi, ff);
+    csim.eval_word(pi, ff, wave);
+    ASSERT_EQ(wave.size(), expect.size());
+    for (std::size_t id = 0; id < wave.size(); ++id) {
+      ASSERT_EQ(wave[id], expect[id]) << "seed " << seed << " cell " << id;
+    }
+    // The ported Simulator must agree with its own compiled engine.
+    EXPECT_EQ(sim.eval_comb(pi, ff), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledVsReference, ::testing::Range(1, 9));
+
+TEST(CompiledSim, BatchWidthAndThreadCountInvariance) {
+  const Netlist nl = locked_circuit(3, 150);
+  const CompiledSim csim(nl);
+  Rng rng(555);
+  constexpr std::size_t kWords = 21;  // not a multiple of the block size
+  const std::size_t n_pi = csim.num_inputs();
+  const std::size_t n_ff = csim.num_dffs();
+  std::vector<std::uint64_t> pi(n_pi * kWords), ff(n_ff * kWords);
+  for (auto& w : pi) w = rng();
+  for (auto& w : ff) w = rng();
+
+  // Reference: word-at-a-time over the same lanes.
+  std::vector<std::uint64_t> expect(csim.wave_size() * kWords);
+  {
+    std::vector<std::uint64_t> pw(n_pi), fw(n_ff),
+        wave(csim.wave_size());
+    for (std::size_t w = 0; w < kWords; ++w) {
+      for (std::size_t i = 0; i < n_pi; ++i) pw[i] = pi[i * kWords + w];
+      for (std::size_t j = 0; j < n_ff; ++j) fw[j] = ff[j * kWords + w];
+      csim.eval_word(pw, fw, wave);
+      for (std::size_t r = 0; r < csim.wave_size(); ++r) {
+        expect[r * kWords + w] = wave[r];
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> wave(csim.wave_size() * kWords);
+  csim.eval_batch(kWords, pi, ff, wave);
+  EXPECT_EQ(wave, expect) << "serial batch differs from word-at-a-time";
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    ThreadPoolParallelFor par(pool);
+    std::vector<std::uint64_t> tw(csim.wave_size() * kWords, 0);
+    csim.eval_batch(kWords, pi, ff, tw, &par);
+    EXPECT_EQ(tw, expect) << threads << " threads";
+  }
+
+  // Smaller widths over the leading lanes agree with the wide batch.
+  for (const std::size_t W : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::uint64_t> spi(n_pi * W), sff(n_ff * W),
+        sw(csim.wave_size() * W);
+    for (std::size_t i = 0; i < n_pi; ++i) {
+      for (std::size_t w = 0; w < W; ++w) spi[i * W + w] = pi[i * kWords + w];
+    }
+    for (std::size_t j = 0; j < n_ff; ++j) {
+      for (std::size_t w = 0; w < W; ++w) sff[j * W + w] = ff[j * kWords + w];
+    }
+    csim.eval_batch(W, spi, sff, sw);
+    for (std::size_t r = 0; r < csim.wave_size(); ++r) {
+      for (std::size_t w = 0; w < W; ++w) {
+        ASSERT_EQ(sw[r * W + w], expect[r * kWords + w]) << "W=" << W;
+      }
+    }
+  }
+}
+
+TEST(CompiledSim, SetLutMaskMatchesRecompile) {
+  Netlist nl = locked_circuit(5);
+  CompiledSim csim(nl);
+  Rng rng(99);
+  std::vector<CellId> luts;
+  for (CellId id = 0; id < nl.size(); ++id) {
+    if (nl.cell(id).kind == CellKind::kLut) luts.push_back(id);
+  }
+  ASSERT_FALSE(luts.empty());
+  std::vector<std::uint64_t> pi, ff;
+  random_stimulus(rng, nl, pi, ff);
+  for (int trial = 0; trial < 6; ++trial) {
+    const CellId id = rng.pick(luts);
+    const std::uint64_t mask = rng() & full_mask(nl.cell(id).fanin_count());
+    csim.set_lut_mask(id, mask);
+    nl.cell(id).lut_mask = mask;
+    EXPECT_EQ(csim.lut_mask(id), mask);
+    const CompiledSim fresh(nl);
+    std::vector<std::uint64_t> a(csim.wave_size()), b(csim.wave_size());
+    csim.eval_word(pi, ff, a);
+    fresh.eval_word(pi, ff, b);
+    EXPECT_EQ(a, b) << "patched engine differs from recompiled engine";
+  }
+  EXPECT_THROW(csim.set_lut_mask(nl.inputs()[0], 1), std::invalid_argument);
+}
+
+TEST(Simulator, SeesLiveMaskAndKindEdits) {
+  // Historical contract: mask edits and in-place gate->LUT conversions made
+  // after construction are visible to the next eval_comb.
+  Netlist nl = locked_circuit(7);
+  const Simulator sim(nl);
+  Rng rng(1234);
+  std::vector<std::uint64_t> pi, ff;
+  random_stimulus(rng, nl, pi, ff);
+  (void)sim.eval_comb(pi, ff);  // compile + evaluate once
+
+  CellId gate = kNullCell;
+  for (const CellId id : nl.logic_cells()) {
+    const Cell& c = nl.cell(id);
+    if (is_replaceable_gate(c.kind) && c.kind != CellKind::kLut &&
+        c.fanin_count() <= kMaxLutInputs) {
+      gate = id;
+      break;
+    }
+  }
+  ASSERT_NE(gate, kNullCell);
+  // In-place gate -> LUT conversion with a random mask, same fan-ins.
+  nl.replace_with_lut(gate, rng() & full_mask(nl.cell(gate).fanin_count()));
+  EXPECT_EQ(sim.eval_comb(pi, ff), ref_eval(nl, pi, ff));
+}
+
+TEST(SequentialSimulator, StepIntoMatchesStepWithoutReallocation) {
+  const Netlist nl = locked_circuit(11);
+  SequentialSimulator a(nl);
+  SequentialSimulator b(nl);
+  a.reset(false);
+  b.reset(false);
+  Rng rng(31);
+  std::vector<std::uint64_t> pi(nl.inputs().size());
+  std::vector<std::uint64_t> po(nl.outputs().size());
+  const std::uint64_t* wave_data = a.last_wave().data();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    for (auto& w : pi) w = rng();
+    a.step_into(pi, po);
+    const auto expect = b.step(pi);
+    ASSERT_EQ(po.size(), expect.size());
+    for (std::size_t o = 0; o < po.size(); ++o) EXPECT_EQ(po[o], expect[o]);
+    for (std::size_t j = 0; j < nl.dffs().size(); ++j) {
+      EXPECT_EQ(a.state()[j], b.state()[j]);
+    }
+    // The wave buffer is reused, never reallocated.
+    EXPECT_EQ(a.last_wave().data(), wave_data);
+  }
+}
+
+TEST(ScanOracle, QueryWordMatches64SingleQueries) {
+  const Netlist nl = locked_circuit(13);
+  ScanOracle word_oracle(nl);
+  ScanOracle single_oracle(nl);
+  Rng rng(71);
+  const std::size_t n_in = word_oracle.num_inputs();
+  const std::size_t n_out = word_oracle.num_outputs();
+  std::vector<std::uint64_t> in(n_in), out(n_out);
+  for (auto& w : in) w = rng();
+  word_oracle.query_word(in, out);
+  for (int b = 0; b < 64; b += 7) {
+    std::vector<bool> pattern(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) pattern[i] = (in[i] >> b) & 1ull;
+    const auto response = single_oracle.query(pattern);
+    for (std::size_t o = 0; o < n_out; ++o) {
+      EXPECT_EQ(response[o], static_cast<bool>((out[o] >> b) & 1ull))
+          << "lane " << b << " output " << o;
+    }
+  }
+}
+
+TEST(ScanOracle, QueryAccountingStaysHonestAcrossGranularities) {
+  const Netlist nl = locked_circuit(17);
+  ScanOracle oracle(nl);
+  const std::size_t n_in = oracle.num_inputs();
+  const std::size_t n_out = oracle.num_outputs();
+  EXPECT_EQ(oracle.queries(), 0u);
+
+  oracle.query(std::vector<bool>(n_in, false));
+  EXPECT_EQ(oracle.queries(), 1u);
+
+  std::vector<std::uint64_t> in(n_in, 5), out(n_out);
+  oracle.query_word(in, out);
+  EXPECT_EQ(oracle.queries(), 1u + 64u);
+
+  // 64 queries per word, for every batch width and thread count.
+  for (const std::size_t W : {std::size_t{1}, std::size_t{3}}) {
+    const std::uint64_t before = oracle.queries();
+    std::vector<std::uint64_t> bin(n_in * W, 9), bout(n_out * W);
+    oracle.query_batch(W, bin, bout);
+    EXPECT_EQ(oracle.queries(), before + 64 * W);
+  }
+  ThreadPool pool(2);
+  ThreadPoolParallelFor par(pool);
+  const std::uint64_t before = oracle.queries();
+  std::vector<std::uint64_t> bin(n_in * 4, 3), bout(n_out * 4);
+  oracle.query_batch(4, bin, bout, &par);
+  EXPECT_EQ(oracle.queries(), before + 64 * 4);
+}
+
+TEST(ScanOracle, BatchMatchesWordQueries) {
+  const Netlist nl = locked_circuit(19);
+  ScanOracle batch_oracle(nl);
+  ScanOracle word_oracle(nl);
+  Rng rng(41);
+  constexpr std::size_t kWords = 11;
+  const std::size_t n_in = batch_oracle.num_inputs();
+  const std::size_t n_out = batch_oracle.num_outputs();
+  std::vector<std::uint64_t> in(n_in * kWords), out(n_out * kWords);
+  for (auto& w : in) w = rng();
+
+  ThreadPool pool(3);
+  ThreadPoolParallelFor par(pool);
+  batch_oracle.query_batch(kWords, in, out, &par);
+
+  std::vector<std::uint64_t> win(n_in), wout(n_out);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    for (std::size_t i = 0; i < n_in; ++i) win[i] = in[i * kWords + w];
+    word_oracle.query_word(win, wout);
+    for (std::size_t o = 0; o < n_out; ++o) {
+      EXPECT_EQ(wout[o], out[o * kWords + w]) << "word " << w;
+    }
+  }
+}
+
+TEST(EvalCellWord, DenseLutMasksUseComplementPathCorrectly) {
+  Rng rng(8);
+  for (int k = 3; k <= kMaxLutInputs; ++k) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Cell cell;
+      cell.kind = CellKind::kLut;
+      // Bias dense: OR of two draws asserts ~75% of rows on average.
+      cell.lut_mask = (rng() | rng()) & full_mask(k);
+      std::vector<std::uint64_t> words(k);
+      for (int i = 0; i < k; ++i) {
+        for (std::uint32_t row = 0; row < num_rows(k); ++row) {
+          if (row & (1u << i)) words[i] |= (1ull << row);
+        }
+      }
+      const std::uint64_t out = eval_cell_word(cell, words);
+      EXPECT_EQ(out & full_mask(k), cell.lut_mask) << "k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stt
