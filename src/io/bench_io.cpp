@@ -10,8 +10,11 @@
 
 namespace stt {
 
-BenchParseError::BenchParseError(const std::string& msg, int line_no)
-    : std::runtime_error("bench:" + std::to_string(line_no) + ": " + msg),
+BenchParseError::BenchParseError(const std::string& msg, int line_no,
+                                 const std::string& src)
+    : std::runtime_error(src + ":" + std::to_string(line_no) + ": " + msg),
+      message(msg),
+      source(src),
       line(line_no) {}
 
 namespace {
@@ -55,7 +58,7 @@ CellKind parse_operator(std::string_view op, std::uint64_t& mask, int line) {
 
 Netlist read_bench(std::string_view text, std::string name) {
   std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
+  std::vector<std::pair<std::string, int>> output_names;  // net, decl line
   std::vector<PendingCell> pending;
   std::unordered_set<std::string> defined;
 
@@ -93,7 +96,7 @@ Netlist read_bench(std::string_view text, std::string name) {
         }
         input_names.push_back(net);
       } else if (keyword == "OUTPUT") {
-        output_names.push_back(net);
+        output_names.emplace_back(net, line_no);
       } else {
         throw BenchParseError("unknown keyword '" + keyword + "'", line_no);
       }
@@ -150,16 +153,25 @@ Netlist read_bench(std::string_view text, std::string name) {
       }
       fanins.push_back(driver);
     }
-    nl.connect(ids[i], std::move(fanins));
+    try {
+      nl.connect(ids[i], std::move(fanins));
+    } catch (const std::exception& e) {
+      throw BenchParseError(e.what(), pending[i].line);
+    }
   }
-  for (const auto& net : output_names) {
+  for (const auto& [net, decl_line] : output_names) {
     const CellId id = nl.find(net);
     if (id == kNullCell) {
-      throw BenchParseError("OUTPUT references undefined net '" + net + "'", 0);
+      throw BenchParseError("OUTPUT references undefined net '" + net + "'",
+                            decl_line);
     }
     nl.mark_output(id);
   }
-  nl.finalize();
+  try {
+    nl.finalize();
+  } catch (const std::exception& e) {
+    throw BenchParseError(e.what(), 0);
+  }
   return nl;
 }
 
@@ -175,7 +187,12 @@ Netlist read_bench_file(const std::string& path) {
   if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
     stem = stem.substr(0, dot);
   }
-  return read_bench(buf.str(), stem);
+  try {
+    return read_bench(buf.str(), stem);
+  } catch (const BenchParseError& e) {
+    // Re-tag in-memory diagnostics with the actual file path.
+    throw BenchParseError(e.message, e.line, path);
+  }
 }
 
 std::string write_bench(const Netlist& nl, const BenchWriteOptions& opt) {

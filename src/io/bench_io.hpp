@@ -28,8 +28,12 @@
 namespace stt {
 
 struct BenchParseError : std::runtime_error {
-  BenchParseError(const std::string& msg, int line);
-  int line;
+  /// what() renders as "<source>:<line>: <msg>".
+  BenchParseError(const std::string& msg, int line,
+                  const std::string& source = "bench");
+  std::string message;  ///< diagnostic without the source:line prefix
+  std::string source;   ///< "bench" for in-memory text, file path otherwise
+  int line;             ///< 1-based; 0 = whole-file (no single culprit line)
 };
 
 /// Parse a .bench document. `name` becomes the netlist name.

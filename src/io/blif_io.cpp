@@ -3,13 +3,17 @@
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/strings.hpp"
 
 namespace stt {
 
-BlifParseError::BlifParseError(const std::string& msg, int line_no)
-    : std::runtime_error("blif:" + std::to_string(line_no) + ": " + msg),
+BlifParseError::BlifParseError(const std::string& msg, int line_no,
+                               const std::string& src)
+    : std::runtime_error(src + ":" + std::to_string(line_no) + ": " + msg),
+      message(msg),
+      source(src),
       line(line_no) {}
 
 namespace {
@@ -132,11 +136,21 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     }
   }
 
+  struct Latch {
+    std::string d, q;
+    int line = 0;
+  };
   std::string model_name = std::move(fallback_name);
   std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::vector<std::pair<std::string, std::string>> latches;  // D, Q
+  std::vector<std::pair<std::string, int>> output_names;  // net, decl line
+  std::vector<Latch> latches;
   std::vector<NamesBlock> blocks;
+  std::unordered_set<std::string> defined;  // driver names, for dup checks
+  const auto define = [&defined](const std::string& net, int line_no) {
+    if (!defined.insert(net).second) {
+      throw BlifParseError("net '" + net + "' defined twice", line_no);
+    }
+  };
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const auto& [line, line_no] = lines[li];
@@ -144,21 +158,30 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     if (fields.empty()) continue;
     const std::string& head = fields[0];
     if (head == ".model") {
-      if (fields.size() >= 2) model_name = fields[1];
+      if (fields.size() < 2) {
+        throw BlifParseError(".model needs a name", line_no);
+      }
+      model_name = fields[1];
     } else if (head == ".inputs") {
-      input_names.insert(input_names.end(), fields.begin() + 1, fields.end());
+      for (auto it = fields.begin() + 1; it != fields.end(); ++it) {
+        define(*it, line_no);
+        input_names.push_back(*it);
+      }
     } else if (head == ".outputs") {
-      output_names.insert(output_names.end(), fields.begin() + 1,
-                          fields.end());
+      for (auto it = fields.begin() + 1; it != fields.end(); ++it) {
+        output_names.emplace_back(*it, line_no);
+      }
     } else if (head == ".latch") {
       if (fields.size() < 3) {
         throw BlifParseError(".latch needs input and output", line_no);
       }
-      latches.emplace_back(fields[1], fields[2]);
+      define(fields[2], line_no);
+      latches.push_back({fields[1], fields[2], line_no});
     } else if (head == ".names") {
       if (fields.size() < 2) {
         throw BlifParseError(".names needs an output net", line_no);
       }
+      define(fields.back(), line_no);
       NamesBlock block;
       block.nets.assign(fields.begin() + 1, fields.end());
       block.line = line_no;
@@ -177,7 +200,7 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
 
   Netlist nl(std::move(model_name));
   for (const auto& name : input_names) nl.add_input(name);
-  for (const auto& [d, q] : latches) nl.add_cell(CellKind::kDff, q);
+  for (const auto& latch : latches) nl.add_cell(CellKind::kDff, latch.q);
   std::vector<CellId> block_cells;
   for (const auto& block : blocks) {
     const int k = static_cast<int>(block.nets.size()) - 1;
@@ -222,8 +245,8 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     }
     return id;
   };
-  for (std::size_t i = 0; i < latches.size(); ++i) {
-    nl.connect(nl.find(latches[i].second), {resolve(latches[i].first, 0)});
+  for (const Latch& latch : latches) {
+    nl.connect(nl.find(latch.q), {resolve(latch.d, latch.line)});
   }
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const CellKind kind = nl.cell(block_cells[i]).kind;
@@ -232,10 +255,20 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     for (std::size_t j = 0; j + 1 < blocks[i].nets.size(); ++j) {
       fanins.push_back(resolve(blocks[i].nets[j], blocks[i].line));
     }
-    nl.connect(block_cells[i], std::move(fanins));
+    try {
+      nl.connect(block_cells[i], std::move(fanins));
+    } catch (const std::exception& e) {
+      throw BlifParseError(e.what(), blocks[i].line);
+    }
   }
-  for (const auto& name : output_names) nl.mark_output(resolve(name, 0));
-  nl.finalize();
+  for (const auto& [name, decl_line] : output_names) {
+    nl.mark_output(resolve(name, decl_line));
+  }
+  try {
+    nl.finalize();
+  } catch (const std::exception& e) {
+    throw BlifParseError(e.what(), 0);
+  }
   return nl;
 }
 
@@ -251,7 +284,12 @@ Netlist read_blif_file(const std::string& path) {
   if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
     stem = stem.substr(0, dot);
   }
-  return read_blif(buf.str(), stem);
+  try {
+    return read_blif(buf.str(), stem);
+  } catch (const BlifParseError& e) {
+    // Re-tag in-memory diagnostics with the actual file path.
+    throw BlifParseError(e.message, e.line, path);
+  }
 }
 
 std::string write_blif(const Netlist& nl) {

@@ -29,8 +29,12 @@
 namespace stt {
 
 struct BlifParseError : std::runtime_error {
-  BlifParseError(const std::string& msg, int line);
-  int line;
+  /// what() renders as "<source>:<line>: <msg>".
+  BlifParseError(const std::string& msg, int line,
+                 const std::string& source = "blif");
+  std::string message;  ///< diagnostic without the source:line prefix
+  std::string source;   ///< "blif" for in-memory text, file path otherwise
+  int line;             ///< 1-based; 0 = whole-file (no single culprit line)
 };
 
 Netlist read_blif(std::string_view text, std::string fallback_name = "blif");

@@ -1,5 +1,6 @@
 #include "runtime/campaign.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "core/hybrid.hpp"
 #include "synth/generator.hpp"
 #include "util/timer.hpp"
+#include "verify/lint.hpp"
 
 namespace stt {
 
@@ -255,6 +257,20 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
                     row.timing_retries = flow.selection.timing_retries;
                     row.usl_replacements = flow.selection.usl_replacements;
                     row.selection_ms = flow.selection.selection_seconds * 1e3;
+                    if (spec.lint) {
+                      LintOptions lint_opt;
+                      lint_opt.audit.model = opt.similarity;
+                      const LintReport lint = run_lint(flow.hybrid, lint_opt);
+                      row.lint_ran = true;
+                      row.lint_verdict = lint.verdict();
+                      row.lint_errors = lint.counts.errors;
+                      row.lint_warnings = lint.counts.warnings;
+                      row.lint_infos = lint.counts.infos;
+                      row.audit_log10_drop =
+                          std::max({lint.audit.log10_drop_indep,
+                                    lint.audit.log10_drop_dep,
+                                    lint.audit.log10_drop_bf});
+                    }
                     run_attack_stage(
                         row, flow.hybrid, spec.attack,
                         campaign_seed(spec.master_seed, row.benchmark,

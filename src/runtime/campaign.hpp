@@ -53,6 +53,10 @@ struct CampaignSpec {
   CampaignAttack attack = CampaignAttack::kNone;
   double activity = 0.10;       ///< power sign-off switching activity
   double timing_margin = 0.05;  ///< parametric timing margin
+  /// Run `sttlock lint` (structural + static security audit, src/verify)
+  /// over every grid point's hybrid netlist; the verdict and the audited-
+  /// vs-optimistic security delta land in the deterministic result rows.
+  bool lint = true;
   /// Progress callback, invoked once per settled grid point from worker
   /// threads (serialized by the driver). May be empty.
   std::function<void(std::size_t done, std::size_t total,
@@ -85,6 +89,16 @@ struct CampaignRow {
   int paths_considered = 0;
   int timing_retries = 0;
   int usl_replacements = 0;
+
+  // Lint stage (when spec.lint): verdict of the static analysis over the
+  // hybrid netlist, plus the largest log10 gap between the optimistic and
+  // audited Eq. (1)-(3) figures (0 when no candidate set collapsed).
+  bool lint_ran = false;
+  std::string lint_verdict;  ///< clean | info | warnings | errors
+  int lint_errors = 0;
+  int lint_warnings = 0;
+  int lint_infos = 0;
+  double audit_log10_drop = 0;
 
   // Attack stage (when spec.attack != kNone).
   bool attack_ran = false;

@@ -52,7 +52,9 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    "power_pct",    "area_pct",       "orig_delay_ps",
                    "hybrid_delay_ps", "n_indep",     "n_dep",
                    "n_bf",         "paths",          "timing_retries",
-                   "usl",          "attack",         "attack_success",
+                   "usl",          "lint",           "lint_errors",
+                   "lint_warnings", "audit_log10_drop",
+                   "attack",       "attack_success",
                    "attack_queries", "error"});
   for (const CampaignRow& row : report.rows) {
     table.add_row({row.benchmark,
@@ -74,6 +76,10 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    std::to_string(row.paths_considered),
                    std::to_string(row.timing_retries),
                    std::to_string(row.usl_replacements),
+                   row.lint_ran ? row.lint_verdict : "",
+                   row.lint_ran ? std::to_string(row.lint_errors) : "",
+                   row.lint_ran ? std::to_string(row.lint_warnings) : "",
+                   row.lint_ran ? fmt(row.audit_log10_drop) : "",
                    row.attack_ran ? campaign_attack_name(report.attack) : "none",
                    row.attack_ran ? (row.attack_success ? "1" : "0") : "",
                    row.attack_ran ? std::to_string(row.attack_queries) : "",
@@ -160,6 +166,13 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
     out += "\"n_bf\": \"" + json_escape(row.n_bf) + "\", ";
     out += strformat("\"timing_retries\": %d, ", row.timing_retries);
     out += strformat("\"usl\": %d", row.usl_replacements);
+    if (row.lint_ran) {
+      out += ", \"lint\": \"" + json_escape(row.lint_verdict) + "\", ";
+      out += strformat(
+          "\"lint_errors\": %d, \"lint_warnings\": %d, \"lint_infos\": %d, ",
+          row.lint_errors, row.lint_warnings, row.lint_infos);
+      out += "\"audit_log10_drop\": " + fmt(row.audit_log10_drop);
+    }
     if (row.attack_ran) {
       out += strformat(", \"attack_success\": %s, \"attack_queries\": %llu",
                        row.attack_success ? "true" : "false",

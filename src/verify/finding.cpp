@@ -1,0 +1,137 @@
+#include "verify/finding.hpp"
+
+namespace stt {
+
+std::string_view severity_name(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kInfo: return "info";
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view rule_id(LintRule rule) {
+  switch (rule) {
+    case LintRule::kCombinationalCycle: return "STR001";
+    case LintRule::kUnresolvedFanin: return "STR002";
+    case LintRule::kArityMismatch: return "STR003";
+    case LintRule::kFanoutDesync: return "STR004";
+    case LintRule::kNoPrimaryOutputs: return "STR005";
+    case LintRule::kConstantOutput: return "STR006";
+    case LintRule::kDeadGate: return "STR007";
+    case LintRule::kDuplicateFanin: return "STR008";
+    case LintRule::kLutMaskWidth: return "STR009";
+    case LintRule::kSingleInputLut: return "HYB001";
+    case LintRule::kCamouflagedCmos: return "HYB002";
+    case LintRule::kCamouflageMask: return "HYB003";
+    case LintRule::kConstantFedLut: return "SEC001";
+    case LintRule::kInferableLut: return "SEC002";
+    case LintRule::kVacuousLutInput: return "SEC003";
+    case LintRule::kResolvableLut: return "SEC004";
+    case LintRule::kMaskedLut: return "SEC005";
+    case LintRule::kAuditSkipped: return "SEC000";
+  }
+  return "???";
+}
+
+std::string_view rule_summary(LintRule rule) {
+  switch (rule) {
+    case LintRule::kCombinationalCycle:
+      return "cell lies on a combinational cycle";
+    case LintRule::kUnresolvedFanin:
+      return "fan-in slot references no cell";
+    case LintRule::kArityMismatch:
+      return "fan-in count is illegal for the cell kind";
+    case LintRule::kFanoutDesync:
+      return "fanout list disagrees with fan-in lists";
+    case LintRule::kNoPrimaryOutputs:
+      return "netlist declares no primary outputs";
+    case LintRule::kConstantOutput:
+      return "primary output driven by a constant";
+    case LintRule::kDeadGate:
+      return "gate drives nothing (no reader, not an output)";
+    case LintRule::kDuplicateFanin:
+      return "same driver wired to multiple fan-in slots";
+    case LintRule::kLutMaskWidth:
+      return "LUT mask has bits beyond its 2^k truth-table rows";
+    case LintRule::kSingleInputLut:
+      return "single-input missing gate (candidate set is only BUF/NOT)";
+    case LintRule::kCamouflagedCmos:
+      return "cell declared camouflaged but still a plain CMOS gate";
+    case LintRule::kCamouflageMask:
+      return "camouflaged cell configured outside the camouflage set";
+    case LintRule::kConstantFedLut:
+      return "missing-gate input tied to a static constant";
+    case LintRule::kInferableLut:
+      return "missing gate's function statically inferable (constant output)";
+    case LintRule::kVacuousLutInput:
+      return "missing gate's function ignores one of its inputs";
+    case LintRule::kResolvableLut:
+      return "missing gate trivially controllable/observable (SCOAP)";
+    case LintRule::kMaskedLut:
+      return "missing-gate output statically blocked from every observation "
+             "point";
+    case LintRule::kAuditSkipped:
+      return "security audit skipped (structural errors present)";
+  }
+  return "";
+}
+
+LintSeverity rule_severity(LintRule rule) {
+  switch (rule) {
+    case LintRule::kCombinationalCycle:
+    case LintRule::kUnresolvedFanin:
+    case LintRule::kArityMismatch:
+    case LintRule::kFanoutDesync:
+    case LintRule::kLutMaskWidth:
+    case LintRule::kCamouflagedCmos:
+    case LintRule::kCamouflageMask:
+    case LintRule::kConstantFedLut:
+    case LintRule::kInferableLut:
+    case LintRule::kMaskedLut:
+      return LintSeverity::kError;
+    case LintRule::kNoPrimaryOutputs:
+    case LintRule::kConstantOutput:
+    case LintRule::kDeadGate:
+    case LintRule::kDuplicateFanin:
+    case LintRule::kVacuousLutInput:
+      return LintSeverity::kWarning;
+    case LintRule::kSingleInputLut:
+    case LintRule::kResolvableLut:
+    case LintRule::kAuditSkipped:
+      return LintSeverity::kInfo;
+  }
+  return LintSeverity::kInfo;
+}
+
+LintCounts count_findings(const std::vector<LintFinding>& findings) {
+  LintCounts counts;
+  for (const LintFinding& f : findings) {
+    switch (f.severity) {
+      case LintSeverity::kError: ++counts.errors; break;
+      case LintSeverity::kWarning: ++counts.warnings; break;
+      case LintSeverity::kInfo: ++counts.infos; break;
+    }
+  }
+  return counts;
+}
+
+LintFinding make_finding(const Netlist& nl, LintRule rule, CellId cell,
+                         std::string message) {
+  return make_finding(nl, rule, cell, std::move(message),
+                      rule_severity(rule));
+}
+
+LintFinding make_finding(const Netlist& nl, LintRule rule, CellId cell,
+                         std::string message, LintSeverity severity) {
+  LintFinding f;
+  f.rule = rule;
+  f.severity = severity;
+  f.cell = cell;
+  if (cell != kNullCell && cell < nl.size()) f.cell_name = nl.cell(cell).name;
+  f.message = std::move(message);
+  return f;
+}
+
+}  // namespace stt

@@ -1,0 +1,225 @@
+#include "verify/structural.hpp"
+
+#include <algorithm>
+
+#include "core/camouflage.hpp"
+#include "graph/analysis.hpp"
+#include "util/strings.hpp"
+
+namespace stt {
+
+namespace {
+
+bool valid_id(const Netlist& nl, CellId id) {
+  return id != kNullCell && id < nl.size();
+}
+
+// STR001: report each combinational strongly-connected component once,
+// anchored at its lowest-id member, naming up to four participants.
+void find_cycles(const Netlist& nl, std::vector<LintFinding>& findings) {
+  std::vector<std::vector<std::uint32_t>> adj(nl.size());
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kDff) continue;  // D-pin edges are sequential
+    for (const CellId f : c.fanins) {
+      if (valid_id(nl, f)) adj[f].push_back(id);
+    }
+  }
+  int num_components = 0;
+  const std::vector<int> comp = tarjan_scc(adj, num_components);
+  std::vector<std::vector<CellId>> members(
+      static_cast<std::size_t>(num_components));
+  for (CellId id = 0; id < nl.size(); ++id) {
+    members[static_cast<std::size_t>(comp[id])].push_back(id);
+  }
+  for (const auto& scc : members) {
+    const bool self_loop =
+        scc.size() == 1 &&
+        std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
+            adj[scc[0]].end();
+    if (scc.size() < 2 && !self_loop) continue;
+    std::string names;
+    for (std::size_t i = 0; i < scc.size() && i < 4; ++i) {
+      if (i) names += " -> ";
+      names += nl.cell(scc[i]).name;
+    }
+    if (scc.size() > 4) names += " -> ...";
+    const CellId anchor = *std::min_element(scc.begin(), scc.end());
+    findings.push_back(make_finding(
+        nl, LintRule::kCombinationalCycle, anchor,
+        strformat("combinational cycle through %zu cell(s): %s", scc.size(),
+                  names.c_str())));
+  }
+}
+
+}  // namespace
+
+StructuralLintResult run_structural_lint(const Netlist& nl,
+                                         const StructuralLintOptions& opt) {
+  StructuralLintResult result;
+  auto& findings = result.findings;
+
+  // Reader counts recomputed from fan-in lists: the authoritative edge set
+  // when fanout lists may be stale.
+  std::vector<std::uint32_t> readers(nl.size(), 0);
+  for (CellId id = 0; id < nl.size(); ++id) {
+    for (const CellId f : nl.cell(id).fanins) {
+      if (valid_id(nl, f)) ++readers[f];
+    }
+  }
+
+  for (CellId id = 0; id < nl.size(); ++id) {
+    const Cell& c = nl.cell(id);
+
+    // STR002 — unresolved / out-of-range fan-in slots.
+    for (std::size_t slot = 0; slot < c.fanins.size(); ++slot) {
+      if (!valid_id(nl, c.fanins[slot])) {
+        findings.push_back(make_finding(
+            nl, LintRule::kUnresolvedFanin, id,
+            strformat("fan-in slot %zu of '%s' references no cell", slot,
+                      c.name.c_str())));
+      }
+    }
+
+    // STR003 — arity outside the legal range for the kind.
+    const FaninRange range = fanin_range(c.kind);
+    if (c.fanin_count() < range.min || c.fanin_count() > range.max) {
+      findings.push_back(make_finding(
+          nl, LintRule::kArityMismatch, id,
+          strformat("%s '%s' has %d fan-in(s); legal range is [%d, %d]",
+                    std::string(kind_name(c.kind)).c_str(), c.name.c_str(),
+                    c.fanin_count(), range.min, range.max)));
+    }
+
+    // STR004 — fanout lists out of sync with the fan-in edge set.
+    for (const CellId f : c.fanins) {
+      if (!valid_id(nl, f)) continue;
+      const auto& outs = nl.cell(f).fanouts;
+      const auto expect = std::count(c.fanins.begin(), c.fanins.end(), f);
+      const auto have = std::count(outs.begin(), outs.end(), id);
+      if (have != expect) {
+        findings.push_back(make_finding(
+            nl, LintRule::kFanoutDesync, id,
+            strformat("'%s' reads '%s' %zd time(s) but appears %zd time(s) "
+                      "in its fanout list",
+                      c.name.c_str(), nl.cell(f).name.c_str(),
+                      static_cast<std::ptrdiff_t>(expect),
+                      static_cast<std::ptrdiff_t>(have))));
+        break;  // one desync finding per cell is enough to localize it
+      }
+    }
+
+    // STR008 — duplicate driver across fan-in slots (collapses the
+    // function: AND(a,a) = a; for a LUT it halves the reachable rows).
+    if (c.fanin_count() >= 2) {
+      std::vector<CellId> sorted(c.fanins);
+      std::sort(sorted.begin(), sorted.end());
+      const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+      if (dup != sorted.end() && valid_id(nl, *dup)) {
+        findings.push_back(make_finding(
+            nl, LintRule::kDuplicateFanin, id,
+            strformat("'%s' wires driver '%s' to multiple fan-in slots",
+                      c.name.c_str(), nl.cell(*dup).name.c_str())));
+      }
+    }
+
+    // STR009 — LUT mask bits beyond the truth table.
+    if (c.kind == CellKind::kLut &&
+        (c.lut_mask & ~full_mask(c.fanin_count())) != 0) {
+      findings.push_back(make_finding(
+          nl, LintRule::kLutMaskWidth, id,
+          strformat("LUT '%s' mask 0x%llx has bits beyond its %u rows",
+                    c.name.c_str(),
+                    static_cast<unsigned long long>(c.lut_mask),
+                    num_rows(c.fanin_count()))));
+    }
+
+    // HYB001 — one-input missing gate: the candidate space is just
+    // {BUF, NOT}, the weakest hiding the model supports.
+    if (c.kind == CellKind::kLut && c.fanin_count() == 1) {
+      findings.push_back(make_finding(
+          nl, LintRule::kSingleInputLut, id,
+          strformat("missing gate '%s' has one input; candidate set is only "
+                    "BUF/NOT (P = 2)",
+                    c.name.c_str())));
+    }
+
+    // STR007 — dead gate: a combinational cell nothing reads and that is
+    // not a primary output. A dead *missing* gate is an error: it inflates
+    // M (and every Eq. 1-3 figure) while hiding nothing reachable.
+    const bool is_logic = is_combinational(c.kind) &&
+                          c.kind != CellKind::kConst0 &&
+                          c.kind != CellKind::kConst1;
+    if (is_logic && readers[id] == 0 && !c.is_output) {
+      const bool lut = c.kind == CellKind::kLut;
+      findings.push_back(make_finding(
+          nl, LintRule::kDeadGate, id,
+          lut ? strformat("missing gate '%s' drives nothing: it contributes "
+                          "to M but hides no reachable logic",
+                          c.name.c_str())
+              : strformat("gate '%s' drives nothing and is not an output",
+                          c.name.c_str()),
+          lut ? LintSeverity::kError : LintSeverity::kWarning));
+    }
+  }
+
+  // STR005 / STR006 — output sanity.
+  if (nl.outputs().empty()) {
+    findings.push_back(make_finding(
+        nl, LintRule::kNoPrimaryOutputs, kNullCell,
+        "netlist declares no primary outputs; nothing is observable"));
+  }
+  for (const CellId id : nl.outputs()) {
+    const CellKind kind = nl.cell(id).kind;
+    if (kind == CellKind::kConst0 || kind == CellKind::kConst1) {
+      findings.push_back(make_finding(
+          nl, LintRule::kConstantOutput, id,
+          strformat("primary output '%s' is the constant %c",
+                    nl.cell(id).name.c_str(),
+                    kind == CellKind::kConst1 ? '1' : '0')));
+    }
+  }
+
+  // HYB002 / HYB003 — declared-camouflaged cells must be LUTs configured
+  // within the camouflage candidate set.
+  if (!opt.camouflaged.empty()) {
+    const std::vector<std::uint64_t> camo_masks = camouflage_candidate_masks();
+    for (const CellId id : opt.camouflaged) {
+      if (!valid_id(nl, id)) continue;
+      const Cell& c = nl.cell(id);
+      if (c.kind != CellKind::kLut) {
+        findings.push_back(make_finding(
+            nl, LintRule::kCamouflagedCmos, id,
+            strformat("cell '%s' is declared camouflaged but is a plain %s "
+                      "gate",
+                      c.name.c_str(),
+                      std::string(kind_name(c.kind)).c_str())));
+        continue;
+      }
+      if (c.fanin_count() == 2 &&
+          std::find(camo_masks.begin(), camo_masks.end(),
+                    c.lut_mask & full_mask(2)) == camo_masks.end()) {
+        findings.push_back(make_finding(
+            nl, LintRule::kCamouflageMask, id,
+            strformat("camouflaged cell '%s' configured with mask 0x%llx, "
+                      "outside the NAND/NOR/XNOR camouflage set",
+                      c.name.c_str(),
+                      static_cast<unsigned long long>(c.lut_mask))));
+      }
+    }
+  }
+
+  find_cycles(nl, findings);
+
+  for (const LintFinding& f : findings) {
+    if (f.rule == LintRule::kCombinationalCycle ||
+        f.rule == LintRule::kUnresolvedFanin ||
+        f.rule == LintRule::kArityMismatch) {
+      result.evaluable = false;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace stt

@@ -1,0 +1,35 @@
+// Layer 1 of `sttlock lint`: structural well-formedness checks.
+//
+// Unlike Netlist::check(), which throws on the first violation, this pass
+// tolerates arbitrarily malformed netlists (unresolved fan-ins, cycles,
+// desynchronized fanout lists) and reports *every* violation as a finding —
+// a netlist fresh out of a two-pass parser or an in-place editing bug must
+// be fully diagnosable in one run.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "verify/finding.hpp"
+
+namespace stt {
+
+struct StructuralLintOptions {
+  /// Cells declared camouflaged (e.g. CamouflageResult::camouflaged). The
+  /// hybrid invariants HYB002/HYB003 check that each is a LUT configured
+  /// within the camouflage candidate set; empty disables both rules.
+  std::unordered_set<CellId> camouflaged;
+};
+
+struct StructuralLintResult {
+  std::vector<LintFinding> findings;
+  /// False when cycles / unresolved fan-ins / arity violations make the
+  /// netlist unevaluable; layer 2 requires this to be true.
+  bool evaluable = true;
+};
+
+StructuralLintResult run_structural_lint(
+    const Netlist& nl, const StructuralLintOptions& opt = {});
+
+}  // namespace stt

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "io/bench_io.hpp"
 #include "io/verilog_writer.hpp"
 #include "synth/generator.hpp"
@@ -59,6 +61,17 @@ TEST(BenchReader, MalformedLineFails) {
 
 TEST(BenchReader, OutputOfUndefinedNetFails) {
   EXPECT_THROW(read_bench("INPUT(a)\nOUTPUT(ghost)\n"), BenchParseError);
+}
+
+TEST(BenchReader, OutputErrorReportsDeclarationLine) {
+  try {
+    read_bench("INPUT(a)\nb = NOT(a)\nOUTPUT(ghost)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line, 3);
+    EXPECT_EQ(e.source, "bench");
+    EXPECT_NE(std::string(e.what()).find("bench:3:"), std::string::npos);
+  }
 }
 
 TEST(BenchReader, LutExtensionConfigured) {
@@ -176,6 +189,22 @@ TEST(BenchFileIo, WriteAndReadBack) {
 
 TEST(BenchFileIo, MissingFileThrows) {
   EXPECT_THROW(read_bench_file("/nonexistent/path.bench"), std::runtime_error);
+}
+
+TEST(BenchFileIo, ParseErrorCarriesFilePath) {
+  const std::string path = ::testing::TempDir() + "/broken.bench";
+  {
+    std::ofstream out(path);
+    out << "INPUT(a)\nb = FROB(a)\n";
+  }
+  try {
+    read_bench_file(path);
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.source, path);
+    EXPECT_EQ(e.line, 2);
+    EXPECT_NE(std::string(e.what()).find(path + ":2:"), std::string::npos);
+  }
 }
 
 }  // namespace

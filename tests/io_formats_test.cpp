@@ -202,6 +202,42 @@ TEST(Blif, Errors) {
       BlifParseError);  // mixed cover
 }
 
+TEST(Blif, DiagnosticsCarryLineNumbers) {
+  // .model with no name is an error, not a silent skip.
+  try {
+    read_blif(".model\n.end\n");
+    FAIL() << "expected BlifParseError";
+  } catch (const BlifParseError& e) {
+    EXPECT_EQ(e.line, 1);
+    EXPECT_NE(e.message.find(".model"), std::string::npos);
+  }
+  // Redefining a net reports the second definition site.
+  try {
+    read_blif(
+        ".model m\n.inputs a\n.outputs y\n"
+        ".names a y\n1 1\n.names a y\n0 1\n.end\n");
+    FAIL() << "expected BlifParseError";
+  } catch (const BlifParseError& e) {
+    EXPECT_EQ(e.line, 6);
+    EXPECT_NE(e.message.find("'y' defined twice"), std::string::npos);
+  }
+  // A latch whose D net never resolves reports the .latch line.
+  try {
+    read_blif(".model m\n.inputs a\n.outputs q\n.latch ghost q\n.end\n");
+    FAIL() << "expected BlifParseError";
+  } catch (const BlifParseError& e) {
+    EXPECT_EQ(e.line, 4);
+    EXPECT_NE(e.message.find("ghost"), std::string::npos);
+  }
+  // An undefined .outputs net reports its declaration line.
+  try {
+    read_blif(".model m\n.inputs a\n.outputs ghost\n.end\n");
+    FAIL() << "expected BlifParseError";
+  } catch (const BlifParseError& e) {
+    EXPECT_EQ(e.line, 3);
+  }
+}
+
 class BlifRoundtrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(BlifRoundtrip, GeneratedCircuits) {

@@ -12,6 +12,10 @@
 //   sttlock campaign --jobs 8 --seeds 3 --algorithms parametric
 //                    --benchmarks s641,s1238 --out-csv results.csv
 //                    --out-json results.json [--attack sens] [--progress]
+//   sttlock lint    --in h.bench [--json report.json] [--strict] [--no-audit]
+//   sttlock lint    --gen s641,s820 --algorithms parametric --seed 7
+//                   (generate + lock + lint each algorithm's output;
+//                    --gen all covers the whole ISCAS'89 set)
 //
 // Netlist files are read by extension as well.
 #include <cstdio>
@@ -40,6 +44,7 @@
 #include "timing/sta.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
+#include "verify/lint.hpp"
 
 namespace {
 
@@ -343,6 +348,110 @@ int cmd_campaign(const std::vector<std::string>& args) {
   return report.profile.failed_rows == 0 ? 0 : 2;
 }
 
+int cmd_lint(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "comma-separated netlist files to lint", "");
+  p.add_option("--gen",
+               "comma-separated ISCAS'89 profiles to generate, lock and lint "
+               "('all' = the whole set)",
+               "");
+  p.add_option("--algorithms",
+               "with --gen: subset of independent,dependent,parametric",
+               "independent,dependent,parametric");
+  p.add_option("--seed", "with --gen: generation/selection seed", "1");
+  p.add_option("--margin", "with --gen: parametric timing margin", "0.05");
+  p.add_option("--scoap-threshold",
+               "SEC004 resolvability bound (justify+observe cost)", "6.0");
+  p.add_option("--json", "machine-readable report output path", "");
+  p.add_flag("--strict", "treat warnings as errors in the exit code");
+  p.add_flag("--no-audit", "structural layer only (skip the security audit)");
+  p.add_flag("--quiet", "suppress the per-finding text report");
+  p.parse(args);
+
+  LintOptions opt;
+  opt.run_audit = !p.flag("--no-audit");
+  opt.audit.resolvability_threshold = p.get_double("--scoap-threshold");
+
+  std::vector<LintReport> reports;
+  auto lint_one = [&](const Netlist& nl) {
+    reports.push_back(run_lint(nl, opt));
+    if (!p.flag("--quiet")) {
+      std::fputs(lint_text(reports.back()).c_str(), stdout);
+    }
+  };
+
+  for (const std::string& path : split(p.get("--in"), ',')) {
+    if (trim(path).empty()) continue;
+    lint_one(load_netlist(std::string(trim(path))));
+  }
+
+  if (!p.get("--gen").empty()) {
+    std::vector<std::string> names;
+    if (p.get("--gen") == "all") {
+      for (const auto& profile : iscas89_profiles()) {
+        names.push_back(profile.name);
+      }
+    } else {
+      names = split(p.get("--gen"), ',');
+    }
+    std::vector<SelectionAlgorithm> algorithms;
+    for (const std::string& name : split(p.get("--algorithms"), ',')) {
+      if (name == "independent") {
+        algorithms.push_back(SelectionAlgorithm::kIndependent);
+      } else if (name == "dependent") {
+        algorithms.push_back(SelectionAlgorithm::kDependent);
+      } else if (name == "parametric") {
+        algorithms.push_back(SelectionAlgorithm::kParametric);
+      } else {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        return 1;
+      }
+    }
+    const TechLibrary lib = TechLibrary::cmos90_stt();
+    const auto seed = static_cast<std::uint64_t>(p.get_int("--seed"));
+    for (const std::string& name : names) {
+      const auto profile = find_profile(name);
+      if (!profile) {
+        std::fprintf(stderr, "unknown profile '%s'\n", name.c_str());
+        return 1;
+      }
+      const Netlist original = generate_circuit(*profile, seed);
+      // The clean pre-lock netlist is part of the regression surface too.
+      Netlist clean = original;
+      clean.set_name(name + "/clean");
+      lint_one(clean);
+      for (const SelectionAlgorithm alg : algorithms) {
+        FlowOptions fopt;
+        fopt.algorithm = alg;
+        fopt.selection.seed = seed;
+        fopt.selection.timing_margin = p.get_double("--margin");
+        FlowResult flow = run_secure_flow(original, lib, fopt);
+        flow.hybrid.set_name(name + "/" + algorithm_name(alg));
+        lint_one(flow.hybrid);
+      }
+    }
+  }
+
+  if (reports.empty()) {
+    std::fprintf(stderr, "lint: nothing to do (pass --in or --gen)\n");
+    return 1;
+  }
+  if (!p.get("--json").empty()) {
+    std::ofstream out(p.get("--json"));
+    if (!out) throw std::runtime_error("cannot write " + p.get("--json"));
+    out << (reports.size() == 1 ? lint_json(reports.front())
+                                : lint_json(reports));
+  }
+
+  int failed = 0;
+  for (const LintReport& report : reports) {
+    if (report.failed(p.flag("--strict"))) ++failed;
+  }
+  std::printf("lint: %zu netlist(s), %d failed%s\n", reports.size(), failed,
+              p.flag("--strict") ? " (strict)" : "");
+  return failed == 0 ? 0 : 2;
+}
+
 int cmd_convert(const std::vector<std::string>& args) {
   ArgParser p;
   p.add_option("--in", "input netlist");
@@ -385,7 +494,7 @@ int cmd_program(const std::vector<std::string>& args) {
 void usage() {
   std::fputs(
       "usage: sttlock <command> [options]\n"
-      "commands: gen, info, lock, attack, campaign, convert, program\n"
+      "commands: gen, info, lock, attack, campaign, lint, convert, program\n"
       "run 'sttlock <command> --help' is not needed — errors list options.\n",
       stderr);
 }
@@ -405,6 +514,7 @@ int main(int argc, char** argv) {
     if (cmd == "lock") return cmd_lock(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "lint") return cmd_lint(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "program") return cmd_program(args);
   } catch (const std::exception& e) {
