@@ -129,9 +129,36 @@ EncodedCircuit encode_comb(sat::Solver& solver, const Netlist& nl,
     for (const CellId id : nl.dffs()) enc.cell_var[id] = enc.input_vars[slot++];
   }
 
+  // Key taint: a cell depends on the key iff it is a LUT or any fanin does.
+  // With share_key_free_cells, untainted cells reuse the prior copy's
+  // variables instead of being re-encoded.
+  std::vector<char> tainted;
+  if (opt.share_key_free_cells) {
+    if (!opt.share_inputs) {
+      throw std::invalid_argument(
+          "encode_comb: share_key_free_cells requires share_inputs");
+    }
+    if (opt.share_key_free_cells->size() != nl.size()) {
+      throw std::invalid_argument(
+          "encode_comb: shared cell count mismatch");
+    }
+    tainted.assign(nl.size(), 0);
+    for (const CellId id : nl.topo_order()) {
+      const Cell& c = nl.cell(id);
+      if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+      char t = (c.kind == CellKind::kLut) ? 1 : 0;
+      for (const CellId f : c.fanins) t |= tainted[f];
+      tainted[id] = t;
+    }
+  }
+
   for (const CellId id : nl.topo_order()) {
     const Cell& c = nl.cell(id);
     if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
+    if (opt.share_key_free_cells && !tainted[id]) {
+      enc.cell_var[id] = (*opt.share_key_free_cells)[id];
+      continue;
+    }
     const Var out = solver.new_var();
     enc.cell_var[id] = out;
     std::vector<Var> in;
@@ -216,10 +243,12 @@ sat::Var add_miter(sat::Solver& solver, const EncodedCircuit& a,
   const sat::Var m = solver.new_var();
   any_diff.push_back(sat::neg(m));
   for (std::size_t i = 0; i < a.output_vars.size(); ++i) {
-    const sat::Var d = solver.new_var();
-    // d <-> (a_i XOR b_i)
     const sat::Var x = a.output_vars[i];
     const sat::Var y = b.output_vars[i];
+    // Cone-shared output (key-free logic encoded once): can never differ.
+    if (x == y) continue;
+    const sat::Var d = solver.new_var();
+    // d <-> (a_i XOR b_i)
     solver.add_ternary(sat::neg(d), sat::pos(x), sat::pos(y));
     solver.add_ternary(sat::neg(d), sat::neg(x), sat::neg(y));
     solver.add_ternary(sat::pos(d), sat::neg(x), sat::pos(y));

@@ -39,6 +39,13 @@ struct EncodeOptions {
   const std::vector<sat::Var>* share_inputs = nullptr;
   /// Reuse these key variables (tying a fresh copy to an existing key).
   const std::map<std::string, std::vector<sat::Var>>* share_keys = nullptr;
+  /// Cone-of-influence sharing for miters: reuse these cell variables (the
+  /// `cell_var` of a prior encoding of the *same* netlist in the *same*
+  /// solver) for every cell whose fanin cone contains no LUT. Key-free
+  /// logic computes the same value in both miter copies, so it only needs
+  /// one CNF encoding; only the key-tainted cone is duplicated. Requires
+  /// share_inputs (the shared cells are functions of those input vars).
+  const std::vector<sat::Var>* share_key_free_cells = nullptr;
 };
 
 EncodedCircuit encode_comb(sat::Solver& solver, const Netlist& nl,

@@ -27,7 +27,9 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
   for (std::size_t j = 0; j < ff.size(); ++j) {
     ff[j] = inputs[n_pi + j] ? ~0ull : 0;
   }
-  sim_.eval_word(pi, ff, wave_);
+  if (wave_.size() < sim_.wave_size()) wave_.resize(sim_.wave_size());
+  const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size());
+  sim_.eval_word(pi, ff, wave);
   std::vector<bool> out;
   out.reserve(num_outputs());
   for (const CellId id : sim_.output_cells()) out.push_back(wave_[id] & 1ull);
@@ -48,8 +50,9 @@ void ScanOracle::query_word(std::span<const std::uint64_t> inputs,
   queries_ += 64;
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
-  if (wave_.size() != sim_.wave_size()) wave_.resize(sim_.wave_size());
-  sim_.eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff), wave_);
+  if (wave_.size() < sim_.wave_size()) wave_.resize(sim_.wave_size());
+  sim_.eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff),
+                 std::span<std::uint64_t>(wave_.data(), sim_.wave_size()));
   const std::size_t n_po = sim_.num_outputs();
   for (std::size_t o = 0; o < n_po; ++o) {
     outputs[o] = wave_[sim_.output_cells()[o]];

@@ -1,14 +1,29 @@
 #include "attack/sat.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace stt::sat {
 
 namespace {
 
-// Luby restart sequence (0-indexed): 1,1,2,1,1,2,4,...
-std::int64_t luby(std::int64_t i) {
+constexpr double kVarDecay = 1.0 / 0.95;
+constexpr double kClauseDecay = 1.0 / 0.999;
+constexpr double kRescale = 1e100;
+
+// Deadline polling period: one wall-clock read per this many conflicts.
+constexpr std::int64_t kDeadlineCheckMask = 255;
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::int64_t luby_sequence(std::int64_t i) {
   // Find the smallest complete binary sequence (size 2^seq - 1) holding i.
   std::int64_t size = 1;
   std::int64_t seq = 0;
@@ -24,24 +39,57 @@ std::int64_t luby(std::int64_t i) {
   return 1ll << seq;
 }
 
-constexpr double kVarDecay = 1.0 / 0.95;
-constexpr double kClauseDecay = 1.0 / 0.999;
-constexpr double kRescale = 1e100;
-
-}  // namespace
-
 Solver::Solver() = default;
+
+void Solver::set_config(const SolverConfig& config) {
+  config_ = config;
+  if (config_.restart_unit < 1) config_.restart_unit = 1;
+  rng_state_ = config.seed | 1ull;  // xorshift must not start at zero
+  for (std::size_t v = 0; v < phase_.size(); ++v) {
+    phase_[v] = config_.default_phase;
+  }
+}
+
+std::uint64_t Solver::next_random() {
+  std::uint64_t x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return rng_state_ = x;
+}
+
+void Solver::set_deadline(double seconds_from_now) {
+  if (seconds_from_now < 0) {
+    has_deadline_ = false;
+    return;
+  }
+  // Saturate: a huge limit (e.g. a campaign's "effectively unbounded")
+  // must not overflow the nanosecond epoch into an already-expired one.
+  const double ns = seconds_from_now * 1e9;
+  if (ns >= 9.0e18 - static_cast<double>(steady_now_ns())) {
+    has_deadline_ = false;
+    return;
+  }
+  has_deadline_ = true;
+  deadline_ns_ = steady_now_ns() + static_cast<std::int64_t>(ns);
+}
+
+bool Solver::deadline_expired() const {
+  return has_deadline_ && steady_now_ns() >= deadline_ns_;
+}
 
 Var Solver::new_var() {
   const Var v = static_cast<Var>(activity_.size());
   activity_.push_back(0.0);
   assigns_.push_back(kUndef);
-  phase_.push_back(false);
+  phase_.push_back(config_.default_phase);
   level_.push_back(0);
   reason_.push_back(kNoClause);
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
   heap_pos_.push_back(-1);
   heap_insert(v);
   return v;
@@ -123,8 +171,18 @@ void Solver::decay_activities() {
 
 void Solver::attach(ClauseRef cr) {
   const Clause& c = clauses_[cr];
-  watches_[(~c.lits[0]).code()].push_back(cr);
-  watches_[(~c.lits[1]).code()].push_back(cr);
+  if (c.lits.size() == 2) {
+    bin_watches_[(~c.lits[0]).code()].push_back({c.lits[1], cr});
+    bin_watches_[(~c.lits[1]).code()].push_back({c.lits[0], cr});
+    return;
+  }
+  watches_[(~c.lits[0]).code()].push_back({cr, c.lits[1]});
+  watches_[(~c.lits[1]).code()].push_back({cr, c.lits[0]});
+}
+
+void Solver::note_clause_stored() {
+  ++live_clauses_;
+  if (live_clauses_ > peak_clauses_) peak_clauses_ = live_clauses_;
 }
 
 void Solver::enqueue(Lit l, ClauseRef reason) {
@@ -141,6 +199,7 @@ bool Solver::add_clause(std::initializer_list<Lit> lits) {
 
 bool Solver::add_clause(std::span<const Lit> lits_in) {
   if (!ok_) return false;
+  ++stats_clauses_added_;
   backtrack(0);
 
   // Simplify at level 0: sort, dedupe, drop false literals, detect
@@ -169,6 +228,7 @@ bool Solver::add_clause(std::span<const Lit> lits_in) {
   }
   clauses_.push_back({std::move(out), 0.0, false, false});
   attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  note_clause_stored();
   return true;
 }
 
@@ -176,11 +236,30 @@ Solver::ClauseRef Solver::propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_propagations_;
+
+    // Binary clauses first: no watch migration, no clause dereference on
+    // the satisfied path.
+    for (const BinWatch& bw : bin_watches_[p.code()]) {
+      const LBool v = lit_value(bw.other);
+      if (v == kTrue) continue;
+      if (v == kFalse) {
+        qhead_ = trail_.size();
+        return bw.cr;
+      }
+      enqueue(bw.other, bw.cr);
+    }
+
     auto& ws = watches_[p.code()];
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < ws.size()) {
-      const ClauseRef cr = ws[i];
+      // Blocker check: if some other literal of the clause is already true
+      // the clause is satisfied; keep the watch and move on.
+      if (lit_value(ws[i].blocker) == kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      const ClauseRef cr = ws[i].cr;
       Clause& c = clauses_[cr];
       if (c.deleted) {
         ++i;
@@ -189,8 +268,10 @@ Solver::ClauseRef Solver::propagate() {
       // Normalize: the falsified watcher (~p) sits at index 1.
       const Lit false_lit = ~p;
       if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      if (lit_value(c.lits[0]) == kTrue) {
-        ws[j++] = ws[i++];
+      const Lit first = c.lits[0];
+      if (lit_value(first) == kTrue) {
+        ws[j++] = {cr, first};
+        ++i;
         continue;
       }
       // Look for a replacement watch.
@@ -198,7 +279,7 @@ Solver::ClauseRef Solver::propagate() {
       for (std::size_t k = 2; k < c.lits.size(); ++k) {
         if (lit_value(c.lits[k]) != kFalse) {
           std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).code()].push_back(cr);
+          watches_[(~c.lits[1]).code()].push_back({cr, first});
           found = true;
           break;
         }
@@ -208,26 +289,27 @@ Solver::ClauseRef Solver::propagate() {
         continue;
       }
       // Unit or conflicting.
-      ws[j++] = ws[i++];
-      if (lit_value(c.lits[0]) == kFalse) {
+      ws[j++] = {cr, first};
+      ++i;
+      if (lit_value(first) == kFalse) {
         while (i < ws.size()) ws[j++] = ws[i++];
         ws.resize(j);
         qhead_ = trail_.size();
         return cr;
       }
-      enqueue(c.lits[0], cr);
+      enqueue(first, cr);
     }
     ws.resize(j);
   }
   return kNoClause;
 }
 
-void Solver::backtrack(int target_level) {
+void Solver::backtrack(int target_level, bool save_phases) {
   if (static_cast<int>(trail_lim_.size()) <= target_level) return;
   const std::size_t bound = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i > bound; --i) {
     const Var v = trail_[i - 1].var();
-    phase_[v] = (assigns_[v] == kTrue);
+    if (save_phases) phase_[v] = (assigns_[v] == kTrue);
     assigns_[v] = kUndef;
     reason_[v] = kNoClause;
     heap_insert(v);
@@ -235,6 +317,39 @@ void Solver::backtrack(int target_level) {
   trail_.resize(bound);
   trail_lim_.resize(target_level);
   qhead_ = trail_.size();
+}
+
+// Recursive (MiniSat-style) redundancy test: a non-asserting learnt literal
+// can be dropped when its reason-side ancestry stays inside literals already
+// marked `seen_` (i.e. already in the learnt clause). `levels_mask` is the
+// abstraction of the decision levels present in the clause; any ancestor on
+// a level outside it cannot be dominated, so the walk fails fast.
+bool Solver::lit_redundant(Lit l, std::uint32_t levels_mask) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const Clause& c = clauses_[reason_[q.var()]];
+    for (const Lit p : c.lits) {
+      const Var v = p.var();
+      if (v == q.var() || seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] == kNoClause || (abstract_level(v) & levels_mask) == 0) {
+        // Hit a decision or an unreachable level: not redundant. Unwind the
+        // speculative marks added during this walk.
+        for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
+          seen_[analyze_clear_[k]] = 0;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[v] = 1;
+      analyze_clear_.push_back(v);
+      analyze_stack_.push_back(p);
+    }
+  }
+  return true;
 }
 
 void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
@@ -246,7 +361,7 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
   int counter = 0;
   Lit p = Lit::undef();
   std::size_t index = trail_.size();
-  std::vector<Var> to_clear;
+  analyze_clear_.clear();
 
   do {
     Clause& c = clauses_[confl];
@@ -256,7 +371,7 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
       const Var v = q.var();
       if (!seen_[v] && level_[v] > 0) {
         seen_[v] = 1;
-        to_clear.push_back(v);
+        analyze_clear_.push_back(v);
         bump_var(v);
         if (level_[v] >= current) {
           ++counter;
@@ -274,23 +389,21 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
     --counter;
   } while (counter > 0);
   learnt[0] = ~p;
+  seen_[p.var()] = 1;  // keep the UIP marked for the redundancy walks
+  analyze_clear_.push_back(p.var());
 
-  // Local clause minimization: drop literals implied by the rest.
+  // Recursive clause minimization: drop literals whose reason ancestry is
+  // dominated by the rest of the clause.
+  std::uint32_t levels_mask = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    levels_mask |= abstract_level(learnt[i].var());
+  }
   std::size_t keep = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     const Var v = learnt[i].var();
-    const ClauseRef r = reason_[v];
-    bool redundant = r != kNoClause;
-    if (redundant) {
-      for (const Lit q : clauses_[r].lits) {
-        if (q.var() == v) continue;
-        if (!seen_[q.var()] && level_[q.var()] > 0) {
-          redundant = false;
-          break;
-        }
-      }
+    if (reason_[v] == kNoClause || !lit_redundant(learnt[i], levels_mask)) {
+      learnt[keep++] = learnt[i];
     }
-    if (!redundant) learnt[keep++] = learnt[i];
   }
   learnt.resize(keep);
 
@@ -304,10 +417,17 @@ void Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
     }
   }
 
-  for (const Var v : to_clear) seen_[v] = 0;
+  for (const Var v : analyze_clear_) seen_[v] = 0;
 }
 
 Lit Solver::pick_branch() {
+  if (config_.random_branch_freq > 0.0 &&
+      static_cast<double>(next_random() >> 11) * 0x1.0p-53 <
+          config_.random_branch_freq &&
+      num_vars() > 0) {
+    const Var v = static_cast<Var>(next_random() % num_vars());
+    if (assigns_[v] == kUndef) return Lit(v, !phase_[v]);
+  }
   while (!heap_.empty()) {
     const Var v = heap_pop();
     if (assigns_[v] == kUndef) return Lit(v, !phase_[v]);
@@ -330,12 +450,15 @@ void Solver::reduce_db() {
   for (std::size_t i = 0; i < drop; ++i) {
     clauses_[learnts[i]].deleted = true;
     --learnt_count_;
+    --live_clauses_;
   }
+  ++stats_db_reductions_;
   rebuild_watches();
 }
 
 void Solver::rebuild_watches() {
   for (auto& w : watches_) w.clear();
+  for (auto& w : bin_watches_) w.clear();
   for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
     if (!clauses_[cr].deleted) attach(cr);
   }
@@ -344,8 +467,12 @@ void Solver::rebuild_watches() {
 bool Solver::value(Var v) const { return assigns_[v] == kTrue; }
 
 Result Solver::solve(std::span<const Lit> assumptions) {
+  last_stop_ = StopCause::kNone;
   if (!ok_) return Result::kUnsat;
-  backtrack(0);
+  // The unwound assignments are the previous call's model, whose phases
+  // were saved on the way out — re-saving here would clobber any
+  // set_phase() hints given between calls.
+  backtrack(0, /*save_phases=*/false);
   if (propagate() != kNoClause) {
     ok_ = false;
     return Result::kUnsat;
@@ -356,7 +483,8 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   std::int64_t max_learnts =
       static_cast<std::int64_t>(clauses_.size()) / 3 + 2000;
   std::int64_t restart_index = 0;
-  std::int64_t restart_limit = luby(restart_index) * 100;
+  std::int64_t restart_limit =
+      luby_sequence(restart_index) * config_.restart_unit;
   std::int64_t conflicts_since_restart = 0;
   std::vector<Lit> learnt;
 
@@ -379,12 +507,20 @@ Result Solver::solve(std::span<const Lit> assumptions) {
         const auto cr = static_cast<ClauseRef>(clauses_.size() - 1);
         bump_clause(clauses_[cr]);
         attach(cr);
+        note_clause_stored();
         enqueue(learnt[0], cr);
         ++learnt_count_;
       }
+      ++stats_learned_;
       decay_activities();
       if (budget_end >= 0 && stats_conflicts_ >= budget_end) {
         backtrack(0);
+        last_stop_ = StopCause::kConflictBudget;
+        return Result::kUnknown;
+      }
+      if ((stats_conflicts_ & kDeadlineCheckMask) == 0 && deadline_expired()) {
+        backtrack(0);
+        last_stop_ = StopCause::kDeadline;
         return Result::kUnknown;
       }
       continue;
@@ -393,7 +529,7 @@ Result Solver::solve(std::span<const Lit> assumptions) {
     if (conflicts_since_restart >= restart_limit) {
       backtrack(0);
       ++restart_index;
-      restart_limit = luby(restart_index) * 100;
+      restart_limit = luby_sequence(restart_index) * config_.restart_unit;
       conflicts_since_restart = 0;
       if (learnt_count_ > max_learnts) {
         reduce_db();
@@ -424,7 +560,12 @@ Result Solver::solve(std::span<const Lit> assumptions) {
     }
     if (next == Lit::undef()) {
       next = pick_branch();
-      if (next == Lit::undef()) return Result::kSat;  // model in assigns_
+      if (next == Lit::undef()) {
+        // Save the model's phases now: the next solve() unwinds the trail
+        // without saving (see the entry backtrack).
+        for (const Lit p : trail_) phase_[p.var()] = !p.negated();
+        return Result::kSat;  // model in assigns_
+      }
       ++stats_decisions_;
     }
     trail_lim_.push_back(static_cast<int>(trail_.size()));

@@ -8,6 +8,7 @@
 #include "attack/brute_force.hpp"
 #include "attack/ml_attack.hpp"
 #include "attack/oracle.hpp"
+#include "attack/sat_attack.hpp"
 #include "attack/sensitization.hpp"
 #include "core/hybrid.hpp"
 #include "synth/generator.hpp"
@@ -51,6 +52,8 @@ std::string campaign_attack_name(CampaignAttack attack) {
       return "bf";
     case CampaignAttack::kMl:
       return "ml";
+    case CampaignAttack::kSat:
+      return "sat";
   }
   return "?";
 }
@@ -60,8 +63,9 @@ CampaignAttack parse_campaign_attack(const std::string& name) {
   if (name == "sens") return CampaignAttack::kSensitization;
   if (name == "bf") return CampaignAttack::kBruteForce;
   if (name == "ml") return CampaignAttack::kMl;
+  if (name == "sat") return CampaignAttack::kSat;
   throw std::invalid_argument("unknown campaign attack '" + name +
-                              "' (expected none|sens|bf|ml)");
+                              "' (expected none|sens|bf|ml|sat)");
 }
 
 std::uint64_t campaign_seed(std::uint64_t master_seed,
@@ -148,6 +152,29 @@ void run_attack_stage(CampaignRow& row, const Netlist& hybrid,
       const auto r = run_ml_attack(view, oracle, opt);
       row.attack_success = r.success;
       row.attack_queries = r.oracle_queries;
+      break;
+    }
+    case CampaignAttack::kSat: {
+      // Conflict-budget-bounded only: the wall-clock limit is effectively
+      // disabled and no portfolio/parallelism is used, so the outcome and
+      // every telemetry column are machine- and --jobs-independent. (The
+      // stage already runs on a pool worker, so opt.parallel must stay
+      // null regardless.)
+      SatAttackOptions opt;
+      opt.seed = attack_seed;
+      opt.time_limit_s = 1e18;
+      opt.conflict_budget = 2'000'000;
+      opt.portfolio = 1;
+      const auto r = run_sat_attack(view, oracle, opt);
+      row.attack_success = r.success;
+      row.attack_queries = r.oracle_queries;
+      row.attack_iterations = r.iterations;
+      row.attack_conflicts = r.conflicts;
+      row.attack_decisions = r.stats.decisions;
+      row.attack_propagations = r.stats.propagations;
+      row.attack_learned = r.stats.learned;
+      row.attack_peak_clauses = r.stats.peak_clauses;
+      row.attack_cnf_per_iter = r.stats.cnf_clauses_per_iter;
       break;
     }
     case CampaignAttack::kNone:

@@ -30,14 +30,16 @@
 namespace stt {
 
 /// Optional oracle-based attack stage appended to every grid point. All
-/// three are deterministic for a fixed seed, so attack columns stay inside
-/// the byte-identical result rows. (The SAT attack is excluded here: its
-/// wall-clock cutoff would break the determinism contract.)
-enum class CampaignAttack { kNone, kSensitization, kBruteForce, kMl };
+/// four are deterministic for a fixed seed, so attack columns stay inside
+/// the byte-identical result rows. The SAT attack runs conflict-budget-
+/// bounded only (its wall-clock limit is set effectively infinite inside
+/// the campaign, and its portfolio is 1), so its outcome is machine- and
+/// load-independent.
+enum class CampaignAttack { kNone, kSensitization, kBruteForce, kMl, kSat };
 
 std::string campaign_attack_name(CampaignAttack attack);
 
-/// Parses "none" | "sens" | "bf" | "ml"; throws on anything else.
+/// Parses "none" | "sens" | "bf" | "ml" | "sat"; throws on anything else.
 CampaignAttack parse_campaign_attack(const std::string& name);
 
 struct CampaignSpec {
@@ -100,10 +102,19 @@ struct CampaignRow {
   int lint_infos = 0;
   double audit_log10_drop = 0;
 
-  // Attack stage (when spec.attack != kNone).
+  // Attack stage (when spec.attack != kNone). The solver-telemetry block
+  // below is zero for the non-SAT attacks; for kSat it mirrors
+  // SatAttackStats (canonical-member counts, deterministic across --jobs).
   bool attack_ran = false;
   bool attack_success = false;
   std::uint64_t attack_queries = 0;
+  int attack_iterations = 0;
+  std::int64_t attack_conflicts = 0;
+  std::int64_t attack_decisions = 0;
+  std::int64_t attack_propagations = 0;
+  std::int64_t attack_learned = 0;
+  std::int64_t attack_peak_clauses = 0;
+  double attack_cnf_per_iter = 0;
 
   // -- measured (non-deterministic; reported separately) ------------------
   double selection_ms = 0;  ///< Table II metric, from the selector's timer

@@ -55,7 +55,11 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    "usl",          "lint",           "lint_errors",
                    "lint_warnings", "audit_log10_drop",
                    "attack",       "attack_success",
-                   "attack_queries", "error"});
+                   "attack_queries", "attack_iters",
+                   "attack_conflicts", "attack_decisions",
+                   "attack_propagations", "attack_learned",
+                   "attack_peak_clauses", "attack_cnf_per_iter",
+                   "error"});
   for (const CampaignRow& row : report.rows) {
     table.add_row({row.benchmark,
                    algorithm_name(row.algorithm),
@@ -83,6 +87,15 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    row.attack_ran ? campaign_attack_name(report.attack) : "none",
                    row.attack_ran ? (row.attack_success ? "1" : "0") : "",
                    row.attack_ran ? std::to_string(row.attack_queries) : "",
+                   row.attack_ran ? std::to_string(row.attack_iterations) : "",
+                   row.attack_ran ? std::to_string(row.attack_conflicts) : "",
+                   row.attack_ran ? std::to_string(row.attack_decisions) : "",
+                   row.attack_ran ? std::to_string(row.attack_propagations)
+                                  : "",
+                   row.attack_ran ? std::to_string(row.attack_learned) : "",
+                   row.attack_ran ? std::to_string(row.attack_peak_clauses)
+                                  : "",
+                   row.attack_ran ? fmt(row.attack_cnf_per_iter) : "",
                    row.error});
   }
   return table.to_csv();
@@ -177,6 +190,17 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
       out += strformat(", \"attack_success\": %s, \"attack_queries\": %llu",
                        row.attack_success ? "true" : "false",
                        static_cast<unsigned long long>(row.attack_queries));
+      out += strformat(
+          ", \"attack_iters\": %d, \"attack_conflicts\": %lld"
+          ", \"attack_decisions\": %lld, \"attack_propagations\": %lld"
+          ", \"attack_learned\": %lld, \"attack_peak_clauses\": %lld",
+          row.attack_iterations,
+          static_cast<long long>(row.attack_conflicts),
+          static_cast<long long>(row.attack_decisions),
+          static_cast<long long>(row.attack_propagations),
+          static_cast<long long>(row.attack_learned),
+          static_cast<long long>(row.attack_peak_clauses));
+      out += ", \"attack_cnf_per_iter\": " + fmt(row.attack_cnf_per_iter);
     }
     if (!row.ok) {
       out += ", \"error\": \"" + json_escape(row.error) + "\"";

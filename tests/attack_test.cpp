@@ -113,6 +113,96 @@ TEST(SatAttack, MoreLutsNeedMoreIterations) {
   EXPECT_GE(r_large.iterations, r_small.iterations);
 }
 
+TEST(SatAttack, PrunedAndNaiveRecoverEquivalentKeys) {
+  const CircuitProfile profile{"sat-eq", 7, 5, 5, 110, 7};
+  const Netlist original = generate_circuit(profile, 23);
+  const auto [orig, hybrid] = lock(original, SelectionAlgorithm::kDependent, 9);
+  const Netlist view = foundry_view(hybrid);
+
+  SatAttackOptions pruned;
+  SatAttackOptions naive;
+  naive.cone_pruning = false;
+  const auto rp = run_sat_attack(view, orig, pruned);
+  const auto rn = run_sat_attack(view, orig, naive);
+  ASSERT_TRUE(rp.success);
+  ASSERT_TRUE(rn.success);
+
+  // Keys may differ on don't-care rows; both must be functionally correct.
+  for (const auto* r : {&rp, &rn}) {
+    Netlist recovered = view;
+    apply_key(recovered, r->key);
+    EXPECT_TRUE(comb_equivalent(recovered, orig));
+  }
+  // The tentpole claim: per-iteration CNF growth is much smaller pruned.
+  if (rp.iterations > 0 && rn.iterations > 0) {
+    EXPECT_LT(rp.stats.cnf_clauses_per_iter, rn.stats.cnf_clauses_per_iter);
+  }
+}
+
+TEST(SatAttack, PortfolioSizeDoesNotChangeResult) {
+  const CircuitProfile profile{"sat-port", 7, 5, 5, 110, 7};
+  const Netlist original = generate_circuit(profile, 29);
+  const auto [orig, hybrid] =
+      lock(original, SelectionAlgorithm::kParametric, 11);
+  const Netlist view = foundry_view(hybrid);
+
+  SatAttackOptions solo;
+  solo.portfolio = 1;
+  SatAttackOptions trio;
+  trio.portfolio = 3;
+  const auto r1 = run_sat_attack(view, orig, solo);
+  const auto r3 = run_sat_attack(view, orig, trio);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r3.success);
+  EXPECT_EQ(r1.iterations, r3.iterations);
+  EXPECT_EQ(r1.oracle_queries, r3.oracle_queries);
+  EXPECT_EQ(r1.key, r3.key);
+  EXPECT_EQ(r3.stats.portfolio, 3);
+}
+
+TEST(SatAttack, WarmupResolvesKeyRowsBeforeDipLoop) {
+  // Sparse independent LUTs in a larger circuit: some output cones fold to
+  // single key literals under random patterns, so the warm-up harvests
+  // unit key bits. (On tiny dense locks every cone stays complex and the
+  // warm-up legitimately resolves nothing.)
+  const CircuitProfile profile{"sat-warm", 8, 6, 5, 140, 8};
+  const Netlist original = generate_circuit(profile, 37);
+  const auto [orig, hybrid] =
+      lock(original, SelectionAlgorithm::kIndependent, 19, 3);
+  SatAttackOptions opt;
+  opt.warmup_words = 4;
+  const auto with = run_sat_attack(foundry_view(hybrid), orig, opt);
+  ASSERT_TRUE(with.success);
+  EXPECT_GT(with.stats.key_rows_resolved, 0);
+
+  opt.warmup_words = 0;
+  const auto without = run_sat_attack(foundry_view(hybrid), orig, opt);
+  ASSERT_TRUE(without.success);
+  // Warm-up trades cheap word-parallel queries for DIP iterations.
+  EXPECT_LE(with.iterations, without.iterations);
+
+  Netlist recovered = foundry_view(hybrid);
+  apply_key(recovered, with.key);
+  EXPECT_TRUE(comb_equivalent(recovered, orig));
+}
+
+TEST(SatAttack, TimeLimitIsHonoredInsideSolves) {
+  const CircuitProfile profile{"sat-tl", 10, 8, 8, 400, 10};
+  const Netlist original = generate_circuit(profile, 31);
+  const auto [orig, hybrid] =
+      lock(original, SelectionAlgorithm::kDependent, 13);
+  SatAttackOptions opt;
+  opt.time_limit_s = 0.0;  // expires immediately; must not run away
+  opt.warmup_words = 0;
+  const auto result = run_sat_attack(foundry_view(hybrid), orig, opt);
+  if (!result.success) {
+    EXPECT_TRUE(result.timed_out);
+    // Deadline checks are per conflict batch: overshoot stays tiny even
+    // though the limit lands mid-solve.
+    EXPECT_LT(result.seconds, 5.0);
+  }
+}
+
 TEST(Sensitization, ResolvesIsolatedLut) {
   // One LUT, fully controllable and observable: the testing attack must
   // rebuild its truth table.

@@ -6,6 +6,7 @@
 //                   --out-hybrid h.bench --out-foundry f.bench --out-key k.key
 //                   [--margin 0.05] [--pack] [--paths N]
 //   sttlock attack  --view f.bench --oracle h.bench --method sat|sens|bf|ml
+//                   [--portfolio K --jobs N --naive]
 //   sttlock convert --in x.bench --out y.v     (format by extension:
 //                                               .bench / .v / .blif)
 //   sttlock program --in f.bench --key k.key --out chip.bench
@@ -39,7 +40,9 @@
 #include "io/verilog_writer.hpp"
 #include "power/power.hpp"
 #include "runtime/campaign.hpp"
+#include "runtime/parallel.hpp"
 #include "runtime/report.hpp"
+#include "runtime/thread_pool.hpp"
 #include "synth/generator.hpp"
 #include "timing/sta.hpp"
 #include "util/args.hpp"
@@ -216,6 +219,9 @@ int cmd_attack(const std::vector<std::string>& args) {
   p.add_option("--oracle", "configured netlist standing in for the chip");
   p.add_option("--method", "sat | sens | bf | ml", "sat");
   p.add_option("--time-limit", "seconds (sat)", "60");
+  p.add_option("--portfolio", "sat solver portfolio size (sat)", "1");
+  p.add_option("--jobs", "threads for portfolio slices/warm-up (sat)", "1");
+  p.add_flag("--naive", "legacy full-copy DIP encoding (sat baseline)");
   p.parse(args);
 
   const Netlist view = foundry_view(load_netlist(p.get("--view")));
@@ -225,11 +231,33 @@ int cmd_attack(const std::vector<std::string>& args) {
   if (method == "sat") {
     SatAttackOptions opt;
     opt.time_limit_s = p.get_double("--time-limit");
+    opt.cone_pruning = !p.flag("--naive");
+    opt.portfolio = static_cast<int>(p.get_double("--portfolio"));
+    const unsigned jobs = static_cast<unsigned>(p.get_double("--jobs"));
+    ThreadPool pool(jobs == 0 ? 0u : jobs);
+    ThreadPoolParallelFor par(pool);
+    if (jobs != 1) opt.parallel = &par;
     const auto r = run_sat_attack(view, chip, opt);
     std::printf("sat attack: %s after %d DIPs, %lld conflicts, %.2fs\n",
                 r.success ? "KEY RECOVERED"
                           : (r.timed_out ? "timeout" : "budget exhausted"),
                 r.iterations, static_cast<long long>(r.conflicts), r.seconds);
+    std::printf(
+        "  queries %llu, decisions %lld, propagations %lld, learned %lld, "
+        "peak clauses %lld\n",
+        static_cast<unsigned long long>(r.oracle_queries),
+        static_cast<long long>(r.stats.decisions),
+        static_cast<long long>(r.stats.propagations),
+        static_cast<long long>(r.stats.learned),
+        static_cast<long long>(r.stats.peak_clauses));
+    std::printf(
+        "  cnf: %lld initial + %lld dip clauses (%.1f/iter), "
+        "%d key rows folded, portfolio %d%s\n",
+        static_cast<long long>(r.stats.cnf_initial_clauses),
+        static_cast<long long>(r.stats.cnf_dip_clauses),
+        r.stats.cnf_clauses_per_iter, r.stats.key_rows_resolved,
+        r.stats.portfolio,
+        r.stats.unsat_winner > 0 ? " (helper won the UNSAT race)" : "");
     if (r.success) std::fputs(key_to_string(r.key).c_str(), stdout);
     return r.success ? 0 : 2;
   }
@@ -274,7 +302,8 @@ int cmd_campaign(const std::vector<std::string>& args) {
   p.add_option("--master-seed", "campaign master seed", "20160605");
   p.add_option("--jobs", "worker threads (0 = all hardware threads)", "1");
   p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
-  p.add_option("--attack", "per-point oracle attack: none|sens|bf|ml", "none");
+  p.add_option("--attack", "per-point oracle attack: none|sens|bf|ml|sat",
+               "none");
   p.add_option("--margin", "parametric timing margin", "0.05");
   p.add_option("--out-csv", "deterministic result rows (CSV)", "");
   p.add_option("--out-times-csv", "measured per-job timing rows (CSV)", "");
