@@ -68,7 +68,7 @@ void print_validation() {
 
       ScanOracle o1(original);
       SensitizationOptions sopt;
-      sopt.max_patterns = 30000;
+      sopt.query_budget = 30000;
       const auto sens = run_sensitization_attack(attacker_view, o1, sopt);
 
       ScanOracle o_guided(original);
@@ -76,7 +76,7 @@ void print_validation() {
 
       ScanOracle o_ml(original);
       MlAttackOptions mlopt;
-      mlopt.max_steps = 8000;
+      mlopt.work_budget = 8000;
       const auto ml = run_ml_attack(attacker_view, o_ml, mlopt);
 
       SatAttackOptions satopt;
@@ -86,7 +86,7 @@ void print_validation() {
 
       ScanOracle o2(original);
       BruteForceOptions bfopt;
-      bfopt.max_combinations = 500'000;
+      bfopt.work_budget = 500'000;
       const auto bf = run_brute_force(attacker_view, o2, bfopt);
 
       table.add_row(
@@ -99,9 +99,9 @@ void print_validation() {
                      guided.rows_total
                          ? 100.0 * guided.rows_resolved / guided.rows_total
                          : 100.0),
-           std::to_string(guided.patterns_used),
-           sat.success ? "yes" : (sat.timed_out ? "timeout" : "budget"),
-           std::to_string(sat.iterations), bf.success ? "yes" : "no",
+           std::to_string(guided.queries),
+           sat.success() ? "yes" : (sat.timed_out() ? "timeout" : "budget"),
+           std::to_string(sat.iterations), bf.success() ? "yes" : "no",
            std::to_string(bf.combinations_tried),
            strformat("%.3f", ml.final_accuracy)});
     }
@@ -133,12 +133,12 @@ void print_camouflage_comparison() {
   ScanOracle oc(camo);
   BruteForceOptions bfc;
   bfc.candidates_2in = &camo_set;
-  bfc.max_combinations = 500'000;
+  bfc.work_budget = 500'000;
   const auto r_camo = run_brute_force(foundry_view(camo), oc, bfc);
   const auto camo_sec = security_report(camo, camouflage_similarity_model());
   table.add_row({"camouflage {NAND,NOR,XNOR}", "10",
                  r_camo.search_space.to_string(),
-                 r_camo.success ? "yes" : "no",
+                 r_camo.success() ? "yes" : "no",
                  std::to_string(r_camo.combinations_tried),
                  strformat("%.1f", camo_sec.n_bf.log10())});
 
@@ -148,11 +148,11 @@ void print_camouflage_comparison() {
   for (const CellId id : chosen.camouflaged) stt.replace_with_lut(id);
   ScanOracle os(stt);
   BruteForceOptions bfs;
-  bfs.max_combinations = 500'000;
+  bfs.work_budget = 500'000;
   const auto r_stt = run_brute_force(foundry_view(stt), os, bfs);
   const auto stt_sec = security_report(stt, SimilarityModel::computed());
   table.add_row({"STT LUT (same cells)", "10", r_stt.search_space.to_string(),
-                 r_stt.success ? "yes" : "no",
+                 r_stt.success() ? "yes" : "no",
                  std::to_string(r_stt.combinations_tried),
                  strformat("%.1f", stt_sec.n_bf.log10())});
 

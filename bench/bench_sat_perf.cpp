@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
                             const SatAttackOptions& opt) {
     ScanOracle oracle(chip);
     ModeResult m{name, run_sat_attack(view, oracle, opt), 0};
-    if (m.attack.success) {
+    if (m.attack.success()) {
       Netlist recovered = view;
       apply_key(recovered, m.attack.key);
       m.checksum = functional_checksum(recovered, checksum_words);
@@ -158,13 +158,13 @@ int main(int argc, char** argv) {
                  "  %-10s %s: %d DIPs, %llu queries, %lld conflicts, "
                  "%.1f clauses/iter, %.3fs\n",
                  name.c_str(),
-                 m.attack.success
+                 m.attack.success()
                      ? "ok"
-                     : (m.attack.timed_out ? "TIMEOUT" : "BUDGET"),
+                     : (m.attack.timed_out() ? "TIMEOUT" : "BUDGET"),
                  m.attack.iterations,
-                 static_cast<unsigned long long>(m.attack.oracle_queries),
+                 static_cast<unsigned long long>(m.attack.queries),
                  static_cast<long long>(m.attack.conflicts),
-                 m.attack.stats.cnf_clauses_per_iter, m.attack.seconds);
+                 m.attack.stats.cnf_clauses_per_iter, m.attack.elapsed_s);
     modes.push_back(m);
   };
 
@@ -189,7 +189,7 @@ int main(int argc, char** argv) {
   run_mode("portfolio", portfolio);
 
   for (const ModeResult& m : modes) {
-    if (!m.attack.success) {
+    if (!m.attack.success()) {
       std::fprintf(stderr, "bench_sat_perf: mode %s failed to recover a key\n",
                    m.name.c_str());
       return 1;
@@ -209,17 +209,17 @@ int main(int argc, char** argv) {
   const SatAttackResult& solo = modes[2].attack;
   const SatAttackResult& team = modes[3].attack;
   if (solo.iterations != team.iterations ||
-      solo.oracle_queries != team.oracle_queries || solo.key != team.key) {
+      solo.queries != team.queries || solo.key != team.key) {
     std::fprintf(stderr,
                  "bench_sat_perf: portfolio changed the result "
                  "(%d/%d DIPs, %llu/%llu queries) — determinism broken\n",
                  solo.iterations, team.iterations,
-                 static_cast<unsigned long long>(solo.oracle_queries),
-                 static_cast<unsigned long long>(team.oracle_queries));
+                 static_cast<unsigned long long>(solo.queries),
+                 static_cast<unsigned long long>(team.queries));
     return 1;
   }
 
-  const double naive_s = modes[0].attack.seconds;
+  const double naive_s = modes[0].attack.elapsed_s;
   std::string json = "{\n";
   json += "  \"benchmark\": \"" + profile->name + "\",\n";
   json += "  \"algorithm\": \"" + alg_name + "\",\n";
@@ -239,8 +239,8 @@ int main(int argc, char** argv) {
         "\"cnf_initial\": %lld, \"cnf_dip\": %lld, "
         "\"cnf_per_iter\": %.2f, \"key_rows_folded\": %d, "
         "\"speedup_vs_naive\": %.2f}%s\n",
-        m.name.c_str(), m.attack.seconds, m.attack.iterations,
-        static_cast<unsigned long long>(m.attack.oracle_queries),
+        m.name.c_str(), m.attack.elapsed_s, m.attack.iterations,
+        static_cast<unsigned long long>(m.attack.queries),
         static_cast<long long>(m.attack.conflicts),
         static_cast<long long>(m.attack.stats.decisions),
         static_cast<long long>(m.attack.stats.propagations),
@@ -249,7 +249,7 @@ int main(int argc, char** argv) {
         static_cast<long long>(m.attack.stats.cnf_initial_clauses),
         static_cast<long long>(m.attack.stats.cnf_dip_clauses),
         m.attack.stats.cnf_clauses_per_iter, m.attack.stats.key_rows_resolved,
-        m.attack.seconds > 0 ? naive_s / m.attack.seconds : 0.0,
+        m.attack.elapsed_s > 0 ? naive_s / m.attack.elapsed_s : 0.0,
         i + 1 < modes.size() ? "," : "");
     json += buf;
   }
@@ -268,7 +268,7 @@ int main(int argc, char** argv) {
 
   // Acceptance gate: cone pruning + simulation warm-up must beat the naive
   // re-encoding loop by the issue's bar on wall-clock.
-  const double sim_s = modes[2].attack.seconds;
+  const double sim_s = modes[2].attack.elapsed_s;
   if (sim_s > 0 && naive_s / sim_s < min_speedup) {
     std::fprintf(stderr,
                  "bench_sat_perf: pruned_sim speedup %.2fx below the %.1fx "

@@ -80,13 +80,13 @@ void print_depth_sweep() {
       SequenceOracle oracle(original);
       const auto r = run_sequential_sat_attack(view, oracle, opt);
       const bool correct =
-          r.success && key_correct_sequentially(view, r.key, original);
+          r.success() && key_correct_sequentially(view, r.key, original);
       table.add_row({std::to_string(depth), std::to_string(frames),
                      std::to_string(r.iterations),
-                     r.success ? (correct ? "yes" : "NO (horizon too short)")
+                     r.success() ? (correct ? "yes" : "NO (horizon too short)")
                                : "-",
-                     std::to_string(r.oracle_cycles),
-                     strformat("%.2f", r.seconds)});
+                     std::to_string(r.queries),
+                     strformat("%.2f", r.elapsed_s)});
     }
   }
   std::printf(
@@ -115,26 +115,26 @@ void print_scan_vs_noscan() {
 
   const auto scan = run_sat_attack(view, original);
   table.add_row({"sv-120", "scan (comb)",
-                 scan.success && key_correct_sequentially(view, scan.key,
+                 scan.success() && key_correct_sequentially(view, scan.key,
                                                           original)
                      ? "yes"
                      : "no",
                  std::to_string(scan.iterations),
-                 std::to_string(scan.oracle_queries),
-                 strformat("%.2f", scan.seconds)});
+                 std::to_string(scan.queries),
+                 strformat("%.2f", scan.elapsed_s)});
 
   SeqAttackOptions opt;
   opt.frames = 6;
   opt.time_limit_s = 60;
   const auto noscan = run_sequential_sat_attack(view, original, opt);
   table.add_row({"sv-120", "no scan (6 frames)",
-                 noscan.success && key_correct_sequentially(
+                 noscan.success() && key_correct_sequentially(
                                        view, noscan.key, original)
                      ? "yes"
                      : "no",
                  std::to_string(noscan.iterations),
-                 std::to_string(noscan.oracle_cycles),
-                 strformat("%.2f", noscan.seconds)});
+                 std::to_string(noscan.queries),
+                 strformat("%.2f", noscan.elapsed_s)});
   std::printf("Scan vs no-scan attack cost on the same lock:\n\n%s\n",
               table.render().c_str());
 }

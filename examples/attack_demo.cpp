@@ -27,31 +27,31 @@ void attack_suite(const Netlist& original, const Netlist& hybrid,
   // 1. Testing attack: justify/propagate truth-table rows.
   ScanOracle o1(original);
   SensitizationOptions sopt;
-  sopt.max_patterns = 30000;
+  sopt.query_budget = 30000;
   const auto sens = run_sensitization_attack(view, o1, sopt);
   std::printf("  sensitization: %d/%d rows resolved with %llu patterns%s\n",
               sens.rows_resolved, sens.rows_total,
-              static_cast<unsigned long long>(sens.patterns_used),
-              sens.success       ? "  -> LOCK BROKEN"
+              static_cast<unsigned long long>(sens.queries),
+              sens.success()       ? "  -> LOCK BROKEN"
               : sens.rows_resolved ? "  -> partial truth tables only"
                                    : "  -> fully blocked");
 
   // 2. Brute force over meaningful-gate candidates.
   ScanOracle o2(original);
   BruteForceOptions bfopt;
-  bfopt.max_combinations = 200'000;
+  bfopt.work_budget = 200'000;
   const auto bf = run_brute_force(view, o2, bfopt);
   std::printf("  brute force: search space %s, tried %llu -> %s\n",
               bf.search_space.to_string().c_str(),
               static_cast<unsigned long long>(bf.combinations_tried),
-              bf.success ? "LOCK BROKEN" : "budget exhausted");
+              bf.success() ? "LOCK BROKEN" : "budget exhausted");
 
   // 3. Oracle-guided SAT attack (assumes scan access — the reason the
   //    paper insists the scan chain be locked before release).
   SatAttackOptions satopt;
   satopt.time_limit_s = 30.0;
   const auto sat = run_sat_attack(view, original, satopt);
-  if (sat.success) {
+  if (sat.success()) {
     Netlist recovered = view;
     apply_key(recovered, sat.key);
     const bool equal = comb_equivalent(recovered, original, 2'000'000);
@@ -61,8 +61,8 @@ void attack_suite(const Netlist& original, const Netlist& hybrid,
                 equal ? "CORRECT" : "incorrect?!");
   } else {
     std::printf("  SAT attack: stopped (%s) after %d DIPs, %.1fs\n",
-                sat.timed_out ? "timeout" : "budget", sat.iterations,
-                sat.seconds);
+                sat.timed_out() ? "timeout" : "budget", sat.iterations,
+                sat.elapsed_s);
   }
   std::printf("\n");
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate sttlock observability artifacts.
+
+Checks that a Chrome trace JSON written by ``--trace`` is loadable by
+chrome://tracing (structurally: a ``traceEvents`` list of complete "X"
+events with the required keys) and that a metrics JSON written by
+``--metrics`` has the counters/gauges/histograms shape.
+
+Usage:
+  scripts/validate_obs.py --trace trace.json [--require-cats job,flow-stage,...]
+  scripts/validate_obs.py --metrics metrics.json [--require-counters a,b]
+
+Exits non-zero with a diagnostic on the first violation. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+
+def fail(msg):
+    print(f"validate_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate_trace(path, require_cats):
+    doc = load_json(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top-level object must contain 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: 'traceEvents' must be a list")
+    cats = set()
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"{path}: event {i} is not an object")
+        missing = TRACE_EVENT_KEYS - e.keys()
+        if missing:
+            fail(f"{path}: event {i} missing keys {sorted(missing)}")
+        if e["ph"] != "X":
+            fail(f"{path}: event {i} has ph={e['ph']!r}, expected complete"
+                 " event 'X'")
+        for key in ("ts", "dur", "pid", "tid"):
+            if not isinstance(e[key], int) or e[key] < 0:
+                fail(f"{path}: event {i} field {key}={e[key]!r} must be a"
+                     " non-negative integer")
+        cats.add(e["cat"])
+    for cat in require_cats:
+        if cat not in cats:
+            fail(f"{path}: required span category {cat!r} absent"
+                 f" (present: {sorted(cats)})")
+    print(f"validate_obs: OK: {path}: {len(events)} events,"
+          f" categories {sorted(cats)}")
+
+
+def validate_metrics(path, require_counters):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in doc or not isinstance(doc[section], dict):
+            fail(f"{path}: missing or non-object section {section!r}")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} must be a non-negative integer")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, int):
+            fail(f"{path}: gauge {name!r} must be an integer")
+    for name, h in doc["histograms"].items():
+        if not isinstance(h, dict) or not {"count", "sum"} <= h.keys():
+            fail(f"{path}: histogram {name!r} must carry count and sum")
+    for name in require_counters:
+        if name not in doc["counters"]:
+            fail(f"{path}: required counter {name!r} absent"
+                 f" (present: {sorted(doc['counters'])})")
+    print(f"validate_obs: OK: {path}: {len(doc['counters'])} counters,"
+          f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="Chrome trace JSON to validate")
+    ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument("--require-cats", default="",
+                    help="comma-separated span categories that must appear")
+    ap.add_argument("--require-counters", default="",
+                    help="comma-separated counters that must appear")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("at least one of --trace / --metrics is required")
+    split = lambda s: [x for x in s.split(",") if x]  # noqa: E731
+    if args.trace:
+        validate_trace(args.trace, split(args.require_cats))
+    if args.metrics:
+        validate_metrics(args.metrics, split(args.require_counters))
+
+
+if __name__ == "__main__":
+    main()

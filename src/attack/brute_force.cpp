@@ -1,16 +1,23 @@
 #include "attack/brute_force.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "core/similarity.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace stt {
 
 BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
                                  const BruteForceOptions& opt) {
   BruteForceResult result;
+  const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "brute_force");
+  result.span_id = root ? root->id() : 0;
   Rng rng(opt.seed);
 
   Netlist work = hybrid;
@@ -44,7 +51,8 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
     candidates.push_back(std::move(cand));
   }
   if (lut_ids.empty()) {
-    result.success = true;
+    result.outcome = attack::Outcome::kSolved;
+    result.elapsed_s = timer.seconds();
     return result;
   }
 
@@ -109,14 +117,22 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
   };
 
   while (true) {
-    if (result.combinations_tried >= opt.max_combinations) {
-      result.budget_exhausted = true;
+    if (result.combinations_tried >=
+        static_cast<std::uint64_t>(opt.work_budget)) {
+      result.outcome = attack::Outcome::kBudgetExhausted;
+      break;
+    }
+    // Wall-clock check every 1024 combinations: cheap relative to an
+    // evaluation, tight enough that overshoot is bounded.
+    if ((result.combinations_tried & 1023u) == 0 &&
+        timer.seconds() >= opt.time_limit_s) {
+      result.outcome = attack::Outcome::kTimedOut;
       break;
     }
     install();
     ++result.combinations_tried;
     if (matches()) {
-      result.success = true;
+      result.outcome = attack::Outcome::kSolved;
       for (const CellId id : lut_ids) {
         result.key[work.cell(id).name] = work.cell(id).lut_mask;
       }
@@ -129,10 +145,14 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
       odometer[pos] = 0;
       ++pos;
     }
-    if (pos == odometer.size()) break;  // space exhausted, no match
+    if (pos == odometer.size()) {
+      result.outcome = attack::Outcome::kAbandoned;  // space exhausted
+      break;
+    }
   }
 
-  result.oracle_queries = oracle.queries() - start_queries;
+  result.queries = oracle.queries() - start_queries;
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

@@ -8,6 +8,7 @@
 // count is compared against the estimator in the validation bench.
 #pragma once
 
+#include "attack/common.hpp"
 #include "attack/oracle.hpp"
 #include "core/hybrid.hpp"
 #include "netlist/netlist.hpp"
@@ -15,25 +16,26 @@
 
 namespace stt {
 
-struct BruteForceOptions {
-  std::uint64_t seed = 11;
+struct BruteForceOptions : attack::CommonAttackOptions {
+  /// Historical defaults; `work_budget` caps joint key combinations tried.
+  BruteForceOptions() {
+    seed = 11;
+    time_limit_s = kNoTimeLimit;
+    work_budget = 2'000'000;
+  }
+
   /// Candidate space: true = standard-gate candidates; false = all masks.
   bool standard_candidates_only = true;
   /// Optional explicit candidate set for 2-input LUTs (e.g. the camouflage
   /// set {NAND, NOR, XNOR}); overrides the flags above at fan-in 2.
   const std::vector<std::uint64_t>* candidates_2in = nullptr;
-  std::uint64_t max_combinations = 2'000'000;
   /// Random scan patterns pre-queried from the oracle for screening.
   int screening_patterns = 192;
 };
 
-struct BruteForceResult {
-  bool success = false;
-  bool budget_exhausted = false;
+struct BruteForceResult : attack::AttackBase {
   std::uint64_t combinations_tried = 0;
   BigNum search_space;  ///< product of per-LUT candidate counts
-  std::uint64_t oracle_queries = 0;
-  LutKey key;
 };
 
 BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,

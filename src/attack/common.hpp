@@ -1,0 +1,102 @@
+// Shared result core and options for every attack entry point.
+//
+// The seven attacks (`run_brute_force`, `run_ml_attack`, `run_sat_attack`,
+// `run_sequential_sat_attack`, `run_sensitization_attack`,
+// `run_guided_sensitization`, `run_dpa_attack`) historically grew their
+// own drifting copies of seed / budget / time-limit options and
+// success / timeout flags. This header is the convergence point:
+//
+//  * every `*Result` embeds `attack::AttackBase` — recovered key, oracle
+//    query count, elapsed wall-clock, a four-way `Outcome`, and the obs
+//    root-span id of the run;
+//  * every `*Options` embeds `attack::CommonAttackOptions` — seed,
+//    time limit, query/work budgets, and the trace toggle — with
+//    per-attack constructors restoring each attack's historical defaults.
+//
+// `CommonAttackOptions` doubles as the request type of the registry
+// (attack/registry.hpp): default-constructed fields are sentinels meaning
+// "keep the attack's own default", applied via `overlay`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hybrid.hpp"
+
+namespace stt::attack {
+
+/// How an attack run ended. Exactly one holds; `kAbandoned` covers every
+/// in-model give-up that is neither a timeout nor a budget exhaustion
+/// (stale random search, proven-unreachable rows, no target cell, ...).
+enum class Outcome {
+  kSolved,
+  kTimedOut,
+  kBudgetExhausted,
+  kAbandoned,
+};
+
+constexpr const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kSolved: return "solved";
+    case Outcome::kTimedOut: return "timed_out";
+    case Outcome::kBudgetExhausted: return "budget_exhausted";
+    case Outcome::kAbandoned: return "abandoned";
+  }
+  return "?";
+}
+
+/// Options shared by every attack. Attacks inherit this and their
+/// constructors replace the sentinels below with the attack's historical
+/// defaults, so `SatAttackOptions{}` still means what it always meant.
+///
+/// Semantics of the resolved fields inside an attack:
+///  * `seed` — drives every random draw of the attack;
+///  * `time_limit_s` — wall-clock cap; 0 expires immediately (pinned by
+///    test), `kNoTimeLimit` never expires;
+///  * `query_budget` — cap on oracle queries (patterns / cycles), for the
+///    attacks whose cost model is query-bounded;
+///  * `work_budget` — cap on the attack's dominant work unit: SAT
+///    conflicts (sat/seq/guided-sens), key combinations (brute force),
+///    annealing steps (ml).
+struct CommonAttackOptions {
+  static constexpr std::uint64_t kInheritSeed = ~0ull;
+  static constexpr double kNoTimeLimit = 1e18;
+
+  std::uint64_t seed = kInheritSeed;
+  double time_limit_s = -1.0;      ///< < 0 = keep the attack's default
+  std::uint64_t query_budget = 0;  ///< 0 = keep the attack's default
+  std::int64_t work_budget = 0;    ///< 0 = keep the attack's default
+  /// Open an obs root span ("attack" category) for the run. Spans are
+  /// recorded only while the global TraceRecorder is active, so this stays
+  /// true by default at zero cost.
+  bool trace = true;
+
+  /// Apply a registry request on top of this attack's defaults: sentinel
+  /// fields in `req` leave the defaults untouched.
+  void overlay(const CommonAttackOptions& req) {
+    if (req.seed != kInheritSeed) seed = req.seed;
+    if (req.time_limit_s >= 0) time_limit_s = req.time_limit_s;
+    if (req.query_budget != 0) query_budget = req.query_budget;
+    if (req.work_budget != 0) work_budget = req.work_budget;
+    trace = req.trace;
+  }
+};
+
+/// Result core embedded in every `*Result`. The attack implementations
+/// set `outcome` exactly once at the end of the run; the boolean views
+/// below are derived, so success/timeout can never disagree with it.
+struct AttackBase {
+  Outcome outcome = Outcome::kAbandoned;
+  std::uint64_t queries = 0;  ///< oracle cost: scan patterns or cycles
+  double elapsed_s = 0;
+  LutKey key;  ///< recovered (possibly partial) configuration
+  std::uint64_t span_id = 0;  ///< obs root span, 0 when not traced
+
+  bool success() const { return outcome == Outcome::kSolved; }
+  bool timed_out() const { return outcome == Outcome::kTimedOut; }
+  bool budget_exhausted() const {
+    return outcome == Outcome::kBudgetExhausted;
+  }
+};
+
+}  // namespace stt::attack

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "core/similarity.hpp"
+#include "obs/obs.hpp"
 #include "sim/compiled.hpp"
+#include "util/timer.hpp"
 
 namespace stt {
 
@@ -53,6 +56,10 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
                                measurement.trace_fj.end());
 
   DpaResult result;
+  const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "dpa");
+  result.span_id = root ? root->id() : 0;
   result.best_correlation = -2;
   result.runner_up_correlation = -2;
 
@@ -127,6 +134,11 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
   result.identified_true_mask = (result.best_mask == truth);
   result.identified_up_to_complement =
       result.identified_true_mask || (complement == truth);
+  result.outcome = result.identified_true_mask ? attack::Outcome::kSolved
+                                               : attack::Outcome::kAbandoned;
+  result.key[tc.name] = result.best_mask;
+  result.queries = measurement.trace_fj.size();  // measured cycles consumed
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

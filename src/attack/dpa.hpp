@@ -18,18 +18,28 @@
 #include <cstdint>
 #include <vector>
 
+#include "attack/common.hpp"
 #include "netlist/netlist.hpp"
 #include "power/trace.hpp"
 
 namespace stt {
 
-struct DpaOptions {
+struct DpaOptions : attack::CommonAttackOptions {
+  DpaOptions() {
+    // The ranking itself is deterministic given the traces; the seed only
+    // drives the registry's trace simulation (matching TraceOptions).
+    seed = 1;
+    time_limit_s = kNoTimeLimit;
+  }
+
   /// Candidate masks for the target cell; empty = the six standard gates
   /// at the target's fan-in.
   std::vector<std::uint64_t> candidates;
 };
 
-struct DpaResult {
+struct DpaResult : attack::AttackBase {
+  /// `success()` mirrors `identified_true_mask`; `key` maps the target
+  /// cell's name to `best_mask`; `queries` counts measured trace cycles.
   std::uint64_t best_mask = 0;
   double best_correlation = 0;
   /// Best correlation among candidates outside {best, ~best}. Complementary

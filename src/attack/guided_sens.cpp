@@ -1,11 +1,14 @@
 #include "attack/guided_sens.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "attack/encode.hpp"
 #include "attack/partial_eval.hpp"
 #include "attack/sat.hpp"
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
 
 namespace stt {
 
@@ -51,6 +54,10 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
                                           ScanOracle& oracle,
                                           const GuidedSensOptions& opt) {
   GuidedSensResult result;
+  const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "guided_sens");
+  result.span_id = root ? root->id() : 0;
 
   LutKnowledgeMap luts;
   std::vector<CellId> lut_ids;
@@ -65,7 +72,8 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
   }
   result.luts_total = static_cast<int>(lut_ids.size());
   if (lut_ids.empty()) {
-    result.success = true;
+    result.outcome = attack::Outcome::kSolved;
+    result.elapsed_s = timer.seconds();
     return result;
   }
 
@@ -78,8 +86,10 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
   // rows are retried whenever knowledge grows, so deadness is tracked per
   // pass.
   bool progress = true;
+  bool hit_time_limit = false;
   std::set<std::pair<CellId, std::uint32_t>> proven_unreachable;
-  while (progress && result.rows_resolved < result.rows_total) {
+  while (progress && result.rows_resolved < result.rows_total &&
+         !hit_time_limit) {
     progress = false;
     const AbstractView view = make_abstract(hybrid, luts);
     const PartialEvaluator evaluator(hybrid, luts);
@@ -100,6 +110,10 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
 
       for (std::uint32_t row = 0; row < st.rows; ++row) {
         if (st.known_mask & (1ull << row)) continue;
+        if (timer.seconds() >= opt.time_limit_s) {
+          hit_time_limit = true;
+          break;
+        }
 
         // Fresh solver per row: two copies of the abstract view, sharing
         // every input except the target's own free variable.
@@ -148,7 +162,7 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
         bool row_done = false;
         for (int witness = 0;
              witness < opt.max_witnesses_per_row && !row_done; ++witness) {
-          solver.set_conflict_budget(opt.conflict_budget);
+          solver.set_conflict_budget(opt.work_budget);
           const sat::Result sat_result = solver.solve();
           if (sat_result == sat::Result::kUnsat) {
             if (witness == 0) proven_unreachable.insert({lut, row});
@@ -228,11 +242,18 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
 
   result.rows_proven_unreachable =
       static_cast<int>(proven_unreachable.size());
-  result.patterns_used = oracle.queries() - start_queries;
-  result.success = (result.rows_resolved == result.rows_total);
+  result.queries = oracle.queries() - start_queries;
+  if (result.rows_resolved == result.rows_total) {
+    result.outcome = attack::Outcome::kSolved;
+  } else if (hit_time_limit) {
+    result.outcome = attack::Outcome::kTimedOut;
+  } else {
+    result.outcome = attack::Outcome::kAbandoned;  // no derivable row left
+  }
   for (const CellId lut : lut_ids) {
     result.key[hybrid.cell(lut).name] = luts[lut].value_mask;
   }
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

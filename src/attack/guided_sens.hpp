@@ -19,28 +19,33 @@
 // pattern, the formal core of the paper's security argument.
 #pragma once
 
+#include "attack/common.hpp"
 #include "attack/oracle.hpp"
 #include "attack/sensitization.hpp"
 #include "netlist/netlist.hpp"
 
 namespace stt {
 
-struct GuidedSensOptions {
-  std::uint64_t seed = 5;
+struct GuidedSensOptions : attack::CommonAttackOptions {
+  /// Historical defaults; `work_budget` is the SAT conflict budget shared
+  /// across all row derivations.
+  GuidedSensOptions() {
+    seed = 5;
+    time_limit_s = kNoTimeLimit;
+    work_budget = 500'000;
+  }
+
   /// Re-derivation attempts per row after ternary-validation failures.
   int max_witnesses_per_row = 16;
-  std::int64_t conflict_budget = 500'000;
 };
 
-struct GuidedSensResult {
-  bool success = false;  ///< all rows resolved
+struct GuidedSensResult : attack::AttackBase {
+  /// `success()` = all rows resolved; `queries` counts oracle patterns.
   int luts_total = 0;
   int luts_resolved = 0;
   int rows_total = 0;
   int rows_resolved = 0;
   int rows_proven_unreachable = 0;  ///< SAT says no justify+propagate pattern
-  std::uint64_t patterns_used = 0;  ///< oracle queries
-  LutKey key;
 };
 
 GuidedSensResult run_guided_sensitization(const Netlist& hybrid,

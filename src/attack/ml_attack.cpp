@@ -2,16 +2,23 @@
 
 #include <bit>
 #include <cmath>
+#include <optional>
 
 #include "core/similarity.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace stt {
 
 MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
                              const MlAttackOptions& opt) {
   MlAttackResult result;
+  const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "ml");
+  result.span_id = root ? root->id() : 0;
   Rng rng(opt.seed);
 
   Netlist work = hybrid;
@@ -30,7 +37,8 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
     }
   }
   if (luts.empty()) {
-    result.success = true;
+    result.outcome = attack::Outcome::kSolved;
+    result.elapsed_s = timer.seconds();
     return result;
   }
 
@@ -106,7 +114,12 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
   LutKey best_key = extract_key(work);
   double temperature = opt.initial_temperature;
 
-  for (int step = 0; step < opt.max_steps && best > 0; ++step) {
+  bool hit_time_limit = false;
+  for (std::int64_t step = 0; step < opt.work_budget && best > 0; ++step) {
+    if ((step & 255) == 0 && timer.seconds() >= opt.time_limit_s) {
+      hit_time_limit = true;
+      break;
+    }
     ++result.steps;
     const std::size_t pick = rng.below(luts.size());
     const Cell& c = work.cell(luts[pick]);
@@ -135,8 +148,15 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
 
   result.key = std::move(best_key);
   result.final_accuracy = 1.0 - static_cast<double>(best) / total_bits;
-  result.success = (best == 0);
-  result.oracle_queries = oracle.queries() - start_queries;
+  if (best == 0) {
+    result.outcome = attack::Outcome::kSolved;
+  } else if (hit_time_limit) {
+    result.outcome = attack::Outcome::kTimedOut;
+  } else {
+    result.outcome = attack::Outcome::kBudgetExhausted;  // steps exhausted
+  }
+  result.queries = oracle.queries() - start_queries;
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

@@ -11,18 +11,24 @@
 // what complex-function packing and dummy inputs destroy.
 #pragma once
 
+#include "attack/common.hpp"
 #include "attack/oracle.hpp"
 #include "core/hybrid.hpp"
 #include "netlist/netlist.hpp"
 
 namespace stt {
 
-struct MlAttackOptions {
-  std::uint64_t seed = 3;
+struct MlAttackOptions : attack::CommonAttackOptions {
+  /// Historical defaults; `work_budget` caps annealing steps.
+  MlAttackOptions() {
+    seed = 3;
+    time_limit_s = kNoTimeLimit;
+    work_budget = 20'000;
+  }
+
   /// Scan patterns queried once up front; the fitness signature.
   int training_patterns = 256;
   /// Annealing schedule.
-  int max_steps = 20'000;
   double initial_temperature = 2.0;
   double cooling = 0.9995;
   /// Restrict moves to the meaningful-gate candidate sets (true) or flip
@@ -31,12 +37,10 @@ struct MlAttackOptions {
   bool standard_candidates_only = true;
 };
 
-struct MlAttackResult {
-  bool success = false;  ///< perfect score on the training signature
+struct MlAttackResult : attack::AttackBase {
+  /// `success()` = perfect score on the training signature.
   int steps = 0;
   double final_accuracy = 0;  ///< fraction of output bits matched
-  std::uint64_t oracle_queries = 0;
-  LutKey key;
 };
 
 MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,

@@ -2,7 +2,18 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace stt {
+
+namespace {
+
+obs::Counter& oracle_queries_counter() {
+  static obs::Counter& c = obs::Metrics::global().counter("oracle.queries");
+  return c;
+}
+
+}  // namespace
 
 ScanOracle::ScanOracle(const Netlist& configured)
     : nl_(&configured), sim_(configured), wave_(configured.size(), 0) {}
@@ -20,6 +31,7 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
     throw std::invalid_argument("ScanOracle::query: input size mismatch");
   }
   ++queries_;
+  oracle_queries_counter().add(1);
   const std::size_t n_pi = nl_->inputs().size();
   std::vector<std::uint64_t> pi(n_pi);
   std::vector<std::uint64_t> ff(nl_->dffs().size());
@@ -48,6 +60,7 @@ void ScanOracle::query_word(std::span<const std::uint64_t> inputs,
     throw std::invalid_argument("ScanOracle::query_word: output size mismatch");
   }
   queries_ += 64;
+  oracle_queries_counter().add(64);
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
   if (wave_.size() < sim_.wave_size()) wave_.resize(sim_.wave_size());
@@ -75,6 +88,7 @@ void ScanOracle::query_batch(std::size_t W,
   }
   if (W == 0) return;
   queries_ += 64 * static_cast<std::uint64_t>(W);
+  oracle_queries_counter().add(64 * static_cast<std::uint64_t>(W));
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
   if (wave_.size() < sim_.wave_size() * W) wave_.resize(sim_.wave_size() * W);

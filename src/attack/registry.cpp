@@ -1,0 +1,289 @@
+#include "attack/registry.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "attack/brute_force.hpp"
+#include "attack/dpa.hpp"
+#include "attack/guided_sens.hpp"
+#include "attack/ml_attack.hpp"
+#include "attack/oracle.hpp"
+#include "attack/sensitization.hpp"
+#include "attack/seq_attack.hpp"
+#include "obs/obs.hpp"
+#include "power/trace.hpp"
+#include "tech/tech_library.hpp"
+
+namespace stt::attack {
+
+namespace {
+
+struct Ctx {
+  const Netlist& hybrid;
+  const Netlist& configured;
+  const CommonAttackOptions& common;
+  const Tuning& tuning;
+  ParallelFor* parallel;
+};
+
+[[noreturn]] void bad_tuning(const std::string& attack,
+                             const std::string& key) {
+  throw std::invalid_argument("attack registry: unknown tuning key \"" + key +
+                              "\" for attack \"" + attack + "\"");
+}
+
+bool truthy(const std::string& v) { return v == "1" || v == "true"; }
+
+void fold_base(UnifiedResult& u, const AttackBase& b) {
+  static_cast<AttackBase&>(u) = b;
+}
+
+UnifiedResult run_sat(const Ctx& c) {
+  SatAttackOptions opt;
+  opt.overlay(c.common);
+  opt.parallel = c.parallel;
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "portfolio") {
+      opt.portfolio = std::stoi(v);
+    } else if (k == "naive") {
+      opt.cone_pruning = !truthy(v);
+    } else if (k == "max_iterations") {
+      opt.max_iterations = std::stoi(v);
+    } else if (k == "warmup_words") {
+      opt.warmup_words = std::stoi(v);
+    } else if (k == "slice_conflicts") {
+      opt.slice_conflicts = std::stoll(v);
+    } else {
+      bad_tuning("sat", k);
+    }
+  }
+  ScanOracle oracle(c.configured);
+  const SatAttackResult r = run_sat_attack(c.hybrid, oracle, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = static_cast<std::uint64_t>(r.iterations);
+  u.conflicts = r.conflicts;
+  u.sat = r.stats;
+  std::ostringstream d;
+  d << "dips=" << r.iterations << " conflicts=" << r.conflicts
+    << " warm_rows=" << r.stats.key_rows_resolved;
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_seq(const Ctx& c) {
+  SeqAttackOptions opt;
+  opt.overlay(c.common);
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "frames") {
+      opt.frames = std::stoi(v);
+    } else if (k == "max_iterations") {
+      opt.max_iterations = std::stoi(v);
+    } else {
+      bad_tuning("seq", k);
+    }
+  }
+  const SeqAttackResult r =
+      run_sequential_sat_attack(c.hybrid, c.configured, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = static_cast<std::uint64_t>(r.iterations);
+  std::ostringstream d;
+  d << "sequences=" << r.iterations << " frames=" << opt.frames
+    << " cycles=" << r.queries;
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_bf(const Ctx& c) {
+  BruteForceOptions opt;
+  opt.overlay(c.common);
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "screening_patterns") {
+      opt.screening_patterns = std::stoi(v);
+    } else if (k == "all_masks") {
+      opt.standard_candidates_only = !truthy(v);
+    } else {
+      bad_tuning("bf", k);
+    }
+  }
+  ScanOracle oracle(c.configured);
+  const BruteForceResult r = run_brute_force(c.hybrid, oracle, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = r.combinations_tried;
+  std::ostringstream d;
+  d << "combinations=" << r.combinations_tried
+    << " space=" << r.search_space.to_string();
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_ml(const Ctx& c) {
+  MlAttackOptions opt;
+  opt.overlay(c.common);
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "training_patterns") {
+      opt.training_patterns = std::stoi(v);
+    } else if (k == "bitflip") {
+      opt.standard_candidates_only = !truthy(v);
+    } else {
+      bad_tuning("ml", k);
+    }
+  }
+  ScanOracle oracle(c.configured);
+  const MlAttackResult r = run_ml_attack(c.hybrid, oracle, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = static_cast<std::uint64_t>(r.steps);
+  std::ostringstream d;
+  d << "steps=" << r.steps << " accuracy=" << r.final_accuracy;
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_sens(const Ctx& c) {
+  SensitizationOptions opt;
+  opt.overlay(c.common);
+  if (!c.tuning.empty()) bad_tuning("sens", c.tuning.front().first);
+  ScanOracle oracle(c.configured);
+  const SensitizationResult r =
+      run_sensitization_attack(c.hybrid, oracle, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = static_cast<std::uint64_t>(r.rows_resolved);
+  std::ostringstream d;
+  d << "rows=" << r.rows_resolved << "/" << r.rows_total
+    << " luts=" << r.luts_resolved << "/" << r.luts_total;
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_gsens(const Ctx& c) {
+  GuidedSensOptions opt;
+  opt.overlay(c.common);
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "max_witnesses_per_row") {
+      opt.max_witnesses_per_row = std::stoi(v);
+    } else {
+      bad_tuning("gsens", k);
+    }
+  }
+  ScanOracle oracle(c.configured);
+  const GuidedSensResult r = run_guided_sensitization(c.hybrid, oracle, opt);
+  UnifiedResult u;
+  fold_base(u, r);
+  u.iterations = static_cast<std::uint64_t>(r.rows_resolved);
+  std::ostringstream d;
+  d << "rows=" << r.rows_resolved << "/" << r.rows_total
+    << " unreachable=" << r.rows_proven_unreachable;
+  u.detail = d.str();
+  return u;
+}
+
+UnifiedResult run_dpa(const Ctx& c) {
+  DpaOptions opt;
+  opt.overlay(c.common);
+  TraceOptions trace;
+  std::string target_name;
+  for (const auto& [k, v] : c.tuning) {
+    if (k == "cycles") {
+      trace.cycles = std::stoi(v);
+    } else if (k == "noise_fj") {
+      trace.noise_sigma_fj = std::stod(v);
+    } else if (k == "target") {
+      target_name = v;
+    } else {
+      bad_tuning("dpa", k);
+    }
+  }
+  trace.seed = opt.seed;
+
+  CellId target = kNullCell;
+  if (!target_name.empty()) {
+    target = c.configured.find(target_name);
+    if (target == kNullCell || c.configured.cell(target).kind != CellKind::kLut) {
+      throw std::invalid_argument(
+          "attack registry: dpa target must name a LUT cell");
+    }
+  } else {
+    for (CellId id = 0; id < c.configured.size(); ++id) {
+      if (c.configured.cell(id).kind == CellKind::kLut) {
+        target = id;
+        break;
+      }
+    }
+  }
+  UnifiedResult u;
+  if (target == kNullCell) {
+    u.outcome = Outcome::kAbandoned;
+    u.detail = "no LUT target cell";
+    return u;
+  }
+  const std::uint64_t truth = c.configured.cell(target).lut_mask;
+  const PowerTraceResult measurement =
+      simulate_power_trace(c.configured, TechLibrary::cmos90_stt(), trace);
+  const DpaResult r =
+      run_dpa_attack(c.configured, target, truth, measurement, opt);
+  fold_base(u, r);
+  u.iterations = r.ranking.size();
+  std::ostringstream d;
+  d << "target=" << c.configured.cell(target).name << " best=0x" << std::hex
+    << r.best_mask << std::dec << " margin=" << r.margin();
+  u.detail = d.str();
+  return u;
+}
+
+using Runner = UnifiedResult (*)(const Ctx&);
+
+const std::map<std::string, Runner, std::less<>>& runners() {
+  static const std::map<std::string, Runner, std::less<>> m = {
+      {"bf", &run_bf},     {"dpa", &run_dpa}, {"gsens", &run_gsens},
+      {"ml", &run_ml},     {"sat", &run_sat}, {"sens", &run_sens},
+      {"seq", &run_seq},
+  };
+  return m;
+}
+
+}  // namespace
+
+UnifiedResult Registry::run(std::string_view name, const Netlist& hybrid,
+                            const Netlist& configured,
+                            const CommonAttackOptions& common,
+                            const Tuning& tuning,
+                            ParallelFor* parallel) const {
+  const auto it = runners().find(name);
+  if (it == runners().end()) {
+    std::string known;
+    for (const auto& [n, fn] : runners()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument("attack registry: unknown attack \"" +
+                                std::string(name) + "\" (known: " + known +
+                                ")");
+  }
+  static obs::Counter& runs = obs::Metrics::global().counter("attack.runs");
+  runs.add(1);
+  const Ctx ctx{hybrid, configured, common, tuning, parallel};
+  UnifiedResult u = it->second(ctx);
+  u.attack = std::string(name);
+  return u;
+}
+
+bool Registry::contains(std::string_view name) const {
+  return runners().count(name) != 0;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [n, fn] : runners()) out.push_back(n);
+  return out;
+}
+
+const Registry& registry() {
+  static const Registry r;
+  return r;
+}
+
+}  // namespace stt::attack

@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "attack/dip_encode.hpp"
 #include "attack/encode.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace stt {
 
 namespace {
+
+obs::Counter& dip_counter() {
+  static obs::Counter& c = obs::Metrics::global().counter("sat.dips");
+  return c;
+}
 
 // Pin an encoded copy's inputs to a concrete pattern and its outputs to the
 // oracle's response (legacy full-copy encoding).
@@ -68,24 +75,23 @@ SatAttackResult run_naive(const Netlist& hybrid, ScanOracle& oracle,
   result.stats.cnf_initial_clauses = solver.clauses_added();
 
   const auto note_unknown = [&]() {
-    if (solver.last_stop() == sat::StopCause::kDeadline) {
-      result.timed_out = true;
-    } else {
-      result.budget_exhausted = true;
-    }
+    result.outcome = solver.last_stop() == sat::StopCause::kDeadline
+                         ? attack::Outcome::kTimedOut
+                         : attack::Outcome::kBudgetExhausted;
   };
 
   const sat::Lit assume_diff[] = {sat::pos(miter)};
   while (true) {
     if (timer.seconds() > opt.time_limit_s) {
-      result.timed_out = true;
+      result.outcome = attack::Outcome::kTimedOut;
       break;
     }
     if (result.iterations >= opt.max_iterations) {
-      result.budget_exhausted = true;
+      result.outcome = attack::Outcome::kBudgetExhausted;
       break;
     }
-    solver.set_conflict_budget(opt.conflict_budget);
+    STTLOCK_SPAN("sat-dip", "dip");
+    solver.set_conflict_budget(opt.work_budget);
     solver.set_deadline(remaining_deadline(timer, opt));
     const sat::Result r = solver.solve(assume_diff);
     if (r == sat::Result::kUnknown) {
@@ -94,19 +100,20 @@ SatAttackResult run_naive(const Netlist& hybrid, ScanOracle& oracle,
     }
     if (r == sat::Result::kUnsat) {
       // No distinguishing input remains: extract any consistent key.
-      solver.set_conflict_budget(opt.conflict_budget);
+      solver.set_conflict_budget(opt.work_budget);
       const sat::Result final_r = solver.solve();
       if (final_r != sat::Result::kSat) {
         if (final_r == sat::Result::kUnknown) note_unknown();
         break;
       }
       extract_key(solver, copy_a.key_vars, result.key);
-      result.success = true;
+      result.outcome = attack::Outcome::kSolved;
       break;
     }
 
     // SAT: read the DIP, query the chip, constrain both key sets.
     ++result.iterations;
+    dip_counter().add(1);
     std::vector<bool> dip(copy_a.input_vars.size());
     for (std::size_t i = 0; i < dip.size(); ++i) {
       dip[i] = solver.value(copy_a.input_vars[i]);
@@ -123,7 +130,7 @@ SatAttackResult run_naive(const Netlist& hybrid, ScanOracle& oracle,
     constrain_io(solver, encode_comb(solver, hybrid, io_b), dip, response);
   }
 
-  result.oracle_queries = oracle.queries() - queries_before;
+  result.queries = oracle.queries() - queries_before;
   result.conflicts = solver.conflicts();
   result.stats.decisions = solver.decisions();
   result.stats.propagations = solver.propagations();
@@ -135,7 +142,7 @@ SatAttackResult run_naive(const Netlist& hybrid, ScanOracle& oracle,
       result.iterations > 0 ? static_cast<double>(result.stats.cnf_dip_clauses) /
                                   result.iterations
                             : 0.0;
-  result.seconds = timer.seconds();
+  result.elapsed_s = timer.seconds();
   return result;
 }
 
@@ -215,6 +222,7 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
   // constraints, and a bounded number of still-complex patterns are cone-
   // encoded to seed the CNF.
   if (opt.warmup_words > 0) {
+    STTLOCK_SPAN("attack", "sat_warmup");
     const std::size_t W = static_cast<std::size_t>(opt.warmup_words);
     const std::size_t n_in = oracle.num_inputs();
     const std::size_t n_out = oracle.num_outputs();
@@ -301,11 +309,11 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
       // The canonical member is still undecided: check its stop cause.
       if (canon.solver.last_stop() == sat::StopCause::kDeadline ||
           timer.seconds() > opt.time_limit_s) {
-        result.timed_out = true;
+        result.outcome = attack::Outcome::kTimedOut;
         return sat::Result::kUnknown;
       }
-      if (canon.solver.conflicts() - call_start >= opt.conflict_budget) {
-        result.budget_exhausted = true;
+      if (canon.solver.conflicts() - call_start >= opt.work_budget) {
+        result.outcome = attack::Outcome::kBudgetExhausted;
         return sat::Result::kUnknown;
       }
       first_round = false;
@@ -315,15 +323,20 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
   bool no_dip_left = false;
   while (true) {
     if (timer.seconds() > opt.time_limit_s) {
-      result.timed_out = true;
+      result.outcome = attack::Outcome::kTimedOut;
       break;
     }
     if (result.iterations >= opt.max_iterations) {
-      result.budget_exhausted = true;
+      result.outcome = attack::Outcome::kBudgetExhausted;
       break;
     }
-    const sat::Result r = solve_portfolio();
-    if (r == sat::Result::kUnknown) break;  // flags set inside
+    STTLOCK_SPAN("sat-dip", "dip");
+    sat::Result r;
+    {
+      STTLOCK_SPAN("sat-dip", "solve");
+      r = solve_portfolio();
+    }
+    if (r == sat::Result::kUnknown) break;  // outcome set inside
     if (r == sat::Result::kUnsat) {
       no_dip_left = true;
       break;
@@ -331,11 +344,13 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
 
     // SAT: read the canonical DIP, query the chip, constrain every member.
     ++result.iterations;
+    dip_counter().add(1);
     std::vector<bool> dip(canon.copy_a.input_vars.size());
     for (std::size_t i = 0; i < dip.size(); ++i) {
       dip[i] = canon.solver.value(canon.copy_a.input_vars[i]);
     }
     const std::vector<bool> response = oracle.query(dip);
+    STTLOCK_SPAN("sat-dip", "encode");
     const DipEncodeStats st = canon.enc->add_io_pair(dip, response, false);
     for (int h = 1; h < S; ++h) {
       members[h]->enc->add_io_pair(dip, response, false);
@@ -372,7 +387,7 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
     for (const RecordedPair& p : recorded) {
       fenc.add_io_pair(p.in, p.out, p.units_only);
     }
-    fs.set_conflict_budget(opt.conflict_budget);
+    fs.set_conflict_budget(opt.work_budget);
     const sat::Result fr = fs.solve();
     result.conflicts += fs.conflicts();
     result.stats.decisions += fs.decisions();
@@ -382,14 +397,14 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
         std::max(result.stats.peak_clauses, fs.peak_clauses());
     if (fr == sat::Result::kSat) {
       extract_key(fs, single.key_vars, result.key);
-      result.success = true;
+      result.outcome = attack::Outcome::kSolved;
     } else if (fr == sat::Result::kUnknown) {
-      result.budget_exhausted = true;
+      result.outcome = attack::Outcome::kBudgetExhausted;
     }
   }
 
-  result.oracle_queries = oracle.queries() - queries_before;
-  result.seconds = timer.seconds();
+  result.queries = oracle.queries() - queries_before;
+  result.elapsed_s = timer.seconds();
   return result;
 }
 
@@ -397,8 +412,12 @@ SatAttackResult run_pruned(const Netlist& hybrid, ScanOracle& oracle,
 
 SatAttackResult run_sat_attack(const Netlist& hybrid, ScanOracle& oracle,
                                const SatAttackOptions& opt) {
-  return opt.cone_pruning ? run_pruned(hybrid, oracle, opt)
-                          : run_naive(hybrid, oracle, opt);
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "sat");
+  SatAttackResult result = opt.cone_pruning ? run_pruned(hybrid, oracle, opt)
+                                            : run_naive(hybrid, oracle, opt);
+  result.span_id = root ? root->id() : 0;
+  return result;
 }
 
 SatAttackResult run_sat_attack(const Netlist& hybrid,

@@ -36,22 +36,28 @@
 // budget (see bench/bench_attack_validation, bench/bench_sat_perf).
 #pragma once
 
+#include "attack/common.hpp"
 #include "attack/oracle.hpp"
 #include "core/hybrid.hpp"
 #include "netlist/netlist.hpp"
 
 namespace stt {
 
-struct SatAttackOptions {
+struct SatAttackOptions : attack::CommonAttackOptions {
+  /// Historical defaults: `time_limit_s` is a wall-clock cap honored
+  /// *inside* solver calls via the solver deadline (checked every 256
+  /// conflicts); `work_budget` is the SAT conflict cap per solver call —
+  /// exceeding it aborts the attack with budget_exhausted (the defender
+  /// "wins on resources"), counted on the canonical member only so the cap
+  /// is portfolio-size independent; `seed` drives warm-up stimulus and
+  /// helper-member diversification.
+  SatAttackOptions() {
+    seed = 0x5a7a11cull;
+    time_limit_s = 60.0;
+    work_budget = 4'000'000;
+  }
+
   int max_iterations = 512;
-  /// Wall-clock cap, honored *inside* solver calls via the solver deadline
-  /// (checked every 256 conflicts), so overshoot is bounded by one conflict
-  /// batch rather than one unbounded solve.
-  double time_limit_s = 60.0;
-  /// SAT conflict cap per solver call; exceeding it aborts the attack with
-  /// budget_exhausted (the defender "wins on resources"). Counted on the
-  /// canonical member only, so the cap is portfolio-size independent.
-  std::int64_t conflict_budget = 4'000'000;
 
   /// Cone-pruned constant-folded DIP encoding (the fast engine). Off =
   /// the legacy two-full-copies-per-DIP encoding, kept as the benchmark
@@ -68,8 +74,6 @@ struct SatAttackOptions {
   int portfolio = 1;
   /// Lockstep slice granularity (conflicts per member per round).
   std::int64_t slice_conflicts = 20'000;
-  /// Seeds warm-up stimulus and helper-member diversification.
-  std::uint64_t seed = 0x5a7a11cull;
   /// Fans portfolio slices and the warm-up batch across threads; results
   /// are bit-identical with or without it. Must not be a pool the caller
   /// is itself running inside.
@@ -95,15 +99,9 @@ struct SatAttackStats {
   int unsat_winner = -1;  ///< member that proved UNSAT (-1: none needed)
 };
 
-struct SatAttackResult {
-  bool success = false;
-  bool timed_out = false;
-  bool budget_exhausted = false;
-  int iterations = 0;  ///< DIPs generated
-  std::uint64_t oracle_queries = 0;
+struct SatAttackResult : attack::AttackBase {
+  int iterations = 0;          ///< DIPs generated
   std::int64_t conflicts = 0;  ///< canonical member + key extraction
-  double seconds = 0;
-  LutKey key;  ///< recovered configuration (valid when success)
   SatAttackStats stats;
 };
 

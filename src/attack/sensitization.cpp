@@ -1,7 +1,11 @@
 #include "attack/sensitization.hpp"
 
+#include <optional>
+
 #include "attack/partial_eval.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace stt {
 
@@ -9,6 +13,10 @@ SensitizationResult run_sensitization_attack(const Netlist& hybrid,
                                              ScanOracle& oracle,
                                              const SensitizationOptions& opt) {
   SensitizationResult result;
+  const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "sensitization");
+  result.span_id = root ? root->id() : 0;
   Rng rng(opt.seed);
 
   LutKnowledgeMap luts;
@@ -24,7 +32,8 @@ SensitizationResult run_sensitization_attack(const Netlist& hybrid,
   }
   result.luts_total = static_cast<int>(lut_ids.size());
   if (lut_ids.empty()) {
-    result.success = true;
+    result.outcome = attack::Outcome::kSolved;
+    result.elapsed_s = timer.seconds();
     return result;
   }
 
@@ -37,9 +46,14 @@ SensitizationResult run_sensitization_attack(const Netlist& hybrid,
   int resolved_luts = 0;
   std::uint64_t stale = 0;  // patterns since last progress
 
+  bool hit_time_limit = false;
   while (resolved_rows < result.rows_total &&
-         oracle.queries() - start_queries < opt.max_patterns &&
-         stale < opt.max_patterns / 4 + 512) {
+         oracle.queries() - start_queries < opt.query_budget &&
+         stale < opt.query_budget / 4 + 512) {
+    if ((stale & 255u) == 0 && timer.seconds() >= opt.time_limit_s) {
+      hit_time_limit = true;
+      break;
+    }
     std::vector<bool> pattern(n_in);
     for (std::size_t i = 0; i < n_in; ++i) pattern[i] = rng.chance(0.5);
     const std::vector<bool> response = oracle.query(pattern);
@@ -92,11 +106,20 @@ SensitizationResult run_sensitization_attack(const Netlist& hybrid,
 
   result.rows_resolved = resolved_rows;
   result.luts_resolved = resolved_luts;
-  result.patterns_used = oracle.queries() - start_queries;
-  result.success = (resolved_rows == result.rows_total);
+  result.queries = oracle.queries() - start_queries;
+  if (resolved_rows == result.rows_total) {
+    result.outcome = attack::Outcome::kSolved;
+  } else if (hit_time_limit) {
+    result.outcome = attack::Outcome::kTimedOut;
+  } else if (result.queries >= opt.query_budget) {
+    result.outcome = attack::Outcome::kBudgetExhausted;
+  } else {
+    result.outcome = attack::Outcome::kAbandoned;  // stale: no progress
+  }
   for (const CellId lut : lut_ids) {
     result.key[hybrid.cell(lut).name] = luts[lut].value_mask;
   }
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

@@ -14,25 +14,29 @@
 // Eq. (1).
 #pragma once
 
+#include "attack/common.hpp"
 #include "attack/oracle.hpp"
 #include "core/hybrid.hpp"
 #include "netlist/netlist.hpp"
 
 namespace stt {
 
-struct SensitizationOptions {
-  std::uint64_t seed = 7;
-  std::uint64_t max_patterns = 50'000;  ///< oracle-query budget
+struct SensitizationOptions : attack::CommonAttackOptions {
+  /// Historical defaults; `query_budget` caps oracle scan patterns.
+  SensitizationOptions() {
+    seed = 7;
+    time_limit_s = kNoTimeLimit;
+    query_budget = 50'000;
+  }
 };
 
-struct SensitizationResult {
-  bool success = false;  ///< every LUT fully resolved
+struct SensitizationResult : attack::AttackBase {
+  /// `success()` = every LUT fully resolved; `key` holds resolved rows
+  /// (unresolved rows left 0); `queries` counts scan patterns applied.
   int luts_total = 0;
   int luts_resolved = 0;
   int rows_total = 0;
   int rows_resolved = 0;
-  std::uint64_t patterns_used = 0;
-  LutKey key;  ///< resolved rows; unresolved rows left 0
 };
 
 SensitizationResult run_sensitization_attack(

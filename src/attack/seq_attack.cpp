@@ -1,8 +1,10 @@
 #include "attack/seq_attack.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "attack/encode.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/timer.hpp"
 
@@ -100,6 +102,9 @@ SeqAttackResult run_sequential_sat_attack(const Netlist& hybrid,
                                           const SeqAttackOptions& opt) {
   SeqAttackResult result;
   const Timer timer;
+  std::optional<obs::Span> root;
+  if (opt.trace) root.emplace("attack", "seq_sat");
+  result.span_id = root ? root->id() : 0;
 
   sat::Solver solver;
   const UnrolledCopy a =
@@ -132,24 +137,26 @@ SeqAttackResult run_sequential_sat_attack(const Netlist& hybrid,
 
   while (true) {
     if (timer.seconds() > opt.time_limit_s) {
-      result.timed_out = true;
+      result.outcome = attack::Outcome::kTimedOut;
       break;
     }
     if (result.iterations >= opt.max_iterations) {
-      result.budget_exhausted = true;
+      result.outcome = attack::Outcome::kBudgetExhausted;
       break;
     }
-    solver.set_conflict_budget(opt.conflict_budget);
+    solver.set_conflict_budget(opt.work_budget);
     const sat::Result r = solver.solve(assume_diff);
     if (r == sat::Result::kUnknown) {
-      result.budget_exhausted = true;
+      result.outcome = attack::Outcome::kBudgetExhausted;
       break;
     }
     if (r == sat::Result::kUnsat) {
-      solver.set_conflict_budget(opt.conflict_budget);
+      solver.set_conflict_budget(opt.work_budget);
       const sat::Result final_r = solver.solve();
       if (final_r != sat::Result::kSat) {
-        result.budget_exhausted = (final_r == sat::Result::kUnknown);
+        result.outcome = final_r == sat::Result::kUnknown
+                             ? attack::Outcome::kBudgetExhausted
+                             : attack::Outcome::kAbandoned;
         break;
       }
       for (const auto& [name, vars] : a.key_vars) {
@@ -159,12 +166,13 @@ SeqAttackResult run_sequential_sat_attack(const Netlist& hybrid,
         }
         result.key[name] = mask;
       }
-      result.success = true;
+      result.outcome = attack::Outcome::kSolved;
       break;
     }
 
     // Distinguishing input *sequence*.
     ++result.iterations;
+    STTLOCK_SPAN("sat-dip", "seq_dip");
     std::vector<std::vector<bool>> dis(opt.frames,
                                        std::vector<bool>(n_pi, false));
     for (int f = 0; f < opt.frames; ++f) {
@@ -191,8 +199,8 @@ SeqAttackResult run_sequential_sat_attack(const Netlist& hybrid,
     }
   }
 
-  result.oracle_cycles = oracle.cycles();
-  result.seconds = timer.seconds();
+  result.queries = oracle.cycles();
+  result.elapsed_s = timer.seconds();
   return result;
 }
 

@@ -43,21 +43,23 @@ class SequenceOracle {
   std::uint64_t cycles_ = 0;
 };
 
-struct SeqAttackOptions {
+struct SeqAttackOptions : attack::CommonAttackOptions {
+  /// Historical defaults; `work_budget` is the SAT conflict cap per call.
+  SeqAttackOptions() {
+    seed = 0;
+    time_limit_s = 60.0;
+    work_budget = 4'000'000;
+  }
+
   int frames = 8;  ///< unrolling depth (must exceed the circuit's D to win)
   int max_iterations = 256;
-  double time_limit_s = 60.0;
-  std::int64_t conflict_budget = 4'000'000;
 };
 
-struct SeqAttackResult {
-  bool success = false;  ///< no distinguishing sequence within `frames`
-  bool timed_out = false;
-  bool budget_exhausted = false;
+struct SeqAttackResult : attack::AttackBase {
+  /// `success()` = no distinguishing sequence within `frames`; `key` is
+  /// consistent with all observed sequences (when solved); `queries`
+  /// counts oracle *cycles* — the test-clock cost Eqs. (1)-(3) bound.
   int iterations = 0;
-  std::uint64_t oracle_cycles = 0;
-  double seconds = 0;
-  LutKey key;  ///< consistent with all observed sequences (when success)
 };
 
 /// Attack the hybrid netlist through a reset-and-run oracle. On success the

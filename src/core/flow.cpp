@@ -1,18 +1,36 @@
 #include "core/flow.hpp"
 
+#include "obs/obs.hpp"
+
 namespace stt {
 
 FlowResult run_secure_flow(const Netlist& original, const TechLibrary& lib,
                            const FlowOptions& opt) {
+  STTLOCK_SPAN("flow-stage", "secure_flow");
+  static obs::Counter& runs = obs::Metrics::global().counter("flow.runs");
+  static obs::Histogram& luts =
+      obs::Metrics::global().histogram("flow.selected_luts");
+  runs.add(1);
   FlowResult result{.hybrid = original,
                     .selection = {},
                     .overhead = {},
                     .security = {}};
   GateSelector selector(lib);
-  result.selection = selector.run(result.hybrid, opt.algorithm, opt.selection);
-  result.overhead =
-      compare_overhead(original, result.hybrid, lib, opt.activity);
-  result.security = security_report(result.hybrid, opt.similarity);
+  {
+    STTLOCK_SPAN("flow-stage", "selection");
+    result.selection =
+        selector.run(result.hybrid, opt.algorithm, opt.selection);
+  }
+  luts.record(result.selection.replaced.size());
+  {
+    STTLOCK_SPAN("flow-stage", "overhead");
+    result.overhead =
+        compare_overhead(original, result.hybrid, lib, opt.activity);
+  }
+  {
+    STTLOCK_SPAN("flow-stage", "security");
+    result.security = security_report(result.hybrid, opt.similarity);
+  }
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "core/packing.hpp"
 
+#include "obs/obs.hpp"
 #include "timing/sta.hpp"
 
 #include <algorithm>
@@ -161,6 +162,7 @@ std::uint64_t compose_masks(std::uint64_t outer_mask, int outer_fanin,
 }
 
 PackingResult pack_complex_functions(Netlist& nl, const PackingOptions& opt) {
+  STTLOCK_SPAN("flow-stage", "packing");
   PackingResult result;
   Rng rng(opt.seed ^ 0x9ac4c09b1e5full);
   std::vector<CellId> luts;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace stt {
@@ -57,6 +58,11 @@ CellKind parse_operator(std::string_view op, std::uint64_t& mask, int line) {
 }  // namespace
 
 Netlist read_bench(std::string_view text, std::string name) {
+  STTLOCK_SPAN("io", "read_bench");
+  {
+    static obs::Counter& parses = obs::Metrics::global().counter("io.bench_parses");
+    parses.add(1);
+  }
   std::vector<std::string> input_names;
   std::vector<std::pair<std::string, int>> output_names;  // net, decl line
   std::vector<PendingCell> pending;

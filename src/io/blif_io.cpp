@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "util/strings.hpp"
 
 namespace stt {
@@ -105,6 +106,11 @@ std::uint64_t cubes_to_mask(const NamesBlock& block) {
 }  // namespace
 
 Netlist read_blif(std::string_view text, std::string fallback_name) {
+  STTLOCK_SPAN("io", "read_blif");
+  {
+    static obs::Counter& parses = obs::Metrics::global().counter("io.blif_parses");
+    parses.add(1);
+  }
   // Join continuation lines, strip comments.
   std::vector<std::pair<std::string, int>> lines;
   {

@@ -5,13 +5,11 @@
 #include <mutex>
 #include <stdexcept>
 
-#include "attack/brute_force.hpp"
-#include "attack/ml_attack.hpp"
-#include "attack/oracle.hpp"
-#include "attack/sat_attack.hpp"
-#include "attack/sensitization.hpp"
+#include "attack/registry.hpp"
 #include "core/hybrid.hpp"
+#include "obs/obs.hpp"
 #include "synth/generator.hpp"
+#include "util/strings.hpp"
 #include "util/timer.hpp"
 #include "verify/lint.hpp"
 
@@ -41,32 +39,6 @@ std::uint64_t fnv1a(std::string_view s) {
 }
 
 }  // namespace
-
-std::string campaign_attack_name(CampaignAttack attack) {
-  switch (attack) {
-    case CampaignAttack::kNone:
-      return "none";
-    case CampaignAttack::kSensitization:
-      return "sens";
-    case CampaignAttack::kBruteForce:
-      return "bf";
-    case CampaignAttack::kMl:
-      return "ml";
-    case CampaignAttack::kSat:
-      return "sat";
-  }
-  return "?";
-}
-
-CampaignAttack parse_campaign_attack(const std::string& name) {
-  if (name == "none") return CampaignAttack::kNone;
-  if (name == "sens") return CampaignAttack::kSensitization;
-  if (name == "bf") return CampaignAttack::kBruteForce;
-  if (name == "ml") return CampaignAttack::kMl;
-  if (name == "sat") return CampaignAttack::kSat;
-  throw std::invalid_argument("unknown campaign attack '" + name +
-                              "' (expected none|sens|bf|ml|sat)");
-}
 
 std::uint64_t campaign_seed(std::uint64_t master_seed,
                             std::string_view benchmark, int stage,
@@ -126,60 +98,30 @@ class ProgressSink {
 };
 
 void run_attack_stage(CampaignRow& row, const Netlist& hybrid,
-                      CampaignAttack attack, std::uint64_t attack_seed) {
-  if (attack == CampaignAttack::kNone) return;
-  const Netlist view = foundry_view(hybrid);
-  ScanOracle oracle(hybrid);
+                      const std::string& attack, std::uint64_t attack_seed) {
+  if (attack == "none") return;
+  // Wall-clock limits are disabled and the dominant-work budgets are
+  // fixed, so the outcome and every telemetry column are machine- and
+  // --jobs-independent. (The stage already runs on a pool worker, so no
+  // ParallelFor is passed — the SAT attack stays portfolio=1, serial.)
+  attack::CommonAttackOptions common;
+  common.seed = attack_seed;
+  common.time_limit_s = attack::CommonAttackOptions::kNoTimeLimit;
+  if (attack == "sat") common.work_budget = 2'000'000;
+  const attack::UnifiedResult r =
+      attack::registry().run(attack, foundry_view(hybrid), hybrid, common);
   row.attack_ran = true;
-  switch (attack) {
-    case CampaignAttack::kSensitization: {
-      SensitizationOptions opt;
-      opt.seed = attack_seed;
-      const auto r = run_sensitization_attack(view, oracle, opt);
-      row.attack_success = r.success;
-      row.attack_queries = r.patterns_used;
-      break;
-    }
-    case CampaignAttack::kBruteForce: {
-      const auto r = run_brute_force(view, oracle);
-      row.attack_success = r.success;
-      row.attack_queries = r.oracle_queries;
-      break;
-    }
-    case CampaignAttack::kMl: {
-      MlAttackOptions opt;
-      opt.seed = attack_seed;
-      const auto r = run_ml_attack(view, oracle, opt);
-      row.attack_success = r.success;
-      row.attack_queries = r.oracle_queries;
-      break;
-    }
-    case CampaignAttack::kSat: {
-      // Conflict-budget-bounded only: the wall-clock limit is effectively
-      // disabled and no portfolio/parallelism is used, so the outcome and
-      // every telemetry column are machine- and --jobs-independent. (The
-      // stage already runs on a pool worker, so opt.parallel must stay
-      // null regardless.)
-      SatAttackOptions opt;
-      opt.seed = attack_seed;
-      opt.time_limit_s = 1e18;
-      opt.conflict_budget = 2'000'000;
-      opt.portfolio = 1;
-      const auto r = run_sat_attack(view, oracle, opt);
-      row.attack_success = r.success;
-      row.attack_queries = r.oracle_queries;
-      row.attack_iterations = r.iterations;
-      row.attack_conflicts = r.conflicts;
-      row.attack_decisions = r.stats.decisions;
-      row.attack_propagations = r.stats.propagations;
-      row.attack_learned = r.stats.learned;
-      row.attack_peak_clauses = r.stats.peak_clauses;
-      row.attack_cnf_per_iter = r.stats.cnf_clauses_per_iter;
-      break;
-    }
-    case CampaignAttack::kNone:
-      break;
-  }
+  row.attack_success = r.success();
+  row.attack_outcome = attack::outcome_name(r.outcome);
+  row.attack_detail = r.detail;
+  row.attack_queries = r.queries;
+  row.attack_iterations = r.iterations;
+  row.attack_conflicts = r.conflicts;
+  row.attack_decisions = r.sat.decisions;
+  row.attack_propagations = r.sat.propagations;
+  row.attack_learned = r.sat.learned;
+  row.attack_peak_clauses = r.sat.peak_clauses;
+  row.attack_cnf_per_iter = r.sat.cnf_clauses_per_iter;
 }
 
 }  // namespace
@@ -204,6 +146,14 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   report.trials = spec.trials;
   report.master_seed = spec.master_seed;
   report.attack = spec.attack;
+  if (spec.attack != "none" && !attack::registry().contains(spec.attack)) {
+    std::string known = "none";
+    for (const std::string& name : attack::registry().names()) {
+      known += "|" + name;
+    }
+    throw std::invalid_argument("unknown campaign attack '" + spec.attack +
+                                "' (expected " + known + ")");
+  }
   if (profiles.empty() || report.algorithms.empty() || spec.trials < 1) {
     throw std::invalid_argument("campaign grid is empty");
   }
@@ -220,6 +170,13 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   std::vector<std::shared_ptr<const Netlist>> circuits(n_bench * n_trial);
 
   ProgressSink progress(spec.on_progress, report.rows.size());
+
+  // Delta-snapshot the global metrics around the run so the report's obs
+  // blocks are per-campaign even when several campaigns share a process.
+  const obs::MetricsSnapshot obs_before_stable =
+      obs::Metrics::global().snapshot(/*include_runtime=*/false);
+  const obs::MetricsSnapshot obs_before_full =
+      obs::Metrics::global().snapshot(/*include_runtime=*/true);
 
   ThreadPool pool(spec.jobs == 0 ? 0 : spec.jobs);
   JobGraph graph;
@@ -339,6 +296,12 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   const ThreadPool::Stats stats = pool.stats();
   report.profile.executed = stats.executed;
   report.profile.stolen = stats.stolen;
+  report.obs = obs::snapshot_diff(
+      obs::Metrics::global().snapshot(/*include_runtime=*/false),
+      obs_before_stable);
+  report.profile.obs = obs::snapshot_diff(
+      obs::Metrics::global().snapshot(/*include_runtime=*/true),
+      obs_before_full);
   return report;
 }
 

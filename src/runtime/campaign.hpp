@@ -25,22 +25,10 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "obs/obs.hpp"
 #include "runtime/job.hpp"
 
 namespace stt {
-
-/// Optional oracle-based attack stage appended to every grid point. All
-/// four are deterministic for a fixed seed, so attack columns stay inside
-/// the byte-identical result rows. The SAT attack runs conflict-budget-
-/// bounded only (its wall-clock limit is set effectively infinite inside
-/// the campaign, and its portfolio is 1), so its outcome is machine- and
-/// load-independent.
-enum class CampaignAttack { kNone, kSensitization, kBruteForce, kMl, kSat };
-
-std::string campaign_attack_name(CampaignAttack attack);
-
-/// Parses "none" | "sens" | "bf" | "ml" | "sat"; throws on anything else.
-CampaignAttack parse_campaign_attack(const std::string& name);
 
 struct CampaignSpec {
   /// ISCAS'89 profile names; empty = all twelve Table I benchmarks.
@@ -52,7 +40,13 @@ struct CampaignSpec {
   std::uint64_t master_seed = 20160605;  ///< the repo's Table I/II seed
   unsigned jobs = 1;                     ///< worker threads (0 = hardware)
   int max_attempts = 3;                  ///< seed-backoff retry bound
-  CampaignAttack attack = CampaignAttack::kNone;
+  /// Optional oracle-based attack stage appended to every grid point:
+  /// "none" or any `attack::registry()` name ("sat", "seq", "sens",
+  /// "gsens", "bf", "ml", "dpa"). Every attack is deterministic for a
+  /// fixed seed — the campaign disables wall-clock limits and caps the SAT
+  /// attack by conflict budget instead, so attack columns stay inside the
+  /// byte-identical result rows regardless of machine load or --jobs.
+  std::string attack = "none";
   double activity = 0.10;       ///< power sign-off switching activity
   double timing_margin = 0.05;  ///< parametric timing margin
   /// Run `sttlock lint` (structural + static security audit, src/verify)
@@ -102,13 +96,16 @@ struct CampaignRow {
   int lint_infos = 0;
   double audit_log10_drop = 0;
 
-  // Attack stage (when spec.attack != kNone). The solver-telemetry block
-  // below is zero for the non-SAT attacks; for kSat it mirrors
-  // SatAttackStats (canonical-member counts, deterministic across --jobs).
+  // Attack stage (when spec.attack != "none"), filled from the registry's
+  // UnifiedResult. The solver-telemetry block below is zero for the
+  // non-SAT attacks; for "sat" it mirrors SatAttackStats
+  // (canonical-member counts, deterministic across --jobs).
   bool attack_ran = false;
   bool attack_success = false;
+  std::string attack_outcome;  ///< solved | timed_out | budget_exhausted | ...
+  std::string attack_detail;   ///< registry one-liner (dips, rows, ...)
   std::uint64_t attack_queries = 0;
-  int attack_iterations = 0;
+  std::uint64_t attack_iterations = 0;
   std::int64_t attack_conflicts = 0;
   std::int64_t attack_decisions = 0;
   std::int64_t attack_propagations = 0;
@@ -127,11 +124,17 @@ struct CampaignReport {
   std::vector<SelectionAlgorithm> algorithms;
   int trials = 1;
   std::uint64_t master_seed = 0;
-  CampaignAttack attack = CampaignAttack::kNone;
+  std::string attack = "none";
 
   /// Grid order: benchmark-major, then algorithm, then trial — independent
   /// of execution interleaving.
   std::vector<CampaignRow> rows;
+
+  /// Stable-metrics delta over this campaign (global metrics sampled
+  /// before and after, runtime-tagged instruments excluded), so the block
+  /// is byte-identical across --jobs values and across campaigns sharing a
+  /// process. Lands in the deterministic part of `campaign_json`.
+  obs::MetricsSnapshot obs;
 
   struct Profile {
     unsigned threads = 0;
@@ -140,6 +143,9 @@ struct CampaignReport {
     std::uint64_t executed = 0;
     std::uint64_t stolen = 0;
     std::size_t failed_rows = 0;
+    /// Full metrics delta including runtime-tagged instruments (queue
+    /// waits, steal counts); varies run to run like the rest of Profile.
+    obs::MetricsSnapshot obs;
   } profile;
 };
 

@@ -1,7 +1,9 @@
 #include "runtime/job.hpp"
 
+#include <optional>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace stt {
@@ -158,13 +160,23 @@ void JobGraph::cancel_locked(JobId id, const std::string& cause,
 }
 
 void JobGraph::execute(JobId id, ThreadPool& pool) {
+  std::optional<obs::Span> span;
   {
     std::lock_guard lock(nodes_mutex_);
     Node& node = nodes_[id];
     if (node.record.state != JobState::kReady) return;  // cancelled in queue
     node.record.state = JobState::kRunning;
     node.record.queue_ms = (Timer::now_seconds() - node.ready_stamp) * 1e3;
+    span.emplace("job", node.record.name);
+    // Queue wait is wall-clock and thus run-dependent: runtime-only.
+    static obs::Histogram& queue_wait =
+        obs::Metrics::global().histogram("jobs.queue_wait_us", /*stable=*/false);
+    queue_wait.record(
+        static_cast<std::uint64_t>(node.record.queue_ms * 1e3));
   }
+  static obs::Counter& executed =
+      obs::Metrics::global().counter("jobs.executed");
+  executed.add(1);
   JobContext ctx(this, id);
   Timer timer;
   bool failed = false;

@@ -55,6 +55,7 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    "usl",          "lint",           "lint_errors",
                    "lint_warnings", "audit_log10_drop",
                    "attack",       "attack_success",
+                   "attack_outcome",
                    "attack_queries", "attack_iters",
                    "attack_conflicts", "attack_decisions",
                    "attack_propagations", "attack_learned",
@@ -84,8 +85,9 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    row.lint_ran ? std::to_string(row.lint_errors) : "",
                    row.lint_ran ? std::to_string(row.lint_warnings) : "",
                    row.lint_ran ? fmt(row.audit_log10_drop) : "",
-                   row.attack_ran ? campaign_attack_name(report.attack) : "none",
+                   row.attack_ran ? report.attack : "none",
                    row.attack_ran ? (row.attack_success ? "1" : "0") : "",
+                   row.attack_ran ? row.attack_outcome : "",
                    row.attack_ran ? std::to_string(row.attack_queries) : "",
                    row.attack_ran ? std::to_string(row.attack_iterations) : "",
                    row.attack_ran ? std::to_string(row.attack_conflicts) : "",
@@ -156,7 +158,7 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
   out += strformat("  \"master_seed\": %llu,\n",
                    static_cast<unsigned long long>(report.master_seed));
   out += strformat("  \"trials\": %d,\n", report.trials);
-  out += "  \"attack\": \"" + campaign_attack_name(report.attack) + "\",\n";
+  out += "  \"attack\": \"" + json_escape(report.attack) + "\",\n";
   out += "  \"results\": [\n";
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     const CampaignRow& row = report.rows[i];
@@ -190,11 +192,14 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
       out += strformat(", \"attack_success\": %s, \"attack_queries\": %llu",
                        row.attack_success ? "true" : "false",
                        static_cast<unsigned long long>(row.attack_queries));
+      out += ", \"attack_outcome\": \"" + json_escape(row.attack_outcome) +
+             "\", \"attack_detail\": \"" + json_escape(row.attack_detail) +
+             "\"";
       out += strformat(
-          ", \"attack_iters\": %d, \"attack_conflicts\": %lld"
+          ", \"attack_iters\": %llu, \"attack_conflicts\": %lld"
           ", \"attack_decisions\": %lld, \"attack_propagations\": %lld"
           ", \"attack_learned\": %lld, \"attack_peak_clauses\": %lld",
-          row.attack_iterations,
+          static_cast<unsigned long long>(row.attack_iterations),
           static_cast<long long>(row.attack_conflicts),
           static_cast<long long>(row.attack_decisions),
           static_cast<long long>(row.attack_propagations),
@@ -223,7 +228,10 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
     if (i + 1 < summaries.size()) out += ",";
     out += "\n";
   }
-  out += "  ]";
+  out += "  ],\n";
+  // Stable metrics delta: deterministic across runs and --jobs values,
+  // so it belongs with "results"/"summary" rather than "runtime".
+  out += "  \"obs\": " + obs::metrics_json(report.obs, 2).substr(2);
   if (include_profile) {
     const auto& p = report.profile;
     out += ",\n  \"runtime\": {";
@@ -234,20 +242,44 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
                      static_cast<unsigned long long>(p.executed));
     out += strformat("\"stolen\": %llu, ",
                      static_cast<unsigned long long>(p.stolen));
-    out += strformat("\"failed_rows\": %zu}", p.failed_rows);
+    out += strformat("\"failed_rows\": %zu,\n", p.failed_rows);
+    out += "    \"obs\": " + obs::metrics_json(p.obs, 4).substr(4);
+    out += "}";
   }
   out += "\n}\n";
   return out;
 }
 
 ProgressMeter::ProgressMeter(std::size_t total, bool enabled, std::FILE* out)
-    : total_(total), enabled_(enabled), out_(out) {}
+    : total_(total),
+      enabled_(enabled),
+      out_(out),
+      base_dips_(obs::Metrics::global().counter_value("sat.dips")),
+      base_words_(obs::Metrics::global().counter_value("sim.words")) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
 
 void ProgressMeter::tick(std::size_t done, const std::string& label) {
   if (!enabled_) return;
   std::lock_guard lock(mutex_);
-  std::fprintf(out_, "\r[%zu/%zu] %-40s t=%.1fs", done, total_, label.c_str(),
-               timer_.seconds());
+  const double elapsed = timer_.seconds();
+  std::string rates;
+  if (elapsed > 0) {
+    const std::uint64_t dips =
+        obs::Metrics::global().counter_value("sat.dips") - base_dips_;
+    const std::uint64_t words =
+        obs::Metrics::global().counter_value("sim.words") - base_words_;
+    if (dips != 0) {
+      rates += strformat(" %.1f dips/s", static_cast<double>(dips) / elapsed);
+    }
+    if (words != 0) {
+      // One sim word is 64 bit-parallel patterns.
+      rates += strformat(" %.2fM evals/s",
+                         static_cast<double>(words) * 64.0 / elapsed / 1e6);
+    }
+  }
+  std::fprintf(out_, "\r[%zu/%zu] %-40s t=%.1fs%s", done, total_,
+               label.c_str(), elapsed, rates.c_str());
   std::fflush(out_);
   dirty_ = true;
 }

@@ -49,10 +49,20 @@ std::string campaign_json(const CampaignReport& report,
 
 /// Thread-safe single-line progress meter ("\r[done/total] label  t=..s"),
 /// written to `out` only when `enabled` (pass isatty() or a --progress
-/// flag). finish() terminates the line.
+/// flag). When the obs layer is enabled and attacks/simulation are
+/// running, the line also carries live global rates (SAT DIPs/s and
+/// simulated patterns/s) derived from `obs::Metrics`.
+///
+/// finish() terminates the line; the destructor calls it too, so an
+/// exception unwinding past the meter can never leave a dangling "\r"
+/// line on the terminal.
 class ProgressMeter {
  public:
   ProgressMeter(std::size_t total, bool enabled, std::FILE* out = stderr);
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
   void tick(std::size_t done, const std::string& label);
   void finish();
 
@@ -63,6 +73,8 @@ class ProgressMeter {
   std::FILE* out_;
   Timer timer_;
   bool dirty_ = false;  ///< a progress line is pending termination
+  std::uint64_t base_dips_ = 0;   ///< "sat.dips" at construction
+  std::uint64_t base_words_ = 0;  ///< "sim.words" at construction
 };
 
 }  // namespace stt

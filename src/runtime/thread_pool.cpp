@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace stt {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -116,6 +118,13 @@ void ThreadPool::worker_loop(unsigned index) {
     const bool got = got_local || try_steal(index, task);
     if (got) {
       task();
+      // Scheduling is timing-dependent, so these are runtime-only metrics.
+      static obs::Counter& tasks =
+          obs::Metrics::global().counter("pool.tasks", /*stable=*/false);
+      static obs::Counter& steals =
+          obs::Metrics::global().counter("pool.steals", /*stable=*/false);
+      tasks.add(1);
+      if (!got_local) steals.add(1);
       std::lock_guard lock(coord_mutex_);
       ++executed_;
       if (!got_local) ++stolen_;

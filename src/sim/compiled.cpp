@@ -3,11 +3,18 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace stt {
 
 namespace {
 
 constexpr std::uint32_t kNoInstr = static_cast<std::uint32_t>(-1);
+
+obs::Counter& sim_words_counter() {
+  static obs::Counter& c = obs::Metrics::global().counter("sim.words");
+  return c;
+}
 
 }  // namespace
 
@@ -279,6 +286,7 @@ void CompiledSim::eval_word(std::span<const std::uint64_t> pi,
   if (wave.size() != n_cells_) {
     throw std::invalid_argument("CompiledSim::eval_word: wave size mismatch");
   }
+  sim_words_counter().add(1);
   run_instrs(pi, ff, wave, /*stride=*/1, /*w0=*/0, /*nw=*/1);
 }
 
@@ -294,6 +302,8 @@ void CompiledSim::eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
   if (wave.size() != n_cells_ * W) {
     throw std::invalid_argument("CompiledSim::eval_batch: wave size mismatch");
   }
+  STTLOCK_SPAN("sim-batch", "eval_batch");
+  sim_words_counter().add(static_cast<std::uint64_t>(W));
   const std::size_t n_blocks = (W + kWordsPerBlock - 1) / kWordsPerBlock;
   const auto run_block = [&](std::size_t b) {
     const std::size_t w0 = b * kWordsPerBlock;

@@ -63,7 +63,7 @@ TEST(SatAttack, RecoversIndependentLockOnS27) {
       lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 3);
   const Netlist attacker_view = foundry_view(hybrid);
   const auto result = run_sat_attack(attacker_view, original);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   EXPECT_GT(result.iterations, 0);
 
   // The recovered key need not equal the planted key bit-for-bit (don't-
@@ -81,7 +81,7 @@ TEST(SatAttack, RecoversDependentLockOnSmallCircuit) {
   const Netlist original = generate_circuit(profile, 11);
   const auto [orig, hybrid] = lock(original, SelectionAlgorithm::kDependent, 5);
   const auto result = run_sat_attack(foundry_view(hybrid), orig);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   Netlist recovered = foundry_view(hybrid);
   apply_key(recovered, result.key);
   EXPECT_TRUE(comb_equivalent(recovered, orig));
@@ -95,8 +95,8 @@ TEST(SatAttack, BudgetCapsAreHonoured) {
   SatAttackOptions opt;
   opt.max_iterations = 1;  // absurdly small: must stop early, not hang
   const auto result = run_sat_attack(foundry_view(hybrid), orig, opt);
-  if (!result.success) {
-    EXPECT_TRUE(result.budget_exhausted || result.timed_out);
+  if (!result.success()) {
+    EXPECT_TRUE(result.budget_exhausted() || result.timed_out());
     EXPECT_LE(result.iterations, 1);
   }
 }
@@ -108,8 +108,8 @@ TEST(SatAttack, MoreLutsNeedMoreIterations) {
   const auto [o2, large] = lock(original, SelectionAlgorithm::kIndependent, 3, 14);
   const auto r_small = run_sat_attack(foundry_view(small), original);
   const auto r_large = run_sat_attack(foundry_view(large), original);
-  ASSERT_TRUE(r_small.success);
-  ASSERT_TRUE(r_large.success);
+  ASSERT_TRUE(r_small.success());
+  ASSERT_TRUE(r_large.success());
   EXPECT_GE(r_large.iterations, r_small.iterations);
 }
 
@@ -124,8 +124,8 @@ TEST(SatAttack, PrunedAndNaiveRecoverEquivalentKeys) {
   naive.cone_pruning = false;
   const auto rp = run_sat_attack(view, orig, pruned);
   const auto rn = run_sat_attack(view, orig, naive);
-  ASSERT_TRUE(rp.success);
-  ASSERT_TRUE(rn.success);
+  ASSERT_TRUE(rp.success());
+  ASSERT_TRUE(rn.success());
 
   // Keys may differ on don't-care rows; both must be functionally correct.
   for (const auto* r : {&rp, &rn}) {
@@ -152,10 +152,10 @@ TEST(SatAttack, PortfolioSizeDoesNotChangeResult) {
   trio.portfolio = 3;
   const auto r1 = run_sat_attack(view, orig, solo);
   const auto r3 = run_sat_attack(view, orig, trio);
-  ASSERT_TRUE(r1.success);
-  ASSERT_TRUE(r3.success);
+  ASSERT_TRUE(r1.success());
+  ASSERT_TRUE(r3.success());
   EXPECT_EQ(r1.iterations, r3.iterations);
-  EXPECT_EQ(r1.oracle_queries, r3.oracle_queries);
+  EXPECT_EQ(r1.queries, r3.queries);
   EXPECT_EQ(r1.key, r3.key);
   EXPECT_EQ(r3.stats.portfolio, 3);
 }
@@ -172,12 +172,12 @@ TEST(SatAttack, WarmupResolvesKeyRowsBeforeDipLoop) {
   SatAttackOptions opt;
   opt.warmup_words = 4;
   const auto with = run_sat_attack(foundry_view(hybrid), orig, opt);
-  ASSERT_TRUE(with.success);
+  ASSERT_TRUE(with.success());
   EXPECT_GT(with.stats.key_rows_resolved, 0);
 
   opt.warmup_words = 0;
   const auto without = run_sat_attack(foundry_view(hybrid), orig, opt);
-  ASSERT_TRUE(without.success);
+  ASSERT_TRUE(without.success());
   // Warm-up trades cheap word-parallel queries for DIP iterations.
   EXPECT_LE(with.iterations, without.iterations);
 
@@ -195,11 +195,11 @@ TEST(SatAttack, TimeLimitIsHonoredInsideSolves) {
   opt.time_limit_s = 0.0;  // expires immediately; must not run away
   opt.warmup_words = 0;
   const auto result = run_sat_attack(foundry_view(hybrid), orig, opt);
-  if (!result.success) {
-    EXPECT_TRUE(result.timed_out);
+  if (!result.success()) {
+    EXPECT_TRUE(result.timed_out());
     // Deadline checks are per conflict batch: overshoot stays tiny even
     // though the limit lands mid-solve.
-    EXPECT_LT(result.seconds, 5.0);
+    EXPECT_LT(result.elapsed_s, 5.0);
   }
 }
 
@@ -217,7 +217,7 @@ TEST(Sensitization, ResolvesIsolatedLut) {
 
   ScanOracle oracle(nl);
   const auto result = run_sensitization_attack(hybrid, oracle);
-  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.success());
   EXPECT_EQ(result.rows_resolved, 4);
   EXPECT_EQ(result.key.at("g"), gate_truth_mask(CellKind::kXor, 2));
 }
@@ -236,7 +236,7 @@ TEST(Sensitization, IndependentLocksMostlyResolve) {
         lock(original, SelectionAlgorithm::kIndependent, 9 + seed, 3);
     ScanOracle oracle(orig);
     SensitizationOptions opt;
-    opt.max_patterns = 20000;
+    opt.query_budget = 20000;
     const auto result = run_sensitization_attack(hybrid, oracle, opt);
     rows_total += result.rows_total;
     rows_resolved += result.rows_resolved;
@@ -264,9 +264,9 @@ TEST(Sensitization, DependentChainBlocksResolution) {
 
   ScanOracle oracle(nl);
   SensitizationOptions opt;
-  opt.max_patterns = 4000;
+  opt.query_budget = 4000;
   const auto result = run_sensitization_attack(hybrid, oracle, opt);
-  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.success());
   // Neither LUT can be completed through the other unknown.
   EXPECT_EQ(result.luts_resolved, 0);
 }
@@ -275,8 +275,8 @@ TEST(Sensitization, NoLutsSucceedsTrivially) {
   const Netlist nl = embedded_netlist("s27");
   ScanOracle oracle(nl);
   const auto result = run_sensitization_attack(nl, oracle);
-  EXPECT_TRUE(result.success);
-  EXPECT_EQ(result.patterns_used, 0u);
+  EXPECT_TRUE(result.success());
+  EXPECT_EQ(result.queries, 0u);
 }
 
 TEST(BruteForce, RecoversStandardGateLock) {
@@ -284,7 +284,7 @@ TEST(BruteForce, RecoversStandardGateLock) {
       lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 5, 3);
   ScanOracle oracle(original);
   const auto result = run_brute_force(foundry_view(hybrid), oracle);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   Netlist recovered = foundry_view(hybrid);
   apply_key(recovered, result.key);
   EXPECT_TRUE(comb_equivalent(recovered, original));
@@ -296,7 +296,7 @@ TEST(BruteForce, SearchSpaceMatchesCandidateProduct) {
       lock(embedded_netlist("s27"), SelectionAlgorithm::kIndependent, 5, 4);
   ScanOracle oracle(original);
   BruteForceOptions opt;
-  opt.max_combinations = 1;  // only care about the bookkeeping
+  opt.work_budget = 1;  // only care about the bookkeeping
   const auto result = run_brute_force(foundry_view(hybrid), oracle, opt);
   // Each replaced cell contributes 6 (fan-in >= 2) or 2 (fan-in 1)
   // candidates; the product's log must match.
@@ -316,10 +316,10 @@ TEST(BruteForce, BudgetExhaustionReported) {
       lock(original, SelectionAlgorithm::kIndependent, 11, 10);
   ScanOracle oracle(orig);
   BruteForceOptions opt;
-  opt.max_combinations = 3;
+  opt.work_budget = 3;
   const auto result = run_brute_force(foundry_view(hybrid), oracle, opt);
-  if (!result.success) {
-    EXPECT_TRUE(result.budget_exhausted);
+  if (!result.success()) {
+    EXPECT_TRUE(result.budget_exhausted());
     EXPECT_EQ(result.combinations_tried, 3u);
   }
 }
@@ -328,7 +328,7 @@ TEST(BruteForce, NoLutsTrivial) {
   const Netlist nl = embedded_netlist("s27");
   ScanOracle oracle(nl);
   const auto result = run_brute_force(nl, oracle);
-  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.success());
   EXPECT_EQ(result.combinations_tried, 0u);
 }
 
@@ -342,16 +342,16 @@ TEST(AttackOrdering, SensitizationWeakerThanSat) {
 
   ScanOracle o1(orig);
   SensitizationOptions sopt;
-  sopt.max_patterns = 3000;
+  sopt.query_budget = 3000;
   const auto sens = run_sensitization_attack(hybrid, o1, sopt);
 
   const auto sat = run_sat_attack(foundry_view(hybrid), orig);
-  EXPECT_TRUE(sat.success);
+  EXPECT_TRUE(sat.success());
   EXPECT_LE(sens.rows_resolved, sens.rows_total);
-  if (sens.success) {
+  if (sens.success()) {
     // If sensitization did fully succeed the chain was shallow; at minimum
     // SAT must not have been harder than enumeration of all rows.
-    EXPECT_GT(sens.patterns_used, 0u);
+    EXPECT_GT(sens.queries, 0u);
   }
 }
 

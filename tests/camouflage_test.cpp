@@ -70,14 +70,14 @@ TEST(Camouflage, BruteForceWithCamoSetBeatsStandardSet) {
   BruteForceOptions bf_camo;
   bf_camo.candidates_2in = &camo_set;
   const auto narrow = run_brute_force(foundry_view(camo), o1, bf_camo);
-  ASSERT_TRUE(narrow.success);
+  ASSERT_TRUE(narrow.success());
   // 3^6 = 729 versus 6^6 = 46656 candidate combinations.
   EXPECT_NEAR(narrow.search_space.to_double(), 729.0, 1e-6);
 
   ScanOracle o2(camo);
   BruteForceOptions bf_std;
   const auto wide = run_brute_force(foundry_view(camo), o2, bf_std);
-  ASSERT_TRUE(wide.success);
+  ASSERT_TRUE(wide.success());
   EXPECT_GT(wide.search_space.to_double(), narrow.search_space.to_double());
 }
 

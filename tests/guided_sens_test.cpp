@@ -13,8 +13,8 @@ TEST(GuidedSens, TrivialWithoutLuts) {
   const Netlist nl = embedded_netlist("s27");
   ScanOracle oracle(nl);
   const auto result = run_guided_sensitization(nl, oracle);
-  EXPECT_TRUE(result.success);
-  EXPECT_EQ(result.patterns_used, 0u);
+  EXPECT_TRUE(result.success());
+  EXPECT_EQ(result.queries, 0u);
 }
 
 TEST(GuidedSens, ResolvesIsolatedLutExactly) {
@@ -29,10 +29,10 @@ TEST(GuidedSens, ResolvesIsolatedLutExactly) {
 
   ScanOracle oracle(nl);
   const auto result = run_guided_sensitization(hybrid, oracle);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   EXPECT_EQ(result.key.at("g"), gate_truth_mask(CellKind::kNor, 2));
   // Directed patterns: exactly one oracle query per truth-table row.
-  EXPECT_EQ(result.patterns_used, 4u);
+  EXPECT_EQ(result.queries, 4u);
 }
 
 TEST(GuidedSens, FarFewerPatternsThanRandomSensitization) {
@@ -50,15 +50,15 @@ TEST(GuidedSens, FarFewerPatternsThanRandomSensitization) {
 
   ScanOracle o2(original);
   SensitizationOptions ropt;
-  ropt.max_patterns = 20000;
+  ropt.query_budget = 20000;
   const auto random = run_sensitization_attack(hybrid, o2, ropt);
 
   EXPECT_GE(guided.rows_resolved, random.rows_resolved);
   if (guided.rows_resolved > 0 && random.rows_resolved > 0) {
-    EXPECT_LT(guided.patterns_used, random.patterns_used);
+    EXPECT_LT(guided.queries, random.queries);
   }
   // Every resolved row costs exactly one query in the guided attack.
-  EXPECT_EQ(guided.patterns_used,
+  EXPECT_EQ(guided.queries,
             static_cast<std::uint64_t>(guided.rows_resolved));
 }
 
@@ -110,12 +110,12 @@ TEST(GuidedSens, DependentChainIsProvenUnreachable) {
 
   ScanOracle oracle(nl);
   const auto result = run_guided_sensitization(hybrid, oracle);
-  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.success());
   EXPECT_EQ(result.rows_resolved, 0);
   EXPECT_EQ(result.luts_resolved, 0);
   // g1's rows were attempted and formally proven unreachable.
   EXPECT_GT(result.rows_proven_unreachable, 0);
-  EXPECT_EQ(result.patterns_used, 0u);
+  EXPECT_EQ(result.queries, 0u);
 }
 
 TEST(GuidedSens, ResolvesChainWhenSideObservationExists) {
@@ -137,7 +137,7 @@ TEST(GuidedSens, ResolvesChainWhenSideObservationExists) {
 
   ScanOracle oracle(nl);
   const auto result = run_guided_sensitization(hybrid, oracle);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   EXPECT_EQ(result.key.at("g1"), gate_truth_mask(CellKind::kNand, 2));
   EXPECT_EQ(result.key.at("g2"), gate_truth_mask(CellKind::kNor, 2));
   Netlist recovered = foundry_view(hybrid);

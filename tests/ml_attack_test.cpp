@@ -13,7 +13,7 @@ TEST(MlAttack, TrivialWithoutLuts) {
   const Netlist nl = embedded_netlist("s27");
   ScanOracle oracle(nl);
   const auto result = run_ml_attack(nl, oracle);
-  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.success());
   EXPECT_EQ(result.steps, 0);
 }
 
@@ -26,7 +26,7 @@ TEST(MlAttack, RecoversSmallIndependentLock) {
   MlAttackOptions opt;
   opt.seed = 1;
   const auto result = run_ml_attack(foundry_view(hybrid), oracle, opt);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   Netlist recovered = foundry_view(hybrid);
   apply_key(recovered, result.key);
   EXPECT_TRUE(comb_equivalent(recovered, original));
@@ -47,7 +47,7 @@ TEST(MlAttack, AccuracyIsMeaningful) {
   const auto result = run_ml_attack(foundry_view(hybrid), oracle, opt);
   EXPECT_GT(result.final_accuracy, 0.5);
   EXPECT_LE(result.final_accuracy, 1.0);
-  EXPECT_GT(result.oracle_queries, 0u);
+  EXPECT_GT(result.queries, 0u);
 }
 
 TEST(MlAttack, PackingDefeatsStandardCandidateSearch) {
@@ -73,16 +73,16 @@ TEST(MlAttack, PackingDefeatsStandardCandidateSearch) {
   MlAttackOptions restricted;
   restricted.seed = 9;
   restricted.standard_candidates_only = true;
-  restricted.max_steps = 4000;
+  restricted.work_budget = 4000;
   const auto narrow =
       run_ml_attack(foundry_view(compact), oracle_a, restricted);
-  EXPECT_FALSE(narrow.success);
+  EXPECT_FALSE(narrow.success());
 
   // The unrestricted bit-flip search at least matches the restricted one.
   ScanOracle oracle_b(compact);
   MlAttackOptions wide = restricted;
   wide.standard_candidates_only = false;
-  wide.max_steps = 4000;
+  wide.work_budget = 4000;
   const auto broad = run_ml_attack(foundry_view(compact), oracle_b, wide);
   EXPECT_GE(broad.final_accuracy, narrow.final_accuracy - 0.05);
 }

@@ -73,7 +73,7 @@ TEST(SeqSatAttack, RecoversShallowLockWithFewFrames) {
   SeqAttackOptions opt;
   opt.frames = 4;
   const auto result = run_sequential_sat_attack(view, original, opt);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   Netlist recovered = view;
   apply_key(recovered, result.key);
   EXPECT_TRUE(sequences_match(recovered, original, 64, 5));
@@ -92,11 +92,11 @@ TEST(SeqSatAttack, RecoversIndependentLockOnS27) {
   opt.frames = 6;
   const auto result =
       run_sequential_sat_attack(foundry_view(hybrid), original, opt);
-  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.success());
   Netlist recovered = foundry_view(hybrid);
   apply_key(recovered, result.key);
   EXPECT_TRUE(sequences_match(recovered, original, 128, 11));
-  EXPECT_GT(result.oracle_cycles, 0u);
+  EXPECT_GT(result.queries, 0u);
 }
 
 TEST(SeqSatAttack, TooFewFramesYieldsDegenerateKey) {
@@ -123,14 +123,14 @@ TEST(SeqSatAttack, TooFewFramesYieldsDegenerateKey) {
   shallow.frames = 2;  // < 4 flip-flops of depth: g is invisible
   const auto blind =
       run_sequential_sat_attack(foundry_view(hybrid), nl, shallow);
-  ASSERT_TRUE(blind.success);
+  ASSERT_TRUE(blind.success());
   EXPECT_EQ(blind.iterations, 0);  // no distinguishing sequence exists
 
   SeqAttackOptions deep;
   deep.frames = 8;
   const auto sighted =
       run_sequential_sat_attack(foundry_view(hybrid), nl, deep);
-  ASSERT_TRUE(sighted.success);
+  ASSERT_TRUE(sighted.success());
   EXPECT_GT(sighted.iterations, 0);
   Netlist recovered = foundry_view(hybrid);
   apply_key(recovered, sighted.key);
@@ -151,8 +151,8 @@ TEST(SeqSatAttack, BudgetsHonoured) {
   opt.max_iterations = 1;
   const auto result =
       run_sequential_sat_attack(foundry_view(hybrid), original, opt);
-  if (!result.success) {
-    EXPECT_TRUE(result.budget_exhausted || result.timed_out);
+  if (!result.success()) {
+    EXPECT_TRUE(result.budget_exhausted() || result.timed_out());
   }
 }
 

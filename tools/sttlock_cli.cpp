@@ -5,14 +5,18 @@
 //   sttlock lock    --in s641.bench --algorithm parametric --seed 7
 //                   --out-hybrid h.bench --out-foundry f.bench --out-key k.key
 //                   [--margin 0.05] [--pack] [--paths N]
-//   sttlock attack  --view f.bench --oracle h.bench --method sat|sens|bf|ml
-//                   [--portfolio K --jobs N --naive]
+//   sttlock attack  --view f.bench --oracle h.bench
+//                   --kind sat|seq|sens|gsens|bf|ml|dpa
+//                   [--seed S --time-limit T --query-budget Q --work-budget W]
+//                   [--tune k=v,... --portfolio K --jobs N --naive]
+//                   [--trace t.json --metrics m.json]
 //   sttlock convert --in x.bench --out y.v     (format by extension:
 //                                               .bench / .v / .blif)
 //   sttlock program --in f.bench --key k.key --out chip.bench
 //   sttlock campaign --jobs 8 --seeds 3 --algorithms parametric
 //                    --benchmarks s641,s1238 --out-csv results.csv
-//                    --out-json results.json [--attack sens] [--progress]
+//                    --out-json results.json [--attack sat] [--progress]
+//                    [--trace t.json --metrics m.json]
 //   sttlock lint    --in h.bench [--json report.json] [--strict] [--no-audit]
 //   sttlock lint    --gen s641,s820 --algorithms parametric --seed 7
 //                   (generate + lock + lint each algorithm's output;
@@ -25,16 +29,13 @@
 #include <string>
 #include <vector>
 
-#include "attack/brute_force.hpp"
-#include "attack/encode.hpp"
-#include "attack/ml_attack.hpp"
-#include "attack/sat_attack.hpp"
-#include "attack/sensitization.hpp"
+#include "attack/registry.hpp"
 #include "core/flow.hpp"
 #include "core/bitstream.hpp"
 #include "core/packing.hpp"
 #include "graph/analysis.hpp"
 #include "io/blif_io.hpp"
+#include "obs/obs.hpp"
 #include "io/bench_io.hpp"
 #include "io/verilog_reader.hpp"
 #include "io/verilog_writer.hpp"
@@ -213,82 +214,157 @@ int cmd_lock(const std::vector<std::string>& args) {
   return 0;
 }
 
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+/// Scoped --trace/--metrics capture: starts the global TraceRecorder and
+/// baselines the metrics registry on construction; finish() writes the
+/// Chrome trace and the metrics delta. Either path may be empty.
+class ObsCapture {
+ public:
+  ObsCapture(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)),
+        metrics_path_(std::move(metrics_path)) {
+    if (!metrics_path_.empty()) {
+      before_ = obs::Metrics::global().snapshot(/*include_runtime=*/true);
+    }
+    if (!trace_path_.empty()) obs::TraceRecorder::global().start();
+  }
+
+  void finish() {
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::global().stop();
+      write_text_file(trace_path_, obs::TraceRecorder::global().chrome_json());
+      std::fprintf(stderr, "wrote %s (%zu trace events)\n",
+                   trace_path_.c_str(),
+                   obs::TraceRecorder::global().event_count());
+      trace_path_.clear();
+    }
+    if (!metrics_path_.empty()) {
+      write_text_file(
+          metrics_path_,
+          obs::metrics_json(obs::snapshot_diff(
+              obs::Metrics::global().snapshot(/*include_runtime=*/true),
+              before_)) +
+              "\n");
+      std::fprintf(stderr, "wrote %s\n", metrics_path_.c_str());
+      metrics_path_.clear();
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::MetricsSnapshot before_;
+};
+
 int cmd_attack(const std::vector<std::string>& args) {
   ArgParser p;
   p.add_option("--view", "attacker's netlist (LUT contents ignored)");
   p.add_option("--oracle", "configured netlist standing in for the chip");
-  p.add_option("--method", "sat | sens | bf | ml", "sat");
-  p.add_option("--time-limit", "seconds (sat)", "60");
-  p.add_option("--portfolio", "sat solver portfolio size (sat)", "1");
-  p.add_option("--jobs", "threads for portfolio slices/warm-up (sat)", "1");
+  p.add_option("--kind", "attack to run: sat|seq|sens|gsens|bf|ml|dpa", "");
+  p.add_option("--method", "deprecated alias for --kind", "");
+  p.add_option("--seed", "attack seed (empty = the attack's default)", "");
+  p.add_option("--time-limit", "wall-clock cap in seconds (empty = default)",
+               "");
+  p.add_option("--query-budget", "oracle-query cap (empty = default)", "");
+  p.add_option("--work-budget",
+               "dominant-work cap: SAT conflicts / key combinations / "
+               "annealing steps (empty = default)",
+               "");
+  p.add_option("--tune",
+               "comma list of attack-specific key=value knobs, e.g. "
+               "portfolio=4,frames=12",
+               "");
+  p.add_option("--portfolio", "sat solver portfolio size (sugar for --tune)",
+               "1");
+  p.add_option("--jobs", "threads for sat portfolio slices/warm-up", "1");
   p.add_flag("--naive", "legacy full-copy DIP encoding (sat baseline)");
+  p.add_option("--trace", "write a Chrome trace (chrome://tracing JSON) here",
+               "");
+  p.add_option("--metrics", "write the run's metrics delta (JSON) here", "");
   p.parse(args);
 
   const Netlist view = foundry_view(load_netlist(p.get("--view")));
   const Netlist chip = load_netlist(p.get("--oracle"));
-  const std::string method = p.get("--method");
+  std::string kind = p.get("--kind");
+  if (kind.empty()) kind = p.get("--method");
+  if (kind.empty()) kind = "sat";
+  if (!attack::registry().contains(kind)) {
+    std::fprintf(stderr, "unknown attack '%s'; known:", kind.c_str());
+    for (const std::string& name : attack::registry().names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
 
-  if (method == "sat") {
-    SatAttackOptions opt;
-    opt.time_limit_s = p.get_double("--time-limit");
-    opt.cone_pruning = !p.flag("--naive");
-    opt.portfolio = static_cast<int>(p.get_double("--portfolio"));
-    const unsigned jobs = static_cast<unsigned>(p.get_double("--jobs"));
-    ThreadPool pool(jobs == 0 ? 0u : jobs);
-    ThreadPoolParallelFor par(pool);
-    if (jobs != 1) opt.parallel = &par;
-    const auto r = run_sat_attack(view, chip, opt);
-    std::printf("sat attack: %s after %d DIPs, %lld conflicts, %.2fs\n",
-                r.success ? "KEY RECOVERED"
-                          : (r.timed_out ? "timeout" : "budget exhausted"),
-                r.iterations, static_cast<long long>(r.conflicts), r.seconds);
+  attack::CommonAttackOptions common;
+  if (!p.get("--seed").empty()) {
+    common.seed = static_cast<std::uint64_t>(p.get_int("--seed"));
+  }
+  if (!p.get("--time-limit").empty()) {
+    common.time_limit_s = p.get_double("--time-limit");
+  }
+  if (!p.get("--query-budget").empty()) {
+    common.query_budget = static_cast<std::uint64_t>(p.get_int("--query-budget"));
+  }
+  if (!p.get("--work-budget").empty()) {
+    common.work_budget = p.get_int("--work-budget");
+  }
+
+  attack::Tuning tuning;
+  for (const std::string& kv : split(p.get("--tune"), ',')) {
+    if (trim(kv).empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--tune entries must be key=value, got '%s'\n",
+                   kv.c_str());
+      return 1;
+    }
+    tuning.emplace_back(std::string(trim(kv.substr(0, eq))),
+                        std::string(trim(kv.substr(eq + 1))));
+  }
+  if (p.get_int("--portfolio") != 1) {
+    tuning.emplace_back("portfolio", p.get("--portfolio"));
+  }
+  if (p.flag("--naive")) tuning.emplace_back("naive", "1");
+
+  const unsigned jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  ThreadPool pool(jobs == 0 ? 0u : jobs);
+  ThreadPoolParallelFor par(pool);
+  ParallelFor* const parallel = jobs != 1 ? &par : nullptr;
+
+  ObsCapture capture(p.get("--trace"), p.get("--metrics"));
+  const attack::UnifiedResult r =
+      attack::registry().run(kind, view, chip, common, tuning, parallel);
+  capture.finish();
+
+  std::printf("%s attack: %s | %s | queries=%llu | %.2fs\n", kind.c_str(),
+              r.success() ? "KEY RECOVERED" : attack::outcome_name(r.outcome),
+              r.detail.c_str(), static_cast<unsigned long long>(r.queries),
+              r.elapsed_s);
+  if (kind == "sat") {
     std::printf(
-        "  queries %llu, decisions %lld, propagations %lld, learned %lld, "
-        "peak clauses %lld\n",
-        static_cast<unsigned long long>(r.oracle_queries),
-        static_cast<long long>(r.stats.decisions),
-        static_cast<long long>(r.stats.propagations),
-        static_cast<long long>(r.stats.learned),
-        static_cast<long long>(r.stats.peak_clauses));
+        "  decisions %lld, propagations %lld, learned %lld, peak clauses "
+        "%lld\n",
+        static_cast<long long>(r.sat.decisions),
+        static_cast<long long>(r.sat.propagations),
+        static_cast<long long>(r.sat.learned),
+        static_cast<long long>(r.sat.peak_clauses));
     std::printf(
         "  cnf: %lld initial + %lld dip clauses (%.1f/iter), "
         "%d key rows folded, portfolio %d%s\n",
-        static_cast<long long>(r.stats.cnf_initial_clauses),
-        static_cast<long long>(r.stats.cnf_dip_clauses),
-        r.stats.cnf_clauses_per_iter, r.stats.key_rows_resolved,
-        r.stats.portfolio,
-        r.stats.unsat_winner > 0 ? " (helper won the UNSAT race)" : "");
-    if (r.success) std::fputs(key_to_string(r.key).c_str(), stdout);
-    return r.success ? 0 : 2;
+        static_cast<long long>(r.sat.cnf_initial_clauses),
+        static_cast<long long>(r.sat.cnf_dip_clauses),
+        r.sat.cnf_clauses_per_iter, r.sat.key_rows_resolved, r.sat.portfolio,
+        r.sat.unsat_winner > 0 ? " (helper won the UNSAT race)" : "");
   }
-  if (method == "sens") {
-    ScanOracle oracle(chip);
-    const auto r = run_sensitization_attack(view, oracle);
-    std::printf("sensitization: %d/%d rows with %llu patterns (%s)\n",
-                r.rows_resolved, r.rows_total,
-                static_cast<unsigned long long>(r.patterns_used),
-                r.success ? "complete" : "incomplete");
-    return r.success ? 0 : 2;
-  }
-  if (method == "bf") {
-    ScanOracle oracle(chip);
-    const auto r = run_brute_force(view, oracle);
-    std::printf("brute force: %s after %llu of %s combinations\n",
-                r.success ? "KEY FOUND" : "gave up",
-                static_cast<unsigned long long>(r.combinations_tried),
-                r.search_space.to_string().c_str());
-    return r.success ? 0 : 2;
-  }
-  if (method == "ml") {
-    ScanOracle oracle(chip);
-    const auto r = run_ml_attack(view, oracle);
-    std::printf("ml attack: accuracy %.4f after %d steps (%s)\n",
-                r.final_accuracy, r.steps,
-                r.success ? "perfect" : "imperfect");
-    return r.success ? 0 : 2;
-  }
-  std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-  return 1;
+  if (r.success()) std::fputs(key_to_string(r.key).c_str(), stdout);
+  return r.success() ? 0 : 2;
 }
 
 int cmd_campaign(const std::vector<std::string>& args) {
@@ -302,12 +378,18 @@ int cmd_campaign(const std::vector<std::string>& args) {
   p.add_option("--master-seed", "campaign master seed", "20160605");
   p.add_option("--jobs", "worker threads (0 = all hardware threads)", "1");
   p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
-  p.add_option("--attack", "per-point oracle attack: none|sens|bf|ml|sat",
+  p.add_option("--attack",
+               "per-point oracle attack: none or a registry name "
+               "(sat|seq|sens|gsens|bf|ml|dpa)",
                "none");
   p.add_option("--margin", "parametric timing margin", "0.05");
   p.add_option("--out-csv", "deterministic result rows (CSV)", "");
   p.add_option("--out-times-csv", "measured per-job timing rows (CSV)", "");
   p.add_option("--out-json", "full JSON report (results+summary+runtime)", "");
+  p.add_option("--trace", "write a Chrome trace (chrome://tracing JSON) here",
+               "");
+  p.add_option("--metrics", "write the campaign's metrics delta (JSON) here",
+               "");
   p.add_flag("--progress", "live progress line on stderr");
   p.add_flag("--quiet", "suppress the summary table on stdout");
   p.parse(args);
@@ -333,7 +415,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
   spec.master_seed = static_cast<std::uint64_t>(p.get_int("--master-seed"));
   spec.jobs = static_cast<unsigned>(p.get_int("--jobs"));
   spec.max_attempts = static_cast<int>(p.get_int("--retries"));
-  spec.attack = parse_campaign_attack(p.get("--attack"));
+  spec.attack = p.get("--attack");
   spec.timing_margin = p.get_double("--margin");
 
   const std::size_t grid =
@@ -346,22 +428,19 @@ int cmd_campaign(const std::vector<std::string>& args) {
     meter.tick(done, label);
   };
 
+  ObsCapture capture(p.get("--trace"), p.get("--metrics"));
   const CampaignReport report = run_campaign(spec);
   meter.finish();
+  capture.finish();
 
-  auto write_file = [](const std::string& path, const std::string& content) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("cannot write " + path);
-    out << content;
-  };
   if (!p.get("--out-csv").empty()) {
-    write_file(p.get("--out-csv"), campaign_results_csv(report));
+    write_text_file(p.get("--out-csv"), campaign_results_csv(report));
   }
   if (!p.get("--out-times-csv").empty()) {
-    write_file(p.get("--out-times-csv"), campaign_timing_csv(report));
+    write_text_file(p.get("--out-times-csv"), campaign_timing_csv(report));
   }
   if (!p.get("--out-json").empty()) {
-    write_file(p.get("--out-json"), campaign_json(report));
+    write_text_file(p.get("--out-json"), campaign_json(report));
   }
 
   if (!p.flag("--quiet")) {
