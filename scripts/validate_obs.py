@@ -6,9 +6,17 @@ chrome://tracing (structurally: a ``traceEvents`` list of complete "X"
 events with the required keys) and that a metrics JSON written by
 ``--metrics`` has the counters/gauges/histograms shape.
 
+Also validates a campaign JSON document written by ``--out-json``: every
+``results`` row must carry the defense axis columns (``defense``,
+``defense_tuning``, ``key_cells``, ``key_bits``, ``cells_added``,
+``cells_replaced``) and every ``summary`` entry the per-defense aggregate
+shape.
+
 Usage:
   scripts/validate_obs.py --trace trace.json [--require-cats job,flow-stage,...]
   scripts/validate_obs.py --metrics metrics.json [--require-counters a,b]
+  scripts/validate_obs.py --campaign campaign.json \\
+      [--require-defenses xor,latch] [--require-attacks sat,none]
 
 Exits non-zero with a diagnostic on the first violation. Stdlib only.
 """
@@ -18,6 +26,19 @@ import json
 import sys
 
 TRACE_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+
+CAMPAIGN_ROW_KEYS = {
+    "benchmark", "algorithm", "defense", "defense_tuning", "trial",
+    "circuit_seed", "selection_seed", "status", "attempts", "luts",
+    "key_cells", "key_bits", "cells_added", "cells_replaced",
+}
+CAMPAIGN_ROW_COUNTS = ("key_cells", "key_bits", "cells_added",
+                       "cells_replaced")
+CAMPAIGN_SUMMARY_KEYS = {
+    "defense", "defense_tuning", "rows", "failed", "perf_pct_mean",
+    "power_pct_mean", "area_pct_mean", "luts_mean", "key_bits_mean",
+    "attacked", "attack_breaks",
+}
 
 
 def fail(msg):
@@ -87,22 +108,80 @@ def validate_metrics(path, require_counters):
           f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
 
 
+def validate_campaign(path, require_defenses, require_attacks):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value must be an object")
+    for section in ("results", "summary"):
+        if section not in doc or not isinstance(doc[section], list):
+            fail(f"{path}: missing or non-list section {section!r}")
+    defenses, attacks = set(), set()
+    for i, row in enumerate(doc["results"]):
+        if not isinstance(row, dict):
+            fail(f"{path}: results[{i}] is not an object")
+        missing = CAMPAIGN_ROW_KEYS - row.keys()
+        if missing:
+            fail(f"{path}: results[{i}] missing keys {sorted(missing)}")
+        for key in CAMPAIGN_ROW_COUNTS:
+            if not isinstance(row[key], int) or row[key] < 0:
+                fail(f"{path}: results[{i}] field {key}={row[key]!r} must be"
+                     " a non-negative integer")
+        if row["algorithm"] != row["defense"]:
+            fail(f"{path}: results[{i}] legacy 'algorithm' column"
+                 f" {row['algorithm']!r} != 'defense' {row['defense']!r}")
+        defenses.add(row["defense"])
+        # Rows without an attack stage carry no "attack" key.
+        attacks.add(row.get("attack", "none"))
+    for i, entry in enumerate(doc["summary"]):
+        if not isinstance(entry, dict):
+            fail(f"{path}: summary[{i}] is not an object")
+        missing = CAMPAIGN_SUMMARY_KEYS - entry.keys()
+        if missing:
+            fail(f"{path}: summary[{i}] missing keys {sorted(missing)}")
+    summarized = {e["defense"] for e in doc["summary"]}
+    for kind in require_defenses:
+        if kind not in defenses:
+            fail(f"{path}: required defense {kind!r} absent from results"
+                 f" (present: {sorted(defenses)})")
+        if kind not in summarized:
+            fail(f"{path}: required defense {kind!r} absent from summary"
+                 f" (present: {sorted(summarized)})")
+    for name in require_attacks:
+        if name not in attacks:
+            fail(f"{path}: required attack {name!r} absent from results"
+                 f" (present: {sorted(attacks)})")
+    print(f"validate_obs: OK: {path}: {len(doc['results'])} rows,"
+          f" defenses {sorted(defenses)}, attacks {sorted(attacks)}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON to validate")
     ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument("--campaign", help="campaign --out-json document to"
+                    " validate (defense axis columns)")
     ap.add_argument("--require-cats", default="",
                     help="comma-separated span categories that must appear")
     ap.add_argument("--require-counters", default="",
                     help="comma-separated counters that must appear")
+    ap.add_argument("--require-defenses", default="",
+                    help="comma-separated defense kinds that must appear in"
+                    " campaign results and summary")
+    ap.add_argument("--require-attacks", default="",
+                    help="comma-separated attack names that must appear in"
+                    " campaign results")
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("at least one of --trace / --metrics is required")
+    if not args.trace and not args.metrics and not args.campaign:
+        ap.error("at least one of --trace / --metrics / --campaign is"
+                 " required")
     split = lambda s: [x for x in s.split(",") if x]  # noqa: E731
     if args.trace:
         validate_trace(args.trace, split(args.require_cats))
     if args.metrics:
         validate_metrics(args.metrics, split(args.require_counters))
+    if args.campaign:
+        validate_campaign(args.campaign, split(args.require_defenses),
+                          split(args.require_attacks))
 
 
 if __name__ == "__main__":

@@ -246,6 +246,62 @@ const std::map<std::string, Runner, std::less<>>& runners() {
   return m;
 }
 
+// Catalogue text for `sttlock attack --list`. The knob keys must stay in
+// lock-step with the adapters above (attack_api_test pins the coverage).
+const std::map<std::string, AttackInfo, std::less<>>& catalogue_entries() {
+  static const std::map<std::string, AttackInfo, std::less<>> m = {
+      {"bf",
+       {"bf",
+        "exhaustive key search over the Eq. (3) candidate space, "
+        "screening-pattern pre-filtered",
+        {{"screening_patterns", "4", "oracle patterns per candidate screen"},
+         {"all_masks", "0", "search all 2^2^k masks, not just standard "
+                            "gate candidates"}}}},
+      {"dpa",
+       {"dpa",
+        "differential power analysis of one STT LUT from a simulated "
+        "power trace",
+        {{"cycles", "256", "measured trace length in clock cycles"},
+         {"noise_fj", "0", "gaussian measurement noise sigma (fJ)"},
+         {"target", "<first LUT>", "name of the LUT cell to attack"}}}},
+      {"gsens",
+       {"gsens",
+        "SAT-guided sensitization: prove or refute a propagation witness "
+        "per truth-table row",
+        {{"max_witnesses_per_row", "8",
+          "witness attempts before a row is abandoned"}}}},
+      {"ml",
+       {"ml",
+        "simulated-annealing model fit of the key against oracle responses",
+        {{"training_patterns", "256", "oracle patterns in the training set"},
+         {"bitflip", "0", "anneal over raw mask bits instead of standard "
+                          "gate candidates"}}}},
+      {"sat",
+       {"sat",
+        "oracle-guided SAT attack (DIP refinement, cone-pruned encoding, "
+        "optional solver portfolio)",
+        {{"portfolio", "1", "parallel solver portfolio size"},
+         {"naive", "0", "legacy full-copy DIP encoding"},
+         {"max_iterations", "0", "DIP cap (0 = unlimited)"},
+         {"warmup_words", "16", "64-pattern simulation words seeding the "
+                                "learned-row warm-up"},
+         {"slice_conflicts", "0", "conflict budget per portfolio slice"}}}},
+      {"sens",
+       {"sens",
+        "classic input-sensitization attack: justify each row, observe "
+        "through a sensitized path",
+        {}}},
+      {"seq",
+       {"seq",
+        "sequential SAT attack: time-frame unrolling against a "
+        "scan-locked chip",
+        {{"frames", "8", "unrolled time frames per query"},
+         {"max_iterations", "0", "distinguishing-sequence cap "
+                                 "(0 = unlimited)"}}}},
+  };
+  return m;
+}
+
 }  // namespace
 
 UnifiedResult Registry::run(std::string_view name, const Netlist& hybrid,
@@ -278,6 +334,21 @@ bool Registry::contains(std::string_view name) const {
 std::vector<std::string> Registry::names() const {
   std::vector<std::string> out;
   for (const auto& [n, fn] : runners()) out.push_back(n);
+  return out;
+}
+
+AttackInfo Registry::info(std::string_view name) const {
+  const auto it = catalogue_entries().find(name);
+  if (it == catalogue_entries().end()) {
+    throw std::invalid_argument("attack registry: unknown attack \"" +
+                                std::string(name) + "\"");
+  }
+  return it->second;
+}
+
+std::vector<AttackInfo> Registry::catalogue() const {
+  std::vector<AttackInfo> out;
+  for (const auto& [n, info] : catalogue_entries()) out.push_back(info);
   return out;
 }
 

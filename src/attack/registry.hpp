@@ -50,6 +50,20 @@ struct UnifiedResult : AttackBase {
 /// direct call exactly.
 using Tuning = std::vector<std::pair<std::string, std::string>>;
 
+/// One accepted Tuning key of an attack, for `sttlock attack --list`.
+struct AttackKnob {
+  std::string key;
+  std::string default_value;  ///< rendered default (may be a sentinel note)
+  std::string help;
+};
+
+/// Catalogue entry: everything the CLI listing needs about one attack.
+struct AttackInfo {
+  std::string name;
+  std::string description;  ///< one line
+  std::vector<AttackKnob> knobs;
+};
+
 class Registry {
  public:
   /// Run attack `name` against the attacker's netlist `hybrid` (LUT masks
@@ -66,6 +80,11 @@ class Registry {
   bool contains(std::string_view name) const;
   /// Registered names, sorted.
   std::vector<std::string> names() const;
+  /// Catalogue entry for one attack; throws std::invalid_argument for an
+  /// unknown name.
+  AttackInfo info(std::string_view name) const;
+  /// All catalogue entries, sorted by name (the `--list` payload).
+  std::vector<AttackInfo> catalogue() const;
 };
 
 /// The process-wide registry (stateless; the type exists so call sites read

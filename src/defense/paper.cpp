@@ -1,0 +1,109 @@
+// The paper's three STT selection algorithms as registry defenses.
+//
+// Each adapter is a thin shim over run_secure_flow with the algorithm
+// pinned; given the same seed/timing-margin/activity it produces the
+// bit-identical hybrid netlist, key, overhead and security reports as a
+// direct call (pinned by DefenseAdaptersMatchDirectFlow in
+// tests/defense_test.cpp), so pre-registry campaign rows are reproducible
+// through the registry path.
+#include <sstream>
+
+#include "core/flow.hpp"
+#include "defense/registry.hpp"
+
+namespace stt::defense {
+
+namespace {
+
+class PaperDefense final : public DefenseBase {
+ public:
+  explicit PaperDefense(SelectionAlgorithm alg) : alg_(alg) {}
+
+  std::string_view kind() const override {
+    switch (alg_) {
+      case SelectionAlgorithm::kIndependent: return "independent";
+      case SelectionAlgorithm::kDependent: return "dependent";
+      case SelectionAlgorithm::kParametric: return "parametric";
+    }
+    return "parametric";
+  }
+
+  std::string_view description() const override {
+    switch (alg_) {
+      case SelectionAlgorithm::kIndependent:
+        return "paper IV-A.1: random independent STT-LUT replacement";
+      case SelectionAlgorithm::kDependent:
+        return "paper IV-A.2: full timing-path dependent replacement";
+      case SelectionAlgorithm::kParametric:
+        return "paper IV-A.3: parametric-aware dependent replacement";
+    }
+    return "";
+  }
+
+  std::vector<TuningKnob> knobs() const override {
+    switch (alg_) {
+      case SelectionAlgorithm::kIndependent:
+        return {{"count", "5", "number of gates to replace"}};
+      case SelectionAlgorithm::kDependent:
+        return {{"paths", "1", "longest I/O paths fully replaced"}};
+      case SelectionAlgorithm::kParametric:
+        return {{"paths", "0", "timing paths to draw from (0 = auto-scale)"},
+                {"fraction", "0.35", "per-path gate selection fraction"},
+                {"retries", "30", "timing-violation re-draws per path"}};
+    }
+    return {};
+  }
+
+  DefenseResult apply(const Netlist& original, const TechLibrary& lib,
+                      const DefenseOptions& opt,
+                      const Tuning& tuning) const override {
+    FlowOptions fo;
+    fo.algorithm = alg_;
+    fo.selection.seed = opt.seed;
+    fo.selection.timing_margin = opt.timing_margin;
+    fo.activity = opt.activity;
+    for (const auto& [k, v] : tuning) {
+      if (alg_ == SelectionAlgorithm::kIndependent && k == "count") {
+        fo.selection.indep_count = parse_int(kind(), k, v);
+      } else if (alg_ == SelectionAlgorithm::kDependent && k == "paths") {
+        fo.selection.dep_num_paths = parse_int(kind(), k, v);
+      } else if (alg_ == SelectionAlgorithm::kParametric && k == "paths") {
+        fo.selection.para_num_paths = parse_int(kind(), k, v);
+      } else if (alg_ == SelectionAlgorithm::kParametric && k == "fraction") {
+        fo.selection.para_gate_fraction = parse_double(kind(), k, v);
+      } else if (alg_ == SelectionAlgorithm::kParametric && k == "retries") {
+        fo.selection.para_max_retries = parse_int(kind(), k, v);
+      } else {
+        bad_tuning(kind(), k);
+      }
+    }
+
+    FlowResult flow = run_secure_flow(original, lib, fo);
+    DefenseResult r;
+    r.locked = std::move(flow.hybrid);
+    r.key = flow.selection.key;
+    r.selection = std::move(flow.selection);
+    // Forward the flow's own sign-off verbatim (bit-identity with the
+    // direct call) instead of recomputing through finish().
+    r.overhead = flow.overhead;
+    r.security = flow.security;
+    r.cells_replaced = static_cast<int>(r.selection.replaced.size());
+    count_key(r);
+    std::ostringstream d;
+    d << r.cells_replaced << " STT LUTs, " << r.selection.paths_considered
+      << " pooled paths";
+    r.detail = d.str();
+    return r;
+  }
+
+ private:
+  SelectionAlgorithm alg_;
+};
+
+}  // namespace
+
+std::unique_ptr<DefenseBase> make_paper_defense(SelectionAlgorithm alg) {
+  return std::make_unique<PaperDefense>(alg);
+}
+
+}  // namespace stt::defense

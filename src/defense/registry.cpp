@@ -1,0 +1,71 @@
+#include "defense/registry.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace stt::defense {
+
+Registry::Registry() {
+  const auto reg = [this](std::unique_ptr<DefenseBase> d) {
+    std::string key{d->kind()};
+    defenses_.emplace(std::move(key), std::move(d));
+  };
+  reg(make_paper_defense(SelectionAlgorithm::kIndependent));
+  reg(make_paper_defense(SelectionAlgorithm::kDependent));
+  reg(make_paper_defense(SelectionAlgorithm::kParametric));
+  reg(make_xor_lock());
+  reg(make_latch_lock());
+  reg(make_const_lock());
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(defenses_.size());
+  for (const auto& [name, d] : defenses_) out.push_back(name);
+  return out;
+}
+
+bool Registry::contains(std::string_view kind) const {
+  return defenses_.count(kind) != 0;
+}
+
+const DefenseBase& Registry::at(std::string_view kind) const {
+  const auto it = defenses_.find(kind);
+  if (it == defenses_.end()) {
+    std::string known;
+    for (const auto& [name, d] : defenses_) {
+      known += known.empty() ? name : ", " + name;
+    }
+    throw std::invalid_argument("defense registry: unknown defense \"" +
+                                std::string(kind) + "\" (known: " + known +
+                                ")");
+  }
+  return *it->second;
+}
+
+DefenseResult Registry::apply(std::string_view kind, const Netlist& original,
+                              const TechLibrary& lib,
+                              const DefenseOptions& opt,
+                              const Tuning& tuning) const {
+  const DefenseBase& d = at(kind);
+  static obs::Counter& runs = obs::Metrics::global().counter("defense.runs");
+  runs.add(1);
+  const std::string span_name{d.kind()};
+  STTLOCK_SPAN("defense", span_name);
+  const auto t0 = std::chrono::steady_clock::now();
+  DefenseResult r = d.apply(original, lib, opt, tuning);
+  r.defense = std::string(kind);
+  r.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+const Registry& registry() {
+  static const Registry r;
+  return r;
+}
+
+}  // namespace stt::defense

@@ -1,0 +1,60 @@
+// String-keyed catalogue of every registered defense, mirroring
+// attack::registry(). Campaigns and the CLI resolve defenses by kind:
+//
+//   const auto& d = defense::registry();
+//   defense::DefenseResult r = d.apply("xor", nl, lib, {.seed = 3},
+//                                      {{"count", "24"}});
+//
+// Registered kinds:
+//   independent / dependent / parametric  — the paper's three STT selection
+//       algorithms, adapted over run_secure_flow (bit-identical to a direct
+//       call with the same options);
+//   xor    — XOR/XNOR key-gate insertion (EPIC-style random logic locking);
+//   latch  — decoy-latch locking on timing-path segments (Sweeney et al.);
+//   const  — ASSURE-style constant locking (Pilato et al.).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "defense/defense.hpp"
+
+namespace stt::defense {
+
+class Registry {
+ public:
+  Registry();
+
+  /// Registered kinds, sorted (deterministic listing order).
+  std::vector<std::string> names() const;
+
+  bool contains(std::string_view kind) const;
+
+  /// Look up a defense; throws std::invalid_argument listing the valid
+  /// kinds when `kind` is unknown.
+  const DefenseBase& at(std::string_view kind) const;
+
+  /// Resolve and run a defense under an observability span, stamping
+  /// `defense` and `elapsed_s` on the result.
+  DefenseResult apply(std::string_view kind, const Netlist& original,
+                      const TechLibrary& lib, const DefenseOptions& opt = {},
+                      const Tuning& tuning = {}) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<DefenseBase>, std::less<>> defenses_;
+};
+
+/// The process-wide registry (immutable after construction, thread-safe).
+const Registry& registry();
+
+// Factories, one per translation unit (see paper.cpp / xor_lock.cpp /
+// latch_lock.cpp / const_lock.cpp).
+std::unique_ptr<DefenseBase> make_paper_defense(SelectionAlgorithm alg);
+std::unique_ptr<DefenseBase> make_xor_lock();
+std::unique_ptr<DefenseBase> make_latch_lock();
+std::unique_ptr<DefenseBase> make_const_lock();
+
+}  // namespace stt::defense

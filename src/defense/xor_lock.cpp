@@ -1,0 +1,117 @@
+// XOR/XNOR key-gate insertion — the classic random-logic-locking baseline
+// (EPIC, Roy et al., DATE'08), lowered onto the LUT key representation.
+//
+// A key gate on net d is a single-input LUT whose configured mask is the
+// key bit: BUF (0b10) passes d through, NOT (0b01) inverts. The XNOR
+// flavour prepends a CMOS inverter and configures the LUT as NOT, so the
+// composition is again transparent but the correct key bit is the opposite
+// polarity — the structural mix prevents an attacker from reading the key
+// straight off the gate flavour, exactly as XOR/XNOR mixing does in EPIC.
+// To the foundry both flavours are an unconfigured 1-input LUT.
+#include <sstream>
+
+#include "defense/registry.hpp"
+#include "util/rng.hpp"
+
+namespace stt::defense {
+
+namespace {
+
+constexpr std::uint64_t kLut1Buf = 0b10;
+constexpr std::uint64_t kLut1Not = 0b01;
+
+class XorLock final : public DefenseBase {
+ public:
+  std::string_view kind() const override { return "xor"; }
+
+  std::string_view description() const override {
+    return "random XOR/XNOR key-gate insertion (EPIC-style baseline)";
+  }
+
+  std::vector<TuningKnob> knobs() const override {
+    return {{"count", "16", "key gates to insert (clamped to edge count)"},
+            {"xnor", "0.5", "fraction of gates using the XNOR flavour"}};
+  }
+
+  DefenseResult apply(const Netlist& original, const TechLibrary& lib,
+                      const DefenseOptions& opt,
+                      const Tuning& tuning) const override {
+    int count = 16;
+    double xnor_fraction = 0.5;
+    for (const auto& [k, v] : tuning) {
+      if (k == "count") {
+        count = parse_int(kind(), k, v);
+      } else if (k == "xnor") {
+        xnor_fraction = parse_double(kind(), k, v);
+      } else {
+        bad_tuning(kind(), k);
+      }
+    }
+    if (count <= 0) {
+      throw std::invalid_argument("defense \"xor\": count must be positive");
+    }
+
+    DefenseResult r;
+    r.locked = original;
+    Netlist& work = r.locked;
+
+    // Candidate sites: every fan-in edge of every cell, in (cell, slot)
+    // order — gate inputs, DFF D pins and output drivers alike.
+    struct Site {
+      CellId cell;
+      std::size_t slot;
+    };
+    std::vector<Site> sites;
+    for (CellId id = 0; id < work.size(); ++id) {
+      const Cell& c = work.cell(id);
+      for (std::size_t slot = 0; slot < c.fanins.size(); ++slot) {
+        sites.push_back({id, slot});
+      }
+    }
+    if (sites.empty()) {
+      throw std::invalid_argument("defense \"xor\": netlist has no edges");
+    }
+
+    Rng rng(opt.seed);
+    const std::vector<Site> chosen = rng.sample(
+        std::span<const Site>(sites), static_cast<std::size_t>(count));
+
+    int xnor_gates = 0;
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      const Site site = chosen[i];
+      const CellId driver = work.cell(site.cell).fanins[site.slot];
+      const std::string name =
+          unique_name(work, "kg" + std::to_string(i), {"_inv"});
+      const bool xnor_flavour = rng.chance(xnor_fraction);
+      CellId kg;
+      if (xnor_flavour) {
+        const CellId inv =
+            work.add_gate(CellKind::kNot, name + "_inv", {driver});
+        kg = work.add_lut(name, {inv}, kLut1Not);
+        r.cells_added += 2;
+        ++xnor_gates;
+      } else {
+        kg = work.add_lut(name, {driver}, kLut1Buf);
+        r.cells_added += 1;
+      }
+      work.replace_fanin(site.cell, site.slot, kg);
+      r.key[name] = work.cell(kg).lut_mask;
+      r.annotations.key_gates.insert(name);
+    }
+    work.check();
+
+    finish(r, original, lib, opt);
+    std::ostringstream d;
+    d << chosen.size() << " key gates (" << xnor_gates << " xnor)";
+    r.detail = d.str();
+    return r;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DefenseBase> make_xor_lock() {
+  return std::make_unique<XorLock>();
+}
+
+}  // namespace stt::defense

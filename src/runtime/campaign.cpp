@@ -7,6 +7,7 @@
 
 #include "attack/registry.hpp"
 #include "core/hybrid.hpp"
+#include "defense/registry.hpp"
 #include "obs/obs.hpp"
 #include "synth/generator.hpp"
 #include "util/strings.hpp"
@@ -97,6 +98,30 @@ class ProgressSink {
   std::mutex mutex_;
 };
 
+std::string tuning_to_string(const defense::Tuning& tuning) {
+  std::string out;
+  for (const auto& [k, v] : tuning) {
+    if (!out.empty()) out += ";";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+/// Paper-adapter kinds mirror a SelectionAlgorithm into the legacy
+/// `CampaignRow::algorithm` field; other kinds leave it at the default.
+bool algorithm_for_kind(const std::string& kind, SelectionAlgorithm* alg) {
+  if (kind == "independent") {
+    *alg = SelectionAlgorithm::kIndependent;
+  } else if (kind == "dependent") {
+    *alg = SelectionAlgorithm::kDependent;
+  } else if (kind == "parametric") {
+    *alg = SelectionAlgorithm::kParametric;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void run_attack_stage(CampaignRow& row, const Netlist& hybrid,
                       const std::string& attack, std::uint64_t attack_seed) {
   if (attack == "none") return;
@@ -145,29 +170,75 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   report.algorithms = spec.algorithms;
   report.trials = spec.trials;
   report.master_seed = spec.master_seed;
-  report.attack = spec.attack;
-  if (spec.attack != "none" && !attack::registry().contains(spec.attack)) {
-    std::string known = "none";
-    for (const std::string& name : attack::registry().names()) {
-      known += "|" + name;
+
+  // Resolve the defense axis; an explicit list overrides the legacy
+  // algorithm sweep. Kinds and tuning keys are validated up front so a typo
+  // fails the whole campaign before any job starts.
+  report.defenses = spec.defenses;
+  if (report.defenses.empty()) {
+    for (const SelectionAlgorithm alg : spec.algorithms) {
+      report.defenses.push_back({algorithm_name(alg), {}});
     }
-    throw std::invalid_argument("unknown campaign attack '" + spec.attack +
-                                "' (expected " + known + ")");
   }
-  if (profiles.empty() || report.algorithms.empty() || spec.trials < 1) {
+  for (const DefenseAxis& axis : report.defenses) {
+    if (!defense::registry().contains(axis.kind)) {
+      std::string known;
+      for (const std::string& name : defense::registry().names()) {
+        known += known.empty() ? name : "|" + name;
+      }
+      throw std::invalid_argument("unknown campaign defense '" + axis.kind +
+                                  "' (expected " + known + ")");
+    }
+    const defense::DefenseBase& d = defense::registry().at(axis.kind);
+    for (const auto& [key, value] : axis.tuning) {
+      bool known_key = false;
+      for (const defense::TuningKnob& knob : d.knobs()) {
+        if (knob.key == key) known_key = true;
+      }
+      if (!known_key) {
+        throw std::invalid_argument("unknown tuning key '" + key +
+                                    "' for campaign defense '" + axis.kind +
+                                    "'");
+      }
+    }
+  }
+
+  // Resolve the attack axis the same way.
+  report.attacks = spec.attacks;
+  if (report.attacks.empty()) report.attacks.push_back(spec.attack);
+  for (const std::string& attack : report.attacks) {
+    if (attack != "none" && !attack::registry().contains(attack)) {
+      std::string known = "none";
+      for (const std::string& name : attack::registry().names()) {
+        known += "|" + name;
+      }
+      throw std::invalid_argument("unknown campaign attack '" + attack +
+                                  "' (expected " + known + ")");
+    }
+  }
+  report.attack.clear();
+  for (const std::string& attack : report.attacks) {
+    report.attack += report.attack.empty() ? attack : "," + attack;
+  }
+  if (profiles.empty() || report.defenses.empty() || spec.trials < 1) {
     throw std::invalid_argument("campaign grid is empty");
   }
 
   const std::size_t n_bench = profiles.size();
-  const std::size_t n_alg = report.algorithms.size();
+  const std::size_t n_def = report.defenses.size();
+  const std::size_t n_att = report.attacks.size();
   const std::size_t n_trial = static_cast<std::size_t>(spec.trials);
-  report.rows.resize(n_bench * n_alg * n_trial);
+  report.rows.resize(n_bench * n_def * n_att * n_trial);
 
   const TechLibrary lib = TechLibrary::cmos90_stt();
 
   // Per-(benchmark, trial) shared circuit, produced by a generation job and
-  // consumed read-only by the per-algorithm flow jobs hanging off it.
+  // consumed read-only by the per-defense jobs hanging off it; per-
+  // (benchmark, defense, trial) locked result, produced by a defense job
+  // and consumed read-only by the per-attack jobs hanging off it.
   std::vector<std::shared_ptr<const Netlist>> circuits(n_bench * n_trial);
+  std::vector<std::shared_ptr<const defense::DefenseResult>> locked(
+      n_bench * n_def * n_trial);
 
   ProgressSink progress(spec.on_progress, report.rows.size());
 
@@ -182,7 +253,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   JobGraph graph;
   Timer campaign_timer;
 
-  std::vector<JobId> flow_jobs(report.rows.size());
+  std::vector<JobId> row_jobs(report.rows.size());
   for (std::size_t b = 0; b < n_bench; ++b) {
     for (std::size_t t = 0; t < n_trial; ++t) {
       const CircuitProfile& profile = profiles[b];
@@ -196,81 +267,137 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
             circuits[circuit_index] = std::make_shared<const Netlist>(
                 generate_circuit(profile, circuit_seed));
           });
-      for (std::size_t a = 0; a < n_alg; ++a) {
-        const SelectionAlgorithm alg = report.algorithms[a];
-        const std::size_t row_index = (b * n_alg + a) * n_trial + t;
-        CampaignRow& row = report.rows[row_index];
-        row.benchmark = profile.name;
-        row.algorithm = alg;
-        row.trial = static_cast<int>(t);
-        row.circuit_seed = circuit_seed;
-        const std::string label =
-            profile.name + "/" + algorithm_name(alg) + "/t" + std::to_string(t);
-        flow_jobs[row_index] = graph.add(
-            "flow/" + label,
-            [&spec, &lib, &circuits, &progress, &row, circuit_index, alg,
-             label, a, t](JobContext&) {
+      for (std::size_t d = 0; d < n_def; ++d) {
+        const DefenseAxis& axis = report.defenses[d];
+        // Row (b, d, a, t) lives at ((b*n_def + d)*n_att + a)*n_trial + t;
+        // `row0` is the a=0 slot, filled by the defense job as the group's
+        // template and fanned out to the other attack rows.
+        const std::size_t row0 = ((b * n_def + d) * n_att) * n_trial + t;
+        const std::size_t def_index = (b * n_def + d) * n_trial + t;
+        const std::string tuning_str = tuning_to_string(axis.tuning);
+        for (std::size_t a = 0; a < n_att; ++a) {
+          CampaignRow& row = report.rows[row0 + a * n_trial];
+          row.benchmark = profile.name;
+          row.defense = axis.kind;
+          row.defense_tuning = tuning_str;
+          algorithm_for_kind(axis.kind, &row.algorithm);
+          row.attack = report.attacks[a];
+          row.trial = static_cast<int>(t);
+          row.circuit_seed = circuit_seed;
+        }
+        const std::string defense_label =
+            profile.name + "/" + axis.kind + "/t" + std::to_string(t);
+        const JobId defense_job = graph.add(
+            "flow/" + defense_label,
+            [&spec, &lib, &circuits, &report, &locked, circuit_index,
+             def_index, row0, n_att, n_trial, axis, d, t](JobContext&) {
               const Netlist& original = *circuits[circuit_index];
-              const auto seed_for = [&spec, &row, a, t](int attempt) {
-                return campaign_seed(spec.master_seed, row.benchmark,
-                                     kStageSelection, static_cast<int>(a),
+              CampaignRow& first = report.rows[row0];
+              const auto seed_for = [&spec, &first, d, t](int attempt) {
+                return campaign_seed(spec.master_seed, first.benchmark,
+                                     kStageSelection, static_cast<int>(d),
                                      static_cast<int>(t), attempt);
               };
               const Timer flow_timer;
+              auto result = std::make_shared<defense::DefenseResult>();
               const RetryOutcome outcome = run_with_seed_backoff(
                   spec.max_attempts, seed_for,
                   [&](std::uint64_t seed, int /*attempt*/) {
-                    FlowOptions opt;
-                    opt.algorithm = alg;
-                    opt.selection.seed = seed;
-                    opt.selection.timing_margin = spec.timing_margin;
-                    opt.activity = spec.activity;
-                    const FlowResult flow =
-                        run_secure_flow(original, lib, opt);
-                    row.selection_seed = seed;
-                    row.num_luts = flow.overhead.num_stt_luts;
-                    row.perf_pct = flow.overhead.perf_degradation_pct();
-                    row.power_pct = flow.overhead.power_overhead_pct();
-                    row.area_pct = flow.overhead.area_overhead_pct();
-                    row.original_delay_ps = flow.overhead.original_delay_ps;
-                    row.hybrid_delay_ps = flow.overhead.hybrid_delay_ps;
-                    row.n_indep = flow.security.n_indep.to_string();
-                    row.n_dep = flow.security.n_dep.to_string();
-                    row.n_bf = flow.security.n_bf.to_string();
-                    row.paths_considered = flow.selection.paths_considered;
-                    row.timing_retries = flow.selection.timing_retries;
-                    row.usl_replacements = flow.selection.usl_replacements;
-                    row.selection_ms = flow.selection.selection_seconds * 1e3;
+                    *result = defense::registry().apply(
+                        axis.kind, original, lib,
+                        {seed, spec.timing_margin, spec.activity},
+                        axis.tuning);
+                    first.selection_seed = seed;
+                    first.num_luts = result->overhead.num_stt_luts;
+                    first.key_cells = result->key_cells;
+                    first.key_bits = result->key_bits;
+                    first.cells_added = result->cells_added;
+                    first.cells_replaced = result->cells_replaced;
+                    first.perf_pct = result->overhead.perf_degradation_pct();
+                    first.power_pct = result->overhead.power_overhead_pct();
+                    first.area_pct = result->overhead.area_overhead_pct();
+                    first.original_delay_ps =
+                        result->overhead.original_delay_ps;
+                    first.hybrid_delay_ps = result->overhead.hybrid_delay_ps;
+                    first.n_indep = result->security.n_indep.to_string();
+                    first.n_dep = result->security.n_dep.to_string();
+                    first.n_bf = result->security.n_bf.to_string();
+                    first.paths_considered =
+                        result->selection.paths_considered;
+                    first.timing_retries = result->selection.timing_retries;
+                    first.usl_replacements =
+                        result->selection.usl_replacements;
+                    first.selection_ms =
+                        result->selection.selection_seconds * 1e3;
                     if (spec.lint) {
                       LintOptions lint_opt;
-                      lint_opt.audit.model = opt.similarity;
-                      const LintReport lint = run_lint(flow.hybrid, lint_opt);
-                      row.lint_ran = true;
-                      row.lint_verdict = lint.verdict();
-                      row.lint_errors = lint.counts.errors;
-                      row.lint_warnings = lint.counts.warnings;
-                      row.lint_infos = lint.counts.infos;
-                      row.audit_log10_drop =
+                      lint_opt.defense = result->annotations;
+                      const LintReport lint =
+                          run_lint(result->locked, lint_opt);
+                      first.lint_ran = true;
+                      first.lint_verdict = lint.verdict();
+                      first.lint_errors = lint.counts.errors;
+                      first.lint_warnings = lint.counts.warnings;
+                      first.lint_infos = lint.counts.infos;
+                      first.audit_log10_drop =
                           std::max({lint.audit.log10_drop_indep,
                                     lint.audit.log10_drop_dep,
                                     lint.audit.log10_drop_bf});
                     }
-                    run_attack_stage(
-                        row, flow.hybrid, spec.attack,
-                        campaign_seed(spec.master_seed, row.benchmark,
-                                      kStageAttack, static_cast<int>(a),
-                                      static_cast<int>(t), 0));
                   });
-              row.attempts = outcome.attempts;
-              row.ok = outcome.ok;
-              row.error = outcome.error;
-              row.flow_ms = flow_timer.millis();
-              progress.tick(label);
-              if (!outcome.ok) {
-                throw std::runtime_error(outcome.error);
+              first.attempts = outcome.attempts;
+              first.ok = outcome.ok;
+              first.error = outcome.error;
+              first.flow_ms = flow_timer.millis();
+              if (outcome.ok) locked[def_index] = std::move(result);
+              // Fan the shared defense/lint columns out to the group's
+              // other attack rows; only `attack` differs at this point.
+              for (std::size_t a = 1; a < n_att; ++a) {
+                CampaignRow& row = report.rows[row0 + a * n_trial];
+                const std::string attack = row.attack;
+                row = first;
+                row.attack = attack;
               }
+              // Deliberately never throws: the attack jobs below must run
+              // (and tick progress) even for a failed defense.
             },
             {gen_job});
+        for (std::size_t a = 0; a < n_att; ++a) {
+          const std::size_t row_index = row0 + a * n_trial;
+          std::string label = profile.name + "/" + axis.kind;
+          if (n_att > 1) label += "/" + report.attacks[a];
+          label += "/t" + std::to_string(t);
+          row_jobs[row_index] = graph.add(
+              "atk/" + label,
+              [&spec, &report, &locked, &progress, row_index, def_index, d,
+               t, a, label](JobContext&) {
+                CampaignRow& row = report.rows[row_index];
+                const Timer attack_timer;
+                if (row.ok && row.attack != "none") {
+                  // The first attack axis point keeps the pre-defense-axis
+                  // seed stream; later points fold the attack name into the
+                  // stream tag for an independent stream.
+                  const std::string stream =
+                      a == 0 ? row.benchmark
+                             : row.benchmark + "#" + row.attack;
+                  const std::uint64_t attack_seed =
+                      campaign_seed(spec.master_seed, stream, kStageAttack,
+                                    static_cast<int>(d), static_cast<int>(t),
+                                    0);
+                  try {
+                    run_attack_stage(row, locked[def_index]->locked,
+                                     row.attack, attack_seed);
+                  } catch (const std::exception& e) {
+                    row.ok = false;
+                    row.error = "attack: " + std::string(e.what());
+                  }
+                }
+                row.flow_ms += attack_timer.millis();
+                progress.tick(label);
+                if (!row.ok) throw std::runtime_error(row.error);
+              },
+              {defense_job});
+        }
       }
     }
   }
@@ -281,7 +408,7 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
   // closed out, and queue latency only the graph knows.
   for (std::size_t i = 0; i < report.rows.size(); ++i) {
     CampaignRow& row = report.rows[i];
-    const JobRecord record = graph.record(flow_jobs[i]);
+    const JobRecord record = graph.record(row_jobs[i]);
     row.queue_ms = record.queue_ms;
     if (record.state == JobState::kCancelled && row.error.empty()) {
       row.error = record.error;

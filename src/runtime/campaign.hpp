@@ -1,10 +1,11 @@
-// Experiment-campaign driver: expands a benchmark x algorithm x trial grid
-// into a dependency graph of jobs (one circuit-generation job per
-// (benchmark, trial), one secure-flow job per grid point hanging off it)
+// Experiment-campaign driver: expands a benchmark x defense x attack x
+// trial grid into a dependency graph of jobs (one circuit-generation job
+// per (benchmark, trial), one defense job per (benchmark, defense, trial)
+// hanging off it, one attack job per grid point hanging off the defense)
 // and executes it on a work-stealing ThreadPool.
 //
 // Determinism contract: every stochastic stage of a grid point derives its
-// RNG stream from (master_seed, benchmark, algorithm, trial, attempt) via
+// RNG stream from (master_seed, benchmark, defense, trial, attempt) via
 // `campaign_seed`, and results land in a preallocated slot addressed by the
 // grid index — so an N-thread campaign produces byte-identical result rows
 // to a single-thread one regardless of execution interleaving. Measured
@@ -12,10 +13,11 @@
 // and are segregated by the report layer (report.hpp) into the timing
 // views, never into the deterministic result CSV.
 //
-// Failure policy: a grid point whose flow throws (e.g. a timing-infeasible
-// parametric selection) is retried with the *next attempt's* seed — a
-// bounded "backoff in seed space" — and only after `max_attempts` tries is
-// the row recorded as failed; the rest of the campaign always completes.
+// Failure policy: a grid point whose defense throws (e.g. a timing-
+// infeasible parametric selection) is retried with the *next attempt's*
+// seed — a bounded "backoff in seed space" — and only after `max_attempts`
+// tries is the row recorded as failed; the rest of the campaign always
+// completes.
 #pragma once
 
 #include <cstdint>
@@ -25,10 +27,21 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "defense/defense.hpp"
 #include "obs/obs.hpp"
 #include "runtime/job.hpp"
 
 namespace stt {
+
+/// One point on the campaign's defense axis: a `defense::registry()` kind
+/// plus its tuning knobs. The paper's three selection algorithms are
+/// registered defenses ("independent", "dependent", "parametric"), so the
+/// legacy algorithm sweep is the special case of a defense sweep over those
+/// kinds with default tuning.
+struct DefenseAxis {
+  std::string kind;
+  defense::Tuning tuning;
+};
 
 struct CampaignSpec {
   /// ISCAS'89 profile names; empty = all twelve Table I benchmarks.
@@ -36,6 +49,15 @@ struct CampaignSpec {
   std::vector<SelectionAlgorithm> algorithms = {
       SelectionAlgorithm::kIndependent, SelectionAlgorithm::kDependent,
       SelectionAlgorithm::kParametric};
+  /// Defense axis of the grid. Empty = derived from `algorithms` (one
+  /// default-tuned paper-adapter axis point per algorithm), which keeps
+  /// legacy benchmark x algorithm x trial campaigns and their seed
+  /// derivation bit-for-bit unchanged.
+  std::vector<DefenseAxis> defenses;
+  /// Attack axis of the grid. Empty = {`attack`}. "none" entries record a
+  /// row without an attack stage; every other entry must be an
+  /// `attack::registry()` name.
+  std::vector<std::string> attacks;
   int trials = 1;
   std::uint64_t master_seed = 20160605;  ///< the repo's Table I/II seed
   unsigned jobs = 1;                     ///< worker threads (0 = hardware)
@@ -64,7 +86,14 @@ struct CampaignSpec {
 /// deterministic; the measured block varies run to run.
 struct CampaignRow {
   std::string benchmark;
+  /// Defense axis point: registry kind and its "k=v;k=v" tuning rendering
+  /// (empty = defaults). For paper adapters `algorithm` mirrors the kind so
+  /// legacy consumers keep working; for other defenses it is meaningless.
+  std::string defense;
+  std::string defense_tuning;
   SelectionAlgorithm algorithm = SelectionAlgorithm::kIndependent;
+  /// Attack axis point ("none" = no attack stage on this row).
+  std::string attack = "none";
   int trial = 0;
   std::uint64_t circuit_seed = 0;
   std::uint64_t selection_seed = 0;  ///< seed of the successful attempt
@@ -74,6 +103,11 @@ struct CampaignRow {
 
   // Flow metrics (Table I + security sign-off).
   int num_luts = 0;
+  // Key-material accounting from the defense's DefenseResult.
+  int key_cells = 0;
+  int key_bits = 0;
+  int cells_added = 0;
+  int cells_replaced = 0;
   double perf_pct = 0;
   double power_pct = 0;
   double area_pct = 0;
@@ -122,12 +156,14 @@ struct CampaignRow {
 struct CampaignReport {
   std::vector<std::string> benchmarks;  ///< resolved benchmark list
   std::vector<SelectionAlgorithm> algorithms;
+  std::vector<DefenseAxis> defenses;  ///< resolved defense axis
+  std::vector<std::string> attacks;   ///< resolved attack axis
   int trials = 1;
   std::uint64_t master_seed = 0;
-  std::string attack = "none";
+  std::string attack = "none";  ///< attack axis joined with ","
 
-  /// Grid order: benchmark-major, then algorithm, then trial — independent
-  /// of execution interleaving.
+  /// Grid order: benchmark-major, then defense, then attack, then trial —
+  /// independent of execution interleaving.
   std::vector<CampaignRow> rows;
 
   /// Stable-metrics delta over this campaign (global metrics sampled
@@ -168,8 +204,10 @@ RetryOutcome run_with_seed_backoff(
     int max_attempts, const std::function<std::uint64_t(int)>& seed_for,
     const std::function<void(std::uint64_t seed, int attempt)>& body);
 
-/// Expand the grid, run it, aggregate. Throws std::invalid_argument on an
-/// unknown benchmark name or an empty grid before any job starts.
+/// Expand the grid, run it, aggregate. Throws std::invalid_argument before
+/// any job starts on an unknown benchmark name, an unknown defense kind or
+/// tuning key, an unknown attack name, or an empty grid — the message lists
+/// the valid kinds.
 CampaignReport run_campaign(const CampaignSpec& spec);
 
 }  // namespace stt

@@ -46,13 +46,18 @@ std::string row_status(const CampaignRow& row) {
 }  // namespace
 
 std::string campaign_results_csv(const CampaignReport& report) {
+  // "algorithm" is the defense kind: the paper's three selection algorithms
+  // are registered defenses of the same name, so legacy campaigns render
+  // unchanged while the column covers the whole defense axis.
   TextTable table({"benchmark",    "algorithm",      "trial",
                    "circuit_seed", "selection_seed", "status",
                    "attempts",     "luts",           "perf_pct",
                    "power_pct",    "area_pct",       "orig_delay_ps",
                    "hybrid_delay_ps", "n_indep",     "n_dep",
                    "n_bf",         "paths",          "timing_retries",
-                   "usl",          "lint",           "lint_errors",
+                   "usl",          "defense_tuning", "key_cells",
+                   "key_bits",     "cells_added",    "cells_replaced",
+                   "lint",         "lint_errors",
                    "lint_warnings", "audit_log10_drop",
                    "attack",       "attack_success",
                    "attack_outcome",
@@ -63,7 +68,7 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    "error"});
   for (const CampaignRow& row : report.rows) {
     table.add_row({row.benchmark,
-                   algorithm_name(row.algorithm),
+                   row.defense,
                    std::to_string(row.trial),
                    std::to_string(row.circuit_seed),
                    std::to_string(row.selection_seed),
@@ -81,11 +86,16 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    std::to_string(row.paths_considered),
                    std::to_string(row.timing_retries),
                    std::to_string(row.usl_replacements),
+                   row.defense_tuning,
+                   std::to_string(row.key_cells),
+                   std::to_string(row.key_bits),
+                   std::to_string(row.cells_added),
+                   std::to_string(row.cells_replaced),
                    row.lint_ran ? row.lint_verdict : "",
                    row.lint_ran ? std::to_string(row.lint_errors) : "",
                    row.lint_ran ? std::to_string(row.lint_warnings) : "",
                    row.lint_ran ? fmt(row.audit_log10_drop) : "",
-                   row.attack_ran ? report.attack : "none",
+                   row.attack_ran ? row.attack : "none",
                    row.attack_ran ? (row.attack_success ? "1" : "0") : "",
                    row.attack_ran ? row.attack_outcome : "",
                    row.attack_ran ? std::to_string(row.attack_queries) : "",
@@ -107,7 +117,7 @@ std::string campaign_timing_csv(const CampaignReport& report) {
   TextTable table({"benchmark", "algorithm", "trial", "selection_mmss",
                    "selection_ms", "flow_ms", "queue_ms"});
   for (const CampaignRow& row : report.rows) {
-    table.add_row({row.benchmark, algorithm_name(row.algorithm),
+    table.add_row({row.benchmark, row.defense,
                    std::to_string(row.trial),
                    Timer::format_mmss(row.selection_ms / 1e3),
                    strformat("%.1f", row.selection_ms),
@@ -117,38 +127,56 @@ std::string campaign_timing_csv(const CampaignReport& report) {
   return table.to_csv();
 }
 
-std::vector<AlgorithmSummary> summarize_by_algorithm(
+std::vector<DefenseSummary> summarize_by_defense(
     const CampaignReport& report) {
-  std::vector<AlgorithmSummary> summaries;
-  for (const SelectionAlgorithm alg : report.algorithms) {
-    AlgorithmSummary summary;
-    summary.algorithm = alg;
-    for (const CampaignRow& row : report.rows) {
-      if (row.algorithm != alg) continue;
-      ++summary.rows;
-      if (!row.ok) {
-        ++summary.failed;
-        continue;
+  std::vector<DefenseSummary> summaries;
+  for (const CampaignRow& row : report.rows) {
+    DefenseSummary* summary = nullptr;
+    for (DefenseSummary& s : summaries) {
+      if (s.defense == row.defense && s.tuning == row.defense_tuning) {
+        summary = &s;
+        break;
       }
-      summary.perf_pct.add(row.perf_pct);
-      summary.power_pct.add(row.power_pct);
-      summary.area_pct.add(row.area_pct);
-      summary.luts.add(row.num_luts);
     }
-    summaries.push_back(summary);
+    if (!summary) {
+      summaries.emplace_back();
+      summary = &summaries.back();
+      summary->defense = row.defense;
+      summary->tuning = row.defense_tuning;
+    }
+    ++summary->rows;
+    if (!row.ok) {
+      ++summary->failed;
+      continue;
+    }
+    summary->perf_pct.add(row.perf_pct);
+    summary->power_pct.add(row.power_pct);
+    summary->area_pct.add(row.area_pct);
+    summary->luts.add(row.num_luts);
+    summary->key_bits.add(row.key_bits);
+    if (row.attack_ran) {
+      ++summary->attacked;
+      if (row.attack_success) ++summary->attack_breaks;
+    }
   }
   return summaries;
 }
 
 std::string campaign_summary_text(const CampaignReport& report) {
-  TextTable table({"Algorithm", "Rows", "Failed", "Perf% mean", "Pwr% mean",
-                   "Area% mean", "#STT mean"});
-  for (const AlgorithmSummary& s : summarize_by_algorithm(report)) {
-    table.add_row({algorithm_name(s.algorithm), std::to_string(s.rows),
-                   std::to_string(s.failed), strformat("%.2f", s.perf_pct.mean()),
+  TextTable table({"Defense", "Rows", "Failed", "Perf% mean", "Pwr% mean",
+                   "Area% mean", "#STT mean", "Key bits", "Broken"});
+  for (const DefenseSummary& s : summarize_by_defense(report)) {
+    const std::string label =
+        s.tuning.empty() ? s.defense : s.defense + "(" + s.tuning + ")";
+    table.add_row({label, std::to_string(s.rows), std::to_string(s.failed),
+                   strformat("%.2f", s.perf_pct.mean()),
                    strformat("%.2f", s.power_pct.mean()),
                    strformat("%.2f", s.area_pct.mean()),
-                   strformat("%.1f", s.luts.mean())});
+                   strformat("%.1f", s.luts.mean()),
+                   strformat("%.1f", s.key_bits.mean()),
+                   s.attacked ? strformat("%zu/%zu", s.attack_breaks,
+                                          s.attacked)
+                              : "-"});
   }
   return table.render();
 }
@@ -164,7 +192,9 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
     const CampaignRow& row = report.rows[i];
     out += "    {";
     out += "\"benchmark\": \"" + json_escape(row.benchmark) + "\", ";
-    out += "\"algorithm\": \"" + algorithm_name(row.algorithm) + "\", ";
+    out += "\"algorithm\": \"" + json_escape(row.defense) + "\", ";
+    out += "\"defense\": \"" + json_escape(row.defense) + "\", ";
+    out += "\"defense_tuning\": \"" + json_escape(row.defense_tuning) + "\", ";
     out += strformat("\"trial\": %d, ", row.trial);
     out += strformat("\"circuit_seed\": %llu, ",
                      static_cast<unsigned long long>(row.circuit_seed));
@@ -180,7 +210,11 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
     out += "\"n_dep\": \"" + json_escape(row.n_dep) + "\", ";
     out += "\"n_bf\": \"" + json_escape(row.n_bf) + "\", ";
     out += strformat("\"timing_retries\": %d, ", row.timing_retries);
-    out += strformat("\"usl\": %d", row.usl_replacements);
+    out += strformat("\"usl\": %d, ", row.usl_replacements);
+    out += strformat(
+        "\"key_cells\": %d, \"key_bits\": %d, \"cells_added\": %d, "
+        "\"cells_replaced\": %d",
+        row.key_cells, row.key_bits, row.cells_added, row.cells_replaced);
     if (row.lint_ran) {
       out += ", \"lint\": \"" + json_escape(row.lint_verdict) + "\", ";
       out += strformat(
@@ -189,6 +223,7 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
       out += "\"audit_log10_drop\": " + fmt(row.audit_log10_drop);
     }
     if (row.attack_ran) {
+      out += ", \"attack\": \"" + json_escape(row.attack) + "\"";
       out += strformat(", \"attack_success\": %s, \"attack_queries\": %llu",
                        row.attack_success ? "true" : "false",
                        static_cast<unsigned long long>(row.attack_queries));
@@ -216,15 +251,19 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
   }
   out += "  ],\n";
   out += "  \"summary\": [\n";
-  const auto summaries = summarize_by_algorithm(report);
+  const auto summaries = summarize_by_defense(report);
   for (std::size_t i = 0; i < summaries.size(); ++i) {
-    const AlgorithmSummary& s = summaries[i];
-    out += "    {\"algorithm\": \"" + algorithm_name(s.algorithm) + "\", ";
+    const DefenseSummary& s = summaries[i];
+    out += "    {\"defense\": \"" + json_escape(s.defense) + "\", ";
+    out += "\"defense_tuning\": \"" + json_escape(s.tuning) + "\", ";
     out += strformat("\"rows\": %zu, \"failed\": %zu, ", s.rows, s.failed);
     out += "\"perf_pct_mean\": " + fmt(s.perf_pct.mean()) + ", ";
     out += "\"power_pct_mean\": " + fmt(s.power_pct.mean()) + ", ";
     out += "\"area_pct_mean\": " + fmt(s.area_pct.mean()) + ", ";
-    out += "\"luts_mean\": " + fmt(s.luts.mean()) + "}";
+    out += "\"luts_mean\": " + fmt(s.luts.mean()) + ", ";
+    out += "\"key_bits_mean\": " + fmt(s.key_bits.mean()) + ", ";
+    out += strformat("\"attacked\": %zu, \"attack_breaks\": %zu}", s.attacked,
+                     s.attack_breaks);
     if (i + 1 < summaries.size()) out += ",";
     out += "\n";
   }

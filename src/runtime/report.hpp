@@ -28,15 +28,19 @@ std::string campaign_results_csv(const CampaignReport& report);
 /// MM:SS.t style and milliseconds, whole-flow and queue latency.
 std::string campaign_timing_csv(const CampaignReport& report);
 
-/// Per-algorithm aggregates over the successful rows.
-struct AlgorithmSummary {
-  SelectionAlgorithm algorithm = SelectionAlgorithm::kIndependent;
-  Accumulator perf_pct, power_pct, area_pct, luts;
+/// Per-defense-axis-point aggregates over the successful rows, in first-
+/// appearance (grid) order. For legacy algorithm sweeps the axis points are
+/// the paper adapters, so this is the old per-algorithm summary.
+struct DefenseSummary {
+  std::string defense;
+  std::string tuning;  ///< "k=v;k=v" rendering, empty = defaults
+  Accumulator perf_pct, power_pct, area_pct, luts, key_bits;
   std::size_t rows = 0;
   std::size_t failed = 0;
+  std::size_t attacked = 0;        ///< rows with an attack stage
+  std::size_t attack_breaks = 0;   ///< attacked rows where the key fell
 };
-std::vector<AlgorithmSummary> summarize_by_algorithm(
-    const CampaignReport& report);
+std::vector<DefenseSummary> summarize_by_defense(const CampaignReport& report);
 
 /// Human-readable aggregate table (TextTable-rendered).
 std::string campaign_summary_text(const CampaignReport& report);

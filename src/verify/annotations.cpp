@@ -1,0 +1,62 @@
+#include "verify/annotations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace stt {
+
+void DefenseAnnotations::merge(const DefenseAnnotations& other) {
+  key_gates.insert(other.key_gates.begin(), other.key_gates.end());
+  decoy_latches.insert(other.decoy_latches.begin(),
+                       other.decoy_latches.end());
+  locked_constants.insert(other.locked_constants.begin(),
+                          other.locked_constants.end());
+}
+
+std::string annotations_to_string(const DefenseAnnotations& a) {
+  std::string out;
+  const auto emit = [&out](const char* tag,
+                           const std::unordered_set<std::string>& names) {
+    std::vector<std::string> sorted(names.begin(), names.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const std::string& name : sorted) {
+      out += tag;
+      out += ' ';
+      out += name;
+      out += '\n';
+    }
+  };
+  emit("keygate", a.key_gates);
+  emit("latch", a.decoy_latches);
+  emit("const", a.locked_constants);
+  return out;
+}
+
+DefenseAnnotations annotations_from_string(const std::string& text) {
+  DefenseAnnotations a;
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string line{trim(raw)};
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split_ws(line);
+    if (fields.size() != 2) {
+      throw std::runtime_error("annotations: expected '<class> <name>', got '" +
+                               line + "'");
+    }
+    if (fields[0] == "keygate") {
+      a.key_gates.insert(fields[1]);
+    } else if (fields[0] == "latch") {
+      a.decoy_latches.insert(fields[1]);
+    } else if (fields[0] == "const") {
+      a.locked_constants.insert(fields[1]);
+    } else {
+      throw std::runtime_error("annotations: unknown class '" + fields[0] +
+                               "' (expected keygate|latch|const)");
+    }
+  }
+  return a;
+}
+
+}  // namespace stt

@@ -1,0 +1,55 @@
+// Defense construct annotations consumed by the lint layers.
+//
+// Netlist formats carry no sideband metadata, so a defense declares the
+// constructs it inserted by *net name* — names survive strip_dead_logic,
+// serialization round-trips and CellId renumbering. The structural layer
+// validates each declared construct (HYB004-006) and both layers suppress
+// the findings such a construct triggers *by design*:
+//
+//   key gate        -> HYB001 (single-input LUT is the point)
+//   decoy latch     -> SEC003 (the transparent mux ignores its state input)
+//   locked constant -> HYB001 + SEC002 (a constant LUT is the point)
+//
+// Only the emitted diagnostics are suppressed. The audited security
+// arithmetic (verify/audit.cpp) is unchanged: an inferable locked constant
+// still leaves M, so `sttlock lint`'s attack-cost figures stay honest about
+// what static analysis recovers — the defense is told apart from a defect,
+// not given credit it has not earned.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+namespace stt {
+
+struct DefenseAnnotations {
+  /// XOR/XNOR-style key gates (defense "xor"): single-input LUTs whose
+  /// BUF/NOT polarity is the key bit.
+  std::unordered_set<std::string> key_gates;
+  /// Decoy-latch muxes (defense "latch"): two-input LUTs selecting between
+  /// a data net and a decoy flip-flop of that same net; the configured key
+  /// makes them transparent.
+  std::unordered_set<std::string> decoy_latches;
+  /// Key-fed constants (defense "const"): LUTs whose configured function is
+  /// constant by design.
+  std::unordered_set<std::string> locked_constants;
+
+  bool empty() const {
+    return key_gates.empty() && decoy_latches.empty() &&
+           locked_constants.empty();
+  }
+  std::size_t size() const {
+    return key_gates.size() + decoy_latches.size() + locked_constants.size();
+  }
+
+  /// Merge another annotation set into this one (defenses composed on the
+  /// same netlist).
+  void merge(const DefenseAnnotations& other);
+};
+
+/// Serialize as "keygate|latch|const <name>" lines (sorted, deterministic)
+/// so `sttlock defend` can hand annotations to a later `sttlock lint` run.
+std::string annotations_to_string(const DefenseAnnotations& a);
+DefenseAnnotations annotations_from_string(const std::string& text);
+
+}  // namespace stt

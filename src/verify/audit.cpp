@@ -134,16 +134,25 @@ StaticAuditResult run_static_audit(const Netlist& nl,
                     __builtin_popcountll(audit.reachable_rows),
                     num_rows(k))));
     }
+    // By-design suppressions (diagnostics only; every audited quantity
+    // below still sees the gate exactly as an attacker would).
+    const bool declared_constant =
+        opt.defense.locked_constants.count(c.name) != 0;
+    const bool declared_latch = opt.defense.decoy_latches.count(c.name) != 0;
+
     if (audit.inferable) {
-      const std::uint32_t first_row =
-          static_cast<std::uint32_t>(__builtin_ctzll(audit.reachable_rows));
-      result.findings.push_back(make_finding(
-          nl, LintRule::kInferableLut, id,
-          strformat("missing gate '%s' is statically inferable: every "
-                    "reachable row yields %c (P collapses to 1)",
-                    c.name.c_str(),
-                    ((c.lut_mask >> first_row) & 1ull) ? '1' : '0')));
-    } else if (audit.constant_inputs == 0 && audit.effective_support < k) {
+      if (!declared_constant) {
+        const std::uint32_t first_row =
+            static_cast<std::uint32_t>(__builtin_ctzll(audit.reachable_rows));
+        result.findings.push_back(make_finding(
+            nl, LintRule::kInferableLut, id,
+            strformat("missing gate '%s' is statically inferable: every "
+                      "reachable row yields %c (P collapses to 1)",
+                      c.name.c_str(),
+                      ((c.lut_mask >> first_row) & 1ull) ? '1' : '0')));
+      }
+    } else if (audit.constant_inputs == 0 && audit.effective_support < k &&
+               !declared_latch) {
       std::string vacuous;
       for (int i = 0; i < k; ++i) {
         if (depends_on(c.lut_mask, audit.reachable_rows, k, i)) continue;

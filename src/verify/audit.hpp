@@ -24,12 +24,21 @@
 #include "core/security.hpp"
 #include "core/similarity.hpp"
 #include "sim/ternary.hpp"
+#include "verify/annotations.hpp"
 #include "verify/finding.hpp"
 
 namespace stt {
 
 struct StaticAuditOptions {
   SimilarityModel model = SimilarityModel::paper();
+  /// Declared defense constructs. Findings such a construct triggers *by
+  /// design* are not emitted: SEC002 for locked constants (the configured
+  /// function being constant is the defense, not a leak) and SEC003 for
+  /// decoy latches (the transparent mux ignores its decoy input on
+  /// purpose). Only the diagnostics are suppressed — the audited security
+  /// arithmetic (M, alpha/P/D, Eqs. 1-3) is computed exactly as without
+  /// annotations, so the attack-cost figures stay honest.
+  DefenseAnnotations defense;
   /// SEC004 fires when the SCOAP attacker-view resolvability of a missing
   /// gate (cheapest row justification + observation cost) is at or below
   /// this; the default only catches PI-adjacent gates observable without

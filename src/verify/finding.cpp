@@ -25,6 +25,9 @@ std::string_view rule_id(LintRule rule) {
     case LintRule::kSingleInputLut: return "HYB001";
     case LintRule::kCamouflagedCmos: return "HYB002";
     case LintRule::kCamouflageMask: return "HYB003";
+    case LintRule::kKeyGate: return "HYB004";
+    case LintRule::kDecoyLatch: return "HYB005";
+    case LintRule::kLockedConstant: return "HYB006";
     case LintRule::kConstantFedLut: return "SEC001";
     case LintRule::kInferableLut: return "SEC002";
     case LintRule::kVacuousLutInput: return "SEC003";
@@ -61,6 +64,15 @@ std::string_view rule_summary(LintRule rule) {
       return "cell declared camouflaged but still a plain CMOS gate";
     case LintRule::kCamouflageMask:
       return "camouflaged cell configured outside the camouflage set";
+    case LintRule::kKeyGate:
+      return "cell declared a key gate but is not a BUF/NOT-configured "
+             "1-input LUT";
+    case LintRule::kDecoyLatch:
+      return "cell declared a decoy latch but is not a transparent LUT mux "
+             "over a decoy flip-flop";
+    case LintRule::kLockedConstant:
+      return "cell declared a locked constant but is not a "
+             "constant-configured LUT";
     case LintRule::kConstantFedLut:
       return "missing-gate input tied to a static constant";
     case LintRule::kInferableLut:
@@ -87,6 +99,9 @@ LintSeverity rule_severity(LintRule rule) {
     case LintRule::kLutMaskWidth:
     case LintRule::kCamouflagedCmos:
     case LintRule::kCamouflageMask:
+    case LintRule::kKeyGate:
+    case LintRule::kDecoyLatch:
+    case LintRule::kLockedConstant:
     case LintRule::kConstantFedLut:
     case LintRule::kInferableLut:
     case LintRule::kMaskedLut:

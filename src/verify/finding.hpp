@@ -37,6 +37,9 @@ enum class LintRule {
   kSingleInputLut,       ///< HYB001
   kCamouflagedCmos,      ///< HYB002
   kCamouflageMask,       ///< HYB003
+  kKeyGate,              ///< HYB004
+  kDecoyLatch,           ///< HYB005
+  kLockedConstant,       ///< HYB006
   // -- layer 2: security static audit --------------------------------------
   kConstantFedLut,       ///< SEC001
   kInferableLut,         ///< SEC002

@@ -43,8 +43,10 @@ LintReport run_lint(const Netlist& nl, const LintOptions& opt) {
   LintReport report;
   report.netlist = nl.name();
 
+  StructuralLintOptions structural_opt = opt.structural;
+  structural_opt.defense.merge(opt.defense);
   const StructuralLintResult structural =
-      run_structural_lint(nl, opt.structural);
+      run_structural_lint(nl, structural_opt);
   report.findings = structural.findings;
 
   if (opt.run_audit) {
@@ -54,7 +56,9 @@ LintReport run_lint(const Netlist& nl, const LintOptions& opt) {
           "security audit skipped: structural errors make the netlist "
           "unevaluable"));
     } else {
-      report.audit = run_static_audit(nl, opt.audit);
+      StaticAuditOptions audit_opt = opt.audit;
+      audit_opt.defense.merge(opt.defense);
+      report.audit = run_static_audit(nl, audit_opt);
       report.audit_ran = true;
       report.findings.insert(report.findings.end(),
                              report.audit.findings.begin(),

@@ -35,6 +35,9 @@ struct LintOptions {
   /// Run the layer 2 security audit (skipped automatically, with an SEC000
   /// info finding, when structural errors make the netlist unevaluable).
   bool run_audit = true;
+  /// Declared defense constructs, merged into both layers' own `defense`
+  /// fields (convenience so callers set annotations once).
+  DefenseAnnotations defense;
 };
 
 struct LintReport {

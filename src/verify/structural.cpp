@@ -52,6 +52,130 @@ void find_cycles(const Netlist& nl, std::vector<LintFinding>& findings) {
   }
 }
 
+// HYB004-006: each declared defense construct must actually have the
+// declared shape, otherwise the by-design suppressions would mask real
+// findings. Names (not CellIds) identify constructs because annotations
+// must survive strip_dead_logic and serialization round-trips.
+void check_defense_annotations(const Netlist& nl,
+                               const DefenseAnnotations& defense,
+                               std::vector<LintFinding>& findings) {
+  const auto sorted = [](const std::unordered_set<std::string>& names) {
+    std::vector<std::string> out(names.begin(), names.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // HYB004 — key gate: 1-input LUT configured as BUF (0b10) or NOT (0b01).
+  for (const std::string& name : sorted(defense.key_gates)) {
+    const CellId id = nl.find(name);
+    if (id == kNullCell) {
+      findings.push_back(make_finding(
+          nl, LintRule::kKeyGate, kNullCell,
+          strformat("declared key gate '%s' does not exist", name.c_str())));
+      continue;
+    }
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::kLut || c.fanin_count() != 1) {
+      findings.push_back(make_finding(
+          nl, LintRule::kKeyGate, id,
+          strformat("declared key gate '%s' is a %d-input %s, not a 1-input "
+                    "LUT",
+                    name.c_str(), c.fanin_count(),
+                    std::string(kind_name(c.kind)).c_str())));
+    } else if (c.lut_mask != 0b01 && c.lut_mask != 0b10) {
+      findings.push_back(make_finding(
+          nl, LintRule::kKeyGate, id,
+          strformat("key gate '%s' configured with mask 0x%llx; a key bit is "
+                    "BUF (0x2) or NOT (0x1)",
+                    name.c_str(),
+                    static_cast<unsigned long long>(c.lut_mask))));
+    }
+  }
+
+  // HYB005 — decoy latch: LUT2 mux where one input is a flip-flop latching
+  // the *other* input, configured to select the data input (transparent).
+  for (const std::string& name : sorted(defense.decoy_latches)) {
+    const CellId id = nl.find(name);
+    if (id == kNullCell) {
+      findings.push_back(make_finding(
+          nl, LintRule::kDecoyLatch, kNullCell,
+          strformat("declared decoy latch '%s' does not exist",
+                    name.c_str())));
+      continue;
+    }
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::kLut || c.fanin_count() != 2) {
+      findings.push_back(make_finding(
+          nl, LintRule::kDecoyLatch, id,
+          strformat("declared decoy latch '%s' is a %d-input %s, not a "
+                    "2-input LUT mux",
+                    name.c_str(), c.fanin_count(),
+                    std::string(kind_name(c.kind)).c_str())));
+      continue;
+    }
+    // Which slot holds the decoy flip-flop? Transparency selects the other
+    // slot: data in slot 0 -> mask 0xA, data in slot 1 -> mask 0xC.
+    bool shaped = false;
+    bool transparent = false;
+    for (int decoy_slot = 0; decoy_slot < 2; ++decoy_slot) {
+      const CellId ff = c.fanins[static_cast<std::size_t>(decoy_slot)];
+      const CellId data = c.fanins[static_cast<std::size_t>(1 - decoy_slot)];
+      if (!valid_id(nl, ff) || !valid_id(nl, data)) continue;
+      const Cell& fc = nl.cell(ff);
+      if (fc.kind != CellKind::kDff || fc.fanins.empty() ||
+          fc.fanins[0] != data) {
+        continue;
+      }
+      shaped = true;
+      const std::uint64_t want = decoy_slot == 1 ? 0xAull : 0xCull;
+      if ((c.lut_mask & full_mask(2)) == want) transparent = true;
+    }
+    if (!shaped) {
+      findings.push_back(make_finding(
+          nl, LintRule::kDecoyLatch, id,
+          strformat("declared decoy latch '%s' has no fan-in pair (data, "
+                    "flip-flop latching that data)",
+                    name.c_str())));
+    } else if (!transparent) {
+      findings.push_back(make_finding(
+          nl, LintRule::kDecoyLatch, id,
+          strformat("decoy latch '%s' configured with mask 0x%llx, not "
+                    "transparent: the locked design would lag the original "
+                    "by a cycle",
+                    name.c_str(),
+                    static_cast<unsigned long long>(c.lut_mask))));
+    }
+  }
+
+  // HYB006 — locked constant: LUT configured to a constant function.
+  for (const std::string& name : sorted(defense.locked_constants)) {
+    const CellId id = nl.find(name);
+    if (id == kNullCell) {
+      findings.push_back(make_finding(
+          nl, LintRule::kLockedConstant, kNullCell,
+          strformat("declared locked constant '%s' does not exist",
+                    name.c_str())));
+      continue;
+    }
+    const Cell& c = nl.cell(id);
+    if (c.kind != CellKind::kLut) {
+      findings.push_back(make_finding(
+          nl, LintRule::kLockedConstant, id,
+          strformat("declared locked constant '%s' is a plain %s gate, not "
+                    "a LUT",
+                    name.c_str(), std::string(kind_name(c.kind)).c_str())));
+    } else if (const std::uint64_t mask = c.lut_mask & full_mask(c.fanin_count());
+               mask != 0 && mask != full_mask(c.fanin_count())) {
+      findings.push_back(make_finding(
+          nl, LintRule::kLockedConstant, id,
+          strformat("locked constant '%s' configured with non-constant mask "
+                    "0x%llx",
+                    name.c_str(),
+                    static_cast<unsigned long long>(c.lut_mask))));
+    }
+  }
+}
+
 }  // namespace
 
 StructuralLintResult run_structural_lint(const Netlist& nl,
@@ -135,8 +259,14 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
     }
 
     // HYB001 — one-input missing gate: the candidate space is just
-    // {BUF, NOT}, the weakest hiding the model supports.
-    if (c.kind == CellKind::kLut && c.fanin_count() == 1) {
+    // {BUF, NOT}, the weakest hiding the model supports. Declared key gates
+    // and locked constants are that weak *by design*; their declaration is
+    // validated by HYB004/HYB006 instead.
+    const bool declared_one_input_construct =
+        opt.defense.key_gates.count(c.name) != 0 ||
+        opt.defense.locked_constants.count(c.name) != 0;
+    if (c.kind == CellKind::kLut && c.fanin_count() == 1 &&
+        !declared_one_input_construct) {
       findings.push_back(make_finding(
           nl, LintRule::kSingleInputLut, id,
           strformat("missing gate '%s' has one input; candidate set is only "
@@ -208,6 +338,12 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
       }
     }
   }
+
+  // HYB004/HYB005/HYB006 — validate declared defense constructs. A stale
+  // declaration (name gone, or the cell no longer shaped like the construct)
+  // is an error: it means annotations and netlist drifted apart, and the
+  // suppressions above would be hiding genuine findings.
+  check_defense_annotations(nl, opt.defense, findings);
 
   find_cycles(nl, findings);
 

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "verify/annotations.hpp"
 #include "verify/finding.hpp"
 
 namespace stt {
@@ -20,6 +21,13 @@ struct StructuralLintOptions {
   /// hybrid invariants HYB002/HYB003 check that each is a LUT configured
   /// within the camouflage candidate set; empty disables both rules.
   std::unordered_set<CellId> camouflaged;
+
+  /// Constructs a defense declared it inserted (DefenseResult::annotations).
+  /// Each declaration is validated (HYB004-006) and, in exchange, the
+  /// finding the construct triggers *by design* is suppressed: HYB001 for
+  /// key gates and locked constants (a 1-input LUT is the point, not a
+  /// weakness the designer is unaware of).
+  DefenseAnnotations defense;
 };
 
 struct StructuralLintResult {

@@ -3,6 +3,7 @@
 #include "core/camouflage.hpp"
 #include "core/flow.hpp"
 #include "core/security.hpp"
+#include "defense/registry.hpp"
 #include "synth/generator.hpp"
 #include "verify/lint.hpp"
 
@@ -389,6 +390,124 @@ TEST(Lint, JsonReportCarriesRuleIdsAndAuditBlock) {
 
   const std::string arr = lint_json(std::vector<LintReport>{report, report});
   EXPECT_EQ(arr.front(), '[');
+}
+
+// -- defense annotations (HYB004-006 + by-design suppression) ----------------
+
+TEST(DefenseLint, LockedBenchmarkIsCleanWithAnnotationsNoisyWithout) {
+  // Lock an ISCAS benchmark with every related-work defense composed, then
+  // lint it twice. Without annotations the locked netlist looks defective
+  // (single-input LUTs, inferable constants, vacuous mux inputs); with the
+  // defense's own annotations those by-design findings vanish and the
+  // netlist gates clean.
+  const auto profile = find_profile("s641");
+  ASSERT_TRUE(profile.has_value());
+  const Netlist original = generate_circuit(*profile, 7);
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+
+  defense::DefenseOptions dopt;
+  dopt.seed = 11;
+  const defense::DefenseResult xorlock = defense::registry().apply(
+      "xor", original, lib, dopt, {{"count", "6"}});
+  const defense::DefenseResult latched = defense::registry().apply(
+      "latch", xorlock.locked, lib, dopt, {{"count", "4"}});
+  const defense::DefenseResult constant = defense::registry().apply(
+      "const", latched.locked, lib, dopt, {{"inject", "4"}});
+  DefenseAnnotations all = xorlock.annotations;
+  all.merge(latched.annotations);
+  all.merge(constant.annotations);
+  ASSERT_EQ(all.size(), 6u + 4u + 4u);
+
+  const LintReport noisy = run_lint(constant.locked);
+  EXPECT_GT(count_rule(noisy.findings, LintRule::kSingleInputLut), 0);
+  EXPECT_GT(count_rule(noisy.findings, LintRule::kInferableLut), 0);
+  EXPECT_GT(count_rule(noisy.findings, LintRule::kVacuousLutInput), 0);
+  EXPECT_TRUE(noisy.failed(/*strict=*/false));
+
+  LintOptions opt;
+  opt.defense = all;
+  const LintReport annotated = run_lint(constant.locked, opt);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kSingleInputLut), 0);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kInferableLut), 0);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kVacuousLutInput), 0);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kKeyGate), 0);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kDecoyLatch), 0);
+  EXPECT_EQ(count_rule(annotated.findings, LintRule::kLockedConstant), 0);
+  EXPECT_FALSE(annotated.failed(/*strict=*/false));
+
+  // The suppression is diagnostics-only: the audited security arithmetic
+  // must be identical with and without annotations.
+  ASSERT_TRUE(noisy.audit_ran);
+  ASSERT_TRUE(annotated.audit_ran);
+  EXPECT_EQ(annotated.audit.audited.missing_gates,
+            noisy.audit.audited.missing_gates);
+  EXPECT_EQ(annotated.audit.audited.n_bf.to_string(),
+            noisy.audit.audited.n_bf.to_string());
+  EXPECT_EQ(annotated.audit.audited.n_indep.to_string(),
+            noisy.audit.audited.n_indep.to_string());
+}
+
+TEST(DefenseLint, StaleOrMalformedAnnotationsFireHyb004To006) {
+  Netlist nl("annot");
+  const CellId a = nl.add_input("a");
+  const CellId b = nl.add_input("b");
+  const CellId g = nl.add_gate(CellKind::kAnd, "g", {a, b});
+  nl.mark_output(g);
+  nl.finalize();
+
+  LintOptions opt;
+  opt.run_audit = false;
+  opt.defense.key_gates.insert("ghost");   // no such cell
+  opt.defense.key_gates.insert("g");       // exists but is a plain AND
+  opt.defense.decoy_latches.insert("g");   // not a mux either
+  opt.defense.locked_constants.insert("g");
+  const LintReport report = run_lint(nl, opt);
+  EXPECT_EQ(count_rule(report.findings, LintRule::kKeyGate), 2);
+  EXPECT_EQ(count_rule(report.findings, LintRule::kDecoyLatch), 1);
+  EXPECT_EQ(count_rule(report.findings, LintRule::kLockedConstant), 1);
+  EXPECT_TRUE(report.failed(/*strict=*/false));
+}
+
+TEST(DefenseLint, MisconfiguredConstructsAreFlagged) {
+  // A declared key gate with a 2-row mask that is neither BUF nor NOT, and
+  // a declared decoy latch configured to the *latched* polarity.
+  Netlist nl("misconf");
+  const CellId a = nl.add_input("a");
+  const CellId kg = nl.add_lut("kg0", {a}, 0b11);  // const1, not a key bit
+  const CellId q = nl.add_dff("dl0_q", a);
+  const CellId mux = nl.add_lut("dl0", {a, q}, 0xC);  // latched, not clear
+  const CellId g = nl.add_gate(CellKind::kAnd, "g", {kg, mux});
+  nl.mark_output(g);
+  nl.finalize();
+
+  LintOptions opt;
+  opt.run_audit = false;
+  opt.defense.key_gates.insert("kg0");
+  opt.defense.decoy_latches.insert("dl0");
+  const LintReport report = run_lint(nl, opt);
+  const LintFinding* kgf = find_rule(report.findings, LintRule::kKeyGate);
+  ASSERT_NE(kgf, nullptr);
+  EXPECT_EQ(kgf->cell_name, "kg0");
+  const LintFinding* dlf = find_rule(report.findings, LintRule::kDecoyLatch);
+  ASSERT_NE(dlf, nullptr);
+  EXPECT_EQ(dlf->cell_name, "dl0");
+}
+
+TEST(DefenseLint, AnnotationsSerializationRoundTrips) {
+  DefenseAnnotations a;
+  a.key_gates = {"kg1", "kg0"};
+  a.decoy_latches = {"dl0"};
+  a.locked_constants = {"lc0", "G17"};
+  const std::string text = annotations_to_string(a);
+  const DefenseAnnotations back = annotations_from_string(text);
+  EXPECT_EQ(back.key_gates, a.key_gates);
+  EXPECT_EQ(back.decoy_latches, a.decoy_latches);
+  EXPECT_EQ(back.locked_constants, a.locked_constants);
+  // Deterministic (sorted) emission.
+  EXPECT_EQ(annotations_to_string(back), text);
+  EXPECT_THROW(annotations_from_string("widget kg0\n"), std::runtime_error);
+  EXPECT_THROW(annotations_from_string("keygate\n"), std::runtime_error);
+  EXPECT_EQ(annotations_from_string("# comment\n\n").size(), 0u);
 }
 
 }  // namespace

@@ -295,6 +295,72 @@ TEST(CampaignTest, ReportsProgressOncePerRow) {
   EXPECT_EQ(last_total, report.rows.size());
 }
 
+TEST(CampaignTest, DefenseAttackMatrixIsByteIdenticalAcrossJobs) {
+  CampaignSpec spec;
+  spec.benchmarks = {"s641"};
+  spec.defenses = {{"xor", {{"count", "4"}}}, {"latch", {{"count", "3"}}}};
+  spec.attacks = {"sat", "none"};
+  spec.trials = 1;
+  spec.jobs = 1;
+  const CampaignReport serial = run_campaign(spec);
+  spec.jobs = 8;
+  const CampaignReport parallel = run_campaign(spec);
+  ASSERT_EQ(serial.rows.size(), 4u);
+  EXPECT_EQ(campaign_results_csv(serial), campaign_results_csv(parallel));
+  EXPECT_EQ(campaign_json(serial, /*include_profile=*/false),
+            campaign_json(parallel, /*include_profile=*/false));
+  for (const CampaignRow& row : serial.rows) {
+    EXPECT_TRUE(row.ok) << row.defense << ": " << row.error;
+    EXPECT_GT(row.key_cells, 0);
+    EXPECT_GT(row.key_bits, 0);
+    EXPECT_FALSE(row.defense_tuning.empty());
+    // Annotated lint: by-design constructs must not read as defects.
+    EXPECT_TRUE(row.lint_ran);
+    EXPECT_EQ(row.lint_errors, 0) << row.defense;
+    if (row.attack == "sat") {
+      EXPECT_TRUE(row.attack_ran);
+    } else {
+      EXPECT_FALSE(row.attack_ran);
+    }
+  }
+  // The results CSV carries the defense axis in the legacy algorithm
+  // column plus the new accounting columns.
+  const std::string csv = campaign_results_csv(serial);
+  EXPECT_NE(csv.find("defense_tuning"), std::string::npos);
+  EXPECT_NE(csv.find("key_bits"), std::string::npos);
+  EXPECT_NE(csv.find("count=4"), std::string::npos);
+  EXPECT_NE(csv.find("latch"), std::string::npos);
+}
+
+TEST(CampaignTest, UnknownDefenseAttackOrTuningThrowsWithKnownKinds) {
+  CampaignSpec bad_defense = small_spec(1);
+  bad_defense.defenses = {{"nope", {}}};
+  try {
+    run_campaign(bad_defense);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nope"), std::string::npos);
+    EXPECT_NE(msg.find("xor"), std::string::npos);  // lists the valid kinds
+    EXPECT_NE(msg.find("parametric"), std::string::npos);
+  }
+
+  CampaignSpec bad_attack = small_spec(1);
+  bad_attack.attacks = {"sat", "bogus"};
+  try {
+    run_campaign(bad_attack);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos);
+    EXPECT_NE(msg.find("sat"), std::string::npos);
+  }
+
+  CampaignSpec bad_tuning = small_spec(1);
+  bad_tuning.defenses = {{"xor", {{"zap", "1"}}}};
+  EXPECT_THROW(run_campaign(bad_tuning), std::invalid_argument);
+}
+
 TEST(CampaignReportTest, CsvShapesAreConsistent) {
   const CampaignReport report = run_campaign(small_spec(2));
   const std::string results = campaign_results_csv(report);

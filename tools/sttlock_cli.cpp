@@ -5,11 +5,16 @@
 //   sttlock lock    --in s641.bench --algorithm parametric --seed 7
 //                   --out-hybrid h.bench --out-foundry f.bench --out-key k.key
 //                   [--margin 0.05] [--pack] [--paths N]
+//   sttlock defend  --in s641.bench --kind xor --seed 7 --tune count=16
+//                   --out-locked l.bench --out-foundry f.bench
+//                   --out-key k.key --out-annotations a.txt
+//   sttlock defend  --list            (defense kinds + tuning knobs)
 //   sttlock attack  --view f.bench --oracle h.bench
 //                   --kind sat|seq|sens|gsens|bf|ml|dpa
 //                   [--seed S --time-limit T --query-budget Q --work-budget W]
 //                   [--tune k=v,... --portfolio K --jobs N --naive]
 //                   [--trace t.json --metrics m.json]
+//   sttlock attack  --list            (attack kinds + tuning knobs)
 //   sttlock convert --in x.bench --out y.v     (format by extension:
 //                                               .bench / .v / .blif)
 //   sttlock program --in f.bench --key k.key --out chip.bench
@@ -17,6 +22,8 @@
 //                    --benchmarks s641,s1238 --out-csv results.csv
 //                    --out-json results.json [--attack sat] [--progress]
 //                    [--trace t.json --metrics m.json]
+//                    [--defense xor:count=16,latch --attack sat,seq]
+//                    (--defense all --attack all = the full cross matrix)
 //   sttlock lint    --in h.bench [--json report.json] [--strict] [--no-audit]
 //   sttlock lint    --gen s641,s820 --algorithms parametric --seed 7
 //                   (generate + lock + lint each algorithm's output;
@@ -33,6 +40,7 @@
 #include "core/flow.hpp"
 #include "core/bitstream.hpp"
 #include "core/packing.hpp"
+#include "defense/registry.hpp"
 #include "graph/analysis.hpp"
 #include "io/blif_io.hpp"
 #include "obs/obs.hpp"
@@ -261,8 +269,52 @@ class ObsCapture {
   obs::MetricsSnapshot before_;
 };
 
+attack::Tuning parse_tuning_list(const std::string& list, char sep) {
+  attack::Tuning tuning;
+  for (const std::string& kv : split(list, sep)) {
+    if (trim(kv).empty()) continue;
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("tuning entries must be key=value, got '" +
+                               kv + "'");
+    }
+    tuning.emplace_back(std::string(trim(kv.substr(0, eq))),
+                        std::string(trim(kv.substr(eq + 1))));
+  }
+  return tuning;
+}
+
+int list_attacks() {
+  std::printf("registered attacks:\n");
+  for (const attack::AttackInfo& info : attack::registry().catalogue()) {
+    std::printf("  %-6s %s\n", info.name.c_str(), info.description.c_str());
+    for (const attack::AttackKnob& knob : info.knobs) {
+      std::printf("         --tune %s=<v> (default %s): %s\n",
+                  knob.key.c_str(), knob.default_value.c_str(),
+                  knob.help.c_str());
+    }
+  }
+  return 0;
+}
+
+int list_defenses() {
+  std::printf("registered defenses:\n");
+  for (const std::string& name : defense::registry().names()) {
+    const defense::DefenseBase& d = defense::registry().at(name);
+    std::printf("  %-12s %s\n", name.c_str(),
+                std::string(d.description()).c_str());
+    for (const defense::TuningKnob& knob : d.knobs()) {
+      std::printf("               --tune %s=<v> (default %s): %s\n",
+                  knob.key.c_str(), knob.default_value.c_str(),
+                  knob.help.c_str());
+    }
+  }
+  return 0;
+}
+
 int cmd_attack(const std::vector<std::string>& args) {
   ArgParser p;
+  p.add_flag("--list", "print the registered attacks and their knobs");
   p.add_option("--view", "attacker's netlist (LUT contents ignored)");
   p.add_option("--oracle", "configured netlist standing in for the chip");
   p.add_option("--kind", "attack to run: sat|seq|sens|gsens|bf|ml|dpa", "");
@@ -287,6 +339,7 @@ int cmd_attack(const std::vector<std::string>& args) {
                "");
   p.add_option("--metrics", "write the run's metrics delta (JSON) here", "");
   p.parse(args);
+  if (p.flag("--list")) return list_attacks();
 
   const Netlist view = foundry_view(load_netlist(p.get("--view")));
   const Netlist chip = load_netlist(p.get("--oracle"));
@@ -316,18 +369,7 @@ int cmd_attack(const std::vector<std::string>& args) {
     common.work_budget = p.get_int("--work-budget");
   }
 
-  attack::Tuning tuning;
-  for (const std::string& kv : split(p.get("--tune"), ',')) {
-    if (trim(kv).empty()) continue;
-    const auto eq = kv.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "--tune entries must be key=value, got '%s'\n",
-                   kv.c_str());
-      return 1;
-    }
-    tuning.emplace_back(std::string(trim(kv.substr(0, eq))),
-                        std::string(trim(kv.substr(eq + 1))));
-  }
+  attack::Tuning tuning = parse_tuning_list(p.get("--tune"), ',');
   if (p.get_int("--portfolio") != 1) {
     tuning.emplace_back("portfolio", p.get("--portfolio"));
   }
@@ -367,6 +409,69 @@ int cmd_attack(const std::vector<std::string>& args) {
   return r.success() ? 0 : 2;
 }
 
+int cmd_defend(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_flag("--list", "print the registered defenses and their knobs");
+  p.add_option("--in", "input netlist (pure CMOS)", "");
+  p.add_option("--kind",
+               "defense to apply: independent|dependent|parametric|xor|"
+               "latch|const (see --list)",
+               "parametric");
+  p.add_option("--seed", "defense seed", "1");
+  p.add_option("--margin", "paper-adapter timing margin", "0.05");
+  p.add_option("--tune",
+               "comma list of defense-specific key=value knobs, e.g. "
+               "count=16,xnor=0.5",
+               "");
+  p.add_option("--out-locked", "locked (configured) netlist output", "");
+  p.add_option("--out-foundry", "redacted netlist output", "");
+  p.add_option("--out-key", "plain key-file output", "");
+  p.add_option("--out-annotations",
+               "defense-annotation file consumed by `sttlock lint`", "");
+  p.parse(args);
+  if (p.flag("--list")) return list_defenses();
+  if (p.get("--in").empty()) {
+    std::fprintf(stderr, "defend: pass --in <netlist> (or --list)\n");
+    return 1;
+  }
+
+  const Netlist original = load_netlist(p.get("--in"));
+  const TechLibrary lib = TechLibrary::cmos90_stt();
+  defense::DefenseOptions opt;
+  opt.seed = static_cast<std::uint64_t>(p.get_int("--seed"));
+  opt.timing_margin = p.get_double("--margin");
+  const defense::DefenseResult r =
+      defense::registry().apply(p.get("--kind"), original, lib, opt,
+                                parse_tuning_list(p.get("--tune"), ','));
+
+  std::printf("%s: %s | %d key cells (%d key bits) | +%d cells, %d replaced\n",
+              r.defense.c_str(), r.detail.c_str(), r.key_cells, r.key_bits,
+              r.cells_added, r.cells_replaced);
+  std::printf("overhead: perf %+.2f%% | power %+.2f%% | area %+.2f%%\n",
+              r.overhead.perf_degradation_pct(),
+              r.overhead.power_overhead_pct(),
+              r.overhead.area_overhead_pct());
+  std::printf("attack cost: N_indep=%s  N_dep=%s  N_bf=%s test clocks\n",
+              r.security.n_indep.to_string().c_str(),
+              r.security.n_dep.to_string().c_str(),
+              r.security.n_bf.to_string().c_str());
+
+  if (!p.get("--out-locked").empty()) {
+    save_netlist(r.locked, p.get("--out-locked"), false);
+  }
+  if (!p.get("--out-foundry").empty()) {
+    save_netlist(r.locked, p.get("--out-foundry"), true);
+  }
+  if (!p.get("--out-key").empty()) {
+    write_text_file(p.get("--out-key"), key_to_string(r.key));
+  }
+  if (!p.get("--out-annotations").empty()) {
+    write_text_file(p.get("--out-annotations"),
+                    annotations_to_string(r.annotations));
+  }
+  return 0;
+}
+
 int cmd_campaign(const std::vector<std::string>& args) {
   ArgParser p;
   p.add_option("--benchmarks",
@@ -379,9 +484,14 @@ int cmd_campaign(const std::vector<std::string>& args) {
   p.add_option("--jobs", "worker threads (0 = all hardware threads)", "1");
   p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
   p.add_option("--attack",
-               "per-point oracle attack: none or a registry name "
-               "(sat|seq|sens|gsens|bf|ml|dpa)",
+               "attack axis: comma list of none and registry names "
+               "(sat|seq|sens|gsens|bf|ml|dpa), or 'all'",
                "none");
+  p.add_option("--defense",
+               "defense axis: comma list of kind[:k=v[:k=v...]] entries "
+               "(see 'sttlock defend --list'), or 'all'; default is the "
+               "--algorithms paper sweep",
+               "");
   p.add_option("--margin", "parametric timing margin", "0.05");
   p.add_option("--out-csv", "deterministic result rows (CSV)", "");
   p.add_option("--out-times-csv", "measured per-job timing rows (CSV)", "");
@@ -415,13 +525,45 @@ int cmd_campaign(const std::vector<std::string>& args) {
   spec.master_seed = static_cast<std::uint64_t>(p.get_int("--master-seed"));
   spec.jobs = static_cast<unsigned>(p.get_int("--jobs"));
   spec.max_attempts = static_cast<int>(p.get_int("--retries"));
-  spec.attack = p.get("--attack");
   spec.timing_margin = p.get_double("--margin");
+
+  // Defense axis: explicit entries override the --algorithms paper sweep.
+  const std::string defense_arg = p.get("--defense");
+  if (defense_arg == "all") {
+    for (const std::string& name : defense::registry().names()) {
+      spec.defenses.push_back({name, {}});
+    }
+  } else {
+    for (const std::string& entry : split(defense_arg, ',')) {
+      if (trim(entry).empty()) continue;
+      DefenseAxis axis;
+      const auto colon = entry.find(':');
+      axis.kind = std::string(trim(entry.substr(0, colon)));
+      if (colon != std::string::npos) {
+        axis.tuning = parse_tuning_list(entry.substr(colon + 1), ':');
+      }
+      spec.defenses.push_back(std::move(axis));
+    }
+  }
+  // Attack axis; unknown names are rejected by run_campaign with the list
+  // of valid kinds.
+  const std::string attack_arg = p.get("--attack");
+  if (attack_arg == "all") {
+    spec.attacks = attack::registry().names();
+  } else {
+    for (const std::string& name : split(attack_arg, ',')) {
+      if (trim(name).empty()) continue;
+      spec.attacks.push_back(std::string(trim(name)));
+    }
+  }
 
   const std::size_t grid =
       (spec.benchmarks.empty() ? iscas89_profiles().size()
                                : spec.benchmarks.size()) *
-      spec.algorithms.size() * static_cast<std::size_t>(spec.trials);
+      (spec.defenses.empty() ? spec.algorithms.size()
+                             : spec.defenses.size()) *
+      (spec.attacks.empty() ? 1 : spec.attacks.size()) *
+      static_cast<std::size_t>(spec.trials);
   ProgressMeter meter(grid, p.flag("--progress"));
   spec.on_progress = [&meter](std::size_t done, std::size_t,
                               const std::string& label) {
@@ -470,6 +612,10 @@ int cmd_lint(const std::vector<std::string>& args) {
   p.add_option("--margin", "with --gen: parametric timing margin", "0.05");
   p.add_option("--scoap-threshold",
                "SEC004 resolvability bound (justify+observe cost)", "6.0");
+  p.add_option("--annotations",
+               "defense annotation file (sttlock defend --out-annotations): "
+               "declared key gates / decoy latches / locked constants",
+               "");
   p.add_option("--json", "machine-readable report output path", "");
   p.add_flag("--strict", "treat warnings as errors in the exit code");
   p.add_flag("--no-audit", "structural layer only (skip the security audit)");
@@ -479,6 +625,13 @@ int cmd_lint(const std::vector<std::string>& args) {
   LintOptions opt;
   opt.run_audit = !p.flag("--no-audit");
   opt.audit.resolvability_threshold = p.get_double("--scoap-threshold");
+  if (!p.get("--annotations").empty()) {
+    std::ifstream in(p.get("--annotations"));
+    if (!in) throw std::runtime_error("cannot read " + p.get("--annotations"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    opt.defense = annotations_from_string(text.str());
+  }
 
   std::vector<LintReport> reports;
   auto lint_one = [&](const Netlist& nl) {
@@ -602,7 +755,8 @@ int cmd_program(const std::vector<std::string>& args) {
 void usage() {
   std::fputs(
       "usage: sttlock <command> [options]\n"
-      "commands: gen, info, lock, attack, campaign, lint, convert, program\n"
+      "commands: gen, info, lock, defend, attack, campaign, lint, convert, "
+      "program\n"
       "run 'sttlock <command> --help' is not needed — errors list options.\n",
       stderr);
 }
@@ -620,6 +774,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "defend") return cmd_defend(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "lint") return cmd_lint(args);
