@@ -1,23 +1,38 @@
-// Simulation-engine throughput: the perf trajectory of the compiled batch
-// simulator against the seed's single-pattern oracle path.
+// Simulation-engine throughput across SIMD ISAs: the perf trajectory of
+// the compiled batch simulator against the seed's single-pattern oracle
+// path and the seed's 64-bit word engine.
 //
-// Four modes apply the *same* scan patterns to the same locked circuit:
-//  * single         — one ScanOracle::query (bool in/out) per pattern, the
-//                     seed-era attack-loop driving style (1/64 word lanes);
-//  * word           — ScanOracle::query_word, 64 packed patterns per call;
-//  * batch          — ScanOracle::query_batch, W words per call through the
-//                     blocked wave layout;
-//  * batch_threaded — the same batch fanned out across the runtime
-//                     ThreadPool.
+// Two baseline rows plus a per-ISA matrix, all applying the *same* scan
+// patterns to the same locked circuit:
+//  * single          — one ScanOracle::query (bool in/out) per pattern,
+//                      the seed-era attack-loop driving style;
+//  * rows with isa "scalar64" — the scalar kernel pinned to the seed's
+//                      fixed 8-word block schedule: the 64-bit engine
+//                      exactly as it shipped before the SIMD lanes PR,
+//                      and the denominator of the speedup columns;
+//  * rows with isa "scalar"/"avx2"/"avx512" — the lane kernels under the
+//                      automatic block schedule (serial calls stream each
+//                      wave row end to end; threaded calls split the
+//                      batch by worker count), one row per granularity:
+//        word           ScanOracle::query_word, 64 packed patterns/call;
+//        batch          ScanOracle::query_batch, W words per call;
+//        batch_threaded query_batch fanned out across the ThreadPool.
 //
-// Every mode folds the oracle responses into one checksum, which must be
-// identical across modes (bit-identical results are a hard requirement of
-// the engine), and emits JSON to BENCH_sim_perf.json (override with --out)
-// so CI can archive the trajectory. `--smoke` runs a seconds-scale
-// configuration for CI; the default exercises the largest bundled
-// benchmark (s38584, ~20k gates).
+// Every row folds the oracle responses into one checksum that must be
+// identical across all modes and ISAs — bit-exactness across lane widths
+// is a hard requirement of the engine, checked here on real responses.
+// Timed rows run one untimed warm-up pass, then repeat until a minimum
+// wall time so the JSON reports steady-state throughput, not page faults.
+// JSON goes to BENCH_sim_perf.json (--out) for CI to archive.
+//
+// Acceptance gates (--smoke relaxes nothing; the gates scale by ISA):
+//  * batch (widest ISA) >= 5x single — the seed-era gate;
+//  * batch_threaded (widest ISA) >= 4x scalar64 batch_threaded when the
+//    widest ISA is avx512, >= 2x when it is avx2; no SIMD gate when only
+//    the scalar kernel is available.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -38,14 +53,16 @@ using namespace stt;
 
 constexpr std::uint64_t kSeed = 20160605;
 
-struct ModeResult {
-  std::string name;
-  double seconds = 0;
-  std::uint64_t patterns = 0;
+struct Row {
+  std::string mode;
+  std::string isa;      // "", "scalar64", "scalar", "avx2", "avx512"
+  double seconds = 0;   // summed over timed repetitions
+  std::uint64_t patterns = 0;  // summed over timed repetitions
   std::uint64_t checksum = 0;
+  int reps = 0;
 };
 
-double rate(const ModeResult& m) {
+double rate(const Row& m) {
   return m.seconds > 0 ? static_cast<double>(m.patterns) / m.seconds : 0.0;
 }
 
@@ -65,9 +82,11 @@ int main(int argc, char** argv) {
   ArgParser args;
   args.add_option("--benchmark",
                   "ISCAS'89 profile name (default s38584; s641 with --smoke)");
-  args.add_option("--patterns", "patterns per mode (rounded up to words)");
+  args.add_option("--patterns", "patterns per repetition (rounded to words)");
   args.add_option("--batch-words", "words per query_batch call", "256");
   args.add_option("--jobs", "threads for batch_threaded (0 = hardware)", "0");
+  args.add_option("--min-seconds",
+                  "minimum timed wall per row (single runs once)", "0.3");
   args.add_option("--out", "output JSON path", "BENCH_sim_perf.json");
   args.add_flag("--smoke", "seconds-scale CI configuration (s641, few words)");
   try {
@@ -94,6 +113,7 @@ int main(int argc, char** argv) {
   const std::size_t n_patterns = n_words * 64;
   const std::size_t batch_words =
       std::min<std::size_t>(args.get_int("--batch-words"), n_words);
+  const double min_seconds = args.get_double("--min-seconds");
 
   // Build the evaluated chip: generated replica, locked with the paper's
   // parametric selection so the instruction stream contains LUTs.
@@ -115,11 +135,11 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> stim(n_in * n_words);
   for (auto& w : stim) w = rng();
 
-  std::vector<ModeResult> modes;
+  std::vector<Row> rows;
 
   {  // single: the seed-era driving style, one bool pattern per query.
     ScanOracle oracle(chip);
-    ModeResult m{"single", 0, n_patterns, 0};
+    Row m{"single", "", 0, n_patterns, 0, 1};
     std::vector<bool> pattern(n_in);
     std::vector<std::uint64_t> packed(n_out, 0);
     Timer timer;
@@ -137,90 +157,151 @@ int main(int argc, char** argv) {
       m.checksum = fold(m.checksum, packed);
     }
     m.seconds = timer.seconds();
-    modes.push_back(m);
+    rows.push_back(m);
   }
 
-  {  // word: 64 packed patterns per oracle call.
-    ScanOracle oracle(chip);
-    ModeResult m{"word", 0, n_patterns, 0};
-    std::vector<std::uint64_t> in(n_in), out(n_out);
+  // Timed repetition driver: one untimed warm-up pass (faults pages,
+  // warms caches, and folds the row checksum — the steady state is what
+  // attack loops see), then repeat until min_seconds of wall time. Timed
+  // passes skip the checksum transpose: responses are deterministic, and
+  // attack loops consume response rows in place rather than re-packing
+  // them per word.
+  const auto repeat = [&](Row row, const auto& pass) {
+    pass(row, /*collect_checksum=*/true);  // warm-up
+    row.patterns = 0;
     Timer timer;
-    for (std::size_t w = 0; w < n_words; ++w) {
-      for (std::size_t i = 0; i < n_in; ++i) in[i] = stim[i * n_words + w];
-      oracle.query_word(in, out);
-      m.checksum = fold(m.checksum, out);
-    }
-    m.seconds = timer.seconds();
-    modes.push_back(m);
-  }
+    do {
+      pass(row, /*collect_checksum=*/false);
+      row.patterns += n_patterns;
+      ++row.reps;
+      row.seconds = timer.seconds();
+    } while (row.seconds < min_seconds);
+    rows.push_back(row);
+  };
 
-  const auto run_batch = [&](const std::string& name, ParallelFor* par) {
+  // One oracle and one set of staging buffers per *row*, reused across the
+  // warm-up pass and every timed repetition — steady-state throughput, not
+  // allocator and page-fault noise, is what the attack loops experience.
+  const auto run_word_row = [&](const std::string& isa_label) {
     ScanOracle oracle(chip);
-    ModeResult m{name, 0, n_patterns, 0};
+    std::vector<std::uint64_t> in(n_in), out(n_out);
+    repeat({"word", isa_label, 0, 0, 0, 0}, [&](Row& m, bool collect) {
+      std::uint64_t acc = 0;
+      for (std::size_t w = 0; w < n_words; ++w) {
+        for (std::size_t i = 0; i < n_in; ++i) in[i] = stim[i * n_words + w];
+        oracle.query_word(in, out);
+        if (collect) acc = fold(acc, out);
+      }
+      if (collect) m.checksum = acc;
+    });
+  };
+
+  const auto run_batch_row = [&](const std::string& mode,
+                                 const std::string& isa_label,
+                                 ParallelFor* par) {
+    ScanOracle oracle(chip);
     std::vector<std::uint64_t> in(n_in * batch_words);
     std::vector<std::uint64_t> out(n_out * batch_words);
     std::vector<std::uint64_t> packed(n_out, 0);
-    Timer timer;
-    for (std::size_t w0 = 0; w0 < n_words; w0 += batch_words) {
-      const std::size_t bw = std::min(batch_words, n_words - w0);
-      for (std::size_t i = 0; i < n_in; ++i) {
+    repeat({mode, isa_label, 0, 0, 0, 0}, [&](Row& m, bool collect) {
+      std::uint64_t acc = 0;
+      for (std::size_t w0 = 0; w0 < n_words; w0 += batch_words) {
+        const std::size_t bw = std::min(batch_words, n_words - w0);
+        for (std::size_t i = 0; i < n_in; ++i) {
+          for (std::size_t w = 0; w < bw; ++w) {
+            in[i * bw + w] = stim[i * n_words + w0 + w];
+          }
+        }
+        oracle.query_batch(bw, std::span(in.data(), n_in * bw),
+                           std::span(out.data(), n_out * bw), par);
+        if (!collect) continue;
+        // Checksum word-by-word so every row folds identical sequences.
         for (std::size_t w = 0; w < bw; ++w) {
-          in[i * bw + w] = stim[i * n_words + w0 + w];
+          for (std::size_t o = 0; o < n_out; ++o) packed[o] = out[o * bw + w];
+          acc = fold(acc, packed);
         }
       }
-      oracle.query_batch(bw, std::span(in.data(), n_in * bw),
-                         std::span(out.data(), n_out * bw), par);
-      // Checksum word-by-word so every mode folds identical sequences.
-      for (std::size_t w = 0; w < bw; ++w) {
-        for (std::size_t o = 0; o < n_out; ++o) packed[o] = out[o * bw + w];
-        m.checksum = fold(m.checksum, packed);
-      }
-    }
-    m.seconds = timer.seconds();
-    modes.push_back(m);
+      if (collect) m.checksum = acc;
+    });
   };
-
-  run_batch("batch", nullptr);
 
   const unsigned jobs = static_cast<unsigned>(args.get_int("--jobs"));
   ThreadPool pool(jobs);
   ThreadPoolParallelFor par(pool);
-  run_batch("batch_threaded", &par);
 
-  for (const ModeResult& m : modes) {
-    if (m.checksum != modes.front().checksum) {
+  // The ISA matrix: the scalar64 baseline (seed engine: scalar kernel,
+  // fixed 8-word blocks), then every kernel this build+host supports
+  // under the automatic schedule.
+  struct IsaRun {
+    std::string label;
+    SimIsa isa;
+    std::size_t block;  // 0 = automatic policy
+  };
+  std::vector<IsaRun> isa_runs{
+      {"scalar64", SimIsa::kScalar, CompiledSim::kWordsPerBlock}};
+  for (const SimIsa isa : {SimIsa::kScalar, SimIsa::kAvx2, SimIsa::kAvx512}) {
+    if (sim_isa_supported(isa)) isa_runs.push_back({sim_isa_name(isa), isa, 0});
+  }
+  const std::string widest = isa_runs.back().label;
+
+  const std::size_t saved_block = CompiledSim::batch_block_override();
+  for (const IsaRun& run : isa_runs) {
+    ScopedSimIsa force(run.isa);
+    CompiledSim::set_batch_block_override(run.block);
+    run_word_row(run.label);
+    run_batch_row("batch", run.label, nullptr);
+    run_batch_row("batch_threaded", run.label, &par);
+    CompiledSim::set_batch_block_override(saved_block);
+  }
+
+  for (const Row& m : rows) {
+    if (m.checksum != rows.front().checksum) {
       std::fprintf(stderr,
-                   "bench_sim_perf: checksum mismatch in mode %s "
-                   "(%016llx vs %016llx) — batched results are NOT "
-                   "bit-identical\n",
-                   m.name.c_str(),
+                   "bench_sim_perf: checksum mismatch in %s[%s] "
+                   "(%016llx vs %016llx) — results are NOT bit-identical "
+                   "across modes/ISAs\n",
+                   m.mode.c_str(), m.isa.c_str(),
                    static_cast<unsigned long long>(m.checksum),
-                   static_cast<unsigned long long>(modes.front().checksum));
+                   static_cast<unsigned long long>(rows.front().checksum));
       return 1;
     }
   }
 
-  const double single_rate = rate(modes.front());
+  const auto find_row = [&](const std::string& mode,
+                            const std::string& isa) -> const Row* {
+    for (const Row& m : rows) {
+      if (m.mode == mode && m.isa == isa) return &m;
+    }
+    return nullptr;
+  };
+  const double single_rate = rate(rows.front());
+  const Row* base_threaded = find_row("batch_threaded", "scalar64");
+
   std::string json = "{\n";
   json += "  \"benchmark\": \"" + profile->name + "\",\n";
   json += "  \"gates\": " + std::to_string(n_gates) + ",\n";
   json += "  \"patterns\": " + std::to_string(n_patterns) + ",\n";
   json += "  \"batch_words\": " + std::to_string(batch_words) + ",\n";
   json += "  \"threads\": " + std::to_string(pool.size()) + ",\n";
-  json += "  \"checksum\": \"" + std::to_string(modes.front().checksum) +
+  json += "  \"widest_isa\": \"" + widest + "\",\n";
+  json += "  \"checksum\": \"" + std::to_string(rows.front().checksum) +
           "\",\n";
   json += "  \"modes\": [\n";
-  for (std::size_t i = 0; i < modes.size(); ++i) {
-    const ModeResult& m = modes[i];
-    char buf[256];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& m = rows[i];
+    const Row* base = find_row(m.mode, "scalar64");
+    const double vs64 =
+        base != nullptr && rate(*base) > 0 ? rate(m) / rate(*base) : 0.0;
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"seconds\": %.6f, "
-                  "\"patterns_per_sec\": %.1f, \"gates_per_sec\": %.3e, "
-                  "\"speedup_vs_single\": %.2f}%s\n",
-                  m.name.c_str(), m.seconds, rate(m),
+                  "    {\"name\": \"%s\", \"isa\": \"%s\", \"reps\": %d, "
+                  "\"seconds\": %.6f, \"patterns_per_sec\": %.1f, "
+                  "\"gates_per_sec\": %.3e, \"speedup_vs_single\": %.2f, "
+                  "\"speedup_vs_scalar64\": %.2f}%s\n",
+                  m.mode.c_str(), m.isa.c_str(), m.reps, m.seconds, rate(m),
                   rate(m) * static_cast<double>(n_gates),
-                  single_rate > 0 ? rate(m) / single_rate : 0.0,
-                  i + 1 < modes.size() ? "," : "");
+                  single_rate > 0 ? rate(m) / single_rate : 0.0, vs64,
+                  i + 1 < rows.size() ? "," : "");
     json += buf;
   }
   json += "  ]\n}\n";
@@ -236,14 +317,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Acceptance gate: the batched path must beat the seed-era single-pattern
-  // oracle by at least 5x (in practice ~64x from lane packing alone).
-  const double batch_rate = rate(modes[2]);
-  if (single_rate > 0 && batch_rate < 5.0 * single_rate) {
+  // Gate 1 (seed-era): the widest batched path must beat the seed's
+  // single-pattern oracle by at least 5x.
+  const Row* widest_batch = find_row("batch", widest);
+  if (widest_batch == nullptr ||
+      (single_rate > 0 && rate(*widest_batch) < 5.0 * single_rate)) {
     std::fprintf(stderr,
-                 "bench_sim_perf: batch speedup %.2fx below the 5x gate\n",
-                 batch_rate / single_rate);
+                 "bench_sim_perf: batch[%s] speedup %.2fx below the 5x gate\n",
+                 widest.c_str(),
+                 widest_batch != nullptr && single_rate > 0
+                     ? rate(*widest_batch) / single_rate
+                     : 0.0);
     return 1;
+  }
+  // Gate 2 (SIMD lanes): the widest batch_threaded row must beat the
+  // 64-bit seed engine by an ISA-scaled factor. Applies to the default
+  // (large-circuit) configuration only: sub-1k-gate smoke circuits are
+  // instruction-decode-bound, where lane width buys little by design —
+  // smoke runs still enforce the cross-ISA checksum identity above.
+  const double simd_gate =
+      widest == "avx512" ? 4.0 : widest == "avx2" ? 2.0 : 0.0;
+  if (smoke && simd_gate > 0) {
+    std::fprintf(stderr,
+                 "bench_sim_perf: --smoke skips the %.0fx SIMD gate "
+                 "(decode-bound small circuit); run the default "
+                 "configuration to enforce it\n",
+                 simd_gate);
+  }
+  if (simd_gate > 0 && !smoke) {
+    const Row* widest_threaded = find_row("batch_threaded", widest);
+    const double base_rate =
+        base_threaded != nullptr ? rate(*base_threaded) : 0.0;
+    const double got = widest_threaded != nullptr && base_rate > 0
+                           ? rate(*widest_threaded) / base_rate
+                           : 0.0;
+    if (got < simd_gate) {
+      std::fprintf(stderr,
+                   "bench_sim_perf: batch_threaded[%s] is %.2fx the 64-bit "
+                   "engine, below the %.0fx SIMD gate\n",
+                   widest.c_str(), got, simd_gate);
+      return 1;
+    }
   }
   return 0;
 }

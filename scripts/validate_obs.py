@@ -104,8 +104,33 @@ def validate_metrics(path, require_counters):
         if name not in doc["counters"]:
             fail(f"{path}: required counter {name!r} absent"
                  f" (present: {sorted(doc['counters'])})")
+    validate_sim_isa_counters(path, doc["counters"])
     print(f"validate_obs: OK: {path}: {len(doc['counters'])} counters,"
           f" {len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms")
+
+
+def validate_sim_isa_counters(path, counters):
+    """Cross-check the simulation engine's per-ISA word attribution.
+
+    ``sim.words`` counts true pattern words; ``sim.isa.<name>`` and
+    ``sim.lane_words.<K>`` attribute those same words to the kernel that
+    evaluated them, so each family must sum to exactly ``sim.words``.
+    """
+    if "sim.words" not in counters:
+        return
+    total = counters["sim.words"]
+    for prefix in ("sim.isa.", "sim.lane_words."):
+        family = {k: v for k, v in counters.items() if k.startswith(prefix)}
+        if not family:
+            fail(f"{path}: sim.words present but no {prefix}* counters")
+        attributed = sum(family.values())
+        if attributed != total:
+            fail(f"{path}: {prefix}* counters sum to {attributed},"
+                 f" expected sim.words={total} ({family})")
+    known_isas = {"sim.isa.scalar", "sim.isa.avx2", "sim.isa.avx512"}
+    unknown = {k for k in counters if k.startswith("sim.isa.")} - known_isas
+    if unknown:
+        fail(f"{path}: unknown sim.isa counters {sorted(unknown)}")
 
 
 def validate_campaign(path, require_defenses, require_attacks):

@@ -1,6 +1,7 @@
 #include "attack/brute_force.hpp"
 
 #include <optional>
+#include <span>
 #include <stdexcept>
 
 #include "core/similarity.hpp"
@@ -91,9 +92,39 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
   }
 
   // Candidate screening runs on the compiled engine: lower once, patch the
-  // candidate masks in place, evaluate into a reused scratch wave.
+  // candidate masks in place, evaluate into a reused scratch wave. Words
+  // are screened one SIMD lane per pass (chunked eval_batch with the
+  // blocked layout), so a wrong candidate still fails fast — at lane
+  // granularity — while every evaluated lane is full-width. The last
+  // chunk keeps its true width (the engine finishes misaligned tails with
+  // the scalar kernel), so the verdict and the sim.words accounting are
+  // identical to the seed's word-at-a-time loop under every ISA.
   CompiledSim sim(work);
-  std::vector<std::uint64_t> wave(sim.wave_size());
+  const std::size_t chunk =
+      std::max<std::size_t>(std::size_t{1}, CompiledSim::lane_words());
+  const std::size_t n_chunks =
+      n_words > 0 ? (static_cast<std::size_t>(n_words) + chunk - 1) / chunk
+                  : 0;
+  const auto chunk_width = [&](std::size_t c) {
+    return std::min(chunk, static_cast<std::size_t>(n_words) - c * chunk);
+  };
+  std::vector<std::vector<std::uint64_t>> pi_blk(n_chunks);
+  std::vector<std::vector<std::uint64_t>> ff_blk(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t cw = chunk_width(c);
+    pi_blk[c].resize(n_pi * cw);
+    ff_blk[c].resize(n_ff * cw);
+    for (std::size_t w = 0; w < cw; ++w) {
+      const std::size_t src = c * chunk + w;
+      for (std::size_t i = 0; i < n_pi; ++i) {
+        pi_blk[c][i * cw + w] = pi_words[src][i];
+      }
+      for (std::size_t j = 0; j < n_ff; ++j) {
+        ff_blk[c][j * cw + w] = ff_words[src][j];
+      }
+    }
+  }
+  std::vector<std::uint64_t> wave(sim.wave_size() * chunk);
   std::vector<std::size_t> odometer(lut_ids.size(), 0);
   auto install = [&] {
     for (std::size_t i = 0; i < lut_ids.size(); ++i) {
@@ -104,13 +135,21 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
   const auto po_cells = sim.output_cells();
   const auto ns_cells = sim.next_state_cells();
   auto matches = [&] {
-    for (int w = 0; w < n_words; ++w) {
-      sim.eval_word(pi_words[w], ff_words[w], wave);
-      for (std::size_t o = 0; o < po_cells.size(); ++o) {
-        if (wave[po_cells[o]] != expected[w][o]) return false;
-      }
-      for (std::size_t j = 0; j < ns_cells.size(); ++j) {
-        if (wave[ns_cells[j]] != expected[w][po_cells.size() + j]) return false;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const std::size_t cw = chunk_width(c);
+      sim.eval_batch(cw, pi_blk[c], ff_blk[c],
+                     std::span(wave.data(), sim.wave_size() * cw));
+      const std::size_t base = c * chunk;
+      for (std::size_t w = 0; w < cw; ++w) {
+        const auto& exp = expected[base + w];
+        for (std::size_t o = 0; o < po_cells.size(); ++o) {
+          if (wave[po_cells[o] * cw + w] != exp[o]) return false;
+        }
+        for (std::size_t j = 0; j < ns_cells.size(); ++j) {
+          if (wave[ns_cells[j] * cw + w] != exp[po_cells.size() + j]) {
+            return false;
+          }
+        }
       }
     }
     return true;

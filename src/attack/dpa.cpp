@@ -90,10 +90,19 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
     }
   }
 
-  // Compile the model once; each candidate is an O(1) mask patch plus
-  // n_words zero-allocation evaluations into a reused scratch wave.
+  // Compile the model once; each candidate is an O(1) mask patch plus one
+  // eval_batch over the whole recorded stimulus in the blocked layout (the
+  // engine runs whole SIMD lanes and finishes any misaligned tail with the
+  // scalar kernel). The target's row of the blocked wave is then walked
+  // serially to chain the toggle indicator.
   CompiledSim sim(model);
-  std::vector<std::uint64_t> wave(sim.wave_size());
+  const std::size_t W = n_words;
+  std::vector<std::uint64_t> pi_blk(n_pi * W), ff_blk(n_ff * W);
+  for (std::size_t w = 0; w < W; ++w) {
+    for (std::size_t i = 0; i < n_pi; ++i) pi_blk[i * W + w] = pi_words[w][i];
+    for (std::size_t j = 0; j < n_ff; ++j) ff_blk[j * W + w] = ff_words[w][j];
+  }
+  std::vector<std::uint64_t> wave(sim.wave_size() * W);
   std::vector<double> prediction;
   for (const std::uint64_t candidate : candidates) {
     sim.set_lut_mask(target, candidate & full_mask(k));
@@ -103,9 +112,9 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
     prediction.clear();
     prediction.reserve(measured.size());
     bool prev_out = false;
+    if (W != 0) sim.eval_batch(W, pi_blk, ff_blk, wave);
     for (std::size_t w = 0; w < n_words; ++w) {
-      sim.eval_word(pi_words[w], ff_words[w], wave);
-      const std::uint64_t target_word = wave[target];
+      const std::uint64_t target_word = wave[target * W + w];
       const std::size_t lanes = std::min<std::size_t>(64, n_cycles - w * 64);
       for (std::size_t b = 0; b < lanes; ++b) {
         const bool out = (target_word >> b) & 1ull;

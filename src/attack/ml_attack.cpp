@@ -73,9 +73,21 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
   }
 
   // Scoring runs on the compiled engine with in-place mask patches and a
-  // reused scratch wave: zero allocations per annealing step.
+  // reused scratch wave: zero allocations per annealing step. The whole
+  // training signature is scored in one eval_batch over the blocked
+  // layout; the engine runs whole SIMD lanes and finishes any misaligned
+  // tail with the scalar kernel, so the score — and the sim.words
+  // accounting — stay identical to the seed's word-at-a-time loop under
+  // every ISA.
   CompiledSim sim(work);
-  std::vector<std::uint64_t> wave(sim.wave_size());
+  const std::size_t n_w = static_cast<std::size_t>(n_words);
+  const std::size_t W = n_w;
+  std::vector<std::uint64_t> pi_blk(n_pi * W), ff_blk(n_ff * W);
+  for (std::size_t w = 0; w < W; ++w) {
+    for (std::size_t i = 0; i < n_pi; ++i) pi_blk[i * W + w] = pi_words[w][i];
+    for (std::size_t j = 0; j < n_ff; ++j) ff_blk[j * W + w] = ff_words[w][j];
+  }
+  std::vector<std::uint64_t> wave(sim.wave_size() * W);
   const auto po_cells = sim.output_cells();
   const auto ns_cells = sim.next_state_cells();
   const auto set_mask = [&](CellId id, std::uint64_t mask) {
@@ -85,15 +97,16 @@ MlAttackResult run_ml_attack(const Netlist& hybrid, ScanOracle& oracle,
   const auto total_bits =
       static_cast<double>(n_words) * 64.0 * static_cast<double>(n_out);
   auto score = [&]() -> long long {
+    if (W == 0) return 0;
+    sim.eval_batch(W, pi_blk, ff_blk, wave);
     long long mismatches = 0;
-    for (int w = 0; w < n_words; ++w) {
-      sim.eval_word(pi_words[w], ff_words[w], wave);
+    for (std::size_t w = 0; w < n_w; ++w) {
       for (std::size_t o = 0; o < po_cells.size(); ++o) {
-        mismatches += std::popcount(wave[po_cells[o]] ^ expected[w][o]);
+        mismatches += std::popcount(wave[po_cells[o] * W + w] ^ expected[w][o]);
       }
       for (std::size_t j = 0; j < ns_cells.size(); ++j) {
-        mismatches +=
-            std::popcount(wave[ns_cells[j]] ^ expected[w][po_cells.size() + j]);
+        mismatches += std::popcount(wave[ns_cells[j] * W + w] ^
+                                    expected[w][po_cells.size() + j]);
       }
     }
     return mismatches;

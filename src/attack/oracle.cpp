@@ -16,7 +16,23 @@ obs::Counter& oracle_queries_counter() {
 }  // namespace
 
 ScanOracle::ScanOracle(const Netlist& configured)
-    : nl_(&configured), sim_(configured), wave_(configured.size(), 0) {}
+    : nl_(&configured),
+      sim_(configured),
+      // Scratch capacity is reserved in whole SIMD lanes of the active
+      // kernel (not the seed's hardcoded one-64-bit-word-per-row), so
+      // single-word queries and lane-sized batches share one allocation
+      // and a wide kernel may always round a row span up to a full lane.
+      wave_(sim_.wave_size() * CompiledSim::padded_words(1), 0) {}
+
+/// Grow the wave scratch to hold `W` words per row, rounded up to whole
+/// lanes of the active kernel. The padding words are never part of the
+/// span handed to the engine; they only guarantee the allocation is
+/// lane-granular, so alternating query widths under a wide ISA never
+/// reallocates per call.
+void ScanOracle::grow_wave(std::size_t W) {
+  const std::size_t need = sim_.wave_size() * CompiledSim::padded_words(W);
+  if (wave_.size() < need) wave_.resize(need);
+}
 
 std::size_t ScanOracle::num_inputs() const {
   return nl_->inputs().size() + nl_->dffs().size();
@@ -39,7 +55,7 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
   for (std::size_t j = 0; j < ff.size(); ++j) {
     ff[j] = inputs[n_pi + j] ? ~0ull : 0;
   }
-  if (wave_.size() < sim_.wave_size()) wave_.resize(sim_.wave_size());
+  grow_wave(1);
   const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size());
   sim_.eval_word(pi, ff, wave);
   std::vector<bool> out;
@@ -63,7 +79,7 @@ void ScanOracle::query_word(std::span<const std::uint64_t> inputs,
   oracle_queries_counter().add(64);
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
-  if (wave_.size() < sim_.wave_size()) wave_.resize(sim_.wave_size());
+  grow_wave(1);
   sim_.eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff),
                  std::span<std::uint64_t>(wave_.data(), sim_.wave_size()));
   const std::size_t n_po = sim_.num_outputs();
@@ -91,7 +107,7 @@ void ScanOracle::query_batch(std::size_t W,
   oracle_queries_counter().add(64 * static_cast<std::uint64_t>(W));
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
-  if (wave_.size() < sim_.wave_size() * W) wave_.resize(sim_.wave_size() * W);
+  grow_wave(W);
   const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size() * W);
   sim_.eval_batch(W, inputs.first(n_pi * W), inputs.subspan(n_pi * W, n_ff * W),
                   wave, par);

@@ -55,9 +55,11 @@ class ScanOracle {
   std::uint64_t queries() const { return queries_; }
 
  private:
+  void grow_wave(std::size_t W);
+
   const Netlist* nl_;
   CompiledSim sim_;
-  std::vector<std::uint64_t> wave_;  ///< scratch, grown on demand
+  std::vector<std::uint64_t> wave_;  ///< scratch, grown in whole SIMD lanes
   std::uint64_t queries_ = 0;
 };
 

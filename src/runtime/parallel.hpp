@@ -22,6 +22,10 @@ class ThreadPoolParallelFor : public ParallelFor {
   void run(std::size_t n,
            const std::function<void(std::size_t)>& fn) override;
 
+  /// Pool width, so eval_batch can size its word blocks to the worker
+  /// count instead of assuming a fixed grain.
+  std::size_t concurrency() const override { return pool_->size(); }
+
  private:
   ThreadPool* pool_;
 };

@@ -1,6 +1,8 @@
 #include "sim/compiled.hpp"
 
-#include <bit>
+#include <array>
+#include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -11,14 +13,74 @@ namespace {
 
 constexpr std::uint32_t kNoInstr = static_cast<std::uint32_t>(-1);
 
-obs::Counter& sim_words_counter() {
-  static obs::Counter& c = obs::Metrics::global().counter("sim.words");
-  return c;
+/// Per-ISA word accounting: `sim.words` is the true pattern-word count
+/// (one word = 64 patterns regardless of lane width — ProgressMeter's
+/// Mevals/s and campaign obs read it), while `sim.isa.<name>` and
+/// `sim.lane_words.<K>` attribute the same words to the kernel that
+/// evaluated them, so metrics snapshots show which ISA ran.
+struct WordCounters {
+  obs::Counter* words;
+  obs::Counter* isa_words;
+  obs::Counter* lane_words;
+};
+
+WordCounters counters_for(SimIsa isa) {
+  static obs::Counter& words = obs::Metrics::global().counter("sim.words");
+  static const auto per_isa = [] {
+    std::array<std::pair<obs::Counter*, obs::Counter*>, 3> c{};
+    for (const SimIsa i :
+         {SimIsa::kScalar, SimIsa::kAvx2, SimIsa::kAvx512}) {
+      auto& m = obs::Metrics::global();
+      c[static_cast<int>(i)] = {
+          &m.counter(std::string("sim.isa.") + sim_isa_name(i)),
+          &m.counter("sim.lane_words." +
+                     std::to_string(sim_lane_words(i)))};
+    }
+    return c;
+  }();
+  const auto& [isa_words, lane_words] = per_isa[static_cast<int>(isa)];
+  return {&words, isa_words, lane_words};
+}
+
+/// Block-size pin (0 = automatic policy). Seeded once from the
+/// STTLOCK_SIM_BLOCK environment variable; set_batch_block_override takes
+/// precedence afterwards.
+std::atomic<std::size_t>& block_override_slot() {
+  static std::atomic<std::size_t> slot{[] {
+    const char* e = std::getenv("STTLOCK_SIM_BLOCK");
+    return e != nullptr && *e != '\0'
+               ? static_cast<std::size_t>(std::strtoull(e, nullptr, 10))
+               : std::size_t{0};
+  }()};
+  return slot;
+}
+
+simk::KernelFn kernel_for(SimIsa isa) {
+  switch (isa) {
+    case SimIsa::kAvx2:
+      if (simk::KernelFn k = simk::avx2_kernel()) return k;
+      break;
+    case SimIsa::kAvx512:
+      if (simk::KernelFn k = simk::avx512_kernel()) return k;
+      break;
+    case SimIsa::kScalar:
+      break;
+  }
+  return simk::scalar_kernel();
 }
 
 }  // namespace
 
-CompiledSim::Op CompiledSim::opcode_for(const Cell& cell) {
+void CompiledSim::set_batch_block_override(std::size_t words) {
+  block_override_slot().store(words, std::memory_order_relaxed);
+}
+
+std::size_t CompiledSim::batch_block_override() {
+  return block_override_slot().load(std::memory_order_relaxed);
+}
+
+simk::Op CompiledSim::opcode_for(const Cell& cell) {
+  using simk::Op;
   const int n = cell.fanin_count();
   switch (cell.kind) {
     case CellKind::kConst0:
@@ -63,7 +125,7 @@ CompiledSim::CompiledSim(const Netlist& nl)
   for (const CellId id : order) {
     const Cell& c = nl.cell(id);
     if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
-    Instr ins;
+    simk::Instr ins;
     ins.out = id;
     ins.fanin_begin = static_cast<std::uint32_t>(fanins_.size());
     ins.fanin_count = static_cast<std::uint16_t>(c.fanin_count());
@@ -75,6 +137,16 @@ CompiledSim::CompiledSim(const Netlist& nl)
     instr_of_[id] = static_cast<std::uint32_t>(instrs_.size());
     instrs_.push_back(ins);
   }
+  // The vectors never reallocate after lowering (set_lut_mask and
+  // resync_functions mutate elements in place), so this view stays valid
+  // for the engine's lifetime.
+  stream_.instrs = instrs_.data();
+  stream_.n_instrs = instrs_.size();
+  stream_.fanins = fanins_.data();
+  stream_.inputs = inputs_.data();
+  stream_.n_inputs = inputs_.size();
+  stream_.dffs = dffs_.data();
+  stream_.n_dffs = dffs_.size();
 }
 
 void CompiledSim::set_lut_mask(CellId id, std::uint64_t mask) {
@@ -82,8 +154,9 @@ void CompiledSim::set_lut_mask(CellId id, std::uint64_t mask) {
   if (idx == kNoInstr) {
     throw std::invalid_argument("CompiledSim::set_lut_mask: not an instruction");
   }
-  Instr& ins = instrs_[idx];
-  if (ins.op != Op::kLut1 && ins.op != Op::kLut2 && ins.op != Op::kLutN) {
+  simk::Instr& ins = instrs_[idx];
+  if (ins.op != simk::Op::kLut1 && ins.op != simk::Op::kLut2 &&
+      ins.op != simk::Op::kLutN) {
     throw std::invalid_argument("CompiledSim::set_lut_mask: cell is not a LUT");
   }
   ins.mask = mask & full_mask(ins.fanin_count);
@@ -98,182 +171,19 @@ std::uint64_t CompiledSim::lut_mask(CellId id) const {
 }
 
 void CompiledSim::resync_functions() {
-  for (Instr& ins : instrs_) {
+  for (simk::Instr& ins : instrs_) {
     const Cell& c = nl_->cell(ins.out);
     if (c.fanin_count() != static_cast<int>(ins.fanin_count)) {
       throw std::runtime_error(
           "CompiledSim::resync_functions: netlist structure changed");
     }
-    const Op op = opcode_for(c);
+    const simk::Op op = opcode_for(c);
     const std::uint64_t mask =
         c.kind == CellKind::kLut ? (c.lut_mask & full_mask(c.fanin_count()))
                                  : 0;
     // Write only on change so read-only concurrent use stays data-race free.
     if (ins.op != op) ins.op = op;
     if (ins.mask != mask) ins.mask = mask;
-  }
-}
-
-void CompiledSim::run_instrs(std::span<const std::uint64_t> pi,
-                             std::span<const std::uint64_t> ff,
-                             std::span<std::uint64_t> wave, std::size_t stride,
-                             std::size_t w0, std::size_t nw) const {
-  std::uint64_t* const wv = wave.data();
-  // Seed the combinational sources: PI and flip-flop output rows.
-  for (std::size_t i = 0; i < inputs_.size(); ++i) {
-    const std::uint64_t* src = pi.data() + i * stride + w0;
-    std::uint64_t* dst = wv + inputs_[i] * stride + w0;
-    for (std::size_t w = 0; w < nw; ++w) dst[w] = src[w];
-  }
-  for (std::size_t j = 0; j < dffs_.size(); ++j) {
-    const std::uint64_t* src = ff.data() + j * stride + w0;
-    std::uint64_t* dst = wv + dffs_[j] * stride + w0;
-    for (std::size_t w = 0; w < nw; ++w) dst[w] = src[w];
-  }
-
-  const std::uint32_t* const fans = fanins_.data();
-  for (const Instr& ins : instrs_) {
-    std::uint64_t* out = wv + ins.out * stride + w0;
-    const std::uint32_t* f = fans + ins.fanin_begin;
-    const auto row = [&](std::size_t i) -> const std::uint64_t* {
-      return wv + f[i] * stride + w0;
-    };
-    switch (ins.op) {
-      case Op::kConst0:
-        for (std::size_t w = 0; w < nw; ++w) out[w] = 0;
-        break;
-      case Op::kConst1:
-        for (std::size_t w = 0; w < nw; ++w) out[w] = ~0ull;
-        break;
-      case Op::kBuf: {
-        const std::uint64_t* a = row(0);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
-        break;
-      }
-      case Op::kNot: {
-        const std::uint64_t* a = row(0);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = ~a[w];
-        break;
-      }
-      case Op::kAnd2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] & b[w];
-        break;
-      }
-      case Op::kNand2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] & b[w]);
-        break;
-      }
-      case Op::kOr2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] | b[w];
-        break;
-      }
-      case Op::kNor2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] | b[w]);
-        break;
-      }
-      case Op::kXor2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w] ^ b[w];
-        break;
-      }
-      case Op::kXnor2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = ~(a[w] ^ b[w]);
-        break;
-      }
-      case Op::kAndN:
-      case Op::kNandN: {
-        const std::uint64_t* a = row(0);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
-        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
-          const std::uint64_t* b = row(i);
-          for (std::size_t w = 0; w < nw; ++w) out[w] &= b[w];
-        }
-        if (ins.op == Op::kNandN) {
-          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
-        }
-        break;
-      }
-      case Op::kOrN:
-      case Op::kNorN: {
-        const std::uint64_t* a = row(0);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
-        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
-          const std::uint64_t* b = row(i);
-          for (std::size_t w = 0; w < nw; ++w) out[w] |= b[w];
-        }
-        if (ins.op == Op::kNorN) {
-          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
-        }
-        break;
-      }
-      case Op::kXorN:
-      case Op::kXnorN: {
-        const std::uint64_t* a = row(0);
-        for (std::size_t w = 0; w < nw; ++w) out[w] = a[w];
-        for (int i = 1; i < static_cast<int>(ins.fanin_count); ++i) {
-          const std::uint64_t* b = row(i);
-          for (std::size_t w = 0; w < nw; ++w) out[w] ^= b[w];
-        }
-        if (ins.op == Op::kXnorN) {
-          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
-        }
-        break;
-      }
-      case Op::kLut1: {
-        const std::uint64_t* a = row(0);
-        const std::uint64_t m0 = ins.mask & 1u ? ~0ull : 0ull;
-        const std::uint64_t m1 = ins.mask & 2u ? ~0ull : 0ull;
-        for (std::size_t w = 0; w < nw; ++w) {
-          out[w] = (m1 & a[w]) | (m0 & ~a[w]);
-        }
-        break;
-      }
-      case Op::kLut2: {
-        const std::uint64_t *a = row(0), *b = row(1);
-        const std::uint64_t m0 = ins.mask & 1u ? ~0ull : 0ull;
-        const std::uint64_t m1 = ins.mask & 2u ? ~0ull : 0ull;
-        const std::uint64_t m2 = ins.mask & 4u ? ~0ull : 0ull;
-        const std::uint64_t m3 = ins.mask & 8u ? ~0ull : 0ull;
-        for (std::size_t w = 0; w < nw; ++w) {
-          const std::uint64_t av = a[w], bv = b[w];
-          out[w] = (m0 & ~av & ~bv) | (m1 & av & ~bv) | (m2 & ~av & bv) |
-                   (m3 & av & bv);
-        }
-        break;
-      }
-      case Op::kLutN: {
-        // Sparse-row OR-of-minterms; when more than half the rows are
-        // asserted, evaluate the complement function and invert.
-        const int n = static_cast<int>(ins.fanin_count);
-        const std::uint64_t full = full_mask(n);
-        std::uint64_t m = ins.mask;
-        const bool inv =
-            2 * std::popcount(m) > static_cast<int>(num_rows(n));
-        if (inv) m = ~m & full;
-        for (std::size_t w = 0; w < nw; ++w) out[w] = 0;
-        while (m) {
-          const unsigned r = static_cast<unsigned>(std::countr_zero(m));
-          m &= m - 1;
-          for (std::size_t w = 0; w < nw; ++w) {
-            std::uint64_t match = ~0ull;
-            for (int i = 0; i < n; ++i) {
-              const std::uint64_t v = row(i)[w];
-              match &= (r >> i) & 1u ? v : ~v;
-            }
-            out[w] |= match;
-          }
-        }
-        if (inv) {
-          for (std::size_t w = 0; w < nw; ++w) out[w] = ~out[w];
-        }
-        break;
-      }
-    }
   }
 }
 
@@ -286,8 +196,13 @@ void CompiledSim::eval_word(std::span<const std::uint64_t> pi,
   if (wave.size() != n_cells_) {
     throw std::invalid_argument("CompiledSim::eval_word: wave size mismatch");
   }
-  sim_words_counter().add(1);
-  run_instrs(pi, ff, wave, /*stride=*/1, /*w0=*/0, /*nw=*/1);
+  const SimIsa isa = active_sim_isa();
+  const WordCounters wc = counters_for(isa);
+  wc.words->add(1);
+  wc.isa_words->add(1);
+  wc.lane_words->add(1);
+  kernel_for(isa)(stream_, pi.data(), ff.data(), wave.data(), /*stride=*/1,
+                  /*w0=*/0, /*nw=*/1);
 }
 
 void CompiledSim::eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
@@ -303,12 +218,36 @@ void CompiledSim::eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
     throw std::invalid_argument("CompiledSim::eval_batch: wave size mismatch");
   }
   STTLOCK_SPAN("sim-batch", "eval_batch");
-  sim_words_counter().add(static_cast<std::uint64_t>(W));
-  const std::size_t n_blocks = (W + kWordsPerBlock - 1) / kWordsPerBlock;
+  // Resolve the kernel once per batch so every block of this call runs the
+  // same ISA even if set_sim_isa intervenes concurrently.
+  const SimIsa isa = active_sim_isa();
+  const simk::KernelFn kernel = kernel_for(isa);
+  // Block-size policy: serial calls stream every wave row end to end in
+  // one pass; parallel calls split the batch into about four blocks per
+  // worker (never smaller than the lane-aware grain, rounded up to whole
+  // lanes so only the final block can have a scalar tail). Any block size
+  // yields bit-identical results — lanes are independent.
+  std::size_t block = batch_block_override();
+  if (block == 0) {
+    if (par == nullptr) {
+      block = W;
+    } else {
+      const std::size_t jobs = std::max<std::size_t>(1, par->concurrency());
+      const std::size_t targets = jobs == 1 ? 1 : 4 * jobs;
+      const std::size_t lane = sim_lane_words(isa);
+      block = std::max(words_per_block(isa), (W + targets - 1) / targets);
+      block = (block + lane - 1) / lane * lane;
+    }
+  }
+  const WordCounters wc = counters_for(isa);
+  wc.words->add(static_cast<std::uint64_t>(W));
+  wc.isa_words->add(static_cast<std::uint64_t>(W));
+  wc.lane_words->add(static_cast<std::uint64_t>(W));
+  const std::size_t n_blocks = (W + block - 1) / block;
   const auto run_block = [&](std::size_t b) {
-    const std::size_t w0 = b * kWordsPerBlock;
-    const std::size_t nw = std::min(kWordsPerBlock, W - w0);
-    run_instrs(pi, ff, wave, W, w0, nw);
+    const std::size_t w0 = b * block;
+    const std::size_t nw = std::min(block, W - w0);
+    kernel(stream_, pi.data(), ff.data(), wave.data(), W, w0, nw);
   };
   if (par != nullptr && n_blocks > 1) {
     par->run(n_blocks, run_block);

@@ -3,16 +3,25 @@
 // `CompiledSim` lowers a `Netlist` once into a flat instruction stream —
 // topologically ordered opcodes specialized by (kind, fan-in), fan-in wave
 // indices packed into one contiguous CSR array, LUT truth-table masks inline
-// in the instruction — and evaluates into caller-provided scratch buffers,
-// so the hot path performs zero heap allocations. Three entry points:
+// in the instruction (the IR lives in sim/kernels.hpp) — and evaluates into
+// caller-provided scratch buffers, so the hot path performs zero heap
+// allocations. Three entry points:
 //
 //  * `eval_word`  — one 64-pattern word per net, the classic lane layout;
 //  * `eval_batch` — W words per net in a *blocked* wave layout (the value of
 //    net r, word w lives at `wave[r * W + w]`), which amortizes instruction
-//    decode and fan-in index loads across W words per instruction;
-//  * `eval_batch` with a `ParallelFor` — fans fixed-size word blocks out
-//    across worker threads; lanes are independent, so results are
-//    bit-identical for every batch width and thread count.
+//    decode and fan-in index loads across a block of words per instruction;
+//  * `eval_batch` with a `ParallelFor` — fans word blocks out across worker
+//    threads; lanes are independent, so results are bit-identical for every
+//    batch width and thread count.
+//
+// Execution is SIMD-wide: every entry point dispatches to the widest kernel
+// the host supports (scalar 64-bit words, AVX2 4-word lanes, AVX-512 8-word
+// lanes — see sim/isa.hpp for the one-time CPUID probe and the
+// --sim-isa / STTLOCK_SIM_ISA override). The kernels instantiate one shared
+// interpreter template, so results are bit-identical across ISAs; the batch
+// block size is lane-width-aware (`words_per_block`) so wide lanes amortize
+// instruction decode over several vector iterations.
 //
 // LUT masks can be re-patched in place (`set_lut_mask`) without re-lowering,
 // which is what the key-guessing attack loops (brute force, ML, DPA) need:
@@ -24,6 +33,7 @@
 // `resync_functions`; anything structural requires a fresh `CompiledSim`.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -31,6 +41,8 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/isa.hpp"
+#include "sim/kernels.hpp"
 
 namespace stt {
 
@@ -44,13 +56,50 @@ class ParallelFor {
   virtual ~ParallelFor() = default;
   virtual void run(std::size_t n,
                    const std::function<void(std::size_t)>& fn) = 0;
+  /// Worker count hint used to size work blocks; 1 when unknown (a serial
+  /// fallback is always a correct interpretation).
+  virtual std::size_t concurrency() const { return 1; }
 };
 
 class CompiledSim {
  public:
-  /// Words evaluated per instruction-stream pass in `eval_batch`; also the
-  /// granularity at which word blocks are handed to a `ParallelFor`.
+  /// Words per instruction-stream pass of the scalar kernel; the historical
+  /// block size. Wide kernels use `words_per_block()` instead, which scales
+  /// with the lane width so each instruction still amortizes its decode
+  /// over several vector iterations.
   static constexpr std::size_t kWordsPerBlock = 8;
+
+  /// 64-bit words per SIMD lane of the currently active kernel (1 scalar,
+  /// 4 AVX2, 8 AVX-512). May change when set_sim_isa intervenes.
+  static std::size_t lane_words() { return sim_lane_words(active_sim_isa()); }
+
+  /// `w` rounded up to a whole number of active-ISA lanes: the unit in
+  /// which lane-aware callers (ScanOracle) reserve wave scratch.
+  static std::size_t padded_words(std::size_t w) {
+    const std::size_t lane = lane_words();
+    return (w + lane - 1) / lane * lane;
+  }
+
+  /// Minimum words per instruction-stream pass when `eval_batch` fans
+  /// blocks out across a `ParallelFor`: the load-balancing grain.
+  /// Lane-width-aware — four lanes per block for the wide kernels, the
+  /// historical 8-word block for the scalar one — so a wide lane never
+  /// straddles a block boundary. Serial `eval_batch` calls ignore the
+  /// grain and run one pass over the whole batch: streaming each wave row
+  /// end to end is markedly faster than revisiting rows block by block
+  /// (sequential prefetch, one row-address computation per instruction).
+  static std::size_t words_per_block(SimIsa isa) {
+    const std::size_t lane = sim_lane_words(isa);
+    return lane == 1 ? kWordsPerBlock : 4 * lane;
+  }
+
+  /// Pin the `eval_batch` block size to `words` for benchmarking and
+  /// tuning (0 restores the automatic policy above). Results are
+  /// bit-identical for every block size; only the memory-access schedule
+  /// changes. Also settable via the STTLOCK_SIM_BLOCK environment
+  /// variable, read once at first use.
+  static void set_batch_block_override(std::size_t words);
+  static std::size_t batch_block_override();
 
   /// Lower `nl` into the instruction stream. The netlist must outlive the
   /// engine (it is re-read by `resync_functions` only).
@@ -94,7 +143,9 @@ class CompiledSim {
   /// Evaluate W words in the blocked layout: element (row r, word w) of
   /// `wave` (size wave_size()*W) is wave[r*W + w]; `pi` (num_inputs()*W)
   /// and `ff` (num_dffs()*W) use the same layout. With `par`, word blocks
-  /// run concurrently; results are bit-identical regardless.
+  /// run concurrently; results are bit-identical regardless of batch
+  /// width, thread count, and active SIMD ISA (misaligned widths are
+  /// finished by the scalar tail of the same kernel).
   void eval_batch(std::size_t W, std::span<const std::uint64_t> pi,
                   std::span<const std::uint64_t> ff,
                   std::span<std::uint64_t> wave,
@@ -109,35 +160,15 @@ class CompiledSim {
                          std::span<std::uint64_t> out) const;
 
  private:
-  // Opcodes: cell kinds pre-specialized by fan-in so the dispatch switch
-  // does no per-gate arity analysis.
-  enum class Op : std::uint8_t {
-    kConst0, kConst1, kBuf, kNot,
-    kAnd2, kNand2, kOr2, kNor2, kXor2, kXnor2,
-    kAndN, kNandN, kOrN, kNorN, kXorN, kXnorN,
-    kLut1, kLut2, kLutN,
-  };
-
-  struct Instr {
-    std::uint32_t out;          ///< wave row written (== CellId)
-    std::uint32_t fanin_begin;  ///< first index into fanins_
-    std::uint16_t fanin_count;
-    Op op;
-    std::uint64_t mask;  ///< LUT truth table, pre-masked to full_mask(n)
-  };
-
-  static Op opcode_for(const Cell& cell);
-  void run_instrs(std::span<const std::uint64_t> pi,
-                  std::span<const std::uint64_t> ff,
-                  std::span<std::uint64_t> wave, std::size_t stride,
-                  std::size_t w0, std::size_t nw) const;
+  static simk::Op opcode_for(const Cell& cell);
 
   const Netlist* nl_;
   std::size_t n_cells_ = 0;
-  std::vector<Instr> instrs_;            ///< topological order
+  std::vector<simk::Instr> instrs_;      ///< topological order
   std::vector<std::uint32_t> fanins_;    ///< CSR fan-in wave rows
   std::vector<std::uint32_t> instr_of_;  ///< CellId -> instr index or -1
   std::vector<CellId> inputs_, dffs_, outputs_, ns_cells_;
+  simk::Stream stream_;  ///< borrowed view over the vectors above
 };
 
 }  // namespace stt

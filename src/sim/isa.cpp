@@ -1,0 +1,148 @@
+#include "sim/isa.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sim/kernels.hpp"
+
+namespace stt {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+/// Active ISA as its int code, or kUnresolved before first use.
+std::atomic<int>& active_slot() {
+  static std::atomic<int> slot{kUnresolved};
+  return slot;
+}
+
+bool cpu_supports(SimIsa isa) {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  switch (isa) {
+    case SimIsa::kScalar:
+      return true;
+    case SimIsa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case SimIsa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return isa == SimIsa::kScalar;
+#endif
+}
+
+bool kernel_compiled(SimIsa isa) {
+  switch (isa) {
+    case SimIsa::kScalar:
+      return simk::scalar_kernel() != nullptr;
+    case SimIsa::kAvx2:
+      return simk::avx2_kernel() != nullptr;
+    case SimIsa::kAvx512:
+      return simk::avx512_kernel() != nullptr;
+  }
+  return false;
+}
+
+/// Env override + CPUID probe; the slow path behind active_sim_isa().
+SimIsa resolve() {
+  if (const char* env = std::getenv("STTLOCK_SIM_ISA");
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    const auto parsed = parse_sim_isa(env);
+    if (!parsed) {
+      throw std::runtime_error(std::string("STTLOCK_SIM_ISA: unknown ISA '") +
+                               env + "' (scalar|avx2|avx512|auto)");
+    }
+    if (!sim_isa_supported(*parsed)) {
+      throw std::runtime_error(std::string("STTLOCK_SIM_ISA: ISA '") + env +
+                               "' is not supported on this build/host");
+    }
+    return *parsed;
+  }
+  return detected_sim_isa();
+}
+
+}  // namespace
+
+const char* sim_isa_name(SimIsa isa) {
+  switch (isa) {
+    case SimIsa::kScalar:
+      return "scalar";
+    case SimIsa::kAvx2:
+      return "avx2";
+    case SimIsa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+std::optional<SimIsa> parse_sim_isa(std::string_view name) {
+  if (name == "scalar") return SimIsa::kScalar;
+  if (name == "avx2") return SimIsa::kAvx2;
+  if (name == "avx512") return SimIsa::kAvx512;
+  return std::nullopt;
+}
+
+std::size_t sim_lane_words(SimIsa isa) {
+  switch (isa) {
+    case SimIsa::kScalar:
+      return 1;
+    case SimIsa::kAvx2:
+      return 4;
+    case SimIsa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool sim_isa_supported(SimIsa isa) {
+  return kernel_compiled(isa) && cpu_supports(isa);
+}
+
+SimIsa detected_sim_isa() {
+  if (sim_isa_supported(SimIsa::kAvx512)) return SimIsa::kAvx512;
+  if (sim_isa_supported(SimIsa::kAvx2)) return SimIsa::kAvx2;
+  return SimIsa::kScalar;
+}
+
+SimIsa active_sim_isa() {
+  int code = active_slot().load(std::memory_order_acquire);
+  if (code == kUnresolved) {
+    const SimIsa resolved = resolve();
+    // First resolver wins; a concurrent set_sim_isa is equally valid.
+    int expected = kUnresolved;
+    active_slot().compare_exchange_strong(expected, static_cast<int>(resolved),
+                                          std::memory_order_acq_rel);
+    code = active_slot().load(std::memory_order_acquire);
+  }
+  return static_cast<SimIsa>(code);
+}
+
+void set_sim_isa(SimIsa isa) {
+  if (!sim_isa_supported(isa)) {
+    throw std::runtime_error(
+        std::string("set_sim_isa: ISA '") + sim_isa_name(isa) +
+        "' is not supported on this build/host");
+  }
+  active_slot().store(static_cast<int>(isa), std::memory_order_release);
+}
+
+SimIsa set_sim_isa(std::string_view name) {
+  if (name == "auto") {
+    active_slot().store(kUnresolved, std::memory_order_release);
+    return active_sim_isa();
+  }
+  const auto parsed = parse_sim_isa(name);
+  if (!parsed) {
+    throw std::runtime_error(std::string("--sim-isa: unknown ISA '") +
+                             std::string(name) + "' (scalar|avx2|avx512|auto)");
+  }
+  set_sim_isa(*parsed);
+  return *parsed;
+}
+
+}  // namespace stt

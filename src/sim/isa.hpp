@@ -1,0 +1,75 @@
+// Runtime SIMD-ISA selection for the compiled simulation engine.
+//
+// The engine ships three bit-identical kernels (sim/kernels.hpp); which
+// one runs is a process-wide choice resolved exactly once, on first use:
+//
+//   1. the STTLOCK_SIM_ISA environment variable, when set
+//      ("scalar" | "avx2" | "avx512" — unknown or unsupported values throw
+//      so CI overrides can never silently fall back);
+//   2. otherwise a CPUID probe picks the widest kernel both the build and
+//      the host support.
+//
+// `set_sim_isa` (backing the --sim-isa CLI flag and the forced-ISA test
+// matrix) overrides the choice at any point; evaluations started after the
+// call use the new kernel. All selection state is atomic, so concurrent
+// evaluators always see a consistent (kernel, lane width) pair.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace stt {
+
+enum class SimIsa : int {
+  kScalar = 0,  ///< portable uint64 kernel, 1 word per lane
+  kAvx2 = 1,    ///< 256-bit kernel, 4 words per lane
+  kAvx512 = 2,  ///< 512-bit kernel, 8 words per lane
+};
+
+/// Canonical lowercase name ("scalar" / "avx2" / "avx512").
+const char* sim_isa_name(SimIsa isa);
+
+/// Inverse of sim_isa_name; nullopt for unknown spellings.
+std::optional<SimIsa> parse_sim_isa(std::string_view name);
+
+/// 64-bit words per SIMD lane of the given ISA: 1, 4 or 8.
+std::size_t sim_lane_words(SimIsa isa);
+
+/// True when both this build and this CPU can run the ISA's kernel.
+/// kScalar is always supported.
+bool sim_isa_supported(SimIsa isa);
+
+/// The widest supported ISA on this host (ignores the env override).
+SimIsa detected_sim_isa();
+
+/// The ISA evaluations dispatch to right now. First call resolves the
+/// env override / CPUID probe; throws std::runtime_error if STTLOCK_SIM_ISA
+/// names an unknown or unsupported ISA.
+SimIsa active_sim_isa();
+
+/// Force the active ISA (--sim-isa, tests). Throws std::runtime_error if
+/// unsupported on this build/host.
+void set_sim_isa(SimIsa isa);
+
+/// Parse-and-set for CLI use: "scalar" | "avx2" | "avx512" | "auto"
+/// ("auto" re-resolves env + CPUID). Throws std::runtime_error on unknown
+/// names or unsupported ISAs. Returns the ISA now active.
+SimIsa set_sim_isa(std::string_view name);
+
+/// RAII ISA override for tests and benches: forces `isa` for its lifetime,
+/// restores the previously active ISA on destruction.
+class ScopedSimIsa {
+ public:
+  explicit ScopedSimIsa(SimIsa isa) : prev_(active_sim_isa()) {
+    set_sim_isa(isa);
+  }
+  ~ScopedSimIsa() { set_sim_isa(prev_); }
+  ScopedSimIsa(const ScopedSimIsa&) = delete;
+  ScopedSimIsa& operator=(const ScopedSimIsa&) = delete;
+
+ private:
+  SimIsa prev_;
+};
+
+}  // namespace stt

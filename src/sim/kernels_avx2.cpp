@@ -1,0 +1,28 @@
+// 4-word (256-bit) lane kernel. This translation unit is compiled with
+// -mavx2 (see src/sim/CMakeLists.txt), so the Lane<4> vector-extension
+// algebra lowers to single ymm operations. It must only be *called* after
+// the runtime CPUID probe (sim/isa.hpp) confirms AVX2; nothing here runs
+// at static-initialization time.
+#if defined(STT_SIM_ENABLE_AVX2)
+
+#define STT_SIMK_NS lanes_avx2
+#define STT_SIMK_LANE 4
+#include "sim/kernels_impl.h"
+
+namespace stt::simk {
+
+KernelFn avx2_kernel() { return &lanes_avx2::run; }
+
+}  // namespace stt::simk
+
+#else  // compiler cannot target AVX2: runtime dispatch never offers it
+
+#include "sim/kernels.hpp"
+
+namespace stt::simk {
+
+KernelFn avx2_kernel() { return nullptr; }
+
+}  // namespace stt::simk
+
+#endif

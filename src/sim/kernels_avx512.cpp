@@ -1,0 +1,28 @@
+// 8-word (512-bit) lane kernel. This translation unit is compiled with
+// -mavx512f (see src/sim/CMakeLists.txt), so the Lane<8> vector-extension
+// algebra lowers to single zmm operations. It must only be *called* after
+// the runtime CPUID probe (sim/isa.hpp) confirms AVX-512F; nothing here
+// runs at static-initialization time.
+#if defined(STT_SIM_ENABLE_AVX512)
+
+#define STT_SIMK_NS lanes_avx512
+#define STT_SIMK_LANE 8
+#include "sim/kernels_impl.h"
+
+namespace stt::simk {
+
+KernelFn avx512_kernel() { return &lanes_avx512::run; }
+
+}  // namespace stt::simk
+
+#else  // compiler cannot target AVX-512: runtime dispatch never offers it
+
+#include "sim/kernels.hpp"
+
+namespace stt::simk {
+
+KernelFn avx512_kernel() { return nullptr; }
+
+}  // namespace stt::simk
+
+#endif

@@ -1,0 +1,11 @@
+// Portable one-word-per-step kernel: the baseline every other lane width
+// is checksum-verified against, and the only kernel on non-x86 targets.
+#define STT_SIMK_NS lanes_scalar
+#define STT_SIMK_LANE 1
+#include "sim/kernels_impl.h"
+
+namespace stt::simk {
+
+KernelFn scalar_kernel() { return &lanes_scalar::run; }
+
+}  // namespace stt::simk

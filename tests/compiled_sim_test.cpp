@@ -10,6 +10,7 @@
 #include "runtime/parallel.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/compiled.hpp"
+#include "sim/isa.hpp"
 #include "sim/simulator.hpp"
 #include "synth/generator.hpp"
 #include "util/rng.hpp"
@@ -312,6 +313,159 @@ TEST(ScanOracle, BatchMatchesWordQueries) {
     for (std::size_t o = 0; o < n_out; ++o) {
       EXPECT_EQ(wout[o], out[o * kWords + w]) << "word " << w;
     }
+  }
+}
+
+std::vector<SimIsa> supported_isas() {
+  std::vector<SimIsa> isas;
+  for (const SimIsa isa : {SimIsa::kScalar, SimIsa::kAvx2, SimIsa::kAvx512}) {
+    if (sim_isa_supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+TEST(SimIsa, NamesParseAndLaneWidthsAreCanonical) {
+  for (const SimIsa isa :
+       {SimIsa::kScalar, SimIsa::kAvx2, SimIsa::kAvx512}) {
+    const auto parsed = parse_sim_isa(sim_isa_name(isa));
+    ASSERT_TRUE(parsed.has_value()) << sim_isa_name(isa);
+    EXPECT_EQ(*parsed, isa);
+  }
+  EXPECT_EQ(sim_lane_words(SimIsa::kScalar), 1u);
+  EXPECT_EQ(sim_lane_words(SimIsa::kAvx2), 4u);
+  EXPECT_EQ(sim_lane_words(SimIsa::kAvx512), 8u);
+  EXPECT_FALSE(parse_sim_isa("sse2").has_value());
+  EXPECT_FALSE(parse_sim_isa("AVX2").has_value());  // names are lowercase
+  EXPECT_FALSE(parse_sim_isa("").has_value());
+  EXPECT_TRUE(sim_isa_supported(SimIsa::kScalar));
+  EXPECT_THROW(set_sim_isa("notanisa"), std::runtime_error);
+}
+
+TEST(SimIsa, PaddedWordsRoundsUpToWholeLanes) {
+  for (const SimIsa isa : supported_isas()) {
+    ScopedSimIsa forced(isa);
+    const std::size_t lane = sim_lane_words(isa);
+    EXPECT_EQ(CompiledSim::lane_words(), lane);
+    EXPECT_EQ(CompiledSim::padded_words(0), 0u);
+    EXPECT_EQ(CompiledSim::padded_words(1), lane);
+    EXPECT_EQ(CompiledSim::padded_words(lane), lane);
+    EXPECT_EQ(CompiledSim::padded_words(lane + 1), 2 * lane);
+  }
+}
+
+// Every supported kernel must produce bit-identical waves for every batch
+// width — including widths that are not a multiple of the lane width, which
+// exercise the scalar tail after the lane main loop.
+TEST(SimIsaMatrix, ForcedIsasAreBitIdenticalAcrossMisalignedWidths) {
+  const Netlist nl = locked_circuit(23, 160);
+  const CompiledSim csim(nl);
+  const std::size_t n_pi = csim.num_inputs();
+  const std::size_t n_ff = csim.num_dffs();
+  Rng rng(2023);
+  for (const std::size_t W :
+       {std::size_t{1}, std::size_t{3}, std::size_t{7}, std::size_t{8},
+        std::size_t{13}, std::size_t{32}}) {
+    std::vector<std::uint64_t> pi(n_pi * W), ff(n_ff * W);
+    for (auto& w : pi) w = rng();
+    for (auto& w : ff) w = rng();
+    std::vector<std::uint64_t> expect(csim.wave_size() * W);
+    {
+      ScopedSimIsa forced(SimIsa::kScalar);
+      csim.eval_batch(W, pi, ff, expect);
+    }
+    for (const SimIsa isa : supported_isas()) {
+      ScopedSimIsa forced(isa);
+      std::vector<std::uint64_t> wave(csim.wave_size() * W, ~0ull);
+      csim.eval_batch(W, pi, ff, wave);
+      EXPECT_EQ(wave, expect) << sim_isa_name(isa) << " W=" << W;
+      ThreadPool pool(2);
+      ThreadPoolParallelFor par(pool);
+      std::vector<std::uint64_t> tw(csim.wave_size() * W, ~0ull);
+      csim.eval_batch(W, pi, ff, tw, &par);
+      EXPECT_EQ(tw, expect) << sim_isa_name(isa) << " threaded W=" << W;
+    }
+  }
+}
+
+// Live mask patches and whole-netlist resyncs must be visible to the very
+// next evaluation under every kernel, exactly as under the scalar one.
+TEST(SimIsaMatrix, LiveMaskEditsLandUnderWideLanes) {
+  for (const SimIsa isa : supported_isas()) {
+    ScopedSimIsa forced(isa);
+    Netlist nl = locked_circuit(29);
+    CompiledSim csim(nl);
+    Rng rng(507);
+    std::vector<CellId> luts;
+    for (CellId id = 0; id < nl.size(); ++id) {
+      if (nl.cell(id).kind == CellKind::kLut) luts.push_back(id);
+    }
+    ASSERT_FALSE(luts.empty());
+    const std::size_t W = sim_lane_words(isa) * 2 + 1;  // forces a tail
+    const std::size_t n_pi = csim.num_inputs();
+    const std::size_t n_ff = csim.num_dffs();
+    std::vector<std::uint64_t> pi(n_pi * W), ff(n_ff * W);
+    for (auto& w : pi) w = rng();
+    for (auto& w : ff) w = rng();
+    for (int trial = 0; trial < 4; ++trial) {
+      const CellId id = rng.pick(luts);
+      const std::uint64_t mask = rng() & full_mask(nl.cell(id).fanin_count());
+      csim.set_lut_mask(id, mask);
+      nl.cell(id).lut_mask = mask;
+      const CompiledSim fresh(nl);
+      std::vector<std::uint64_t> a(csim.wave_size() * W);
+      std::vector<std::uint64_t> b(csim.wave_size() * W);
+      csim.eval_batch(W, pi, ff, a);
+      fresh.eval_batch(W, pi, ff, b);
+      EXPECT_EQ(a, b) << sim_isa_name(isa) << " trial " << trial;
+    }
+    // Whole-netlist resync after direct mask edits.
+    for (const CellId id : luts) {
+      nl.cell(id).lut_mask =
+          rng() & full_mask(nl.cell(id).fanin_count());
+    }
+    csim.resync_functions();
+    const CompiledSim fresh(nl);
+    std::vector<std::uint64_t> a(csim.wave_size() * W);
+    std::vector<std::uint64_t> b(csim.wave_size() * W);
+    csim.eval_batch(W, pi, ff, a);
+    fresh.eval_batch(W, pi, ff, b);
+    EXPECT_EQ(a, b) << sim_isa_name(isa) << " after resync_functions";
+  }
+}
+
+// Regression: the oracle sizes its scratch wave from the active lane width.
+// A scalar-sized scratch (wave_size() words) under a wide kernel would let
+// the lane main loop write past the buffer; single-pattern and word queries
+// must work under the widest ISA, including interleaved with wide batches.
+TEST(ScanOracle, ScalarQueriesSizeScratchForActiveLaneWidth) {
+  const Netlist nl = locked_circuit(37);
+  std::vector<std::vector<std::uint64_t>> word_responses;
+  std::vector<std::vector<bool>> single_responses;
+  for (const SimIsa isa : supported_isas()) {
+    ScopedSimIsa forced(isa);
+    ScanOracle oracle(nl);  // scratch starts at one lane of W=1
+    Rng rng(86);
+    const std::size_t n_in = oracle.num_inputs();
+    const std::size_t n_out = oracle.num_outputs();
+    std::vector<std::uint64_t> in(n_in), out(n_out);
+    for (auto& w : in) w = rng();
+    oracle.query_word(in, out);
+    word_responses.push_back(out);
+    std::vector<bool> pattern(n_in);
+    for (std::size_t i = 0; i < n_in; ++i) pattern[i] = (in[i] >> 17) & 1ull;
+    single_responses.push_back(oracle.query(pattern));
+    // A wide batch grows the scratch; scalar queries after it still agree.
+    constexpr std::size_t kWords = 9;
+    std::vector<std::uint64_t> bin(n_in * kWords), bout(n_out * kWords);
+    for (auto& w : bin) w = rng();
+    oracle.query_batch(kWords, bin, bout);
+    oracle.query_word(in, out);
+    EXPECT_EQ(out, word_responses.back()) << sim_isa_name(isa);
+    EXPECT_EQ(oracle.queries(), 64u + 1u + 64u * kWords + 64u);
+  }
+  for (std::size_t i = 1; i < word_responses.size(); ++i) {
+    EXPECT_EQ(word_responses[i], word_responses[0]) << "ISA row " << i;
+    EXPECT_EQ(single_responses[i], single_responses[0]) << "ISA row " << i;
   }
 }
 

@@ -52,6 +52,7 @@
 #include "runtime/parallel.hpp"
 #include "runtime/report.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sim/isa.hpp"
 #include "synth/generator.hpp"
 #include "timing/sta.hpp"
 #include "util/args.hpp"
@@ -91,6 +92,22 @@ void save_netlist(const Netlist& nl, const std::string& path,
     return;
   }
   throw std::runtime_error("unknown netlist extension: " + path);
+}
+
+
+// Shared --sim-isa handling: empty leaves the engine's lazy resolution
+// (STTLOCK_SIM_ISA env, then CPUID) in charge; any other value — including
+// "auto" — resolves eagerly so bad spellings fail before work starts.
+void add_sim_isa_option(ArgParser& p) {
+  p.add_option("--sim-isa",
+               "simulation kernel: scalar|avx2|avx512|auto "
+               "(default: STTLOCK_SIM_ISA env, then CPUID probe)",
+               "");
+}
+
+void apply_sim_isa(const ArgParser& p) {
+  const std::string isa = p.get("--sim-isa");
+  if (!isa.empty()) set_sim_isa(isa);
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -338,8 +355,10 @@ int cmd_attack(const std::vector<std::string>& args) {
   p.add_option("--trace", "write a Chrome trace (chrome://tracing JSON) here",
                "");
   p.add_option("--metrics", "write the run's metrics delta (JSON) here", "");
+  add_sim_isa_option(p);
   p.parse(args);
   if (p.flag("--list")) return list_attacks();
+  apply_sim_isa(p);
 
   const Netlist view = foundry_view(load_netlist(p.get("--view")));
   const Netlist chip = load_netlist(p.get("--oracle"));
@@ -428,8 +447,10 @@ int cmd_defend(const std::vector<std::string>& args) {
   p.add_option("--out-key", "plain key-file output", "");
   p.add_option("--out-annotations",
                "defense-annotation file consumed by `sttlock lint`", "");
+  add_sim_isa_option(p);
   p.parse(args);
   if (p.flag("--list")) return list_defenses();
+  apply_sim_isa(p);
   if (p.get("--in").empty()) {
     std::fprintf(stderr, "defend: pass --in <netlist> (or --list)\n");
     return 1;
@@ -502,7 +523,9 @@ int cmd_campaign(const std::vector<std::string>& args) {
                "");
   p.add_flag("--progress", "live progress line on stderr");
   p.add_flag("--quiet", "suppress the summary table on stdout");
+  add_sim_isa_option(p);
   p.parse(args);
+  apply_sim_isa(p);
 
   CampaignSpec spec;
   if (!p.get("--benchmarks").empty()) {
