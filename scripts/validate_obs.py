@@ -34,6 +34,11 @@ CAMPAIGN_ROW_KEYS = {
 }
 CAMPAIGN_ROW_COUNTS = ("key_cells", "key_bits", "cells_added",
                        "cells_replaced")
+# Present only on rows whose lint stage ran (verify/keydep analysis).
+CAMPAIGN_KEYDEP_KEYS = {"key_bits_static", "eff_key_bits", "analyze_verdict"}
+CAMPAIGN_KEYDEP_COUNTS = ("key_bits_static", "eff_key_bits")
+# "" marks a lint run whose keydep stage was skipped (no LUTs).
+CAMPAIGN_ANALYZE_VERDICTS = {"", "empty", "broken", "degraded", "secure"}
 CAMPAIGN_SUMMARY_KEYS = {
     "defense", "defense_tuning", "rows", "failed", "perf_pct_mean",
     "power_pct_mean", "area_pct_mean", "luts_mean", "key_bits_mean",
@@ -151,6 +156,23 @@ def validate_campaign(path, require_defenses, require_attacks):
             if not isinstance(row[key], int) or row[key] < 0:
                 fail(f"{path}: results[{i}] field {key}={row[key]!r} must be"
                      " a non-negative integer")
+        if "lint" in row:
+            missing = CAMPAIGN_KEYDEP_KEYS - row.keys()
+            if missing:
+                fail(f"{path}: results[{i}] ran lint but is missing keydep"
+                     f" keys {sorted(missing)}")
+            for key in CAMPAIGN_KEYDEP_COUNTS:
+                if not isinstance(row[key], int) or row[key] < 0:
+                    fail(f"{path}: results[{i}] field {key}={row[key]!r}"
+                         " must be a non-negative integer")
+            if row["eff_key_bits"] > row["key_bits"]:
+                fail(f"{path}: results[{i}] eff_key_bits"
+                     f" {row['eff_key_bits']} exceeds key_bits"
+                     f" {row['key_bits']}")
+            if row["analyze_verdict"] not in CAMPAIGN_ANALYZE_VERDICTS:
+                fail(f"{path}: results[{i}] analyze_verdict"
+                     f" {row['analyze_verdict']!r} not in"
+                     f" {sorted(CAMPAIGN_ANALYZE_VERDICTS)}")
         if row["algorithm"] != row["defense"]:
             fail(f"{path}: results[{i}] legacy 'algorithm' column"
                  f" {row['algorithm']!r} != 'defense' {row['defense']!r}")

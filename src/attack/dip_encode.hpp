@@ -27,7 +27,7 @@
 #include <string>
 #include <vector>
 
-#include "attack/partial_eval.hpp"
+#include "sim/partial_eval.hpp"
 #include "attack/sat.hpp"
 #include "netlist/netlist.hpp"
 

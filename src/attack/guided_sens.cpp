@@ -5,7 +5,7 @@
 #include <set>
 
 #include "attack/encode.hpp"
-#include "attack/partial_eval.hpp"
+#include "sim/partial_eval.hpp"
 #include "attack/sat.hpp"
 #include "obs/obs.hpp"
 #include "util/timer.hpp"

@@ -1,5 +1,6 @@
 #include "attack/registry.hpp"
 
+#include <chrono>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +15,7 @@
 #include "obs/obs.hpp"
 #include "power/trace.hpp"
 #include "tech/tech_library.hpp"
+#include "verify/keydep.hpp"
 
 namespace stt::attack {
 
@@ -235,13 +237,56 @@ UnifiedResult run_dpa(const Ctx& c) {
   return u;
 }
 
+// Oracle-free static attack: the key-dependency analysis (verify/keydep)
+// runs on the attacker's netlist alone — it never reads a LUT mask and
+// never touches the configured chip, so `queries` is zero by construction.
+// Every `constant` cell (the const defense's injected XOR-companion
+// template unit-propagates to the constant-0 function) is claimed with its
+// propagated mask; every `removable` cell (statically blocked from all
+// observation points) is claimed with mask 0, which is interface-preserving
+// by the removability proof. Solved when nothing else holds key material.
+UnifiedResult run_static(const Ctx& c) {
+  if (!c.tuning.empty()) bad_tuning("static", c.tuning.front().first);
+  const auto start = std::chrono::steady_clock::now();
+  const KeydepResult r = analyze_keydep(c.hybrid);
+  UnifiedResult u;
+  int resolved_cells = 0;
+  int constant_bits = 0;
+  int free_bits = 0;
+  for (const KeyCellReport& cell : r.cells) {
+    if (cell.verdict == KeyVerdict::kConstant) {
+      u.key[cell.name] = cell.propagated_mask;
+      ++resolved_cells;
+      constant_bits += cell.nominal_bits;
+    } else if (cell.verdict == KeyVerdict::kRemovable) {
+      u.key[cell.name] = 0;
+      ++resolved_cells;
+      free_bits += cell.nominal_bits;
+    }
+  }
+  u.outcome = resolved_cells == r.key_cells ? Outcome::kSolved
+                                            : Outcome::kAbandoned;
+  u.queries = 0;
+  u.iterations = static_cast<std::uint64_t>(resolved_cells);
+  u.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::ostringstream d;
+  d << "cells=" << resolved_cells << "/" << r.key_cells
+    << " const_bits=" << constant_bits << " free_bits=" << free_bits
+    << " eff_bits=" << r.eff_key_bits << "/" << r.key_bits
+    << " verdict=" << r.verdict();
+  u.detail = d.str();
+  return u;
+}
+
 using Runner = UnifiedResult (*)(const Ctx&);
 
 const std::map<std::string, Runner, std::less<>>& runners() {
   static const std::map<std::string, Runner, std::less<>> m = {
-      {"bf", &run_bf},     {"dpa", &run_dpa}, {"gsens", &run_gsens},
-      {"ml", &run_ml},     {"sat", &run_sat}, {"sens", &run_sens},
-      {"seq", &run_seq},
+      {"bf", &run_bf},     {"dpa", &run_dpa},       {"gsens", &run_gsens},
+      {"ml", &run_ml},     {"sat", &run_sat},       {"sens", &run_sens},
+      {"seq", &run_seq},   {"static", &run_static},
   };
   return m;
 }
@@ -298,6 +343,11 @@ const std::map<std::string, AttackInfo, std::less<>>& catalogue_entries() {
         {{"frames", "8", "unrolled time frames per query"},
          {"max_iterations", "0", "distinguishing-sequence cap "
                                  "(0 = unlimited)"}}}},
+      {"static",
+       {"static",
+        "oracle-free key-dependency analysis: unit-propagates injected "
+        "constants and claims removable key cells with zero queries",
+        {}}},
   };
   return m;
 }

@@ -1,4 +1,4 @@
-// Unified attack API: one entry point for all seven attacks.
+// Unified attack API: one entry point for all eight attacks.
 //
 //   attack::UnifiedResult r = attack::registry().run(
 //       "sat", foundry_view(hybrid), configured, common);
@@ -13,7 +13,10 @@
 // registry result is bit-identical to calling `run_*` directly (pinned by
 // tests/attack_api_test.cpp).
 //
-// Registered names: "sat", "seq", "sens", "gsens", "bf", "ml", "dpa".
+// Registered names: "sat", "seq", "sens", "gsens", "bf", "ml", "dpa",
+// "static". The last one is oracle-free: it runs the key-dependency
+// analysis (verify/keydep) on the attacker's netlist and claims every
+// unit-propagated or removable key cell with zero oracle queries.
 // `sttlock attack --kind=<name>` and campaign attack stages both route
 // through here, so adding an attack means adding one adapter — no CLI or
 // campaign switch to extend.

@@ -2,7 +2,7 @@
 
 #include <optional>
 
-#include "attack/partial_eval.hpp"
+#include "sim/partial_eval.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"

@@ -343,6 +343,11 @@ CampaignReport run_campaign(const CampaignSpec& spec) {
                           std::max({lint.audit.log10_drop_indep,
                                     lint.audit.log10_drop_dep,
                                     lint.audit.log10_drop_bf});
+                      if (lint.keydep_ran) {
+                        first.key_bits_static = lint.keydep.key_bits_static;
+                        first.eff_key_bits = lint.keydep.eff_key_bits;
+                        first.analyze_verdict = lint.keydep.verdict();
+                      }
                     }
                   });
               first.attempts = outcome.attempts;

@@ -129,6 +129,12 @@ struct CampaignRow {
   int lint_warnings = 0;
   int lint_infos = 0;
   double audit_log10_drop = 0;
+  // Key-dependency analysis (verify/keydep, part of the lint stage):
+  // statically recoverable key bits, the predicted effective key space in
+  // bits, and the analyzer's one-word verdict for the netlist.
+  int key_bits_static = 0;
+  int eff_key_bits = 0;
+  std::string analyze_verdict;  ///< empty | broken | degraded | secure
 
   // Attack stage (when spec.attack != "none"), filled from the registry's
   // UnifiedResult. The solver-telemetry block below is zero for the

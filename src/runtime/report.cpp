@@ -59,6 +59,8 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    "key_bits",     "cells_added",    "cells_replaced",
                    "lint",         "lint_errors",
                    "lint_warnings", "audit_log10_drop",
+                   "key_bits_static", "eff_key_bits",
+                   "analyze_verdict",
                    "attack",       "attack_success",
                    "attack_outcome",
                    "attack_queries", "attack_iters",
@@ -95,6 +97,9 @@ std::string campaign_results_csv(const CampaignReport& report) {
                    row.lint_ran ? std::to_string(row.lint_errors) : "",
                    row.lint_ran ? std::to_string(row.lint_warnings) : "",
                    row.lint_ran ? fmt(row.audit_log10_drop) : "",
+                   row.lint_ran ? std::to_string(row.key_bits_static) : "",
+                   row.lint_ran ? std::to_string(row.eff_key_bits) : "",
+                   row.lint_ran ? row.analyze_verdict : "",
                    row.attack_ran ? row.attack : "none",
                    row.attack_ran ? (row.attack_success ? "1" : "0") : "",
                    row.attack_ran ? row.attack_outcome : "",
@@ -220,7 +225,11 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
       out += strformat(
           "\"lint_errors\": %d, \"lint_warnings\": %d, \"lint_infos\": %d, ",
           row.lint_errors, row.lint_warnings, row.lint_infos);
-      out += "\"audit_log10_drop\": " + fmt(row.audit_log10_drop);
+      out += "\"audit_log10_drop\": " + fmt(row.audit_log10_drop) + ", ";
+      out += strformat("\"key_bits_static\": %d, \"eff_key_bits\": %d, ",
+                       row.key_bits_static, row.eff_key_bits);
+      out += "\"analyze_verdict\": \"" + json_escape(row.analyze_verdict) +
+             "\"";
     }
     if (row.attack_ran) {
       out += ", \"attack\": \"" + json_escape(row.attack) + "\"";

@@ -1,4 +1,4 @@
-#include "attack/partial_eval.hpp"
+#include "sim/partial_eval.hpp"
 
 namespace stt {
 

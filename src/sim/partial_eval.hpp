@@ -1,5 +1,8 @@
-// Shared machinery of the testing attacks: partially-resolved LUT state and
-// conservative three-valued evaluation around it.
+// Partially-resolved LUT state and conservative three-valued evaluation
+// around it. Shared by the testing attacks (sensitization, guided-sens,
+// DIP encoding) and by the verify layer's audit — it lives in sim so that
+// verify does not depend on attack (the attack registry's oracle-free
+// `static` kind depends on verify/keydep the other way around).
 #pragma once
 
 #include <unordered_map>

@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#include "attack/partial_eval.hpp"
+#include "sim/partial_eval.hpp"
 #include "graph/analysis.hpp"
 #include "sim/scoap.hpp"
 #include "util/strings.hpp"

@@ -34,6 +34,14 @@ std::string_view rule_id(LintRule rule) {
     case LintRule::kResolvableLut: return "SEC004";
     case LintRule::kMaskedLut: return "SEC005";
     case LintRule::kAuditSkipped: return "SEC000";
+    case LintRule::kKeyConstant: return "KEY001";
+    case LintRule::kKeyRemovable: return "KEY002";
+    case LintRule::kKeyMutable: return "KEY003";
+    case LintRule::kKeyChain: return "KEY004";
+    case LintRule::kKeyPairwise: return "KEY005";
+    case LintRule::kKeyDeadRows: return "KEY006";
+    case LintRule::kKeySpace: return "KEY007";
+    case LintRule::kKeyVacuous: return "KEY008";
   }
   return "???";
 }
@@ -86,6 +94,22 @@ std::string_view rule_summary(LintRule rule) {
              "point";
     case LintRule::kAuditSkipped:
       return "security audit skipped (structural errors present)";
+    case LintRule::kKeyConstant:
+      return "key cell unit-propagates to a constant (zero-query recovery)";
+    case LintRule::kKeyRemovable:
+      return "key cell statically blocked from every observation point";
+    case LintRule::kKeyMutable:
+      return "key construct interferes with no other key cell (mutable)";
+    case LintRule::kKeyChain:
+      return "series key-gate chain collapses to one composite bit";
+    case LintRule::kKeyPairwise:
+      return "key construct pairwise-interferes with another key cell";
+    case LintRule::kKeyDeadRows:
+      return "key cell's unreachable truth-table rows carry no entropy";
+    case LintRule::kKeySpace:
+      return "effective key space below the nominal key bits";
+    case LintRule::kKeyVacuous:
+      return "key cell absent from every observation support function";
   }
   return "";
 }
@@ -111,10 +135,18 @@ LintSeverity rule_severity(LintRule rule) {
     case LintRule::kDeadGate:
     case LintRule::kDuplicateFanin:
     case LintRule::kVacuousLutInput:
+    case LintRule::kKeyConstant:
+    case LintRule::kKeyRemovable:
+    case LintRule::kKeyChain:
       return LintSeverity::kWarning;
     case LintRule::kSingleInputLut:
     case LintRule::kResolvableLut:
     case LintRule::kAuditSkipped:
+    case LintRule::kKeyMutable:
+    case LintRule::kKeyPairwise:
+    case LintRule::kKeyDeadRows:
+    case LintRule::kKeySpace:
+    case LintRule::kKeyVacuous:
       return LintSeverity::kInfo;
   }
   return LintSeverity::kInfo;

@@ -7,7 +7,9 @@
 //   STRxxx — structural well-formedness of the netlist graph;
 //   HYBxxx — hybrid-specific invariants of the STT-CMOS flow;
 //   SECxxx — static-deobfuscation audit: missing gates whose secret is
-//            (partially) recoverable without a single oracle query.
+//            (partially) recoverable without a single oracle query;
+//   KEYxxx — key-dependency analysis (verify/keydep): per-key-cell
+//            attack-resilience verdicts from the dataflow engine.
 #pragma once
 
 #include <string>
@@ -47,6 +49,15 @@ enum class LintRule {
   kResolvableLut,        ///< SEC004
   kMaskedLut,            ///< SEC005
   kAuditSkipped,         ///< SEC000
+  // -- layer 2: key-dependency analysis (verify/keydep) ---------------------
+  kKeyConstant,          ///< KEY001
+  kKeyRemovable,         ///< KEY002
+  kKeyMutable,           ///< KEY003
+  kKeyChain,             ///< KEY004
+  kKeyPairwise,          ///< KEY005
+  kKeyDeadRows,          ///< KEY006
+  kKeySpace,             ///< KEY007
+  kKeyVacuous,           ///< KEY008
 };
 
 /// Stable identifier, e.g. "STR001".

@@ -1,10 +1,25 @@
 #include "verify/lint.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "util/strings.hpp"
 
 namespace stt {
 
 namespace {
+
+// Byte-stable report order: each layer's block is sorted by (rule, cell,
+// message). Structural and audit emission is already deterministic, but the
+// sort makes the JSON independent of any future hash-ordered emission site.
+void sort_findings(std::vector<LintFinding>& findings, std::size_t from) {
+  std::stable_sort(findings.begin() + static_cast<std::ptrdiff_t>(from),
+                   findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     return std::tie(a.rule, a.cell_name, a.message) <
+                            std::tie(b.rule, b.cell_name, b.message);
+                   });
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -48,21 +63,36 @@ LintReport run_lint(const Netlist& nl, const LintOptions& opt) {
   const StructuralLintResult structural =
       run_structural_lint(nl, structural_opt);
   report.findings = structural.findings;
+  sort_findings(report.findings, 0);
 
-  if (opt.run_audit) {
+  if (opt.run_audit || opt.run_keydep) {
     if (!structural.evaluable) {
       report.findings.push_back(make_finding(
           nl, LintRule::kAuditSkipped, kNullCell,
           "security audit skipped: structural errors make the netlist "
           "unevaluable"));
     } else {
-      StaticAuditOptions audit_opt = opt.audit;
-      audit_opt.defense.merge(opt.defense);
-      report.audit = run_static_audit(nl, audit_opt);
-      report.audit_ran = true;
-      report.findings.insert(report.findings.end(),
-                             report.audit.findings.begin(),
-                             report.audit.findings.end());
+      if (opt.run_audit) {
+        StaticAuditOptions audit_opt = opt.audit;
+        audit_opt.defense.merge(opt.defense);
+        report.audit = run_static_audit(nl, audit_opt);
+        report.audit_ran = true;
+        const std::size_t from = report.findings.size();
+        report.findings.insert(report.findings.end(),
+                               report.audit.findings.begin(),
+                               report.audit.findings.end());
+        sort_findings(report.findings, from);
+      }
+      if (opt.run_keydep && nl.stats().luts > 0) {
+        KeydepOptions keydep_opt = opt.keydep;
+        keydep_opt.defense.merge(opt.defense);
+        report.keydep = analyze_keydep(nl, keydep_opt);
+        report.keydep_ran = true;
+        // analyze_keydep already sorts its findings.
+        report.findings.insert(report.findings.end(),
+                               report.keydep.findings.begin(),
+                               report.keydep.findings.end());
+      }
     }
   }
   report.counts = count_findings(report.findings);
@@ -103,6 +133,15 @@ std::string lint_text(const LintReport& report) {
           "  audit: optimism (log10 clocks) indep %.2f dep %.2f bf %.2f\n",
           a.log10_drop_indep, a.log10_drop_dep, a.log10_drop_bf);
     }
+  }
+  if (report.keydep_ran) {
+    const KeydepResult& k = report.keydep;
+    out += strformat(
+        "  keydep: %s | key bits %d nominal, %d static, %d effective | "
+        "cells const %d removable %d mutable %d pairwise %d hard %d\n",
+        k.verdict().c_str(), k.key_bits, k.key_bits_static, k.eff_key_bits,
+        k.constant_cells, k.removable_cells, k.mutable_cells,
+        k.pairwise_cells, k.hard_cells);
   }
   return out;
 }
@@ -147,6 +186,21 @@ std::string lint_json(const LintReport& report) {
     out += strformat(
         "\"log10_drop\": {\"indep\": %.4f, \"dep\": %.4f, \"bf\": %.4f}",
         a.log10_drop_indep, a.log10_drop_dep, a.log10_drop_bf);
+    out += "}";
+  }
+  if (report.keydep_ran) {
+    const KeydepResult& k = report.keydep;
+    out += ",\n  \"keydep\": {";
+    out += "\"verdict\": \"" + k.verdict() + "\", ";
+    out += strformat("\"key_cells\": %d, ", k.key_cells);
+    out += strformat("\"key_bits\": %d, ", k.key_bits);
+    out += strformat("\"key_bits_static\": %d, ", k.key_bits_static);
+    out += strformat("\"eff_key_bits\": %d, ", k.eff_key_bits);
+    out += strformat(
+        "\"cells_by_verdict\": {\"constant\": %d, \"removable\": %d, "
+        "\"mutable\": %d, \"pairwise_secure\": %d, \"hard\": %d}",
+        k.constant_cells, k.removable_cells, k.mutable_cells,
+        k.pairwise_cells, k.hard_cells);
     out += "}";
   }
   out += "\n}\n";

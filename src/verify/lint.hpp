@@ -25,6 +25,7 @@
 #include <string>
 
 #include "verify/audit.hpp"
+#include "verify/keydep.hpp"
 #include "verify/structural.hpp"
 
 namespace stt {
@@ -32,20 +33,28 @@ namespace stt {
 struct LintOptions {
   StructuralLintOptions structural;
   StaticAuditOptions audit;
+  KeydepOptions keydep;
   /// Run the layer 2 security audit (skipped automatically, with an SEC000
   /// info finding, when structural errors make the netlist unevaluable).
   bool run_audit = true;
-  /// Declared defense constructs, merged into both layers' own `defense`
-  /// fields (convenience so callers set annotations once).
+  /// Run the key-dependency analysis (KEY rules) next to the audit; it runs
+  /// under the same evaluability bar and only when the netlist holds LUTs.
+  bool run_keydep = true;
+  /// Declared defense constructs, merged into every layer's own `defense`
+  /// field (convenience so callers set annotations once).
   DefenseAnnotations defense;
 };
 
 struct LintReport {
   std::string netlist;
-  std::vector<LintFinding> findings;  ///< both layers, emission order
+  /// All layers, grouped structural / audit / keydep, each block sorted by
+  /// (rule, cell, message) so the JSON report is byte-stable.
+  std::vector<LintFinding> findings;
   LintCounts counts;
   bool audit_ran = false;
   StaticAuditResult audit;  ///< meaningful iff audit_ran
+  bool keydep_ran = false;
+  KeydepResult keydep;  ///< meaningful iff keydep_ran
 
   /// "clean" (no findings), "info", "warnings", or "errors" — the highest
   /// severity present.

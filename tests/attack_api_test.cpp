@@ -51,11 +51,11 @@ void expect_base_identical(const attack::UnifiedResult& u,
   EXPECT_EQ(u.key, direct.key);
 }
 
-TEST(AttackRegistry, ListsAllSevenAttacks) {
+TEST(AttackRegistry, ListsAllEightAttacks) {
   const auto names = attack::registry().names();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
   for (const char* name :
-       {"sat", "seq", "sens", "gsens", "bf", "ml", "dpa"}) {
+       {"sat", "seq", "sens", "gsens", "bf", "ml", "dpa", "static"}) {
     EXPECT_TRUE(attack::registry().contains(name)) << name;
   }
   EXPECT_FALSE(attack::registry().contains("sidechannel"));

@@ -10,7 +10,7 @@
 //                   --out-key k.key --out-annotations a.txt
 //   sttlock defend  --list            (defense kinds + tuning knobs)
 //   sttlock attack  --view f.bench --oracle h.bench
-//                   --kind sat|seq|sens|gsens|bf|ml|dpa
+//                   --kind sat|seq|sens|gsens|bf|ml|dpa|static
 //                   [--seed S --time-limit T --query-budget Q --work-budget W]
 //                   [--tune k=v,... --portfolio K --jobs N --naive]
 //                   [--trace t.json --metrics m.json]
@@ -28,6 +28,11 @@
 //   sttlock lint    --gen s641,s820 --algorithms parametric --seed 7
 //                   (generate + lock + lint each algorithm's output;
 //                    --gen all covers the whole ISCAS'89 set)
+//   sttlock analyze --in h.bench [--annotations a.txt] [--out report.json]
+//   sttlock analyze --gen s641,s820 --defense xor:count=16,const --seed 7
+//                   [--jobs 8] [--json] [--quiet]
+//                   (key-dependency dataflow analysis, KEY001-KEY008;
+//                    --gen all / --defense all sweep the full grid)
 //
 // Netlist files are read by extension as well.
 #include <cstdio>
@@ -57,6 +62,7 @@
 #include "timing/sta.hpp"
 #include "util/args.hpp"
 #include "util/strings.hpp"
+#include "verify/keydep.hpp"
 #include "verify/lint.hpp"
 
 namespace {
@@ -334,7 +340,7 @@ int cmd_attack(const std::vector<std::string>& args) {
   p.add_flag("--list", "print the registered attacks and their knobs");
   p.add_option("--view", "attacker's netlist (LUT contents ignored)");
   p.add_option("--oracle", "configured netlist standing in for the chip");
-  p.add_option("--kind", "attack to run: sat|seq|sens|gsens|bf|ml|dpa", "");
+  p.add_option("--kind", "attack to run: sat|seq|sens|gsens|bf|ml|dpa|static", "");
   p.add_option("--method", "deprecated alias for --kind", "");
   p.add_option("--seed", "attack seed (empty = the attack's default)", "");
   p.add_option("--time-limit", "wall-clock cap in seconds (empty = default)",
@@ -506,7 +512,7 @@ int cmd_campaign(const std::vector<std::string>& args) {
   p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
   p.add_option("--attack",
                "attack axis: comma list of none and registry names "
-               "(sat|seq|sens|gsens|bf|ml|dpa), or 'all'",
+               "(sat|seq|sens|gsens|bf|ml|dpa|static), or 'all'",
                "none");
   p.add_option("--defense",
                "defense axis: comma list of kind[:k=v[:k=v...]] entries "
@@ -736,6 +742,169 @@ int cmd_lint(const std::vector<std::string>& args) {
   return failed == 0 ? 0 : 2;
 }
 
+int cmd_analyze(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in", "comma-separated netlist files to analyze", "");
+  p.add_option("--gen",
+               "comma-separated ISCAS'89 profiles to generate, lock and "
+               "analyze ('all' = the whole set)",
+               "");
+  p.add_option("--defense",
+               "with --gen: comma list of kind[:k=v[:k=v...]] entries "
+               "(see 'sttlock defend --list'), or 'all'",
+               "parametric");
+  p.add_option("--seed", "with --gen: generation/defense seed", "1");
+  p.add_option("--margin", "with --gen: paper-adapter timing margin", "0.05");
+  p.add_option("--annotations",
+               "with --in: defense annotation file (sttlock defend "
+               "--out-annotations); --gen feeds each defense's own "
+               "annotations automatically",
+               "");
+  p.add_option("--jobs", "analysis worker threads (0 = all hardware)", "1");
+  p.add_option("--out", "machine-readable report output path", "");
+  p.add_flag("--json", "print the JSON report on stdout");
+  p.add_flag("--no-support",
+             "skip the support-function pass (KEY008 vacuousness)");
+  p.add_flag("--quiet", "suppress the per-netlist text summary");
+  p.parse(args);
+
+  struct AnalyzeTask {
+    std::string name;
+    Netlist nl;
+    DefenseAnnotations annotations;
+  };
+  std::vector<AnalyzeTask> tasks;
+
+  DefenseAnnotations file_annotations;
+  if (!p.get("--annotations").empty()) {
+    std::ifstream in(p.get("--annotations"));
+    if (!in) throw std::runtime_error("cannot read " + p.get("--annotations"));
+    std::ostringstream text;
+    text << in.rdbuf();
+    file_annotations = annotations_from_string(text.str());
+  }
+  for (const std::string& path : split(p.get("--in"), ',')) {
+    if (trim(path).empty()) continue;
+    const std::string file(trim(path));
+    tasks.push_back({file, load_netlist(file), file_annotations});
+  }
+
+  if (!p.get("--gen").empty()) {
+    std::vector<std::string> names;
+    if (p.get("--gen") == "all") {
+      for (const auto& profile : iscas89_profiles()) {
+        names.push_back(profile.name);
+      }
+    } else {
+      names = split(p.get("--gen"), ',');
+    }
+    std::vector<DefenseAxis> axes;
+    if (p.get("--defense") == "all") {
+      for (const std::string& kind : defense::registry().names()) {
+        axes.push_back({kind, {}});
+      }
+    } else {
+      for (const std::string& entry : split(p.get("--defense"), ',')) {
+        if (trim(entry).empty()) continue;
+        DefenseAxis axis;
+        const auto colon = entry.find(':');
+        axis.kind = std::string(trim(entry.substr(0, colon)));
+        if (colon != std::string::npos) {
+          axis.tuning = parse_tuning_list(entry.substr(colon + 1), ':');
+        }
+        axes.push_back(std::move(axis));
+      }
+    }
+    const TechLibrary lib = TechLibrary::cmos90_stt();
+    defense::DefenseOptions opt;
+    opt.seed = static_cast<std::uint64_t>(p.get_int("--seed"));
+    opt.timing_margin = p.get_double("--margin");
+    for (const std::string& name : names) {
+      const auto profile = find_profile(name);
+      if (!profile) {
+        std::fprintf(stderr, "unknown profile '%s'\n", name.c_str());
+        return 1;
+      }
+      const Netlist original = generate_circuit(*profile, opt.seed);
+      for (const DefenseAxis& axis : axes) {
+        defense::DefenseResult r = defense::registry().apply(
+            axis.kind, original, lib, opt, axis.tuning);
+        r.locked.set_name(name + "/" + axis.kind);
+        tasks.push_back({name + "/" + axis.kind, std::move(r.locked),
+                         std::move(r.annotations)});
+      }
+    }
+  }
+  if (tasks.empty()) {
+    std::fprintf(stderr, "analyze: nothing to do (pass --in or --gen)\n");
+    return 1;
+  }
+
+  // Index-addressed result slots: the output is assembled in task order
+  // after the pool drains, so the report is byte-identical across --jobs.
+  std::vector<KeydepResult> results(tasks.size());
+  std::vector<std::string> errors(tasks.size());
+  const auto analyze_at = [&](std::size_t i) {
+    KeydepOptions opt;
+    opt.defense = tasks[i].annotations;
+    opt.support_analysis = !p.flag("--no-support");
+    try {
+      results[i] = analyze_keydep(tasks[i].nl, opt);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    }
+  };
+  const unsigned jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) analyze_at(i);
+  } else {
+    ThreadPool pool(jobs == 0 ? 0u : jobs);
+    ThreadPoolParallelFor par(pool);
+    par.run(tasks.size(), analyze_at);
+  }
+
+  int failed = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::fprintf(stderr, "analyze: %s: %s\n", tasks[i].name.c_str(),
+                   errors[i].c_str());
+      ++failed;
+      continue;
+    }
+    const KeydepResult& r = results[i];
+    if (!p.flag("--quiet")) {
+      std::printf(
+          "%s: %s | key cells %d, bits %d nominal / %d static / %d "
+          "effective | const %d removable %d mutable %d pairwise %d hard "
+          "%d | %zu interference edges\n",
+          tasks[i].name.c_str(), r.verdict().c_str(), r.key_cells,
+          r.key_bits, r.key_bits_static, r.eff_key_bits, r.constant_cells,
+          r.removable_cells, r.mutable_cells, r.pairwise_cells, r.hard_cells,
+          r.edges.size());
+    }
+  }
+  if (failed) return 1;
+
+  if (!p.get("--out").empty() || p.flag("--json")) {
+    std::string doc;
+    if (tasks.size() == 1) {
+      doc = keydep_json(tasks[0].nl, results[0]);
+    } else {
+      doc = "[\n";
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        std::string one = keydep_json(tasks[i].nl, results[i]);
+        if (!one.empty() && one.back() == '\n') one.pop_back();
+        doc += one;
+        doc += i + 1 < tasks.size() ? ",\n" : "\n";
+      }
+      doc += "]\n";
+    }
+    if (!p.get("--out").empty()) write_text_file(p.get("--out"), doc);
+    if (p.flag("--json")) std::fputs(doc.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_convert(const std::vector<std::string>& args) {
   ArgParser p;
   p.add_option("--in", "input netlist");
@@ -778,8 +947,8 @@ int cmd_program(const std::vector<std::string>& args) {
 void usage() {
   std::fputs(
       "usage: sttlock <command> [options]\n"
-      "commands: gen, info, lock, defend, attack, campaign, lint, convert, "
-      "program\n"
+      "commands: gen, info, lock, defend, attack, campaign, lint, analyze, "
+      "convert, program\n"
       "run 'sttlock <command> --help' is not needed — errors list options.\n",
       stderr);
 }
@@ -801,6 +970,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "lint") return cmd_lint(args);
+    if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "convert") return cmd_convert(args);
     if (cmd == "program") return cmd_program(args);
   } catch (const std::exception& e) {
