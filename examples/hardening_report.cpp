@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
         trace, {});
     std::printf("[side channel] CPA margin on the most exposed LUT ('%s'): "
                 "%.4f %s\n",
-                flow.hybrid.cell(most_exposed).name.c_str(), dpa.margin(),
+                std::string(flow.hybrid.cell(most_exposed).name).c_str(), dpa.margin(),
                 dpa.margin() < 0.05
                     ? "(at-chance: content-independent MTJ read energy)"
                     : "(residual leakage via downstream CMOS toggles — "

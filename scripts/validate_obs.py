@@ -12,11 +12,16 @@ Also validates a campaign JSON document written by ``--out-json``: every
 ``cells_replaced``) and every ``summary`` entry the per-defense aggregate
 shape.
 
+Also validates a bench JSON document against its schema: ``--bench netlist``
+checks the shape bench_netlist_perf writes (counts, matching structural
+checksums, and the per-path/per-phase timing rows).
+
 Usage:
   scripts/validate_obs.py --trace trace.json [--require-cats job,flow-stage,...]
   scripts/validate_obs.py --metrics metrics.json [--require-counters a,b]
   scripts/validate_obs.py --campaign campaign.json \\
       [--require-defenses xor,latch] [--require-attacks sat,none]
+  scripts/validate_obs.py --bench netlist --bench-json BENCH_netlist_perf.json
 
 Exits non-zero with a diagnostic on the first violation. Stdlib only.
 """
@@ -201,12 +206,79 @@ def validate_campaign(path, require_defenses, require_attacks):
           f" defenses {sorted(defenses)}, attacks {sorted(attacks)}")
 
 
+NETLIST_BENCH_KEYS = {
+    "benchmark", "cells", "edges", "luts", "bench_bytes", "findings",
+    "checksum", "seed_checksum", "load_lint_speedup", "phases",
+}
+NETLIST_BENCH_COUNTS = ("cells", "edges", "luts", "bench_bytes", "findings")
+NETLIST_PHASE_KEYS = {"path", "phase", "reps", "seconds", "cells_per_sec"}
+NETLIST_PATHS = {"current", "seed"}
+# Every path must time at least these phases; "lower" runs on the current
+# path only (the seed replica has no compiled-sim stage).
+NETLIST_REQUIRED_PHASES = {"parse", "finalize", "topo", "lint"}
+
+
+def validate_netlist_bench(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level value must be an object")
+    missing = NETLIST_BENCH_KEYS - doc.keys()
+    if missing:
+        fail(f"{path}: missing keys {sorted(missing)}")
+    for key in NETLIST_BENCH_COUNTS:
+        if not isinstance(doc[key], int) or doc[key] < 0:
+            fail(f"{path}: field {key}={doc[key]!r} must be a non-negative"
+                 " integer")
+    if doc["cells"] <= 0:
+        fail(f"{path}: cells must be positive")
+    # The bench refuses to emit JSON on a checksum mismatch, so a committed
+    # artifact with differing checksums is corrupt by construction.
+    if doc["checksum"] != doc["seed_checksum"]:
+        fail(f"{path}: checksum {doc['checksum']!r} != seed_checksum"
+             f" {doc['seed_checksum']!r}")
+    if not isinstance(doc["load_lint_speedup"], (int, float)) \
+            or doc["load_lint_speedup"] <= 0:
+        fail(f"{path}: load_lint_speedup must be a positive number")
+    if not isinstance(doc["phases"], list) or not doc["phases"]:
+        fail(f"{path}: 'phases' must be a non-empty list")
+    timed = {p: set() for p in NETLIST_PATHS}
+    for i, row in enumerate(doc["phases"]):
+        if not isinstance(row, dict):
+            fail(f"{path}: phases[{i}] is not an object")
+        missing = NETLIST_PHASE_KEYS - row.keys()
+        if missing:
+            fail(f"{path}: phases[{i}] missing keys {sorted(missing)}")
+        if row["path"] not in NETLIST_PATHS:
+            fail(f"{path}: phases[{i}] path {row['path']!r} not in"
+                 f" {sorted(NETLIST_PATHS)}")
+        if not isinstance(row["reps"], int) or row["reps"] < 2:
+            fail(f"{path}: phases[{i}] reps={row['reps']!r} must be an"
+                 " integer >= 2 (the bench always times at least two reps)")
+        for key in ("seconds", "cells_per_sec"):
+            if not isinstance(row[key], (int, float)) or row[key] < 0:
+                fail(f"{path}: phases[{i}] field {key}={row[key]!r} must be"
+                     " a non-negative number")
+        timed[row["path"]].add(row["phase"])
+    for p in NETLIST_PATHS:
+        missing = NETLIST_REQUIRED_PHASES - timed[p]
+        if missing:
+            fail(f"{path}: path {p!r} missing timed phases"
+                 f" {sorted(missing)}")
+    print(f"validate_obs: OK: {path}: {doc['benchmark']} with"
+          f" {doc['cells']} cells, {len(doc['phases'])} phase rows,"
+          f" {doc['load_lint_speedup']}x load+lint speedup")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="Chrome trace JSON to validate")
     ap.add_argument("--metrics", help="metrics JSON to validate")
     ap.add_argument("--campaign", help="campaign --out-json document to"
                     " validate (defense axis columns)")
+    ap.add_argument("--bench", choices=["netlist"],
+                    help="bench JSON schema to validate (--bench-json)")
+    ap.add_argument("--bench-json", default="BENCH_netlist_perf.json",
+                    help="bench JSON path (default BENCH_netlist_perf.json)")
     ap.add_argument("--require-cats", default="",
                     help="comma-separated span categories that must appear")
     ap.add_argument("--require-counters", default="",
@@ -218,9 +290,10 @@ def main():
                     help="comma-separated attack names that must appear in"
                     " campaign results")
     args = ap.parse_args()
-    if not args.trace and not args.metrics and not args.campaign:
-        ap.error("at least one of --trace / --metrics / --campaign is"
-                 " required")
+    if not args.trace and not args.metrics and not args.campaign \
+            and not args.bench:
+        ap.error("at least one of --trace / --metrics / --campaign /"
+                 " --bench is required")
     split = lambda s: [x for x in s.split(",") if x]  # noqa: E731
     if args.trace:
         validate_trace(args.trace, split(args.require_cats))
@@ -229,6 +302,8 @@ def main():
     if args.campaign:
         validate_campaign(args.campaign, split(args.require_defenses),
                           split(args.require_attacks))
+    if args.bench == "netlist":
+        validate_netlist_bench(args.bench_json)
 
 
 if __name__ == "__main__":

@@ -173,7 +173,7 @@ BruteForceResult run_brute_force(const Netlist& hybrid, ScanOracle& oracle,
     if (matches()) {
       result.outcome = attack::Outcome::kSolved;
       for (const CellId id : lut_ids) {
-        result.key[work.cell(id).name] = work.cell(id).lut_mask;
+        result.key[std::string(work.cell(id).name)] = work.cell(id).lut_mask;
       }
       break;
     }

@@ -31,14 +31,15 @@ DipEncoder::DipEncoder(sat::Solver& solver, const Netlist& nl,
     for (CellId id = 0; id < static_cast<CellId>(n); ++id) {
       const Cell& c = nl.cell(id);
       if (c.kind != CellKind::kLut) continue;
-      const auto it = key_copies[copy]->find(c.name);
+      const std::string cname(c.name);
+      const auto it = key_copies[copy]->find(cname);
       if (it == key_copies[copy]->end()) {
         throw std::invalid_argument("DipEncoder: key copy missing LUT '" +
-                                    c.name + "'");
+                                    cname + "'");
       }
       if (it->second.size() != num_rows(c.fanin_count())) {
         throw std::invalid_argument("DipEncoder: key row count mismatch '" +
-                                    c.name + "'");
+                                    cname + "'");
       }
       key_by_cell_[copy][id] = it->second;
     }

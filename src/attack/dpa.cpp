@@ -145,7 +145,7 @@ DpaResult run_dpa_attack(const Netlist& nl, CellId target,
       result.identified_true_mask || (complement == truth);
   result.outcome = result.identified_true_mask ? attack::Outcome::kSolved
                                                : attack::Outcome::kAbandoned;
-  result.key[tc.name] = result.best_mask;
+  result.key[std::string(tc.name)] = result.best_mask;
   result.queries = measurement.trace_fj.size();  // measured cycles consumed
   result.elapsed_s = timer.seconds();
   return result;

@@ -204,11 +204,12 @@ EncodedCircuit encode_comb(sat::Solver& solver, const Netlist& nl,
           break;
         }
         std::vector<Var> key;
+        const std::string cname(c.name);
         if (opt.share_keys) {
-          const auto it = opt.share_keys->find(c.name);
+          const auto it = opt.share_keys->find(cname);
           if (it == opt.share_keys->end()) {
             throw std::invalid_argument("encode_comb: shared key missing '" +
-                                        c.name + "'");
+                                        cname + "'");
           }
           key = it->second;
         } else {
@@ -216,7 +217,7 @@ EncodedCircuit encode_comb(sat::Solver& solver, const Netlist& nl,
             key.push_back(solver.new_var());
           }
         }
-        enc.key_vars[c.name] = key;
+        enc.key_vars[cname] = key;
         encode_lut_symbolic(solver, out, in, key);
         break;
       }

@@ -34,8 +34,8 @@ AbstractView make_abstract(const Netlist& hybrid, const LutKnowledgeMap& luts) {
       c.lut_mask = st.value_mask & full_mask(c.fanin_count());
       continue;
     }
-    const std::string free_name =
-        "__free" + std::to_string(counter++) + "_" + hybrid.cell(id).name;
+    const std::string free_name = "__free" + std::to_string(counter++) +
+                                  "_" + std::string(hybrid.cell(id).name);
     const CellId free_pi = view.nl.add_input(free_name);
     // Sever the LUT from its drivers; it now buffers the free unknown.
     view.nl.connect(id, {free_pi});
@@ -251,7 +251,7 @@ GuidedSensResult run_guided_sensitization(const Netlist& hybrid,
     result.outcome = attack::Outcome::kAbandoned;  // no derivable row left
   }
   for (const CellId lut : lut_ids) {
-    result.key[hybrid.cell(lut).name] = luts[lut].value_mask;
+    result.key[std::string(hybrid.cell(lut).name)] = luts[lut].value_mask;
   }
   result.elapsed_s = timer.seconds();
   return result;

@@ -117,7 +117,7 @@ SensitizationResult run_sensitization_attack(const Netlist& hybrid,
     result.outcome = attack::Outcome::kAbandoned;  // stale: no progress
   }
   for (const CellId lut : lut_ids) {
-    result.key[hybrid.cell(lut).name] = luts[lut].value_mask;
+    result.key[std::string(hybrid.cell(lut).name)] = luts[lut].value_mask;
   }
   result.elapsed_s = timer.seconds();
   return result;

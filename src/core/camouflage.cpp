@@ -32,7 +32,7 @@ CamouflageResult apply_camouflage(Netlist& nl, const CamouflageOptions& opt) {
     if (static_cast<int>(result.camouflaged.size()) >= opt.count) break;
     nl.replace_with_lut(id);  // mask = the original function (the secret)
     result.camouflaged.push_back(id);
-    result.key[nl.cell(id).name] = nl.cell(id).lut_mask;
+    result.key[std::string(nl.cell(id).name)] = nl.cell(id).lut_mask;
   }
   return result;
 }

@@ -11,7 +11,7 @@ LutKey extract_key(const Netlist& nl) {
   LutKey key;
   for (CellId id = 0; id < nl.size(); ++id) {
     const Cell& c = nl.cell(id);
-    if (c.kind == CellKind::kLut) key[c.name] = c.lut_mask;
+    if (c.kind == CellKind::kLut) key[std::string(c.name)] = c.lut_mask;
   }
   return key;
 }

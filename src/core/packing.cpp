@@ -112,7 +112,7 @@ bool absorb_one(Netlist& nl, CellId lut, int max_inputs, Rng& rng,
       if ((l_mask >> l_row) & 1ull) mask |= (1ull << row);
     }
 
-    const std::vector<CellId> old_fanins = l.fanins;
+    const std::vector<CellId> old_fanins(l.fanins.begin(), l.fanins.end());
     const std::uint64_t old_mask = l.lut_mask;
     nl.connect(lut, std::move(fanins));
     nl.cell(lut).lut_mask = mask;
@@ -212,10 +212,10 @@ PackingResult pack_complex_functions(Netlist& nl, const PackingOptions& opt) {
       if (dummy == kNullCell) break;
       // Widen: the new (MSB) input is ignored by the function.
       const std::uint64_t base = l.lut_mask & full_mask(k);
-      const auto old_fanins = l.fanins;
-      auto fanins = l.fanins;
+      const std::vector<CellId> old_fanins(l.fanins.begin(), l.fanins.end());
+      std::vector<CellId> fanins = old_fanins;
       fanins.push_back(dummy);
-      nl.connect(lut, std::move(fanins));
+      nl.connect(lut, fanins);
       nl.cell(lut).lut_mask = base | (base << num_rows(k));
       if (accept && !accept()) {
         nl.connect(lut, old_fanins);

@@ -53,7 +53,7 @@ class ReplacementJournal {
   void commit_into(SelectionResult& result) {
     for (const auto& e : entries_) {
       result.replaced.push_back(e.id);
-      result.key[nl_->cell(e.id).name] = nl_->cell(e.id).lut_mask;
+      result.key[std::string(nl_->cell(e.id).name)] = nl_->cell(e.id).lut_mask;
     }
     entries_.clear();
   }

@@ -128,8 +128,9 @@ class ConstLock final : public DefenseBase {
       Cell& mc = work.cell(id);
       mc.kind = CellKind::kLut;
       mc.lut_mask = mask;
-      r.key[mc.name] = mask;
-      r.annotations.locked_constants.insert(mc.name);
+      const std::string mc_name(mc.name);
+      r.key[mc_name] = mask;
+      r.annotations.locked_constants.insert(mc_name);
       ++converted;
     }
     if (converted == 0) return;

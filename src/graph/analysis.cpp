@@ -75,7 +75,26 @@ std::vector<int> seq_depth_from_pi(const Netlist& nl) {
 
 std::vector<int> tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
                             int& num_components) {
-  const auto n = adj.size();
+  // Flatten to CSR preserving edge order, then run the CSR core — the
+  // numbering only depends on edge order, so both entry points agree.
+  std::vector<std::uint32_t> offsets(adj.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < adj.size(); ++u) {
+    total += adj[u].size();
+    offsets[u + 1] = static_cast<std::uint32_t>(total);
+  }
+  std::vector<std::uint32_t> targets;
+  targets.reserve(total);
+  for (const auto& row : adj) {
+    targets.insert(targets.end(), row.begin(), row.end());
+  }
+  return tarjan_scc_csr(offsets, targets, num_components);
+}
+
+std::vector<int> tarjan_scc_csr(std::span<const std::uint32_t> offsets,
+                                std::span<const std::uint32_t> targets,
+                                int& num_components) {
+  const std::size_t n = offsets.empty() ? 0 : offsets.size() - 1;
   std::vector<int> comp(n, -1), low(n, 0), index(n, -1);
   std::vector<std::uint32_t> stack;
   std::vector<bool> on_stack(n, false);
@@ -85,7 +104,7 @@ std::vector<int> tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
   // Iterative Tarjan to survive deep graphs.
   struct Frame {
     std::uint32_t node;
-    std::size_t edge;
+    std::uint32_t edge;  // cursor relative to offsets[node]
   };
   std::vector<Frame> call;
   for (std::uint32_t root = 0; root < n; ++root) {
@@ -99,8 +118,8 @@ std::vector<int> tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
         on_stack[u] = true;
       }
       bool descended = false;
-      while (edge < adj[u].size()) {
-        const std::uint32_t v = adj[u][edge++];
+      while (offsets[u] + edge < offsets[u + 1]) {
+        const std::uint32_t v = targets[offsets[u] + edge++];
         if (index[v] == -1) {
           call.push_back({v, 0});
           descended = true;

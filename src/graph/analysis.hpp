@@ -56,4 +56,12 @@ std::vector<CellId> fanout_cone(const Netlist& nl,
 std::vector<int> tarjan_scc(const std::vector<std::vector<std::uint32_t>>& adj,
                             int& num_components);
 
+/// Same algorithm over a CSR adjacency (node u's targets are
+/// targets[offsets[u] .. offsets[u+1])): identical numbering for the same
+/// edge order, but no per-node vector allocations — the form the
+/// million-gate lint scan builds in one counting pass.
+std::vector<int> tarjan_scc_csr(std::span<const std::uint32_t> offsets,
+                                std::span<const std::uint32_t> targets,
+                                int& num_components);
+
 }  // namespace stt

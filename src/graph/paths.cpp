@@ -39,7 +39,8 @@ std::vector<CellId> directed_walk(const Netlist& nl, CellId start,
 
   auto neighbours = [&](CellId id) {
     const Cell& c = nl.cell(id);
-    std::vector<CellId> order(backward ? c.fanins : c.fanouts);
+    const ConnList& nb = backward ? c.fanins : c.fanouts;
+    std::vector<CellId> order(nb.begin(), nb.end());
     rng.shuffle(order);
     // Mild bias toward flip-flop neighbours, so walks tend to cross the
     // >= 2 flip-flops the pool requires without meandering through the

@@ -1,11 +1,13 @@
 #include "io/blif_io.hpp"
 
+#include <deque>
 #include <fstream>
+#include <span>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "io/slurp.hpp"
 #include "obs/obs.hpp"
+#include "util/interner.hpp"
 #include "util/strings.hpp"
 
 namespace stt {
@@ -36,48 +38,56 @@ CellKind classify_mask(std::uint64_t mask, int fanin) {
   return CellKind::kLut;
 }
 
+// A `.names` block. All views alias the parse buffer (or the continuation-
+// join storage); nets and cubes live in flat arrays shared by all blocks.
 struct NamesBlock {
-  std::vector<std::string> nets;  ///< inputs then the output net
-  std::vector<std::string> cubes;
+  std::uint32_t nets_begin = 0;   ///< into net_refs: inputs then output net
+  std::uint32_t nets_count = 0;
+  std::uint32_t cubes_begin = 0;  ///< into cube_refs
+  std::uint32_t cubes_count = 0;
   int line = 0;
 };
 
-std::uint64_t cubes_to_mask(const NamesBlock& block) {
-  const int k = static_cast<int>(block.nets.size()) - 1;
+std::uint64_t cubes_to_mask(int k, std::span<const std::string_view> cubes,
+                            int block_line,
+                            std::vector<std::string_view>& fields) {
   if (k > kMaxLutInputs) {
     throw BlifParseError(".names with more than " +
                              std::to_string(kMaxLutInputs) + " inputs",
-                         block.line);
+                         block_line);
   }
   std::uint64_t on_cover = 0;
   bool cover_is_offset = false;
   bool first = true;
-  for (const auto& cube : block.cubes) {
-    const auto fields = split_ws(cube);
-    std::string bits;
-    std::string out;
+  for (const std::string_view cube : cubes) {
+    split_ws_views(cube, fields);
+    std::string_view bits;
+    std::string_view out;
     if (k == 0) {
       if (fields.size() != 1) {
-        throw BlifParseError("bad constant row '" + cube + "'", block.line);
+        throw BlifParseError("bad constant row '" + std::string(cube) + "'",
+                             block_line);
       }
       out = fields[0];
     } else {
       if (fields.size() != 2 ||
           fields[0].size() != static_cast<std::size_t>(k)) {
-        throw BlifParseError("bad cube '" + cube + "'", block.line);
+        throw BlifParseError("bad cube '" + std::string(cube) + "'",
+                             block_line);
       }
       bits = fields[0];
       out = fields[1];
     }
     if (out != "0" && out != "1") {
-      throw BlifParseError("bad cube output '" + out + "'", block.line);
+      throw BlifParseError("bad cube output '" + std::string(out) + "'",
+                           block_line);
     }
     const bool off = (out == "0");
     if (first) {
       cover_is_offset = off;
       first = false;
     } else if (off != cover_is_offset) {
-      throw BlifParseError("mixed on-set/off-set cover", block.line);
+      throw BlifParseError("mixed on-set/off-set cover", block_line);
     }
     // Expand don't-cares.
     std::vector<std::uint32_t> rows{0};
@@ -85,7 +95,7 @@ std::uint64_t cubes_to_mask(const NamesBlock& block) {
       const char c = bits[i];
       if (c != '0' && c != '1' && c != '-') {
         throw BlifParseError("bad cube character '" + std::string(1, c) + "'",
-                             block.line);
+                             block_line);
       }
       const std::size_t count = rows.size();
       for (std::size_t r = 0; r < count; ++r) {
@@ -99,7 +109,7 @@ std::uint64_t cubes_to_mask(const NamesBlock& block) {
     if (k == 0) rows = {0};
     for (const std::uint32_t row : rows) on_cover |= (1ull << row);
   }
-  if (block.cubes.empty()) return 0;  // empty cover = constant 0
+  if (cubes.empty()) return 0;  // empty cover = constant 0
   return cover_is_offset ? (~on_cover & full_mask(k)) : on_cover;
 }
 
@@ -111,8 +121,15 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     static obs::Counter& parses = obs::Metrics::global().counter("io.blif_parses");
     parses.add(1);
   }
-  // Join continuation lines, strip comments.
-  std::vector<std::pair<std::string, int>> lines;
+  // Logical lines: comments stripped, continuations joined. Unbroken lines
+  // stay views into `text`; the rare continuation-joined line is owned by
+  // `joined` (a deque, so its elements never move and views stay valid).
+  struct LineRec {
+    std::string_view text;
+    int line = 0;
+  };
+  std::vector<LineRec> lines;
+  std::deque<std::string> joined;
   {
     int line_no = 0;
     std::string pending;
@@ -120,22 +137,29 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
     std::size_t pos = 0;
     while (pos <= text.size()) {
       const std::size_t eol = text.find('\n', pos);
-      std::string raw(text.substr(
-          pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
+      std::string_view raw = text.substr(
+          pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
       pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
       ++line_no;
-      if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      if (const auto hash = raw.find('#'); hash != std::string_view::npos) {
         raw = raw.substr(0, hash);
       }
-      std::string trimmed(trim(raw));
+      std::string_view trimmed = trim(raw);
       const bool continues = ends_with(trimmed, "\\");
-      if (continues) trimmed = std::string(trim(
-          std::string_view(trimmed).substr(0, trimmed.size() - 1)));
+      if (continues) trimmed = trim(trimmed.substr(0, trimmed.size() - 1));
+      if (!continues && pending.empty()) {
+        // Common case: a plain line stays a view into `text`.
+        if (!trimmed.empty()) lines.push_back({trimmed, line_no});
+        continue;
+      }
       if (pending.empty()) pending_line = line_no;
-      pending += (pending.empty() ? "" : " ") + trimmed;
+      if (!pending.empty()) pending += ' ';
+      pending += trimmed;
       if (!continues) {
-        if (!trim(pending).empty()) {
-          lines.emplace_back(std::string(trim(pending)), pending_line);
+        const std::string_view flat = trim(pending);
+        if (!flat.empty()) {
+          joined.emplace_back(flat);
+          lines.push_back({joined.back(), pending_line});
         }
         pending.clear();
       }
@@ -143,26 +167,36 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
   }
 
   struct Latch {
-    std::string d, q;
+    std::string_view d, q;
     int line = 0;
   };
   std::string model_name = std::move(fallback_name);
-  std::vector<std::string> input_names;
-  std::vector<std::pair<std::string, int>> output_names;  // net, decl line
+  std::vector<std::string_view> input_names;
+  std::vector<std::pair<std::string_view, int>> output_names;  // net, line
   std::vector<Latch> latches;
   std::vector<NamesBlock> blocks;
-  std::unordered_set<std::string> defined;  // driver names, for dup checks
-  const auto define = [&defined](const std::string& net, int line_no) {
-    if (!defined.insert(net).second) {
-      throw BlifParseError("net '" + net + "' defined twice", line_no);
+  std::vector<std::string_view> net_refs;    // flat, per NamesBlock
+  std::vector<std::string_view> cube_refs;   // flat, per NamesBlock
+  StringInterner defined;  // driver names, for dup checks
+  std::size_t name_bytes = 0;
+  std::size_t edge_count = 0;
+  const auto define = [&defined, &name_bytes](std::string_view net,
+                                              int line_no) {
+    bool inserted = false;
+    defined.intern(net, inserted);
+    if (!inserted) {
+      throw BlifParseError("net '" + std::string(net) + "' defined twice",
+                           line_no);
     }
+    name_bytes += net.size();
   };
 
+  std::vector<std::string_view> fields;
   for (std::size_t li = 0; li < lines.size(); ++li) {
-    const auto& [line, line_no] = lines[li];
-    const auto fields = split_ws(line);
+    const auto [line, line_no] = lines[li];
+    split_ws_views(line, fields);
     if (fields.empty()) continue;
-    const std::string& head = fields[0];
+    const std::string_view head = fields[0];
     if (head == ".model") {
       if (fields.size() < 2) {
         throw BlifParseError(".model needs a name", line_no);
@@ -183,39 +217,55 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
       }
       define(fields[2], line_no);
       latches.push_back({fields[1], fields[2], line_no});
+      ++edge_count;
     } else if (head == ".names") {
       if (fields.size() < 2) {
         throw BlifParseError(".names needs an output net", line_no);
       }
       define(fields.back(), line_no);
       NamesBlock block;
-      block.nets.assign(fields.begin() + 1, fields.end());
+      block.nets_begin = static_cast<std::uint32_t>(net_refs.size());
+      net_refs.insert(net_refs.end(), fields.begin() + 1, fields.end());
+      block.nets_count =
+          static_cast<std::uint32_t>(net_refs.size()) - block.nets_begin;
       block.line = line_no;
-      while (li + 1 < lines.size() && lines[li + 1].first[0] != '.') {
-        block.cubes.push_back(lines[++li].first);
+      block.cubes_begin = static_cast<std::uint32_t>(cube_refs.size());
+      while (li + 1 < lines.size() && lines[li + 1].text[0] != '.') {
+        cube_refs.push_back(lines[++li].text);
       }
-      blocks.push_back(std::move(block));
+      block.cubes_count =
+          static_cast<std::uint32_t>(cube_refs.size()) - block.cubes_begin;
+      edge_count += block.nets_count - 1;
+      blocks.push_back(block);
     } else if (head == ".end") {
       break;
     } else if (head[0] == '.') {
       // Unknown directive (timing annotations etc.): ignore.
     } else {
-      throw BlifParseError("unexpected line '" + line + "'", line_no);
+      throw BlifParseError("unexpected line '" + std::string(line) + "'",
+                           line_no);
     }
   }
 
   Netlist nl(std::move(model_name));
-  for (const auto& name : input_names) nl.add_input(name);
-  for (const auto& latch : latches) nl.add_cell(CellKind::kDff, latch.q);
+  nl.reserve(input_names.size() + latches.size() + blocks.size(), edge_count,
+             name_bytes);
+  for (const std::string_view name : input_names) nl.add_input(name);
+  for (const Latch& latch : latches) nl.add_cell(CellKind::kDff, latch.q);
   std::vector<CellId> block_cells;
-  for (const auto& block : blocks) {
-    const int k = static_cast<int>(block.nets.size()) - 1;
+  block_cells.reserve(blocks.size());
+  for (const NamesBlock& block : blocks) {
+    const int k = static_cast<int>(block.nets_count) - 1;
+    const std::string_view out_net =
+        net_refs[block.nets_begin + block.nets_count - 1];
+    const std::span<const std::string_view> cubes(
+        cube_refs.data() + block.cubes_begin, block.cubes_count);
     if (k > kMaxLutInputs) {
       // Wide covers: accept the compact monotone single-cube forms.
-      if (block.cubes.size() != 1) {
+      if (cubes.size() != 1) {
         throw BlifParseError("wide .names must be a single cube", block.line);
       }
-      const auto fields = split_ws(block.cubes[0]);
+      split_ws_views(cubes[0], fields);
       if (fields.size() != 2 ||
           fields[0].size() != static_cast<std::size_t>(k)) {
         throw BlifParseError("bad wide cube", block.line);
@@ -235,36 +285,39 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
       } else {
         throw BlifParseError("unsupported wide cover", block.line);
       }
-      block_cells.push_back(nl.add_cell(kind, block.nets.back()));
+      block_cells.push_back(nl.add_cell(kind, out_net));
       continue;
     }
-    const std::uint64_t mask = cubes_to_mask(block);
+    const std::uint64_t mask = cubes_to_mask(k, cubes, block.line, fields);
     const CellKind kind = classify_mask(mask, k);
-    const CellId id = nl.add_cell(kind, block.nets.back());
+    const CellId id = nl.add_cell(kind, out_net);
     if (kind == CellKind::kLut) nl.cell(id).lut_mask = mask & full_mask(k);
     block_cells.push_back(id);
   }
-  auto resolve = [&](const std::string& name, int line_no) {
+  auto resolve = [&](std::string_view name, int line_no) {
     const CellId id = nl.find(name);
     if (id == kNullCell) {
-      throw BlifParseError("undefined net '" + name + "'", line_no);
+      throw BlifParseError("undefined net '" + std::string(name) + "'",
+                           line_no);
     }
     return id;
   };
   for (const Latch& latch : latches) {
     nl.connect(nl.find(latch.q), {resolve(latch.d, latch.line)});
   }
+  std::vector<CellId> fanins;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     const CellKind kind = nl.cell(block_cells[i]).kind;
     if (kind == CellKind::kConst0 || kind == CellKind::kConst1) continue;
-    std::vector<CellId> fanins;
-    for (std::size_t j = 0; j + 1 < blocks[i].nets.size(); ++j) {
-      fanins.push_back(resolve(blocks[i].nets[j], blocks[i].line));
+    fanins.clear();
+    const NamesBlock& block = blocks[i];
+    for (std::uint32_t j = 0; j + 1 < block.nets_count; ++j) {
+      fanins.push_back(resolve(net_refs[block.nets_begin + j], block.line));
     }
     try {
-      nl.connect(block_cells[i], std::move(fanins));
+      nl.connect(block_cells[i], fanins);
     } catch (const std::exception& e) {
-      throw BlifParseError(e.what(), blocks[i].line);
+      throw BlifParseError(e.what(), block.line);
     }
   }
   for (const auto& [name, decl_line] : output_names) {
@@ -279,19 +332,9 @@ Netlist read_blif(std::string_view text, std::string fallback_name) {
 }
 
 Netlist read_blif_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string stem = path;
-  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
-    stem = stem.substr(slash + 1);
-  }
-  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
-    stem = stem.substr(0, dot);
-  }
+  const std::string text = slurp_file(path);
   try {
-    return read_blif(buf.str(), stem);
+    return read_blif(text, file_stem(path));
   } catch (const BlifParseError& e) {
     // Re-tag in-memory diagnostics with the actual file path.
     throw BlifParseError(e.message, e.line, path);
@@ -312,7 +355,10 @@ std::string write_blif(const Netlist& nl) {
     os << ".latch " << nl.cell(c.fanins.at(0)).name << ' ' << c.name
        << " re clk 0\n";
   }
-  for (const CellId id : nl.topo_order()) {
+  // Gates in id order (forward references are fine — the reader resolves
+  // names after scanning every block): the re-read netlist numbers cells in
+  // file order, so writing it again reproduces these bytes exactly.
+  for (CellId id = 0; id < nl.size(); ++id) {
     const Cell& c = nl.cell(id);
     if (c.kind == CellKind::kInput || c.kind == CellKind::kDff) continue;
     os << ".names";
@@ -338,7 +384,7 @@ std::string write_blif(const Netlist& nl) {
           // A 2^(k-1)-cube parity cover is not worth emitting.
           throw std::runtime_error(
               "write_blif: wide XOR/XNOR not representable compactly; "
-              "decompose '" + c.name + "' first");
+              "decompose '" + std::string(c.name) + "' first");
       }
       continue;
     }

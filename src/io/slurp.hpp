@@ -1,0 +1,54 @@
+// Whole-file slurp shared by the netlist readers.
+//
+// The readers are single-pass zero-copy tokenizers: they keep
+// `std::string_view` tokens into one contiguous buffer for the whole parse,
+// so the file must be read in one shot (an ostringstream slurp would copy
+// the text twice and fragment the heap at million-gate scale).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace stt {
+
+/// Read the entire file into a string. Throws std::runtime_error
+/// ("cannot open '<path>'") on any failure to open or read.
+inline std::string slurp_file(const std::string& path) {
+  struct Closer {
+    void operator()(std::FILE* f) const { std::fclose(f); }
+  };
+  const std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open '" + path + "'");
+  std::string text;
+  if (std::fseek(f.get(), 0, SEEK_END) == 0) {
+    const long size = std::ftell(f.get());
+    if (size > 0) text.reserve(static_cast<std::size_t>(size));
+    std::rewind(f.get());
+  }
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    text.append(buf, n);
+  }
+  if (std::ferror(f.get())) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  return text;
+}
+
+/// The file stem ("dir/s27.bench" -> "s27"): default netlist name for
+/// file-based readers.
+inline std::string file_stem(const std::string& path) {
+  std::string stem = path;
+  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return stem;
+}
+
+}  // namespace stt

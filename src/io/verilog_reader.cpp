@@ -2,12 +2,11 @@
 
 #include <cctype>
 #include <charconv>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "io/slurp.hpp"
 #include "util/strings.hpp"
 
 namespace stt {
@@ -15,41 +14,46 @@ namespace stt {
 namespace {
 
 struct Token {
-  std::string text;
+  std::string_view text;
   bool is_identifier = false;
 };
 
+// Streaming lexer: tokens are produced on demand as views into the source
+// buffer (escaped identifiers, literals and punctuation alike), so parsing
+// allocates nothing per token.
 class Tokenizer {
  public:
-  explicit Tokenizer(std::string_view text) { tokenize(text); }
+  explicit Tokenizer(std::string_view text) : s_(text) {}
 
-  bool done() const { return pos_ >= tokens_.size(); }
-  const Token& peek() const {
+  bool done() { return !ensure(); }
+  const Token& peek() {
     static const Token kEof{"<eof>", false};
-    return done() ? kEof : tokens_[pos_];
+    return ensure() ? cur_ : kEof;
   }
   Token next() {
-    if (done()) throw VerilogParseError("unexpected end of input");
-    return tokens_[pos_++];
+    if (!ensure()) throw VerilogParseError("unexpected end of input");
+    has_ = false;
+    return cur_;
   }
   void expect(std::string_view text) {
     const Token t = next();
     if (t.text != text) {
       throw VerilogParseError("expected '" + std::string(text) + "', got '" +
-                              t.text + "'");
+                              std::string(t.text) + "'");
     }
   }
   bool accept(std::string_view text) {
-    if (!done() && tokens_[pos_].text == text) {
-      ++pos_;
+    if (ensure() && cur_.text == text) {
+      has_ = false;
       return true;
     }
     return false;
   }
-  std::string identifier() {
+  std::string_view identifier() {
     const Token t = next();
     if (!t.is_identifier) {
-      throw VerilogParseError("expected identifier, got '" + t.text + "'");
+      throw VerilogParseError("expected identifier, got '" +
+                              std::string(t.text) + "'");
     }
     return t.text;
   }
@@ -60,79 +64,92 @@ class Tokenizer {
   }
 
  private:
-  void tokenize(std::string_view s) {
-    std::size_t i = 0;
-    const std::size_t n = s.size();
+  bool ensure() {
+    if (!has_) has_ = lex();
+    return has_;
+  }
+
+  // Scan the next token from i_ into cur_; false at end of input.
+  bool lex() {
+    const std::size_t n = s_.size();
     auto is_ident = [](char c) {
       return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
              c == '$';
     };
-    while (i < n) {
-      const char c = s[i];
+    while (i_ < n) {
+      const char c = s_[i_];
       if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
+        ++i_;
         continue;
       }
-      if (c == '/' && i + 1 < n && s[i + 1] == '/') {
-        while (i < n && s[i] != '\n') ++i;
+      if (c == '/' && i_ + 1 < n && s_[i_ + 1] == '/') {
+        while (i_ < n && s_[i_] != '\n') ++i_;
         continue;
       }
-      if (c == '/' && i + 1 < n && s[i + 1] == '*') {
-        const std::size_t end = s.find("*/", i + 2);
+      if (c == '/' && i_ + 1 < n && s_[i_ + 1] == '*') {
+        const std::size_t end = s_.find("*/", i_ + 2);
         if (end == std::string_view::npos) {
           throw VerilogParseError("unterminated block comment");
         }
-        i = end + 2;
+        i_ = end + 2;
         continue;
       }
       if (c == '\\') {  // escaped identifier: up to whitespace
-        std::size_t j = i + 1;
-        while (j < n && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
-        tokens_.push_back({std::string(s.substr(i + 1, j - i - 1)), true});
-        i = j;
-        continue;
+        std::size_t j = i_ + 1;
+        while (j < n && !std::isspace(static_cast<unsigned char>(s_[j]))) ++j;
+        cur_ = {s_.substr(i_ + 1, j - i_ - 1), true};
+        i_ = j;
+        return true;
       }
       if (is_ident(c) || c == '\'') {
         // Identifier, number, or based literal like 16'hcafe (the quote
         // glues the width to the base/value).
-        std::size_t j = i;
-        while (j < n && (is_ident(s[j]) || s[j] == '\'')) ++j;
-        const std::string text(s.substr(i, j - i));
+        std::size_t j = i_;
+        while (j < n && (is_ident(s_[j]) || s_[j] == '\'')) ++j;
+        const std::string_view text = s_.substr(i_, j - i_);
         const bool ident =
             !std::isdigit(static_cast<unsigned char>(text[0])) &&
-            text.find('\'') == std::string::npos;
-        tokens_.push_back({text, ident});
-        i = j;
-        continue;
+            text.find('\'') == std::string_view::npos;
+        cur_ = {text, ident};
+        i_ = j;
+        return true;
       }
-      if (c == '<' && i + 1 < n && s[i + 1] == '=') {
-        tokens_.push_back({"<=", false});
-        i += 2;
-        continue;
+      if (c == '<' && i_ + 1 < n && s_[i_ + 1] == '=') {
+        cur_ = {s_.substr(i_, 2), false};
+        i_ += 2;
+        return true;
       }
-      tokens_.push_back({std::string(1, c), false});
-      ++i;
+      cur_ = {s_.substr(i_, 1), false};
+      ++i_;
+      return true;
     }
+    return false;
   }
 
-  std::vector<Token> tokens_;
-  std::size_t pos_ = 0;
+  std::string_view s_;
+  std::size_t i_ = 0;
+  Token cur_;
+  bool has_ = false;
 };
 
 // 4'h8 / 1'b0 / 16'hCAFE -> (width, value)
 std::optional<std::pair<int, std::uint64_t>> parse_based_literal(
-    const std::string& text) {
+    std::string_view text) {
   const auto quote = text.find('\'');
-  if (quote == std::string::npos || quote + 1 >= text.size()) {
+  if (quote == std::string_view::npos || quote + 1 >= text.size()) {
     return std::nullopt;
   }
   int width = 0;
   if (quote > 0) {
-    width = std::stoi(text.substr(0, quote));
+    const std::string_view head = text.substr(0, quote);
+    const auto [ptr, ec] =
+        std::from_chars(head.data(), head.data() + head.size(), width);
+    if (ec != std::errc()) return std::nullopt;
+    (void)ptr;  // trailing junk before the quote tolerated, as stoi did
   }
   const char base = static_cast<char>(
       std::tolower(static_cast<unsigned char>(text[quote + 1])));
-  const std::string digits = text.substr(quote + 2);
+  const std::string_view digits = text.substr(quote + 2);
   int radix = 0;
   switch (base) {
     case 'b': radix = 2; break;
@@ -150,12 +167,16 @@ std::optional<std::pair<int, std::uint64_t>> parse_based_literal(
   return std::make_pair(width, value);
 }
 
+// Statement recorded during the declaration pass. Name and fan-in views
+// alias the source buffer; fan-ins live in one flat array (LSB-first for
+// LUTs) shared by all defs.
 struct PendingDef {
   enum Kind { kGate, kDff, kAliasOrBuf, kConst, kLut, kLutMacro } kind;
   CellKind gate_kind = CellKind::kBuf;
-  std::string name;                     ///< driven net
-  std::vector<std::string> fanins;      ///< LSB-first for LUTs
-  std::uint64_t mask = 0;               ///< LUT mask / const value
+  std::string_view name;            ///< driven net
+  std::uint32_t fanin_begin = 0;    ///< into fanin_refs
+  std::uint32_t fanin_count = 0;
+  std::uint64_t mask = 0;           ///< LUT mask / const value
 };
 
 }  // namespace
@@ -164,16 +185,17 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
   Tokenizer tok(text);
 
   std::string module_name = fallback_name;
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_names;
-  std::unordered_set<std::string> clocks;
+  std::vector<std::string_view> input_names;
+  std::vector<std::string_view> output_names;
+  std::unordered_set<std::string_view> clocks;
   std::vector<PendingDef> defs;
+  std::vector<std::string_view> fanin_refs;  // flat, indexed by PendingDef
 
   // Find the first non-blackbox module.
   bool in_module = false;
   while (!tok.done() && !in_module) {
     if (tok.next().text != "module") continue;
-    const std::string name = tok.identifier();
+    const std::string_view name = tok.identifier();
     if (starts_with(name, "STT_LUT")) {
       tok.skip_past("endmodule");
       continue;
@@ -186,28 +208,34 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
   }
   if (!in_module) throw VerilogParseError("no module found");
 
-  auto parse_signal_list = [&](std::vector<std::string>* into) {
+  auto parse_signal_list = [&](std::vector<std::string_view>* into) {
     // Optional range, then comma-separated identifiers, semicolon.
     if (tok.accept("[")) tok.skip_past("]");
     do {
-      const std::string name = tok.identifier();
+      const std::string_view name = tok.identifier();
       if (into) into->push_back(name);
     } while (tok.accept(","));
     tok.expect(";");
   };
 
-  auto parse_concat_lsb_first = [&]() {
-    // {msb, ..., lsb} or a single identifier; returns LSB-first order.
-    std::vector<std::string> msb_first;
+  std::vector<std::string_view> concat_scratch;
+  auto parse_concat_into_refs = [&]() {
+    // {msb, ..., lsb} or a single identifier; appended LSB-first.
+    concat_scratch.clear();
     if (tok.accept("{")) {
       do {
-        msb_first.push_back(tok.identifier());
+        concat_scratch.push_back(tok.identifier());
       } while (tok.accept(","));
       tok.expect("}");
     } else {
-      msb_first.push_back(tok.identifier());
+      concat_scratch.push_back(tok.identifier());
     }
-    return std::vector<std::string>(msb_first.rbegin(), msb_first.rend());
+    fanin_refs.insert(fanin_refs.end(), concat_scratch.rbegin(),
+                      concat_scratch.rend());
+  };
+  auto seal_fanins = [&](PendingDef& def) {
+    def.fanin_count =
+        static_cast<std::uint32_t>(fanin_refs.size()) - def.fanin_begin;
   };
 
   while (!tok.done()) {
@@ -227,6 +255,7 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
     }
     if (head.text == "assign") {
       PendingDef def;
+      def.fanin_begin = static_cast<std::uint32_t>(fanin_refs.size());
       def.name = tok.identifier();
       tok.expect("=");
       const Token rhs = tok.next();
@@ -235,7 +264,7 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
           // Configured LUT: mask[{index vector}].
           def.kind = PendingDef::kLut;
           def.mask = lit->second;
-          def.fanins = parse_concat_lsb_first();
+          parse_concat_into_refs();
           tok.expect("]");
         } else {
           def.kind = PendingDef::kConst;
@@ -243,13 +272,14 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
         }
       } else if (rhs.is_identifier) {
         def.kind = PendingDef::kAliasOrBuf;
-        def.fanins = {rhs.text};
+        fanin_refs.push_back(rhs.text);
       } else {
-        throw VerilogParseError("unsupported assign RHS near '" + rhs.text +
-                                "'");
+        throw VerilogParseError("unsupported assign RHS near '" +
+                                std::string(rhs.text) + "'");
       }
       tok.expect(";");
-      defs.push_back(std::move(def));
+      seal_fanins(def);
+      defs.push_back(def);
       continue;
     }
     if (head.text == "always") {
@@ -260,12 +290,14 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
       clocks.insert(tok.identifier());
       tok.expect(")");
       PendingDef def;
+      def.fanin_begin = static_cast<std::uint32_t>(fanin_refs.size());
       def.kind = PendingDef::kDff;
       def.name = tok.identifier();
       tok.expect("<=");
-      def.fanins = {tok.identifier()};
+      fanin_refs.push_back(tok.identifier());
       tok.expect(";");
-      defs.push_back(std::move(def));
+      seal_fanins(def);
+      defs.push_back(def);
       continue;
     }
     if (head.is_identifier) {
@@ -273,65 +305,79 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
       if (kind && is_replaceable_gate(*kind)) {
         // Gate primitive: kind inst (out, in...);
         PendingDef def;
+        def.fanin_begin = static_cast<std::uint32_t>(fanin_refs.size());
         def.kind = PendingDef::kGate;
         def.gate_kind = *kind;
         (void)tok.identifier();  // instance name
         tok.expect("(");
         def.name = tok.identifier();
-        while (tok.accept(",")) def.fanins.push_back(tok.identifier());
+        while (tok.accept(",")) fanin_refs.push_back(tok.identifier());
         tok.expect(")");
         tok.expect(";");
-        defs.push_back(std::move(def));
+        seal_fanins(def);
+        defs.push_back(def);
         continue;
       }
       if (starts_with(head.text, "STT_LUT")) {
         // STT_LUTk inst (.y(net), .a({...}));
         PendingDef def;
+        def.fanin_begin = static_cast<std::uint32_t>(fanin_refs.size());
         def.kind = PendingDef::kLutMacro;
         (void)tok.identifier();
         tok.expect("(");
         do {
           tok.expect(".");
-          const std::string port = tok.identifier();
+          const std::string_view port = tok.identifier();
           tok.expect("(");
           if (port == "y") {
             def.name = tok.identifier();
           } else if (port == "a") {
-            def.fanins = parse_concat_lsb_first();
+            parse_concat_into_refs();
           } else {
-            throw VerilogParseError("unknown STT_LUT port '." + port + "'");
+            throw VerilogParseError("unknown STT_LUT port '." +
+                                    std::string(port) + "'");
           }
           tok.expect(")");
         } while (tok.accept(","));
         tok.expect(")");
         tok.expect(";");
-        defs.push_back(std::move(def));
+        seal_fanins(def);
+        defs.push_back(def);
         continue;
       }
-      throw VerilogParseError("unsupported statement near '" + head.text +
-                              "'");
+      throw VerilogParseError("unsupported statement near '" +
+                              std::string(head.text) + "'");
     }
-    throw VerilogParseError("unsupported token '" + head.text + "'");
+    throw VerilogParseError("unsupported token '" + std::string(head.text) +
+                            "'");
   }
+
+  const auto def_fanins = [&](const PendingDef& def) {
+    return std::span<const std::string_view>(fanin_refs.data() +
+                                                 def.fanin_begin,
+                                             def.fanin_count);
+  };
 
   // Reference counts decide whether an `assign x = y` is a pure output
   // alias (droppable) or a real buffer.
-  std::unordered_map<std::string, int> referenced;
-  for (const auto& def : defs) {
-    for (const auto& f : def.fanins) ++referenced[f];
-  }
+  std::unordered_map<std::string_view, int> referenced;
+  for (const std::string_view f : fanin_refs) ++referenced[f];
 
   Netlist nl(std::move(module_name));
-  std::unordered_map<std::string, std::string> alias;  // lhs -> rhs
-  for (const auto& name : input_names) {
+  std::size_t name_bytes = 0;
+  for (const std::string_view name : input_names) name_bytes += name.size();
+  for (const PendingDef& def : defs) name_bytes += def.name.size();
+  nl.reserve(input_names.size() + defs.size(), fanin_refs.size(), name_bytes);
+  std::unordered_map<std::string_view, std::string_view> alias;  // lhs -> rhs
+  for (const std::string_view name : input_names) {
     if (!clocks.count(name)) nl.add_input(name);
   }
   // First pass: create cells (aliases resolved later).
-  for (const auto& def : defs) {
+  for (const PendingDef& def : defs) {
     switch (def.kind) {
       case PendingDef::kAliasOrBuf:
         if (referenced[def.name] == 0) {
-          alias[def.name] = def.fanins[0];
+          alias[def.name] = def_fanins(def)[0];
           continue;  // pure fan-out alias, e.g. the writer's po_N nets
         }
         nl.add_cell(CellKind::kBuf, def.name);
@@ -350,14 +396,14 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
       case PendingDef::kLutMacro: {
         const CellId id = nl.add_cell(CellKind::kLut, def.name);
         nl.cell(id).lut_mask =
-            def.mask & full_mask(static_cast<int>(def.fanins.size()));
+            def.mask & full_mask(static_cast<int>(def.fanin_count));
         break;
       }
     }
   }
   // Second pass: connect.
-  auto resolve = [&](const std::string& name) {
-    std::string cursor = name;
+  auto resolve = [&](std::string_view name) {
+    std::string_view cursor = name;
     for (int hops = 0; hops < 64; ++hops) {
       const CellId id = nl.find(cursor);
       if (id != kNullCell) return id;
@@ -365,33 +411,26 @@ Netlist read_verilog(std::string_view text, std::string fallback_name) {
       if (it == alias.end()) break;
       cursor = it->second;
     }
-    throw VerilogParseError("undefined net '" + name + "'");
+    throw VerilogParseError("undefined net '" + std::string(name) + "'");
   };
-  for (const auto& def : defs) {
+  std::vector<CellId> fanins;
+  for (const PendingDef& def : defs) {
     if (def.kind == PendingDef::kAliasOrBuf && alias.count(def.name)) continue;
     const CellId id = nl.find(def.name);
-    std::vector<CellId> fanins;
-    for (const auto& f : def.fanins) fanins.push_back(resolve(f));
-    nl.connect(id, std::move(fanins));
+    fanins.clear();
+    for (const std::string_view f : def_fanins(def)) {
+      fanins.push_back(resolve(f));
+    }
+    nl.connect(id, fanins);
   }
-  for (const auto& name : output_names) nl.mark_output(resolve(name));
+  for (const std::string_view name : output_names) nl.mark_output(resolve(name));
   nl.finalize();
   return nl;
 }
 
 Netlist read_verilog_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string stem = path;
-  if (const auto slash = stem.find_last_of('/'); slash != std::string::npos) {
-    stem = stem.substr(slash + 1);
-  }
-  if (const auto dot = stem.find_last_of('.'); dot != std::string::npos) {
-    stem = stem.substr(0, dot);
-  }
-  return read_verilog(buf.str(), stem);
+  const std::string text = slurp_file(path);
+  return read_verilog(text, file_stem(path));
 }
 
 }  // namespace stt

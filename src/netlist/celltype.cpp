@@ -67,7 +67,15 @@ std::string_view kind_name(CellKind kind) {
 }
 
 std::optional<CellKind> kind_from_name(std::string_view name) {
-  const std::string up = to_upper(name);
+  // Upper-case into a stack buffer: the parsers call this once per cell
+  // line, and every recognized spelling is at most 6 characters.
+  if (name.empty() || name.size() > 6) return std::nullopt;
+  char buf[6];
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    buf[i] = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
+  const std::string_view up(buf, name.size());
   if (up == "INPUT") return CellKind::kInput;
   if (up == "CONST0" || up == "GND" || up == "ZERO") return CellKind::kConst0;
   if (up == "CONST1" || up == "VDD" || up == "ONE") return CellKind::kConst1;

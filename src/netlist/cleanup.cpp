@@ -1,6 +1,6 @@
 #include "netlist/cleanup.hpp"
 
-#include <unordered_map>
+#include <cassert>
 #include <vector>
 
 namespace stt {
@@ -22,7 +22,10 @@ Netlist strip_dead_logic(const Netlist& nl) {
   }
 
   Netlist out(nl.name());
-  std::unordered_map<CellId, CellId> remap;
+  // Old id -> new id, flat: every lookup below is for a live cell (liveness
+  // is closed over fan-ins), so a hash map here would only add a hash per
+  // edge on million-gate netlists.
+  std::vector<CellId> remap(nl.size(), kNullCell);
   // Interface stability: keep every primary input, live or not, and create
   // live flip-flops in interface order so scan-view positional equivalence
   // survives the rebuild.
@@ -50,10 +53,13 @@ Netlist strip_dead_logic(const Netlist& nl) {
   }
   for (const CellId id : ordered) {
     std::vector<CellId> fanins;
-    for (const CellId f : nl.cell(id).fanins) fanins.push_back(remap.at(f));
-    out.connect(remap.at(id), std::move(fanins));
+    for (const CellId f : nl.cell(id).fanins) {
+      assert(remap[f] != kNullCell);
+      fanins.push_back(remap[f]);
+    }
+    out.connect(remap[id], std::move(fanins));
   }
-  for (const CellId id : nl.outputs()) out.mark_output(remap.at(id));
+  for (const CellId id : nl.outputs()) out.mark_output(remap[id]);
   out.finalize();
   return out;
 }

@@ -1,6 +1,7 @@
 #include "synth/generator.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <stdexcept>
 
 #include "io/bench_io.hpp"
@@ -29,8 +30,28 @@ const std::vector<CircuitProfile>& iscas89_profiles() {
   return kProfiles;
 }
 
+const std::vector<CircuitProfile>& itc99_profiles() {
+  // Interface/flip-flop/gate statistics approximating the standard ITC'99
+  // distribution (b14..b19), plus "b19_x4", a synthetic 4x scale-up of b19
+  // sized at 2^20 logic cells for the million-gate load/lint throughput
+  // benches. All carry a nonzero `lut_frac` so the generated fabric is
+  // LUT-heavy, exercising the hybrid STT-CMOS cell paths at scale.
+  static const std::vector<CircuitProfile> kProfiles = {
+      {"b14", 32, 54, 245, 9767, 40, 0.10},
+      {"b15", 36, 70, 449, 8367, 40, 0.10},
+      {"b17", 37, 97, 1415, 30777, 45, 0.10},
+      {"b18", 36, 23, 3320, 111241, 50, 0.10},
+      {"b19", 24, 30, 6642, 224624, 55, 0.10},
+      {"b19_x4", 48, 60, 13284, 1048576, 60, 0.12},
+  };
+  return kProfiles;
+}
+
 std::optional<CircuitProfile> find_profile(const std::string& name) {
   for (const auto& p : iscas89_profiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : itc99_profiles()) {
     if (p.name == name) return p;
   }
   return std::nullopt;
@@ -65,15 +86,35 @@ Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
   }
   Rng rng(seed ^ 0x5717c0de00000000ull);
   Netlist nl(profile.name);
+  {
+    // Bulk-build hint: one arena chunk for names, exact-ish pools for edges.
+    const std::size_t cells = static_cast<std::size_t>(profile.n_pi) +
+                              static_cast<std::size_t>(profile.n_ff) +
+                              static_cast<std::size_t>(profile.n_gates);
+    nl.reserve(cells, 3 * static_cast<std::size_t>(profile.n_gates) +
+                          static_cast<std::size_t>(profile.n_ff),
+               12 * cells);
+  }
+  // Allocation-free cell naming ("I<i>" / "R<i>" / "G<i>"); the interner
+  // copies the bytes, so one scratch buffer serves every cell.
+  char name_buf[16];
+  const auto tag = [&name_buf](char prefix, int idx) {
+    name_buf[0] = prefix;
+    const auto [ptr, ec] =
+        std::to_chars(name_buf + 1, name_buf + sizeof(name_buf), idx);
+    (void)ec;
+    return std::string_view(name_buf,
+                            static_cast<std::size_t>(ptr - name_buf));
+  };
 
   // Level 0 sources: primary inputs and flip-flop outputs.
   std::vector<std::vector<CellId>> by_level(profile.depth + 1);
   std::vector<CellId> ffs;
   for (int i = 0; i < profile.n_pi; ++i) {
-    by_level[0].push_back(nl.add_input("I" + std::to_string(i)));
+    by_level[0].push_back(nl.add_input(tag('I', i)));
   }
   for (int i = 0; i < profile.n_ff; ++i) {
-    const CellId ff = nl.add_cell(CellKind::kDff, "R" + std::to_string(i));
+    const CellId ff = nl.add_cell(CellKind::kDff, tag('R', i));
     ffs.push_back(ff);
     by_level[0].push_back(ff);
   }
@@ -92,6 +133,7 @@ Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
   gates.reserve(profile.n_gates);
 
   int created = 0;
+  std::vector<CellId> fanins;  // reused across gates
   for (int level = 1; level <= profile.depth && created < profile.n_gates;
        ++level) {
     // Spread gates across levels, giving lower levels slightly more cells
@@ -112,7 +154,7 @@ Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
 
       // Choose distinct fan-ins from lower levels: prefer the previous
       // level (locality) and starved cells (keeps the graph connected).
-      std::vector<CellId> fanins;
+      fanins.clear();
       int guard = 0;
       while (static_cast<int>(fanins.size()) < want_fanin && guard++ < 64) {
         CellId cand;
@@ -145,8 +187,24 @@ Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
               ? (rng.chance(0.78) ? CellKind::kNot : CellKind::kBuf)
               : kind;
 
-      const CellId id = nl.add_gate(final_kind,
-                                    "G" + std::to_string(created), fanins);
+      // ITC'99-class profiles emit a slice of the multi-input gates as
+      // configured LUTs: the drawn gate's truth table with one row flipped,
+      // so the cell is a genuine LUT rather than a CMOS gate in disguise.
+      // Guarded by `lut_frac > 0` short-circuit so pure-CMOS profiles keep
+      // the exact historical draw sequence.
+      CellId id;
+      if (profile.lut_frac > 0 && fanins.size() >= 2 &&
+          static_cast<int>(fanins.size()) <= kMaxLutInputs &&
+          rng.chance(profile.lut_frac)) {
+        const int k = static_cast<int>(fanins.size());
+        const std::uint64_t mask =
+            gate_truth_mask(final_kind, k) ^
+            (std::uint64_t{1} << rng.below(
+                 static_cast<std::uint64_t>(num_rows(k))));
+        id = nl.add_lut(tag('G', created), fanins, mask);
+      } else {
+        id = nl.add_gate(final_kind, tag('G', created), fanins);
+      }
       grow_counts(id);
       for (const CellId f : fanins) ++fanout_count[f];
       by_level[level].push_back(id);
@@ -225,9 +283,9 @@ Netlist generate_circuit(const CircuitProfile& profile, std::uint64_t seed) {
           hc.fanins.end()) {
         continue;
       }
-      auto fanins = hc.fanins;
+      std::vector<CellId> fanins(hc.fanins.begin(), hc.fanins.end());
       fanins.push_back(orphan);
-      nl.connect(host, std::move(fanins));
+      nl.connect(host, fanins);
       return true;
     }
     // Fallback: replace a fan-in whose driver has other readers.

@@ -33,12 +33,23 @@ struct CircuitProfile {
   int n_ff = 0;
   int n_gates = 0;  ///< combinational logic cells, the paper's "size"
   int depth = 0;    ///< target combinational levels
+  /// Fraction of multi-input gates emitted as configured LUT cells
+  /// (ITC'99-class hybrid profiles). 0 keeps the generator's draw sequence
+  /// exactly as it was for the pure-CMOS ISCAS'89 profiles.
+  double lut_frac = 0.0;
 };
 
 /// The twelve benchmarks of Table I, in the paper's order.
 const std::vector<CircuitProfile>& iscas89_profiles();
 
-/// Lookup by name ("s641", "s38584", ...); nullopt if unknown.
+/// ITC'99-class scale profiles (b14..b19 statistics from the standard
+/// distribution) plus the synthetic scale-up "b19_x4" (~1M gates), all
+/// LUT-heavy via `lut_frac`. These feed the million-gate load/lint
+/// throughput benches; they are far beyond the paper's Table I sizes.
+const std::vector<CircuitProfile>& itc99_profiles();
+
+/// Lookup by name ("s641", "b19_x4", ...) across both profile families;
+/// nullopt if unknown.
 std::optional<CircuitProfile> find_profile(const std::string& name);
 
 /// Deterministically generate a replica circuit for the profile. The same

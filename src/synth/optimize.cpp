@@ -82,7 +82,7 @@ int fold_constants(Netlist& nl) {
     if (c.fanin_count() == 0 || c.fanin_count() > kMaxLutInputs) continue;
 
     std::uint64_t mask = cell_mask(c);
-    std::vector<CellId> fanins = c.fanins;
+    std::vector<CellId> fanins(c.fanins.begin(), c.fanins.end());
     bool changed = false;
 
     // Collapse duplicate fan-ins first (XOR(x, x) etc.), then cofactor out
@@ -145,7 +145,8 @@ void sweep_buffers(Netlist& nl, int* buffers, int* inv_pairs) {
     }
     if (target == kNullCell) continue;
     // Rewire every reader slot that consumes `id`.
-    const std::vector<CellId> readers = c.fanouts;  // copy: mutation below
+    const std::vector<CellId> readers(c.fanouts.begin(),
+                                      c.fanouts.end());  // copy: mutation below
     for (const CellId reader : readers) {
       Cell& rc = nl.cell(reader);
       for (int slot = 0; slot < rc.fanin_count(); ++slot) {
@@ -168,11 +169,12 @@ int merge_duplicates(Netlist& nl) {
     if (c.is_output) continue;  // keep named outputs stable
     if (c.fanouts.empty()) continue;  // dead: nothing to merge
     const auto key = std::make_tuple(
-        c.kind, c.fanins, c.kind == CellKind::kLut ? c.lut_mask : 0ull);
+        c.kind, std::vector<CellId>(c.fanins.begin(), c.fanins.end()),
+        c.kind == CellKind::kLut ? c.lut_mask : 0ull);
     const auto [it, inserted] = canon.emplace(key, id);
     if (inserted) continue;
     const CellId rep = it->second;
-    const std::vector<CellId> readers = c.fanouts;
+    const std::vector<CellId> readers(c.fanouts.begin(), c.fanouts.end());
     for (const CellId reader : readers) {
       Cell& rc = nl.cell(reader);
       for (int slot = 0; slot < rc.fanin_count(); ++slot) {

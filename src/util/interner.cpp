@@ -1,0 +1,132 @@
+#include "util/interner.hpp"
+
+#include <cstring>
+
+namespace stt {
+
+std::uint64_t StringInterner::hash_bytes(std::string_view s) {
+  // FNV-1a, folded once; cheap, stateless, and good enough for net names.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  h ^= h >> 32;
+  // Reserve 0 as "never used" is unnecessary (slots track emptiness by
+  // sym), but avalanche the low bits the table indexes with.
+  h *= 0x9e3779b97f4a7c15ull;
+  return h;
+}
+
+const char* StringInterner::append_to_arena(std::string_view s, Entry& entry) {
+  if (chunk_used_ + s.size() > chunk_cap_) {
+    const std::size_t cap = s.size() > kChunkBytes ? s.size() : kChunkBytes;
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_used_ = 0;
+    chunk_cap_ = cap;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  entry.data = dst;
+  entry.length = static_cast<std::uint32_t>(s.size());
+  chunk_used_ += s.size();
+  arena_bytes_ += s.size();
+  return dst;
+}
+
+void StringInterner::grow_table(std::size_t min_slots) {
+  std::size_t cap = table_.empty() ? 64 : table_.size() * 2;
+  while (cap < min_slots) cap *= 2;
+  std::vector<Slot> fresh(cap);
+  const std::size_t mask = cap - 1;
+  for (const Slot& slot : table_) {
+    if (slot.sym == kNoSym) continue;
+    std::size_t i = slot.hash & mask;
+    while (fresh[i].sym != kNoSym) i = (i + 1) & mask;
+    fresh[i] = slot;
+  }
+  table_ = std::move(fresh);
+}
+
+StringInterner::Sym StringInterner::intern(std::string_view s,
+                                           bool& inserted) {
+  // Keep load factor under 0.7.
+  if ((entries_.size() + 1) * 10 >= table_.size() * 7) {
+    grow_table((entries_.size() + 1) * 2);
+  }
+  const auto h = static_cast<std::uint32_t>(hash_bytes(s));
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = h & mask;
+  while (table_[i].sym != kNoSym) {
+    if (table_[i].hash == h && view(table_[i].sym) == s) {
+      inserted = false;
+      return table_[i].sym;
+    }
+    i = (i + 1) & mask;
+  }
+  Entry entry;
+  append_to_arena(s, entry);
+  const Sym sym = static_cast<Sym>(entries_.size());
+  entries_.push_back(entry);
+  table_[i] = {h, sym};
+  inserted = true;
+  return sym;
+}
+
+StringInterner::Sym StringInterner::lookup(std::string_view s) const {
+  if (table_.empty()) return kNoSym;
+  const auto h = static_cast<std::uint32_t>(hash_bytes(s));
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = h & mask;
+  while (table_[i].sym != kNoSym) {
+    if (table_[i].hash == h && view(table_[i].sym) == s) {
+      return table_[i].sym;
+    }
+    i = (i + 1) & mask;
+  }
+  return kNoSym;
+}
+
+void StringInterner::reserve(std::size_t count, std::size_t bytes) {
+  entries_.reserve(count);
+  if (count * 10 >= table_.size() * 7) grow_table(count * 2);
+  if (bytes > chunk_cap_ - chunk_used_ && bytes > kChunkBytes) {
+    // One dedicated chunk sized for the whole bulk build.
+    chunks_.push_back(std::make_unique<char[]>(bytes));
+    chunk_used_ = 0;
+    chunk_cap_ = bytes;
+  }
+}
+
+void StringInterner::clear() {
+  chunks_.clear();
+  chunk_used_ = kChunkBytes;
+  chunk_cap_ = 0;
+  arena_bytes_ = 0;
+  entries_.clear();
+  table_.clear();
+}
+
+void StringInterner::copy_from(const StringInterner& other) {
+  // Rebuild by re-appending each symbol in order: symbols and hashes are
+  // preserved, the arena is compacted, and no pointer translation is
+  // needed.
+  entries_.reserve(other.entries_.size());
+  if (!other.entries_.empty()) {
+    reserve(other.entries_.size(), other.arena_bytes_);
+  }
+  table_.resize(table_.empty() ? 64 : table_.size());
+  const std::size_t mask = table_.size() - 1;
+  for (Sym sym = 0; sym < other.entries_.size(); ++sym) {
+    const std::string_view s = other.view(sym);
+    Entry entry;
+    append_to_arena(s, entry);
+    entries_.push_back(entry);
+    const auto h = static_cast<std::uint32_t>(hash_bytes(s));
+    std::size_t i = h & mask;
+    while (table_[i].sym != kNoSym) i = (i + 1) & mask;
+    table_[i] = {h, sym};
+  }
+}
+
+}  // namespace stt

@@ -1,0 +1,98 @@
+// Arena-backed string interner: the name store of the netlist core.
+//
+// A million-gate netlist carries a million net names. Storing each as a
+// heap `std::string` plus an `std::unordered_map<std::string, CellId>`
+// costs two allocations and a hash-node per cell and scatters the bytes
+// across the heap. The interner replaces both: names live back to back in
+// bump-allocated chunks (stable addresses — a chunk is never reallocated,
+// so the `std::string_view`s handed out stay valid for the interner's
+// lifetime), and an open-addressing hash table over (hash, symbol) pairs
+// maps text to a dense `Sym` id with zero allocations per lookup.
+//
+// Symbols are dense: the N-th distinct string interned gets id N-1. The
+// netlist exploits this — it interns exactly one name per cell, in cell
+// order, so Sym and CellId coincide and no side table is needed.
+//
+// Copying an interner deep-copies the chunks; views into the copy are
+// re-derived via `view(sym)`, never by pointer arithmetic on the source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace stt {
+
+class StringInterner {
+ public:
+  using Sym = std::uint32_t;
+  static constexpr Sym kNoSym = static_cast<Sym>(-1);
+
+  StringInterner() = default;
+  StringInterner(const StringInterner& other) { copy_from(other); }
+  StringInterner& operator=(const StringInterner& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  StringInterner(StringInterner&&) noexcept = default;
+  StringInterner& operator=(StringInterner&&) noexcept = default;
+
+  /// Intern `s`: returns its symbol, setting `inserted` to whether this
+  /// call created it. New text is copied into the arena; existing text
+  /// costs one probe sequence and no allocation.
+  Sym intern(std::string_view s, bool& inserted);
+
+  /// Lookup without inserting; kNoSym if absent. Allocation-free.
+  Sym lookup(std::string_view s) const;
+
+  /// The stable text of a symbol. Valid for the interner's lifetime.
+  std::string_view view(Sym sym) const {
+    const Entry& e = entries_[sym];
+    return {e.data, e.length};
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Pre-size for `count` strings totalling ~`bytes` of text (bulk build).
+  void reserve(std::size_t count, std::size_t bytes);
+
+  /// Total arena bytes in use (diagnostics / bench reporting).
+  std::size_t arena_bytes() const { return arena_bytes_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    const char* data = nullptr;  ///< into a chunk; chunks never reallocate
+    std::uint32_t length = 0;
+  };
+  // 8-byte slots: the probe table is the random-access hot path of every
+  // lookup, and halving it doubles how much of a million-name table the
+  // cache holds. The stored hash is the avalanched low word — enough to
+  // place (tables are far below 2^32 slots) and to reject mismatches
+  // before the string compare.
+  struct Slot {
+    std::uint32_t hash = 0;
+    Sym sym = kNoSym;  ///< kNoSym marks an empty slot
+  };
+
+  static std::uint64_t hash_bytes(std::string_view s);
+  const char* append_to_arena(std::string_view s, Entry& entry);
+  void grow_table(std::size_t min_slots);
+  void copy_from(const StringInterner& other);
+
+  static constexpr std::size_t kChunkBytes = 1u << 16;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = kChunkBytes;  ///< bytes used in the last chunk
+  std::size_t chunk_cap_ = 0;             ///< capacity of the last chunk
+  std::size_t arena_bytes_ = 0;
+  std::vector<Entry> entries_;  ///< indexed by Sym
+  std::vector<Slot> table_;     ///< open addressing, power-of-two size
+};
+
+}  // namespace stt

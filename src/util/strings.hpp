@@ -16,6 +16,11 @@ std::vector<std::string> split(std::string_view s, char delim);
 /// Split on any run of whitespace; empty fields are dropped.
 std::vector<std::string> split_ws(std::string_view s);
 
+/// Zero-copy split_ws: appends views into `s` onto `out` (which is cleared
+/// first). The views alias `s`; callers own the backing buffer's lifetime.
+/// Reusing one `out` across calls makes tokenizing allocation-free.
+void split_ws_views(std::string_view s, std::vector<std::string_view>& out);
+
 /// ASCII lower-case copy.
 std::string to_lower(std::string_view s);
 

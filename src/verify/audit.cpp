@@ -40,13 +40,13 @@ StaticAuditResult run_static_audit(const Netlist& nl,
     const Cell& c = nl.cell(id);
     const FaninRange range = fanin_range(c.kind);
     if (c.fanin_count() < range.min || c.fanin_count() > range.max) {
-      throw std::runtime_error("static audit: illegal arity on '" + c.name +
-                               "'");
+      throw std::runtime_error("static audit: illegal arity on '" +
+                               std::string(c.name) + "'");
     }
     for (const CellId f : c.fanins) {
       if (f == kNullCell || f >= nl.size()) {
         throw std::runtime_error("static audit: unresolved fan-in on '" +
-                                 c.name + "'");
+                                 std::string(c.name) + "'");
       }
     }
   }
@@ -97,7 +97,7 @@ StaticAuditResult run_static_audit(const Netlist& nl,
       if (definite(v)) {
         ++audit.constant_inputs;
         if (!const_slots.empty()) const_slots += ", ";
-        const_slots += strformat("'%s'=%c", nl.cell(c.fanins[i]).name.c_str(),
+        const_slots += strformat("'%s'=%c", std::string(nl.cell(c.fanins[i]).name).c_str(),
                                  tri_char(v));
       }
     }
@@ -129,16 +129,17 @@ StaticAuditResult run_static_audit(const Netlist& nl,
           strformat("missing gate '%s' has %d of %d input(s) tied to static "
                     "constants (%s): only %d of %u truth-table rows are "
                     "reachable",
-                    c.name.c_str(), audit.constant_inputs, k,
+                    std::string(c.name).c_str(), audit.constant_inputs, k,
                     const_slots.c_str(),
                     __builtin_popcountll(audit.reachable_rows),
                     num_rows(k))));
     }
     // By-design suppressions (diagnostics only; every audited quantity
     // below still sees the gate exactly as an attacker would).
+    const std::string cname(c.name);
     const bool declared_constant =
-        opt.defense.locked_constants.count(c.name) != 0;
-    const bool declared_latch = opt.defense.decoy_latches.count(c.name) != 0;
+        opt.defense.locked_constants.count(cname) != 0;
+    const bool declared_latch = opt.defense.decoy_latches.count(cname) != 0;
 
     if (audit.inferable) {
       if (!declared_constant) {
@@ -148,7 +149,7 @@ StaticAuditResult run_static_audit(const Netlist& nl,
             nl, LintRule::kInferableLut, id,
             strformat("missing gate '%s' is statically inferable: every "
                       "reachable row yields %c (P collapses to 1)",
-                      c.name.c_str(),
+                      std::string(c.name).c_str(),
                       ((c.lut_mask >> first_row) & 1ull) ? '1' : '0')));
       }
     } else if (audit.constant_inputs == 0 && audit.effective_support < k &&
@@ -157,13 +158,15 @@ StaticAuditResult run_static_audit(const Netlist& nl,
       for (int i = 0; i < k; ++i) {
         if (depends_on(c.lut_mask, audit.reachable_rows, k, i)) continue;
         if (!vacuous.empty()) vacuous += ", ";
-        vacuous += "'" + nl.cell(c.fanins[i]).name + "'";
+        vacuous += "'";
+        vacuous += nl.cell(c.fanins[i]).name;
+        vacuous += "'";
       }
       result.findings.push_back(make_finding(
           nl, LintRule::kVacuousLutInput, id,
           strformat("missing gate '%s' ignores input(s) %s: effective "
                     "support is %d of %d",
-                    c.name.c_str(), vacuous.c_str(), audit.effective_support,
+                    std::string(c.name).c_str(), vacuous.c_str(), audit.effective_support,
                     k)));
     }
 
@@ -196,7 +199,7 @@ StaticAuditResult run_static_audit(const Netlist& nl,
             strformat("missing gate '%s' is statically blocked from every "
                       "observation point: it contributes to M but its secret "
                       "never reaches the interface",
-                      c.name.c_str())));
+                      std::string(c.name).c_str())));
       }
     }
 
@@ -208,7 +211,7 @@ StaticAuditResult run_static_audit(const Netlist& nl,
             strformat("missing gate '%s' is trivially resolvable "
                       "(SCOAP justify+observe cost %.1f <= %.1f): "
                       "PI-adjacent rows, flip-flop-free observation",
-                      c.name.c_str(), audit.resolvability,
+                      std::string(c.name).c_str(), audit.resolvability,
                       opt.resolvability_threshold)));
       }
     }

@@ -21,6 +21,7 @@
 // regardless of fanout-list or hash-map iteration order.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <queue>
 #include <span>
@@ -98,7 +99,10 @@ class ForwardDataflow {
   }
 
   const std::vector<Value>& values() const { return values_; }
-  const Value& value(CellId id) const { return values_.at(id); }
+  const Value& value(CellId id) const {
+    assert(id < values_.size());
+    return values_[id];
+  }
   const Domain& domain() const { return domain_; }
   Domain& domain() { return domain_; }
 
@@ -187,7 +191,10 @@ class BackwardDataflow {
   }
 
   const std::vector<Value>& values() const { return values_; }
-  const Value& value(CellId id) const { return values_.at(id); }
+  const Value& value(CellId id) const {
+    assert(id < values_.size());
+    return values_[id];
+  }
   const Domain& domain() const { return domain_; }
 
  private:

@@ -13,7 +13,7 @@ namespace {
 
 bool definite(Tri t) { return t != Tri::kX; }
 
-std::string json_escape(const std::string& s) {
+std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (const char c : s) {
@@ -157,12 +157,13 @@ KeydepResult analyze_keydep(const Netlist& nl, const KeydepOptions& opt) {
     const Cell& c = nl.cell(id);
     const FaninRange range = fanin_range(c.kind);
     if (c.fanin_count() < range.min || c.fanin_count() > range.max) {
-      throw std::runtime_error("keydep: illegal arity on '" + c.name + "'");
+      throw std::runtime_error("keydep: illegal arity on '" +
+                               std::string(c.name) + "'");
     }
     for (const CellId f : c.fanins) {
       if (f == kNullCell || f >= nl.size()) {
-        throw std::runtime_error("keydep: unresolved fan-in on '" + c.name +
-                                 "'");
+        throw std::runtime_error("keydep: unresolved fan-in on '" +
+                                 std::string(c.name) + "'");
       }
     }
   }
@@ -274,11 +275,11 @@ KeydepResult analyze_keydep(const Netlist& nl, const KeydepOptions& opt) {
       rep.construct = KeyConstruct::kInjectedConstant;
       rep.unit_propagated = true;
       rep.propagated_mask = 0;
-    } else if (opt.defense.key_gates.count(c.name) != 0) {
+    } else if (opt.defense.key_gates.count(std::string(c.name)) != 0) {
       rep.construct = KeyConstruct::kKeyGate;
-    } else if (opt.defense.decoy_latches.count(c.name) != 0) {
+    } else if (opt.defense.decoy_latches.count(std::string(c.name)) != 0) {
       rep.construct = KeyConstruct::kDecoyLatch;
-    } else if (opt.defense.locked_constants.count(c.name) != 0) {
+    } else if (opt.defense.locked_constants.count(std::string(c.name)) != 0) {
       rep.construct = KeyConstruct::kLockedConstant;
     }
 
@@ -426,7 +427,7 @@ KeydepResult analyze_keydep(const Netlist& nl, const KeydepOptions& opt) {
                     "function through its XOR companion '%s': %d key bit(s) "
                     "recovered with zero oracle queries",
                     rep.name.c_str(),
-                    nl.cell(nl.cell(rep.cell).fanouts[0]).name.c_str(),
+                    std::string(nl.cell(nl.cell(rep.cell).fanouts[0]).name).c_str(),
                     rep.nominal_bits)));
     } else if (rep.masked) {
       findings.push_back(make_finding(

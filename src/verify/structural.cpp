@@ -15,29 +15,76 @@ bool valid_id(const Netlist& nl, CellId id) {
 }
 
 // STR001: report each combinational strongly-connected component once,
-// anchored at its lowest-id member, naming up to four participants.
-void find_cycles(const Netlist& nl, std::vector<LintFinding>& findings) {
-  std::vector<std::vector<std::uint32_t>> adj(nl.size());
-  for (CellId id = 0; id < nl.size(); ++id) {
-    const Cell& c = nl.cell(id);
-    if (c.kind == CellKind::kDff) continue;  // D-pin edges are sequential
-    for (const CellId f : c.fanins) {
-      if (valid_id(nl, f)) adj[f].push_back(id);
+// anchored at its lowest-id member, naming up to four participants. The
+// driver->reader adjacency arrives as the full-edge CSR built once by
+// run_structural_lint; the combinational view drops edges read by
+// flip-flops (D-pin edges are sequential) in one sequential filter pass —
+// no per-node heap vectors, so the scan stays allocation-light at
+// million-gate scale.
+void find_cycles(const Netlist& nl, std::span<const std::uint32_t> all_offsets,
+                 std::span<const std::uint32_t> all_targets,
+                 std::vector<LintFinding>& findings) {
+  const std::size_t n = nl.size();
+  std::vector<std::uint8_t> is_dff(n, 0);
+  for (const CellId d : nl.dffs()) is_dff[d] = 1;
+  std::vector<std::uint32_t> offsets(n + 1, 0);
+  std::vector<std::uint32_t> targets;
+  targets.reserve(all_targets.size());
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::uint32_t e = all_offsets[f]; e < all_offsets[f + 1]; ++e) {
+      const std::uint32_t reader = all_targets[e];
+      if (!is_dff[reader]) targets.push_back(reader);
     }
+    offsets[f + 1] = static_cast<std::uint32_t>(targets.size());
   }
   int num_components = 0;
-  const std::vector<int> comp = tarjan_scc(adj, num_components);
-  std::vector<std::vector<CellId>> members(
-      static_cast<std::size_t>(num_components));
-  for (CellId id = 0; id < nl.size(); ++id) {
-    members[static_cast<std::size_t>(comp[id])].push_back(id);
+  const std::vector<int> comp = tarjan_scc_csr(offsets, targets,
+                                               num_components);
+
+  // A component is reported when it has >= 2 members or its single member
+  // carries a self-loop.
+  std::vector<std::uint32_t> comp_size(
+      static_cast<std::size_t>(num_components), 0);
+  for (CellId id = 0; id < n; ++id) {
+    ++comp_size[static_cast<std::size_t>(comp[id])];
+  }
+  std::vector<std::uint8_t> report(static_cast<std::size_t>(num_components),
+                                   0);
+  bool any = false;
+  for (std::size_t c = 0; c < comp_size.size(); ++c) {
+    if (comp_size[c] >= 2) {
+      report[c] = 1;
+      any = true;
+    }
+  }
+  for (CellId id = 0; id < n; ++id) {
+    if (comp_size[static_cast<std::size_t>(comp[id])] != 1) continue;
+    for (std::uint32_t e = offsets[id]; e < offsets[id + 1]; ++e) {
+      if (targets[e] == id) {
+        report[static_cast<std::size_t>(comp[id])] = 1;
+        any = true;
+        break;
+      }
+    }
+  }
+  if (!any) return;
+
+  // Materialize members only for reported components, in component-index
+  // order with ascending ids — the emission order of the historical
+  // all-components scan.
+  std::vector<int> slot(static_cast<std::size_t>(num_components), -1);
+  std::vector<std::vector<CellId>> members;
+  for (std::size_t c = 0; c < report.size(); ++c) {
+    if (report[c]) {
+      slot[c] = static_cast<int>(members.size());
+      members.emplace_back();
+    }
+  }
+  for (CellId id = 0; id < n; ++id) {
+    const int s = slot[static_cast<std::size_t>(comp[id])];
+    if (s >= 0) members[static_cast<std::size_t>(s)].push_back(id);
   }
   for (const auto& scc : members) {
-    const bool self_loop =
-        scc.size() == 1 &&
-        std::find(adj[scc[0]].begin(), adj[scc[0]].end(), scc[0]) !=
-            adj[scc[0]].end();
-    if (scc.size() < 2 && !self_loop) continue;
     std::string names;
     for (std::size_t i = 0; i < scc.size() && i < 4; ++i) {
       if (i) names += " -> ";
@@ -185,10 +232,61 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
 
   // Reader counts recomputed from fan-in lists: the authoritative edge set
   // when fanout lists may be stale.
-  std::vector<std::uint32_t> readers(nl.size(), 0);
-  for (CellId id = 0; id < nl.size(); ++id) {
+  const std::size_t n = nl.size();
+  std::vector<std::uint32_t> readers(n, 0);
+  for (CellId id = 0; id < n; ++id) {
     for (const CellId f : nl.cell(id).fanins) {
       if (valid_id(nl, f)) ++readers[f];
+    }
+  }
+
+  // Full driver->reader CSR over the valid fan-in edge set, built once and
+  // shared by the STR004 fast path and the STR001 cycle scan. Per-driver
+  // slices come out sorted by reader id because readers are visited in
+  // ascending order.
+  std::vector<std::uint32_t> edge_offsets(n + 1, 0);
+  for (std::size_t f = 0; f < n; ++f) {
+    edge_offsets[f + 1] = edge_offsets[f] + readers[f];
+  }
+  std::vector<std::uint32_t> edge_targets(edge_offsets[n]);
+  {
+    std::vector<std::uint32_t> cursor(edge_offsets.begin(),
+                                      edge_offsets.end() - 1);
+    for (CellId id = 0; id < n; ++id) {
+      for (const CellId f : nl.cell(id).fanins) {
+        if (valid_id(nl, f)) edge_targets[cursor[f]++] = id;
+      }
+    }
+  }
+
+  // STR004 fast path: walk drivers in order comparing each fanout list
+  // against its CSR slice as a multiset. On a synchronized netlist (every
+  // netlist finalize() has touched) this replaces the per-edge random scans
+  // of the exact check below with one sequential pass; any mismatch falls
+  // back to that exact check, so the findings are identical either way.
+  bool fanouts_synced = true;
+  {
+    std::vector<CellId> big;
+    for (CellId f = 0; f < n && fanouts_synced; ++f) {
+      const auto& outs = nl.cell(f).fanouts;
+      const std::uint32_t want = edge_offsets[f + 1] - edge_offsets[f];
+      if (outs.size() != want) {
+        fanouts_synced = false;
+        break;
+      }
+      if (want == 0) continue;
+      CellId small[64];
+      std::span<CellId> actual;
+      if (want <= 64) {
+        std::copy(outs.begin(), outs.end(), small);
+        actual = {small, want};
+      } else {
+        big.assign(outs.begin(), outs.end());
+        actual = {big};
+      }
+      std::sort(actual.begin(), actual.end());
+      fanouts_synced = std::equal(actual.begin(), actual.end(),
+                                  edge_targets.begin() + edge_offsets[f]);
     }
   }
 
@@ -201,7 +299,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
         findings.push_back(make_finding(
             nl, LintRule::kUnresolvedFanin, id,
             strformat("fan-in slot %zu of '%s' references no cell", slot,
-                      c.name.c_str())));
+                      std::string(c.name).c_str())));
       }
     }
 
@@ -211,39 +309,53 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
       findings.push_back(make_finding(
           nl, LintRule::kArityMismatch, id,
           strformat("%s '%s' has %d fan-in(s); legal range is [%d, %d]",
-                    std::string(kind_name(c.kind)).c_str(), c.name.c_str(),
+                    std::string(kind_name(c.kind)).c_str(), std::string(c.name).c_str(),
                     c.fanin_count(), range.min, range.max)));
     }
 
-    // STR004 — fanout lists out of sync with the fan-in edge set.
-    for (const CellId f : c.fanins) {
-      if (!valid_id(nl, f)) continue;
-      const auto& outs = nl.cell(f).fanouts;
-      const auto expect = std::count(c.fanins.begin(), c.fanins.end(), f);
-      const auto have = std::count(outs.begin(), outs.end(), id);
-      if (have != expect) {
-        findings.push_back(make_finding(
-            nl, LintRule::kFanoutDesync, id,
-            strformat("'%s' reads '%s' %zd time(s) but appears %zd time(s) "
-                      "in its fanout list",
-                      c.name.c_str(), nl.cell(f).name.c_str(),
-                      static_cast<std::ptrdiff_t>(expect),
-                      static_cast<std::ptrdiff_t>(have))));
-        break;  // one desync finding per cell is enough to localize it
+    // STR004 — fanout lists out of sync with the fan-in edge set. Skipped
+    // wholesale when the fast path above proved every list synchronized.
+    if (!fanouts_synced) {
+      for (const CellId f : c.fanins) {
+        if (!valid_id(nl, f)) continue;
+        const auto& outs = nl.cell(f).fanouts;
+        const auto expect = std::count(c.fanins.begin(), c.fanins.end(), f);
+        const auto have = std::count(outs.begin(), outs.end(), id);
+        if (have != expect) {
+          findings.push_back(make_finding(
+              nl, LintRule::kFanoutDesync, id,
+              strformat("'%s' reads '%s' %zd time(s) but appears %zd time(s) "
+                        "in its fanout list",
+                        std::string(c.name).c_str(), std::string(nl.cell(f).name).c_str(),
+                        static_cast<std::ptrdiff_t>(expect),
+                        static_cast<std::ptrdiff_t>(have))));
+          break;  // one desync finding per cell is enough to localize it
+        }
       }
     }
 
     // STR008 — duplicate driver across fan-in slots (collapses the
     // function: AND(a,a) = a; for a LUT it halves the reachable rows).
+    // Legal arities sort in a stack buffer; a heap copy per cell would
+    // dominate the lint wall at million-gate scale.
     if (c.fanin_count() >= 2) {
-      std::vector<CellId> sorted(c.fanins);
+      CellId small[kMaxGateInputs];
+      std::vector<CellId> big;
+      std::span<CellId> sorted;
+      if (c.fanin_count() <= kMaxGateInputs) {
+        std::copy(c.fanins.begin(), c.fanins.end(), small);
+        sorted = {small, static_cast<std::size_t>(c.fanin_count())};
+      } else {
+        big.assign(c.fanins.begin(), c.fanins.end());
+        sorted = {big};
+      }
       std::sort(sorted.begin(), sorted.end());
       const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
       if (dup != sorted.end() && valid_id(nl, *dup)) {
         findings.push_back(make_finding(
             nl, LintRule::kDuplicateFanin, id,
             strformat("'%s' wires driver '%s' to multiple fan-in slots",
-                      c.name.c_str(), nl.cell(*dup).name.c_str())));
+                      std::string(c.name).c_str(), std::string(nl.cell(*dup).name).c_str())));
       }
     }
 
@@ -253,7 +365,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
       findings.push_back(make_finding(
           nl, LintRule::kLutMaskWidth, id,
           strformat("LUT '%s' mask 0x%llx has bits beyond its %u rows",
-                    c.name.c_str(),
+                    std::string(c.name).c_str(),
                     static_cast<unsigned long long>(c.lut_mask),
                     num_rows(c.fanin_count()))));
     }
@@ -262,16 +374,18 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
     // {BUF, NOT}, the weakest hiding the model supports. Declared key gates
     // and locked constants are that weak *by design*; their declaration is
     // validated by HYB004/HYB006 instead.
-    const bool declared_one_input_construct =
-        opt.defense.key_gates.count(c.name) != 0 ||
-        opt.defense.locked_constants.count(c.name) != 0;
-    if (c.kind == CellKind::kLut && c.fanin_count() == 1 &&
-        !declared_one_input_construct) {
-      findings.push_back(make_finding(
-          nl, LintRule::kSingleInputLut, id,
-          strformat("missing gate '%s' has one input; candidate set is only "
-                    "BUF/NOT (P = 2)",
-                    c.name.c_str())));
+    if (c.kind == CellKind::kLut && c.fanin_count() == 1) {
+      const std::string cname(c.name);
+      const bool declared_one_input_construct =
+          opt.defense.key_gates.count(cname) != 0 ||
+          opt.defense.locked_constants.count(cname) != 0;
+      if (!declared_one_input_construct) {
+        findings.push_back(make_finding(
+            nl, LintRule::kSingleInputLut, id,
+            strformat("missing gate '%s' has one input; candidate set is only "
+                      "BUF/NOT (P = 2)",
+                      std::string(c.name).c_str())));
+      }
     }
 
     // STR007 — dead gate: a combinational cell nothing reads and that is
@@ -286,9 +400,9 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
           nl, LintRule::kDeadGate, id,
           lut ? strformat("missing gate '%s' drives nothing: it contributes "
                           "to M but hides no reachable logic",
-                          c.name.c_str())
+                          std::string(c.name).c_str())
               : strformat("gate '%s' drives nothing and is not an output",
-                          c.name.c_str()),
+                          std::string(c.name).c_str()),
           lut ? LintSeverity::kError : LintSeverity::kWarning));
     }
   }
@@ -305,7 +419,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
       findings.push_back(make_finding(
           nl, LintRule::kConstantOutput, id,
           strformat("primary output '%s' is the constant %c",
-                    nl.cell(id).name.c_str(),
+                    std::string(nl.cell(id).name).c_str(),
                     kind == CellKind::kConst1 ? '1' : '0')));
     }
   }
@@ -322,7 +436,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
             nl, LintRule::kCamouflagedCmos, id,
             strformat("cell '%s' is declared camouflaged but is a plain %s "
                       "gate",
-                      c.name.c_str(),
+                      std::string(c.name).c_str(),
                       std::string(kind_name(c.kind)).c_str())));
         continue;
       }
@@ -333,7 +447,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
             nl, LintRule::kCamouflageMask, id,
             strformat("camouflaged cell '%s' configured with mask 0x%llx, "
                       "outside the NAND/NOR/XNOR camouflage set",
-                      c.name.c_str(),
+                      std::string(c.name).c_str(),
                       static_cast<unsigned long long>(c.lut_mask))));
       }
     }
@@ -345,7 +459,7 @@ StructuralLintResult run_structural_lint(const Netlist& nl,
   // suppressions above would be hiding genuine findings.
   check_defense_annotations(nl, opt.defense, findings);
 
-  find_cycles(nl, findings);
+  find_cycles(nl, edge_offsets, edge_targets, findings);
 
   for (const LintFinding& f : findings) {
     if (f.rule == LintRule::kCombinationalCycle ||

@@ -36,7 +36,7 @@ Netlist bench(const char* name, std::uint64_t seed) {
 }
 
 /// FNV-1a over a string, for order-independent per-net stimulus.
-std::uint64_t fnv(const std::string& s) {
+std::uint64_t fnv(std::string_view s) {
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (const char c : s) {
     h ^= static_cast<unsigned char>(c);
@@ -72,7 +72,7 @@ std::uint64_t io_checksum(const Netlist& nl, std::uint64_t seed,
   std::uint64_t h = 0xcbf29ce484222325ull;
   for (int t = 0; t < cycles; ++t) {
     for (std::size_t i = 0; i < pi.size(); ++i) {
-      const std::string& name = nl.cell(sim.input_cells()[i]).name;
+      const std::string_view name = nl.cell(sim.input_cells()[i]).name;
       pi[i] = mix(seed ^ fnv(name) ^ (0x100000001b3ull * (t + 1)));
     }
     sim.eval_word(pi, ff, wave);

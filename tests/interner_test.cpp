@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/interner.hpp"
+
+namespace stt {
+namespace {
+
+TEST(Interner, DenseSymbolsAndDedup) {
+  StringInterner in;
+  bool inserted = false;
+  EXPECT_EQ(in.intern("a", inserted), 0u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(in.intern("b", inserted), 1u);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(in.intern("a", inserted), 0u);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.view(0), "a");
+  EXPECT_EQ(in.view(1), "b");
+}
+
+TEST(Interner, LookupDoesNotInsert) {
+  StringInterner in;
+  EXPECT_EQ(in.lookup("missing"), StringInterner::kNoSym);
+  bool inserted = false;
+  in.intern("present", inserted);
+  EXPECT_EQ(in.lookup("present"), 0u);
+  EXPECT_EQ(in.lookup("missing"), StringInterner::kNoSym);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, EmptyStringIsAValidSymbol) {
+  StringInterner in;
+  bool inserted = false;
+  const auto sym = in.intern("", inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(in.view(sym), "");
+  EXPECT_EQ(in.lookup(""), sym);
+}
+
+// Views handed out before many table growths and arena chunk rollovers must
+// stay valid: chunks are never reallocated, only appended.
+TEST(Interner, ViewsStableUnderGrowth) {
+  StringInterner in;
+  bool inserted = false;
+  std::vector<std::string_view> early;
+  for (int i = 0; i < 8; ++i) {
+    early.push_back(in.view(in.intern("early_" + std::to_string(i), inserted)));
+  }
+  // Force several rehashes and multiple 64 KiB arena chunks.
+  const std::string pad(200, 'x');
+  for (int i = 0; i < 50000; ++i) {
+    in.intern(pad + std::to_string(i), inserted);
+    ASSERT_TRUE(inserted);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(early[static_cast<std::size_t>(i)],
+              "early_" + std::to_string(i));
+  }
+}
+
+// Mass insert/lookup: with tens of thousands of keys in a power-of-two
+// table, plenty of keys share probe sequences, so this exercises collision
+// probing and the hash-then-bytes compare on both hit and miss paths.
+TEST(Interner, ManyKeysResolveExactly) {
+  StringInterner in;
+  bool inserted = false;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const auto sym = in.intern("net_" + std::to_string(i * 7), inserted);
+    ASSERT_TRUE(inserted);
+    ASSERT_EQ(sym, static_cast<StringInterner::Sym>(i));
+  }
+  EXPECT_EQ(in.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "net_" + std::to_string(i * 7);
+    ASSERT_EQ(in.lookup(key), static_cast<StringInterner::Sym>(i)) << key;
+    ASSERT_EQ(in.view(static_cast<StringInterner::Sym>(i)), key);
+  }
+  // Near misses (never inserted) must not resolve.
+  for (int i = 0; i < n; i += 997) {
+    ASSERT_EQ(in.lookup("net_" + std::to_string(i * 7 + 1)),
+              StringInterner::kNoSym);
+  }
+}
+
+TEST(Interner, ReserveKeepsSymbolsDense) {
+  StringInterner in;
+  in.reserve(10000, 10000 * 8);
+  bool inserted = false;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(in.intern("r" + std::to_string(i), inserted),
+              static_cast<StringInterner::Sym>(i));
+  }
+  EXPECT_GE(in.arena_bytes(), 10000u * 2u);
+}
+
+TEST(Interner, CopyIsIndependentAndPreservesSymbols) {
+  StringInterner a;
+  bool inserted = false;
+  for (int i = 0; i < 3000; ++i) a.intern("k" + std::to_string(i), inserted);
+
+  StringInterner b(a);
+  EXPECT_EQ(b.size(), a.size());
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_EQ(b.lookup(key), a.lookup(key));
+    ASSERT_EQ(b.view(static_cast<StringInterner::Sym>(i)), key);
+  }
+  // Growing the copy must not disturb the original.
+  for (int i = 0; i < 3000; ++i) b.intern("extra" + std::to_string(i), inserted);
+  EXPECT_EQ(a.size(), 3000u);
+  EXPECT_EQ(a.lookup("extra0"), StringInterner::kNoSym);
+  EXPECT_EQ(b.lookup("extra0"), 3000u);
+}
+
+}  // namespace
+}  // namespace stt

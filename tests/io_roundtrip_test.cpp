@@ -1,0 +1,83 @@
+// Byte-identity round trips: writing a netlist, reading the text back, and
+// writing again must reproduce the first text exactly, for every format.
+// This is a stronger property than structural equality — it pins name
+// preservation, id-order emission, LUT mask formatting, and the readers'
+// fidelity, and it is what makes serialized campaign artifacts diffable
+// across sessions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/bench_io.hpp"
+#include "io/blif_io.hpp"
+#include "io/verilog_reader.hpp"
+#include "io/verilog_writer.hpp"
+#include "synth/generator.hpp"
+
+namespace stt {
+namespace {
+
+constexpr std::uint64_t kSeed = 20160605;
+
+Netlist subject(const std::string& name) {
+  for (const std::string& embedded : embedded_names()) {
+    if (embedded == name) return embedded_netlist(name);
+  }
+  const auto profile = find_profile(name);
+  EXPECT_TRUE(profile.has_value()) << name;
+  return generate_circuit(*profile, kSeed);
+}
+
+void expect_bench_fixed_point(const Netlist& nl) {
+  const std::string once = write_bench(nl);
+  const Netlist back = read_bench(once, nl.name());
+  EXPECT_TRUE(nl.structurally_equal(back)) << nl.name();
+  EXPECT_EQ(once, write_bench(back)) << nl.name();
+}
+
+void expect_blif_fixed_point(const Netlist& nl) {
+  const std::string once = write_blif(nl);
+  const Netlist back = read_blif(once, nl.name());
+  EXPECT_EQ(once, write_blif(back)) << nl.name();
+}
+
+void expect_verilog_fixed_point(const Netlist& nl) {
+  const std::string once = write_verilog(nl);
+  const Netlist back = read_verilog(once, nl.name());
+  EXPECT_EQ(once, write_verilog(back)) << nl.name();
+}
+
+TEST(IoRoundTrip, EmbeddedIscasBenchBytes) {
+  for (const std::string& name : embedded_names()) {
+    expect_bench_fixed_point(embedded_netlist(name));
+  }
+}
+
+TEST(IoRoundTrip, GeneratedIscasAllFormats) {
+  for (const char* name : {"s641", "s1238", "s5378a"}) {
+    const Netlist nl = subject(name);
+    expect_bench_fixed_point(nl);
+    expect_blif_fixed_point(nl);
+    expect_verilog_fixed_point(nl);
+  }
+}
+
+// LUT-heavy ITC'99-class profile: pins LUT_0x... mask formatting and the
+// readers' mask truncation through all three formats.
+TEST(IoRoundTrip, LutHeavyProfileAllFormats) {
+  const Netlist nl = subject("b14");
+  EXPECT_GT(nl.stats().luts, 0u);
+  expect_bench_fixed_point(nl);
+  expect_blif_fixed_point(nl);
+  expect_verilog_fixed_point(nl);
+}
+
+// A large generated netlist (~30k gates): exercises the pooled connectivity
+// and interner paths well past the inline-fanin capacity and the first arena
+// chunk, where a layout bug would actually bite.
+TEST(IoRoundTrip, LargeGeneratedBenchBytes) {
+  expect_bench_fixed_point(subject("b17"));
+}
+
+}  // namespace
+}  // namespace stt

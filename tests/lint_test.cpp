@@ -60,7 +60,7 @@ TEST(StructuralLint, CombinationalCycleFiresExactlyStr001) {
 TEST(StructuralLint, UnresolvedFaninFiresExactlyStr002) {
   Netlist nl("unresolved");
   const CellId g = nl.add_cell(CellKind::kNot, "g");
-  nl.cell(g).fanins.push_back(kNullCell);  // a parser that never resolved
+  nl.append_fanin(g, kNullCell);  // a parser that never resolved
   nl.mark_output(g);
 
   const StructuralLintResult result = run_structural_lint(nl);
