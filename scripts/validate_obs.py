@@ -49,6 +49,16 @@ CAMPAIGN_SUMMARY_KEYS = {
     "power_pct_mean", "area_pct_mean", "luts_mean", "key_bits_mean",
     "attacked", "attack_breaks",
 }
+# The "runtime" section (present in --out-json, absent from --stable-json)
+# carries the resume/shard/dedup-cache accounting of the result store.
+CAMPAIGN_RUNTIME_KEYS = {
+    "threads", "wall_seconds", "job_cpu_seconds", "executed", "stolen",
+    "failed_rows", "rows_resumed", "rows_executed", "shard_index",
+    "shard_count", "cache_builds", "cache_reuses", "cache_saved_ms",
+    "store_note", "obs",
+}
+CAMPAIGN_RUNTIME_COUNTS = ("rows_resumed", "rows_executed", "cache_builds",
+                           "cache_reuses")
 
 
 def fail(msg):
@@ -190,6 +200,8 @@ def validate_campaign(path, require_defenses, require_attacks):
         missing = CAMPAIGN_SUMMARY_KEYS - entry.keys()
         if missing:
             fail(f"{path}: summary[{i}] missing keys {sorted(missing)}")
+    if "runtime" in doc:
+        validate_campaign_runtime(path, doc["runtime"], len(doc["results"]))
     summarized = {e["defense"] for e in doc["summary"]}
     for kind in require_defenses:
         if kind not in defenses:
@@ -204,6 +216,48 @@ def validate_campaign(path, require_defenses, require_attacks):
                  f" (present: {sorted(attacks)})")
     print(f"validate_obs: OK: {path}: {len(doc['results'])} rows,"
           f" defenses {sorted(defenses)}, attacks {sorted(attacks)}")
+
+
+def validate_campaign_runtime(path, rt, n_rows):
+    if not isinstance(rt, dict):
+        fail(f"{path}: 'runtime' must be an object")
+    missing = CAMPAIGN_RUNTIME_KEYS - rt.keys()
+    if missing:
+        fail(f"{path}: runtime section missing keys {sorted(missing)}")
+    for key in CAMPAIGN_RUNTIME_COUNTS:
+        if not isinstance(rt[key], int) or rt[key] < 0:
+            fail(f"{path}: runtime field {key}={rt[key]!r} must be a"
+                 " non-negative integer")
+    if not isinstance(rt["shard_index"], int) \
+            or not isinstance(rt["shard_count"], int) \
+            or not 1 <= rt["shard_index"] <= rt["shard_count"]:
+        fail(f"{path}: runtime shard {rt['shard_index']!r}/"
+             f"{rt['shard_count']!r} must satisfy 1 <= index <= count")
+    # Every reported row was either replayed from the store or executed in
+    # this process — the two counters partition the rows exactly.
+    if rt["rows_resumed"] + rt["rows_executed"] != n_rows:
+        fail(f"{path}: rows_resumed {rt['rows_resumed']} + rows_executed"
+             f" {rt['rows_executed']} != {n_rows} result rows")
+    if not isinstance(rt["cache_saved_ms"], (int, float)) \
+            or rt["cache_saved_ms"] < 0:
+        fail(f"{path}: runtime cache_saved_ms={rt['cache_saved_ms']!r} must"
+             " be a non-negative number")
+    if rt["cache_builds"] == 0 and rt["cache_reuses"] != 0:
+        fail(f"{path}: runtime reports {rt['cache_reuses']} cache reuses"
+             " with no cache builds")
+    if not isinstance(rt["store_note"], str):
+        fail(f"{path}: runtime store_note must be a string")
+    # The same accounting flows through the runtime-tagged obs counters;
+    # when present (enabled obs builds) they must agree with the fields.
+    counters = rt["obs"].get("counters", {}) if isinstance(rt["obs"], dict) \
+        else {}
+    for counter, field in (("campaign.rows.resumed", "rows_resumed"),
+                           ("campaign.rows.executed", "rows_executed"),
+                           ("campaign.cache.builds", "cache_builds"),
+                           ("campaign.cache.reuses", "cache_reuses")):
+        if counter in counters and counters[counter] != rt[field]:
+            fail(f"{path}: runtime obs counter {counter}="
+                 f"{counters[counter]} disagrees with {field}={rt[field]}")
 
 
 NETLIST_BENCH_KEYS = {

@@ -1,6 +1,7 @@
 #include "attack/oracle.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -17,12 +18,19 @@ obs::Counter& oracle_queries_counter() {
 
 ScanOracle::ScanOracle(const Netlist& configured)
     : nl_(&configured),
-      sim_(configured),
+      owned_sim_(std::in_place, configured),
+      sim_(&*owned_sim_),
       // Scratch capacity is reserved in whole SIMD lanes of the active
       // kernel (not the seed's hardcoded one-64-bit-word-per-row), so
       // single-word queries and lane-sized batches share one allocation
       // and a wide kernel may always round a row span up to a full lane.
-      wave_(sim_.wave_size() * CompiledSim::padded_words(1), 0) {}
+      wave_(sim_->wave_size() * CompiledSim::padded_words(1), 0) {}
+
+ScanOracle::ScanOracle(const Netlist& configured,
+                       const CompiledSim& prelowered)
+    : nl_(&configured),
+      sim_(&prelowered),
+      wave_(sim_->wave_size() * CompiledSim::padded_words(1), 0) {}
 
 /// Grow the wave scratch to hold `W` words per row, rounded up to whole
 /// lanes of the active kernel. The padding words are never part of the
@@ -30,7 +38,7 @@ ScanOracle::ScanOracle(const Netlist& configured)
 /// lane-granular, so alternating query widths under a wide ISA never
 /// reallocates per call.
 void ScanOracle::grow_wave(std::size_t W) {
-  const std::size_t need = sim_.wave_size() * CompiledSim::padded_words(W);
+  const std::size_t need = sim_->wave_size() * CompiledSim::padded_words(W);
   if (wave_.size() < need) wave_.resize(need);
 }
 
@@ -56,12 +64,12 @@ std::vector<bool> ScanOracle::query(const std::vector<bool>& inputs) {
     ff[j] = inputs[n_pi + j] ? ~0ull : 0;
   }
   grow_wave(1);
-  const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size());
-  sim_.eval_word(pi, ff, wave);
+  const std::span<std::uint64_t> wave(wave_.data(), sim_->wave_size());
+  sim_->eval_word(pi, ff, wave);
   std::vector<bool> out;
   out.reserve(num_outputs());
-  for (const CellId id : sim_.output_cells()) out.push_back(wave_[id] & 1ull);
-  for (const CellId id : sim_.next_state_cells()) {
+  for (const CellId id : sim_->output_cells()) out.push_back(wave_[id] & 1ull);
+  for (const CellId id : sim_->next_state_cells()) {
     out.push_back(wave_[id] & 1ull);
   }
   return out;
@@ -80,14 +88,14 @@ void ScanOracle::query_word(std::span<const std::uint64_t> inputs,
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
   grow_wave(1);
-  sim_.eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff),
-                 std::span<std::uint64_t>(wave_.data(), sim_.wave_size()));
-  const std::size_t n_po = sim_.num_outputs();
+  sim_->eval_word(inputs.first(n_pi), inputs.subspan(n_pi, n_ff),
+                 std::span<std::uint64_t>(wave_.data(), sim_->wave_size()));
+  const std::size_t n_po = sim_->num_outputs();
   for (std::size_t o = 0; o < n_po; ++o) {
-    outputs[o] = wave_[sim_.output_cells()[o]];
+    outputs[o] = wave_[sim_->output_cells()[o]];
   }
   for (std::size_t j = 0; j < n_ff; ++j) {
-    outputs[n_po + j] = wave_[sim_.next_state_cells()[j]];
+    outputs[n_po + j] = wave_[sim_->next_state_cells()[j]];
   }
 }
 
@@ -108,12 +116,12 @@ void ScanOracle::query_batch(std::size_t W,
   const std::size_t n_pi = nl_->inputs().size();
   const std::size_t n_ff = nl_->dffs().size();
   grow_wave(W);
-  const std::span<std::uint64_t> wave(wave_.data(), sim_.wave_size() * W);
-  sim_.eval_batch(W, inputs.first(n_pi * W), inputs.subspan(n_pi * W, n_ff * W),
+  const std::span<std::uint64_t> wave(wave_.data(), sim_->wave_size() * W);
+  sim_->eval_batch(W, inputs.first(n_pi * W), inputs.subspan(n_pi * W, n_ff * W),
                   wave, par);
-  const std::size_t n_po = sim_.num_outputs();
-  sim_.gather_outputs(W, wave, outputs.first(n_po * W));
-  sim_.gather_next_state(W, wave, outputs.subspan(n_po * W, n_ff * W));
+  const std::size_t n_po = sim_->num_outputs();
+  sim_->gather_outputs(W, wave, outputs.first(n_po * W));
+  sim_->gather_next_state(W, wave, outputs.subspan(n_po * W, n_ff * W));
 }
 
 }  // namespace stt

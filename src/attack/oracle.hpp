@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -28,6 +29,14 @@ class ScanOracle {
   /// `configured` must be fully configured (no unknown LUTs); it is the
   /// ground-truth chip. The netlist must outlive the oracle.
   explicit ScanOracle(const Netlist& configured);
+
+  /// Borrow a pre-built lowering of `configured` instead of compiling one:
+  /// the campaign's dedup cache lowers each locked netlist once and every
+  /// oracle-backed attack of the group shares it. `prelowered` must have
+  /// been built from exactly `configured` and must outlive the oracle; its
+  /// eval paths are const and thread-safe, and each oracle keeps private
+  /// wave scratch, so concurrent attacks may share one lowering.
+  ScanOracle(const Netlist& configured, const CompiledSim& prelowered);
 
   std::size_t num_inputs() const;   ///< PIs + FFs
   std::size_t num_outputs() const;  ///< POs + FFs
@@ -58,7 +67,12 @@ class ScanOracle {
   void grow_wave(std::size_t W);
 
   const Netlist* nl_;
-  CompiledSim sim_;
+  // Either an owned lowering (one-arg ctor) or a borrowed shared one
+  // (two-arg ctor); `sim_` always points at the one in use. CompiledSim is
+  // not copyable/movable-safe (it holds internal views), so the owned case
+  // constructs in place.
+  std::optional<CompiledSim> owned_sim_;
+  const CompiledSim* sim_;
   std::vector<std::uint64_t> wave_;  ///< scratch, grown in whole SIMD lanes
   std::uint64_t queries_ = 0;
 };

@@ -27,7 +27,15 @@ struct Ctx {
   const CommonAttackOptions& common;
   const Tuning& tuning;
   ParallelFor* parallel;
+  const CompiledSim* oracle_sim;  ///< optional shared lowering of configured
 };
+
+/// Build the scan oracle for an adapter: borrow the caller's shared
+/// lowering when one was supplied, otherwise compile our own.
+ScanOracle make_oracle(const Ctx& c) {
+  return c.oracle_sim != nullptr ? ScanOracle(c.configured, *c.oracle_sim)
+                                 : ScanOracle(c.configured);
+}
 
 [[noreturn]] void bad_tuning(const std::string& attack,
                              const std::string& key) {
@@ -60,7 +68,7 @@ UnifiedResult run_sat(const Ctx& c) {
       bad_tuning("sat", k);
     }
   }
-  ScanOracle oracle(c.configured);
+  ScanOracle oracle = make_oracle(c);
   const SatAttackResult r = run_sat_attack(c.hybrid, oracle, opt);
   UnifiedResult u;
   fold_base(u, r);
@@ -110,7 +118,7 @@ UnifiedResult run_bf(const Ctx& c) {
       bad_tuning("bf", k);
     }
   }
-  ScanOracle oracle(c.configured);
+  ScanOracle oracle = make_oracle(c);
   const BruteForceResult r = run_brute_force(c.hybrid, oracle, opt);
   UnifiedResult u;
   fold_base(u, r);
@@ -134,7 +142,7 @@ UnifiedResult run_ml(const Ctx& c) {
       bad_tuning("ml", k);
     }
   }
-  ScanOracle oracle(c.configured);
+  ScanOracle oracle = make_oracle(c);
   const MlAttackResult r = run_ml_attack(c.hybrid, oracle, opt);
   UnifiedResult u;
   fold_base(u, r);
@@ -149,7 +157,7 @@ UnifiedResult run_sens(const Ctx& c) {
   SensitizationOptions opt;
   opt.overlay(c.common);
   if (!c.tuning.empty()) bad_tuning("sens", c.tuning.front().first);
-  ScanOracle oracle(c.configured);
+  ScanOracle oracle = make_oracle(c);
   const SensitizationResult r =
       run_sensitization_attack(c.hybrid, oracle, opt);
   UnifiedResult u;
@@ -172,7 +180,7 @@ UnifiedResult run_gsens(const Ctx& c) {
       bad_tuning("gsens", k);
     }
   }
-  ScanOracle oracle(c.configured);
+  ScanOracle oracle = make_oracle(c);
   const GuidedSensResult r = run_guided_sensitization(c.hybrid, oracle, opt);
   UnifiedResult u;
   fold_base(u, r);
@@ -357,8 +365,8 @@ const std::map<std::string, AttackInfo, std::less<>>& catalogue_entries() {
 UnifiedResult Registry::run(std::string_view name, const Netlist& hybrid,
                             const Netlist& configured,
                             const CommonAttackOptions& common,
-                            const Tuning& tuning,
-                            ParallelFor* parallel) const {
+                            const Tuning& tuning, ParallelFor* parallel,
+                            const CompiledSim* oracle_sim) const {
   const auto it = runners().find(name);
   if (it == runners().end()) {
     std::string known;
@@ -371,7 +379,7 @@ UnifiedResult Registry::run(std::string_view name, const Netlist& hybrid,
   }
   static obs::Counter& runs = obs::Metrics::global().counter("attack.runs");
   runs.add(1);
-  const Ctx ctx{hybrid, configured, common, tuning, parallel};
+  const Ctx ctx{hybrid, configured, common, tuning, parallel, oracle_sim};
   UnifiedResult u = it->second(ctx);
   u.attack = std::string(name);
   return u;

@@ -31,6 +31,10 @@
 #include "attack/sat_attack.hpp"
 #include "netlist/netlist.hpp"
 
+namespace stt {
+class CompiledSim;
+}
+
 namespace stt::attack {
 
 /// Common projection of every attack's result. `attack` echoes the registry
@@ -73,12 +77,18 @@ class Registry {
   /// unknown/ignored) with oracle access to the `configured` chip.
   /// `parallel` optionally fans SAT portfolio slices / warm-up batches
   /// across threads (results stay bit-identical; see SatAttackOptions).
-  /// Throws std::invalid_argument for an unknown name or tuning key.
+  /// `oracle_sim`, when set, must be a CompiledSim lowering of exactly
+  /// `configured`; the scan-oracle attacks then borrow it instead of
+  /// compiling their own (the campaign's dedup cache shares one lowering
+  /// across a grid group — results are bit-identical either way). Attacks
+  /// that use no ScanOracle ignore it. Throws std::invalid_argument for an
+  /// unknown name or tuning key.
   UnifiedResult run(std::string_view name, const Netlist& hybrid,
                     const Netlist& configured,
                     const CommonAttackOptions& common = {},
                     const Tuning& tuning = {},
-                    ParallelFor* parallel = nullptr) const;
+                    ParallelFor* parallel = nullptr,
+                    const CompiledSim* oracle_sim = nullptr) const;
 
   bool contains(std::string_view name) const;
   /// Registered names, sorted.

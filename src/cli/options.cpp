@@ -1,0 +1,92 @@
+#include "cli/options.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/isa.hpp"
+
+namespace stt::cli {
+
+CommonOptions::CommonOptions(ArgParser& parser, unsigned groups)
+    : groups_(groups) {
+  if (groups_ & kJobs) {
+    parser.add_option("--jobs", "worker threads (0 = all hardware threads)",
+                      "1");
+  }
+  if (groups_ & kTrace) {
+    parser.add_option("--trace",
+                      "write a Chrome trace (chrome://tracing JSON) here", "");
+  }
+  if (groups_ & kMetrics) {
+    parser.add_option("--metrics",
+                      "write the run's metrics delta (JSON) here", "");
+  }
+  if (groups_ & kSimIsa) {
+    // Empty leaves the engine's lazy resolution (STTLOCK_SIM_ISA env, then
+    // CPUID) in charge; any other value — including "auto" — resolves
+    // eagerly so bad spellings fail before work starts.
+    parser.add_option("--sim-isa",
+                      "simulation kernel: scalar|avx2|avx512|auto "
+                      "(default: STTLOCK_SIM_ISA env, then CPUID probe)",
+                      "");
+  }
+  if (groups_ & kQuiet) {
+    parser.add_flag("--quiet", "suppress the text summary on stdout");
+  }
+  if (groups_ & kJson) {
+    parser.add_flag("--json", "print the JSON report on stdout");
+  }
+}
+
+void CommonOptions::load(const ArgParser& parser) {
+  if (groups_ & kJobs) {
+    jobs_ = static_cast<unsigned>(parser.get_int("--jobs"));
+  }
+  if (groups_ & kTrace) trace_ = parser.get("--trace");
+  if (groups_ & kMetrics) metrics_ = parser.get("--metrics");
+  if (groups_ & kSimIsa) {
+    const std::string isa = parser.get("--sim-isa");
+    if (!isa.empty()) set_sim_isa(isa);
+  }
+  if (groups_ & kQuiet) quiet_ = parser.flag("--quiet");
+  if (groups_ & kJson) json_ = parser.flag("--json");
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << content;
+}
+
+ObsCapture::ObsCapture(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!metrics_path_.empty()) {
+    before_ = obs::Metrics::global().snapshot(/*include_runtime=*/true);
+  }
+  if (!trace_path_.empty()) obs::TraceRecorder::global().start();
+}
+
+void ObsCapture::finish() {
+  if (!trace_path_.empty()) {
+    obs::TraceRecorder::global().stop();
+    write_text_file(trace_path_, obs::TraceRecorder::global().chrome_json());
+    std::fprintf(stderr, "wrote %s (%zu trace events)\n", trace_path_.c_str(),
+                 obs::TraceRecorder::global().event_count());
+    trace_path_.clear();
+  }
+  if (!metrics_path_.empty()) {
+    write_text_file(
+        metrics_path_,
+        obs::metrics_json(obs::snapshot_diff(
+            obs::Metrics::global().snapshot(/*include_runtime=*/true),
+            before_)) +
+            "\n");
+    std::fprintf(stderr, "wrote %s\n", metrics_path_.c_str());
+    metrics_path_.clear();
+  }
+}
+
+}  // namespace stt::cli

@@ -123,6 +123,19 @@ unsigned shard_index() noexcept {
   thread_local const unsigned idx = next.fetch_add(1, std::memory_order_relaxed);
   return idx;
 }
+
+thread_local CaptureFrame* t_capture = nullptr;
+
+void capture_add(const Counter* c, std::uint64_t v) {
+  t_capture->counters[c] += v;
+}
+
+void capture_record(const Histogram* h, std::uint64_t v) {
+  HistogramSnapshot& s = t_capture->histograms[h];
+  s.count += 1;
+  s.sum += v;
+  s.buckets[static_cast<std::size_t>(std::bit_width(v))] += 1;
+}
 }  // namespace detail
 
 void Histogram::record(std::uint64_t v) noexcept {
@@ -131,6 +144,23 @@ void Histogram::record(std::uint64_t v) noexcept {
   s.sum.fetch_add(v, std::memory_order_relaxed);
   s.buckets[static_cast<std::size_t>(std::bit_width(v))].fetch_add(
       1, std::memory_order_relaxed);
+  if (detail::t_capture != nullptr) detail::capture_record(this, v);
+}
+
+ScopedCapture::ScopedCapture() : prev_(detail::t_capture), active_(true) {
+  detail::t_capture = &frame_;
+}
+
+ScopedCapture::~ScopedCapture() {
+  if (active_) detail::t_capture = prev_;
+}
+
+MetricsSnapshot ScopedCapture::stable_delta() {
+  if (active_) {
+    detail::t_capture = prev_;
+    active_ = false;
+  }
+  return Metrics::global().attribute_stable(frame_);
 }
 
 HistogramSnapshot Histogram::snapshot() const noexcept {
@@ -207,6 +237,25 @@ MetricsSnapshot Metrics::snapshot(bool include_runtime) const {
   for (const auto& [name, e] : histograms_)
     if (e.stable || include_runtime)
       out.histograms[name] = e.instrument->snapshot();
+  return out;
+}
+
+MetricsSnapshot Metrics::attribute_stable(
+    const detail::CaptureFrame& frame) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, e] : counters_) {
+    if (!e.stable) continue;
+    auto it = frame.counters.find(e.instrument.get());
+    if (it != frame.counters.end() && it->second != 0)
+      out.counters[name] = it->second;
+  }
+  for (const auto& [name, e] : histograms_) {
+    if (!e.stable) continue;
+    auto it = frame.histograms.find(e.instrument.get());
+    if (it != frame.histograms.end() && it->second.count != 0)
+      out.histograms[name] = it->second;
+  }
   return out;
 }
 

@@ -88,10 +88,31 @@ std::string metrics_json(const MetricsSnapshot& snap, int indent = 0);
 // Metrics (enabled build)
 // ---------------------------------------------------------------------------
 
+class Counter;
+class Histogram;
+
 namespace detail {
 /// Small per-thread index used to spread writers across instrument shards;
 /// assigned round-robin on first use, then a plain thread_local load.
 unsigned shard_index() noexcept;
+
+/// Accumulator behind `ScopedCapture`: per-instrument sums keyed by the
+/// instrument's address (instruments are never deallocated, so the pointer
+/// is a stable identity). Names are resolved only once at capture end, via
+/// `Metrics::attribute_stable`, keeping the hot-path hook allocation-light
+/// and lookup-free.
+struct CaptureFrame {
+  std::map<const Counter*, std::uint64_t> counters;
+  std::map<const Histogram*, HistogramSnapshot> histograms;
+};
+
+/// Innermost active capture frame of this thread (nullptr = none). Checked
+/// with a plain thread_local load on every Counter::add / Histogram::record,
+/// so idle cost is one predictable branch.
+extern thread_local CaptureFrame* t_capture;
+
+void capture_add(const Counter* c, std::uint64_t v);
+void capture_record(const Histogram* h, std::uint64_t v);
 }  // namespace detail
 
 /// Monotone event counter, sharded to keep concurrent writers off each
@@ -101,6 +122,7 @@ class Counter {
   void add(std::uint64_t v = 1) noexcept {
     shards_[detail::shard_index() % kShards].n.fetch_add(
         v, std::memory_order_relaxed);
+    if (detail::t_capture != nullptr) detail::capture_add(this, v);
   }
   std::uint64_t value() const noexcept {
     std::uint64_t total = 0;
@@ -176,6 +198,13 @@ class Metrics {
 
   MetricsSnapshot snapshot(bool include_runtime = true) const;
 
+  /// Resolve a capture frame's per-instrument sums to names, keeping only
+  /// *stable* instruments with a nonzero delta. The result is exactly what
+  /// the capturing thread added while the frame was installed — other
+  /// threads' concurrent bumps never appear, which is what makes per-stage
+  /// deltas deterministic for the campaign's single-threaded stage bodies.
+  MetricsSnapshot attribute_stable(const detail::CaptureFrame& frame) const;
+
   /// Zero every registered instrument in place (references stay valid).
   void reset();
 
@@ -189,6 +218,33 @@ class Metrics {
   std::map<std::string, Entry<Counter>, std::less<>> counters_;
   std::map<std::string, Entry<Gauge>, std::less<>> gauges_;
   std::map<std::string, Entry<Histogram>, std::less<>> histograms_;
+};
+
+/// RAII capture of every stable-instrument bump made by *this thread* while
+/// the object is alive. The campaign driver wraps each grid-stage body
+/// (circuit generation, defense, attack) in one of these; the resulting
+/// deltas are additive, so `report.obs` is their sum with each stage counted
+/// exactly once — reproducible across --jobs, resume, and shard merges.
+///
+/// Captures shadow, not nest: while an inner capture is installed the outer
+/// one sees nothing. Stage bodies never nest captures, so this never
+/// matters in practice, and shadowing keeps the hook a single pointer test.
+class ScopedCapture {
+ public:
+  ScopedCapture();
+  ~ScopedCapture();
+  ScopedCapture(const ScopedCapture&) = delete;
+  ScopedCapture& operator=(const ScopedCapture&) = delete;
+
+  /// Deactivate the capture and resolve the accumulated deltas against the
+  /// global registry (stable instruments only, zero deltas omitted).
+  /// Idempotent; call at most once per interesting stage.
+  MetricsSnapshot stable_delta();
+
+ private:
+  detail::CaptureFrame frame_;
+  detail::CaptureFrame* prev_ = nullptr;
+  bool active_ = false;
 };
 
 // ---------------------------------------------------------------------------
@@ -298,6 +354,11 @@ class Metrics {
   Counter counter_;
   Gauge gauge_;
   Histogram histogram_;
+};
+
+class ScopedCapture {
+ public:
+  MetricsSnapshot stable_delta() { return {}; }
 };
 
 class TraceRecorder {

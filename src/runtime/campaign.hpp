@@ -30,6 +30,7 @@
 #include "defense/defense.hpp"
 #include "obs/obs.hpp"
 #include "runtime/job.hpp"
+#include "runtime/record.hpp"
 
 namespace stt {
 
@@ -42,6 +43,11 @@ struct DefenseAxis {
   std::string kind;
   defense::Tuning tuning;
 };
+
+/// Canonical "k=v;k=v" rendering of a tuning list (insertion order, no
+/// escaping — knob keys/values are identifier-like). This string is the
+/// `defense_tuning` result column and the tuning part of store trial keys.
+std::string tuning_to_string(const defense::Tuning& tuning);
 
 struct CampaignSpec {
   /// ISCAS'89 profile names; empty = all twelve Table I benchmarks.
@@ -80,84 +86,32 @@ struct CampaignSpec {
   std::function<void(std::size_t done, std::size_t total,
                      const std::string& label)>
       on_progress;
+
+  // -- result store / resume / sharding (store.hpp, shard.hpp) ------------
+  /// Append-only result store path ("" = no store). With `resume` false
+  /// the store is created fresh (refusing to clobber an existing file);
+  /// with `resume` true an existing store is opened — its recorded spec
+  /// must match this campaign byte-for-byte — already-recorded grid points
+  /// are skipped, and their rows/obs deltas are replayed from disk so the
+  /// emitted CSV/JSON stay byte-identical to an uninterrupted run. A
+  /// missing file under `resume` is created, making kill/resume loops
+  /// idempotent to start.
+  std::string store_path;
+  bool resume = false;
+  /// Static 1-based shard `shard_index` of `shard_count`: this process owns
+  /// exactly the grid points whose flat row index i satisfies
+  /// i % shard_count == shard_index - 1. Rows (and progress, and the obs
+  /// block) cover only the owned subset; `sttlock merge` recombines shard
+  /// stores into the full grid deterministically.
+  unsigned shard_index = 1;
+  unsigned shard_count = 1;
 };
 
-/// One grid point's outcome. Fields above the "measured" marker are
-/// deterministic; the measured block varies run to run.
-struct CampaignRow {
-  std::string benchmark;
-  /// Defense axis point: registry kind and its "k=v;k=v" tuning rendering
-  /// (empty = defaults). For paper adapters `algorithm` mirrors the kind so
-  /// legacy consumers keep working; for other defenses it is meaningless.
-  std::string defense;
-  std::string defense_tuning;
-  SelectionAlgorithm algorithm = SelectionAlgorithm::kIndependent;
-  /// Attack axis point ("none" = no attack stage on this row).
-  std::string attack = "none";
-  int trial = 0;
-  std::uint64_t circuit_seed = 0;
-  std::uint64_t selection_seed = 0;  ///< seed of the successful attempt
-  int attempts = 1;
-  bool ok = false;
-  std::string error;  ///< last failure message when !ok
-
-  // Flow metrics (Table I + security sign-off).
-  int num_luts = 0;
-  // Key-material accounting from the defense's DefenseResult.
-  int key_cells = 0;
-  int key_bits = 0;
-  int cells_added = 0;
-  int cells_replaced = 0;
-  double perf_pct = 0;
-  double power_pct = 0;
-  double area_pct = 0;
-  double original_delay_ps = 0;
-  double hybrid_delay_ps = 0;
-  std::string n_indep;
-  std::string n_dep;
-  std::string n_bf;
-  int paths_considered = 0;
-  int timing_retries = 0;
-  int usl_replacements = 0;
-
-  // Lint stage (when spec.lint): verdict of the static analysis over the
-  // hybrid netlist, plus the largest log10 gap between the optimistic and
-  // audited Eq. (1)-(3) figures (0 when no candidate set collapsed).
-  bool lint_ran = false;
-  std::string lint_verdict;  ///< clean | info | warnings | errors
-  int lint_errors = 0;
-  int lint_warnings = 0;
-  int lint_infos = 0;
-  double audit_log10_drop = 0;
-  // Key-dependency analysis (verify/keydep, part of the lint stage):
-  // statically recoverable key bits, the predicted effective key space in
-  // bits, and the analyzer's one-word verdict for the netlist.
-  int key_bits_static = 0;
-  int eff_key_bits = 0;
-  std::string analyze_verdict;  ///< empty | broken | degraded | secure
-
-  // Attack stage (when spec.attack != "none"), filled from the registry's
-  // UnifiedResult. The solver-telemetry block below is zero for the
-  // non-SAT attacks; for "sat" it mirrors SatAttackStats
-  // (canonical-member counts, deterministic across --jobs).
-  bool attack_ran = false;
-  bool attack_success = false;
-  std::string attack_outcome;  ///< solved | timed_out | budget_exhausted | ...
-  std::string attack_detail;   ///< registry one-liner (dips, rows, ...)
-  std::uint64_t attack_queries = 0;
-  std::uint64_t attack_iterations = 0;
-  std::int64_t attack_conflicts = 0;
-  std::int64_t attack_decisions = 0;
-  std::int64_t attack_propagations = 0;
-  std::int64_t attack_learned = 0;
-  std::int64_t attack_peak_clauses = 0;
-  double attack_cnf_per_iter = 0;
-
-  // -- measured (non-deterministic; reported separately) ------------------
-  double selection_ms = 0;  ///< Table II metric, from the selector's timer
-  double flow_ms = 0;       ///< whole-job run time
-  double queue_ms = 0;      ///< ready -> running scheduling latency
-};
+/// One grid point's outcome — the typed TrialRecord (record.hpp), which the
+/// CSV/JSON writers, the summary, and the result store all consume. The
+/// legacy name survives as an alias so existing consumers compile
+/// unchanged.
+using CampaignRow = TrialRecord;
 
 struct CampaignReport {
   std::vector<std::string> benchmarks;  ///< resolved benchmark list
@@ -172,10 +126,14 @@ struct CampaignReport {
   /// independent of execution interleaving.
   std::vector<CampaignRow> rows;
 
-  /// Stable-metrics delta over this campaign (global metrics sampled
-  /// before and after, runtime-tagged instruments excluded), so the block
-  /// is byte-identical across --jobs values and across campaigns sharing a
-  /// process. Lands in the deterministic part of `campaign_json`.
+  /// Stable-metrics block: the sum of the per-stage deltas captured by
+  /// `obs::ScopedCapture` around every circuit-generation, defense, and
+  /// attack stage body, each stage counted exactly once. Per-stage deltas
+  /// are deterministic (each stage body is single-threaded and seeded),
+  /// and summation is commutative — so the block is byte-identical across
+  /// --jobs values, and a resumed or shard-merged campaign reproduces it
+  /// exactly by replaying stored deltas for stages it did not re-run.
+  /// Lands in the deterministic part of `campaign_json`.
   obs::MetricsSnapshot obs;
 
   struct Profile {
@@ -185,6 +143,23 @@ struct CampaignReport {
     std::uint64_t executed = 0;
     std::uint64_t stolen = 0;
     std::size_t failed_rows = 0;
+    // Resume/shard accounting (store.hpp): grid points replayed from the
+    // result store vs executed in this process, and the shard coordinates.
+    std::size_t rows_resumed = 0;
+    std::size_t rows_executed = 0;
+    unsigned shard_index = 1;
+    unsigned shard_count = 1;
+    /// Store recovery diagnostic from open (torn tail truncated, bytes
+    /// dropped); empty for a clean open or when no store is attached.
+    std::string store_note;
+    // Dedup cache: per (benchmark, defense, tuning, trial) group the
+    // foundry view and the oracle's CompiledSim lowering are built once in
+    // the defense job and reused by every oracle-backed attack row of the
+    // group; `cache_saved_ms` estimates the per-trial setup time those
+    // reuses avoided (build time x extra uses).
+    std::uint64_t cache_builds = 0;
+    std::uint64_t cache_reuses = 0;
+    double cache_saved_ms = 0;
     /// Full metrics delta including runtime-tagged instruments (queue
     /// waits, steal counts); varies run to run like the rest of Profile.
     obs::MetricsSnapshot obs;

@@ -174,8 +174,11 @@ void JobGraph::execute(JobId id, ThreadPool& pool) {
     queue_wait.record(
         static_cast<std::uint64_t>(node.record.queue_ms * 1e3));
   }
+  // Jobs executed per process depends on resume/shard state (skipped grid
+  // points never become jobs), so this is runtime accounting, not part of
+  // the deterministic stable-metrics block.
   static obs::Counter& executed =
-      obs::Metrics::global().counter("jobs.executed");
+      obs::Metrics::global().counter("jobs.executed", /*stable=*/false);
   executed.add(1);
   JobContext ctx(this, id);
   Timer timer;

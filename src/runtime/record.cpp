@@ -1,0 +1,241 @@
+#include "runtime/record.hpp"
+
+#include <array>
+
+#include "runtime/wire.hpp"
+#include "util/strings.hpp"
+
+namespace stt {
+
+namespace {
+
+std::string fmt4(double v) { return strformat("%.4f", v); }
+
+// Cell formatter shorthands for the table below. Lint/attack columns are
+// blank unless their stage ran — the blank string is part of the pinned
+// CSV byte format, not a rendering default.
+using R = const TrialRecord&;
+
+}  // namespace
+
+std::string trial_status(const TrialRecord& record) {
+  return record.ok ? "ok" : "failed";
+}
+
+std::span<const TrialCsvField> trial_csv_fields() {
+  // "algorithm" is the defense kind: the paper's three selection algorithms
+  // are registered defenses of the same name, so legacy campaigns render
+  // unchanged while the column covers the whole defense axis.
+  static const std::array<TrialCsvField, 43> kFields = {{
+      {"benchmark", [](R r) { return r.benchmark; }},
+      {"algorithm", [](R r) { return r.defense; }},
+      {"trial", [](R r) { return std::to_string(r.trial); }},
+      {"circuit_seed", [](R r) { return std::to_string(r.circuit_seed); }},
+      {"selection_seed",
+       [](R r) { return std::to_string(r.selection_seed); }},
+      {"status", [](R r) { return trial_status(r); }},
+      {"attempts", [](R r) { return std::to_string(r.attempts); }},
+      {"luts", [](R r) { return std::to_string(r.num_luts); }},
+      {"perf_pct", [](R r) { return fmt4(r.perf_pct); }},
+      {"power_pct", [](R r) { return fmt4(r.power_pct); }},
+      {"area_pct", [](R r) { return fmt4(r.area_pct); }},
+      {"orig_delay_ps", [](R r) { return fmt4(r.original_delay_ps); }},
+      {"hybrid_delay_ps", [](R r) { return fmt4(r.hybrid_delay_ps); }},
+      {"n_indep", [](R r) { return r.n_indep; }},
+      {"n_dep", [](R r) { return r.n_dep; }},
+      {"n_bf", [](R r) { return r.n_bf; }},
+      {"paths", [](R r) { return std::to_string(r.paths_considered); }},
+      {"timing_retries",
+       [](R r) { return std::to_string(r.timing_retries); }},
+      {"usl", [](R r) { return std::to_string(r.usl_replacements); }},
+      {"defense_tuning", [](R r) { return r.defense_tuning; }},
+      {"key_cells", [](R r) { return std::to_string(r.key_cells); }},
+      {"key_bits", [](R r) { return std::to_string(r.key_bits); }},
+      {"cells_added", [](R r) { return std::to_string(r.cells_added); }},
+      {"cells_replaced",
+       [](R r) { return std::to_string(r.cells_replaced); }},
+      {"lint", [](R r) { return r.lint_ran ? r.lint_verdict : ""; }},
+      {"lint_errors",
+       [](R r) {
+         return r.lint_ran ? std::to_string(r.lint_errors) : std::string();
+       }},
+      {"lint_warnings",
+       [](R r) {
+         return r.lint_ran ? std::to_string(r.lint_warnings) : std::string();
+       }},
+      {"audit_log10_drop",
+       [](R r) { return r.lint_ran ? fmt4(r.audit_log10_drop) : std::string(); }},
+      {"key_bits_static",
+       [](R r) {
+         return r.lint_ran ? std::to_string(r.key_bits_static)
+                           : std::string();
+       }},
+      {"eff_key_bits",
+       [](R r) {
+         return r.lint_ran ? std::to_string(r.eff_key_bits) : std::string();
+       }},
+      {"analyze_verdict",
+       [](R r) { return r.lint_ran ? r.analyze_verdict : std::string(); }},
+      {"attack", [](R r) { return r.attack_ran ? r.attack : "none"; }},
+      {"attack_success",
+       [](R r) {
+         return r.attack_ran ? (r.attack_success ? "1" : "0")
+                             : std::string();
+       }},
+      {"attack_outcome",
+       [](R r) { return r.attack_ran ? r.attack_outcome : std::string(); }},
+      {"attack_queries",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_queries)
+                             : std::string();
+       }},
+      {"attack_iters",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_iterations)
+                             : std::string();
+       }},
+      {"attack_conflicts",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_conflicts)
+                             : std::string();
+       }},
+      {"attack_decisions",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_decisions)
+                             : std::string();
+       }},
+      {"attack_propagations",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_propagations)
+                             : std::string();
+       }},
+      {"attack_learned",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_learned)
+                             : std::string();
+       }},
+      {"attack_peak_clauses",
+       [](R r) {
+         return r.attack_ran ? std::to_string(r.attack_peak_clauses)
+                             : std::string();
+       }},
+      {"attack_cnf_per_iter",
+       [](R r) {
+         return r.attack_ran ? fmt4(r.attack_cnf_per_iter) : std::string();
+       }},
+      {"error", [](R r) { return r.error; }},
+  }};
+  return kFields;
+}
+
+void encode_trial_record(WireWriter& w, const TrialRecord& r) {
+  w.str(r.benchmark);
+  w.str(r.defense);
+  w.str(r.defense_tuning);
+  w.u8(static_cast<std::uint8_t>(r.algorithm));
+  w.str(r.attack);
+  w.i32(r.trial);
+  w.u64(r.circuit_seed);
+  w.u64(r.selection_seed);
+  w.i32(r.attempts);
+  w.b(r.ok);
+  w.str(r.error);
+  w.i32(r.num_luts);
+  w.i32(r.key_cells);
+  w.i32(r.key_bits);
+  w.i32(r.cells_added);
+  w.i32(r.cells_replaced);
+  w.f64(r.perf_pct);
+  w.f64(r.power_pct);
+  w.f64(r.area_pct);
+  w.f64(r.original_delay_ps);
+  w.f64(r.hybrid_delay_ps);
+  w.str(r.n_indep);
+  w.str(r.n_dep);
+  w.str(r.n_bf);
+  w.i32(r.paths_considered);
+  w.i32(r.timing_retries);
+  w.i32(r.usl_replacements);
+  w.b(r.lint_ran);
+  w.str(r.lint_verdict);
+  w.i32(r.lint_errors);
+  w.i32(r.lint_warnings);
+  w.i32(r.lint_infos);
+  w.f64(r.audit_log10_drop);
+  w.i32(r.key_bits_static);
+  w.i32(r.eff_key_bits);
+  w.str(r.analyze_verdict);
+  w.b(r.attack_ran);
+  w.b(r.attack_success);
+  w.str(r.attack_outcome);
+  w.str(r.attack_detail);
+  w.u64(r.attack_queries);
+  w.u64(r.attack_iterations);
+  w.i64(r.attack_conflicts);
+  w.i64(r.attack_decisions);
+  w.i64(r.attack_propagations);
+  w.i64(r.attack_learned);
+  w.i64(r.attack_peak_clauses);
+  w.f64(r.attack_cnf_per_iter);
+  w.f64(r.selection_ms);
+  w.f64(r.flow_ms);
+  w.f64(r.queue_ms);
+}
+
+TrialRecord decode_trial_record(WireReader& r) {
+  TrialRecord t;
+  t.benchmark = r.str();
+  t.defense = r.str();
+  t.defense_tuning = r.str();
+  t.algorithm = static_cast<SelectionAlgorithm>(r.u8());
+  t.attack = r.str();
+  t.trial = r.i32();
+  t.circuit_seed = r.u64();
+  t.selection_seed = r.u64();
+  t.attempts = r.i32();
+  t.ok = r.b();
+  t.error = r.str();
+  t.num_luts = r.i32();
+  t.key_cells = r.i32();
+  t.key_bits = r.i32();
+  t.cells_added = r.i32();
+  t.cells_replaced = r.i32();
+  t.perf_pct = r.f64();
+  t.power_pct = r.f64();
+  t.area_pct = r.f64();
+  t.original_delay_ps = r.f64();
+  t.hybrid_delay_ps = r.f64();
+  t.n_indep = r.str();
+  t.n_dep = r.str();
+  t.n_bf = r.str();
+  t.paths_considered = r.i32();
+  t.timing_retries = r.i32();
+  t.usl_replacements = r.i32();
+  t.lint_ran = r.b();
+  t.lint_verdict = r.str();
+  t.lint_errors = r.i32();
+  t.lint_warnings = r.i32();
+  t.lint_infos = r.i32();
+  t.audit_log10_drop = r.f64();
+  t.key_bits_static = r.i32();
+  t.eff_key_bits = r.i32();
+  t.analyze_verdict = r.str();
+  t.attack_ran = r.b();
+  t.attack_success = r.b();
+  t.attack_outcome = r.str();
+  t.attack_detail = r.str();
+  t.attack_queries = r.u64();
+  t.attack_iterations = r.u64();
+  t.attack_conflicts = r.i64();
+  t.attack_decisions = r.i64();
+  t.attack_propagations = r.i64();
+  t.attack_learned = r.i64();
+  t.attack_peak_clauses = r.i64();
+  t.attack_cnf_per_iter = r.f64();
+  t.selection_ms = r.f64();
+  t.flow_ms = r.f64();
+  t.queue_ms = r.f64();
+  return t;
+}
+
+}  // namespace stt

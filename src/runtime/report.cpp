@@ -39,81 +39,24 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-std::string row_status(const CampaignRow& row) {
-  return row.ok ? "ok" : "failed";
-}
-
 }  // namespace
 
 std::string campaign_results_csv(const CampaignReport& report) {
-  // "algorithm" is the defense kind: the paper's three selection algorithms
-  // are registered defenses of the same name, so legacy campaigns render
-  // unchanged while the column covers the whole defense axis.
-  TextTable table({"benchmark",    "algorithm",      "trial",
-                   "circuit_seed", "selection_seed", "status",
-                   "attempts",     "luts",           "perf_pct",
-                   "power_pct",    "area_pct",       "orig_delay_ps",
-                   "hybrid_delay_ps", "n_indep",     "n_dep",
-                   "n_bf",         "paths",          "timing_retries",
-                   "usl",          "defense_tuning", "key_cells",
-                   "key_bits",     "cells_added",    "cells_replaced",
-                   "lint",         "lint_errors",
-                   "lint_warnings", "audit_log10_drop",
-                   "key_bits_static", "eff_key_bits",
-                   "analyze_verdict",
-                   "attack",       "attack_success",
-                   "attack_outcome",
-                   "attack_queries", "attack_iters",
-                   "attack_conflicts", "attack_decisions",
-                   "attack_propagations", "attack_learned",
-                   "attack_peak_clauses", "attack_cnf_per_iter",
-                   "error"});
-  for (const CampaignRow& row : report.rows) {
-    table.add_row({row.benchmark,
-                   row.defense,
-                   std::to_string(row.trial),
-                   std::to_string(row.circuit_seed),
-                   std::to_string(row.selection_seed),
-                   row_status(row),
-                   std::to_string(row.attempts),
-                   std::to_string(row.num_luts),
-                   fmt(row.perf_pct),
-                   fmt(row.power_pct),
-                   fmt(row.area_pct),
-                   fmt(row.original_delay_ps),
-                   fmt(row.hybrid_delay_ps),
-                   row.n_indep,
-                   row.n_dep,
-                   row.n_bf,
-                   std::to_string(row.paths_considered),
-                   std::to_string(row.timing_retries),
-                   std::to_string(row.usl_replacements),
-                   row.defense_tuning,
-                   std::to_string(row.key_cells),
-                   std::to_string(row.key_bits),
-                   std::to_string(row.cells_added),
-                   std::to_string(row.cells_replaced),
-                   row.lint_ran ? row.lint_verdict : "",
-                   row.lint_ran ? std::to_string(row.lint_errors) : "",
-                   row.lint_ran ? std::to_string(row.lint_warnings) : "",
-                   row.lint_ran ? fmt(row.audit_log10_drop) : "",
-                   row.lint_ran ? std::to_string(row.key_bits_static) : "",
-                   row.lint_ran ? std::to_string(row.eff_key_bits) : "",
-                   row.lint_ran ? row.analyze_verdict : "",
-                   row.attack_ran ? row.attack : "none",
-                   row.attack_ran ? (row.attack_success ? "1" : "0") : "",
-                   row.attack_ran ? row.attack_outcome : "",
-                   row.attack_ran ? std::to_string(row.attack_queries) : "",
-                   row.attack_ran ? std::to_string(row.attack_iterations) : "",
-                   row.attack_ran ? std::to_string(row.attack_conflicts) : "",
-                   row.attack_ran ? std::to_string(row.attack_decisions) : "",
-                   row.attack_ran ? std::to_string(row.attack_propagations)
-                                  : "",
-                   row.attack_ran ? std::to_string(row.attack_learned) : "",
-                   row.attack_ran ? std::to_string(row.attack_peak_clauses)
-                                  : "",
-                   row.attack_ran ? fmt(row.attack_cnf_per_iter) : "",
-                   row.error});
+  // Column names, order, and cell formatting all come from the TrialRecord
+  // field table (record.cpp) — the one place the results schema is
+  // declared — so this writer, the store, and schema checks cannot drift.
+  const std::span<const TrialCsvField> fields = trial_csv_fields();
+  std::vector<std::string> header;
+  header.reserve(fields.size());
+  for (const TrialCsvField& field : fields) header.emplace_back(field.name);
+  TextTable table(std::move(header));
+  for (const TrialRecord& row : report.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(fields.size());
+    for (const TrialCsvField& field : fields) {
+      cells.push_back(field.cell(row));
+    }
+    table.add_row(std::move(cells));
   }
   return table.to_csv();
 }
@@ -205,7 +148,7 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
                      static_cast<unsigned long long>(row.circuit_seed));
     out += strformat("\"selection_seed\": %llu, ",
                      static_cast<unsigned long long>(row.selection_seed));
-    out += "\"status\": \"" + row_status(row) + "\", ";
+    out += "\"status\": \"" + trial_status(row) + "\", ";
     out += strformat("\"attempts\": %d, ", row.attempts);
     out += strformat("\"luts\": %d, ", row.num_luts);
     out += "\"perf_pct\": " + fmt(row.perf_pct) + ", ";
@@ -291,6 +234,16 @@ std::string campaign_json(const CampaignReport& report, bool include_profile) {
     out += strformat("\"stolen\": %llu, ",
                      static_cast<unsigned long long>(p.stolen));
     out += strformat("\"failed_rows\": %zu,\n", p.failed_rows);
+    out += strformat("    \"rows_resumed\": %zu, \"rows_executed\": %zu, ",
+                     p.rows_resumed, p.rows_executed);
+    out += strformat("\"shard_index\": %u, \"shard_count\": %u,\n",
+                     p.shard_index, p.shard_count);
+    out += strformat(
+        "    \"cache_builds\": %llu, \"cache_reuses\": %llu, ",
+        static_cast<unsigned long long>(p.cache_builds),
+        static_cast<unsigned long long>(p.cache_reuses));
+    out += "\"cache_saved_ms\": " + fmt(p.cache_saved_ms) + ",\n";
+    out += "    \"store_note\": \"" + json_escape(p.store_note) + "\",\n";
     out += "    \"obs\": " + obs::metrics_json(p.obs, 4).substr(4);
     out += "}";
   }

@@ -1,0 +1,56 @@
+// Static campaign sharding and deterministic shard-store merging.
+//
+// A shard "i/N" owns exactly the grid points whose flat row index
+// (((b*n_def + d)*n_att + a)*n_trial + t, the campaign driver's layout)
+// satisfies index % N == i-1. Striding by the innermost coordinates spreads
+// every benchmark and defense across all shards, so shard wall-times stay
+// balanced even when one benchmark dominates.
+//
+// `merge_stores` recombines shard stores (or an interrupted store plus its
+// resumed continuation) into the full-grid CampaignReport: every store must
+// carry the same spec fingerprint, duplicate records must be byte-identical
+// (the codec is canonical, so equality of bytes is equality of values), the
+// union must cover the grid, and rows come out in grid order with the obs
+// block re-summed from the stored per-stage deltas — byte-identical CSV and
+// stable JSON to a single uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.hpp"
+#include "runtime/store.hpp"
+
+namespace stt {
+
+struct ShardSpec {
+  unsigned index = 1;  ///< 1-based
+  unsigned count = 1;
+};
+
+/// Parse "i/N" (e.g. "2/4"). Throws std::invalid_argument unless
+/// 1 <= i <= N.
+ShardSpec parse_shard(const std::string& text);
+
+/// Does shard `spec` own flat grid row `flat_index`?
+inline bool shard_owns(const ShardSpec& spec, std::size_t flat_index) {
+  return flat_index % spec.count == spec.index - 1;
+}
+
+struct MergeStats {
+  std::size_t stores = 0;
+  std::size_t trials = 0;      ///< unique grid points in the union
+  std::size_t stages = 0;      ///< unique shared-stage deltas
+  std::size_t duplicates = 0;  ///< byte-identical records seen twice
+};
+
+/// Merge the stores at `paths` into a full-grid report. Throws
+/// std::runtime_error on spec-fingerprint mismatch, on conflicting
+/// duplicates (same key, different bytes — the stores are not shards of
+/// one campaign), and on an incomplete union (some grid points never ran;
+/// the message says how many and names the first).
+CampaignReport merge_stores(const std::vector<std::string>& paths,
+                            MergeStats* stats = nullptr);
+
+}  // namespace stt

@@ -24,6 +24,12 @@
 //                    [--trace t.json --metrics m.json]
 //                    [--defense xor:count=16,latch --attack sat,seq]
 //                    (--defense all --attack all = the full cross matrix)
+//                    [--store run.store | --resume run.store] [--shard i/N]
+//                    [--stable-json results.stable.json]
+//   sttlock merge   --in a.store,b.store [--out-csv r.csv]
+//                   [--out-json r.json] [--stable-json r.stable.json]
+//                   (recombine shard / interrupted-run stores; output is
+//                    byte-identical to the uninterrupted single run)
 //   sttlock lint    --in h.bench [--json report.json] [--strict] [--no-audit]
 //   sttlock lint    --gen s641,s820 --algorithms parametric --seed 7
 //                   (generate + lock + lint each algorithm's output;
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "attack/registry.hpp"
+#include "cli/options.hpp"
 #include "core/flow.hpp"
 #include "core/bitstream.hpp"
 #include "core/packing.hpp"
@@ -56,8 +63,9 @@
 #include "runtime/campaign.hpp"
 #include "runtime/parallel.hpp"
 #include "runtime/report.hpp"
+#include "runtime/shard.hpp"
+#include "runtime/store.hpp"
 #include "runtime/thread_pool.hpp"
-#include "sim/isa.hpp"
 #include "synth/generator.hpp"
 #include "timing/sta.hpp"
 #include "util/args.hpp"
@@ -68,6 +76,8 @@
 namespace {
 
 using namespace stt;
+using cli::ObsCapture;
+using cli::write_text_file;
 
 Netlist load_netlist(const std::string& path) {
   if (ends_with(path, ".bench")) return read_bench_file(path);
@@ -100,21 +110,6 @@ void save_netlist(const Netlist& nl, const std::string& path,
   throw std::runtime_error("unknown netlist extension: " + path);
 }
 
-
-// Shared --sim-isa handling: empty leaves the engine's lazy resolution
-// (STTLOCK_SIM_ISA env, then CPUID) in charge; any other value — including
-// "auto" — resolves eagerly so bad spellings fail before work starts.
-void add_sim_isa_option(ArgParser& p) {
-  p.add_option("--sim-isa",
-               "simulation kernel: scalar|avx2|avx512|auto "
-               "(default: STTLOCK_SIM_ISA env, then CPUID probe)",
-               "");
-}
-
-void apply_sim_isa(const ArgParser& p) {
-  const std::string isa = p.get("--sim-isa");
-  if (!isa.empty()) set_sim_isa(isa);
-}
 
 int cmd_gen(const std::vector<std::string>& args) {
   ArgParser p;
@@ -245,53 +240,6 @@ int cmd_lock(const std::vector<std::string>& args) {
   return 0;
 }
 
-void write_text_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out << content;
-}
-
-/// Scoped --trace/--metrics capture: starts the global TraceRecorder and
-/// baselines the metrics registry on construction; finish() writes the
-/// Chrome trace and the metrics delta. Either path may be empty.
-class ObsCapture {
- public:
-  ObsCapture(std::string trace_path, std::string metrics_path)
-      : trace_path_(std::move(trace_path)),
-        metrics_path_(std::move(metrics_path)) {
-    if (!metrics_path_.empty()) {
-      before_ = obs::Metrics::global().snapshot(/*include_runtime=*/true);
-    }
-    if (!trace_path_.empty()) obs::TraceRecorder::global().start();
-  }
-
-  void finish() {
-    if (!trace_path_.empty()) {
-      obs::TraceRecorder::global().stop();
-      write_text_file(trace_path_, obs::TraceRecorder::global().chrome_json());
-      std::fprintf(stderr, "wrote %s (%zu trace events)\n",
-                   trace_path_.c_str(),
-                   obs::TraceRecorder::global().event_count());
-      trace_path_.clear();
-    }
-    if (!metrics_path_.empty()) {
-      write_text_file(
-          metrics_path_,
-          obs::metrics_json(obs::snapshot_diff(
-              obs::Metrics::global().snapshot(/*include_runtime=*/true),
-              before_)) +
-              "\n");
-      std::fprintf(stderr, "wrote %s\n", metrics_path_.c_str());
-      metrics_path_.clear();
-    }
-  }
-
- private:
-  std::string trace_path_;
-  std::string metrics_path_;
-  obs::MetricsSnapshot before_;
-};
-
 attack::Tuning parse_tuning_list(const std::string& list, char sep) {
   attack::Tuning tuning;
   for (const std::string& kv : split(list, sep)) {
@@ -356,15 +304,11 @@ int cmd_attack(const std::vector<std::string>& args) {
                "");
   p.add_option("--portfolio", "sat solver portfolio size (sugar for --tune)",
                "1");
-  p.add_option("--jobs", "threads for sat portfolio slices/warm-up", "1");
   p.add_flag("--naive", "legacy full-copy DIP encoding (sat baseline)");
-  p.add_option("--trace", "write a Chrome trace (chrome://tracing JSON) here",
-               "");
-  p.add_option("--metrics", "write the run's metrics delta (JSON) here", "");
-  add_sim_isa_option(p);
+  cli::CommonOptions common_opt(p, cli::kJobs | cli::kObs | cli::kSimIsa);
   p.parse(args);
   if (p.flag("--list")) return list_attacks();
-  apply_sim_isa(p);
+  common_opt.load(p);
 
   const Netlist view = foundry_view(load_netlist(p.get("--view")));
   const Netlist chip = load_netlist(p.get("--oracle"));
@@ -400,12 +344,12 @@ int cmd_attack(const std::vector<std::string>& args) {
   }
   if (p.flag("--naive")) tuning.emplace_back("naive", "1");
 
-  const unsigned jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  const unsigned jobs = common_opt.jobs();
   ThreadPool pool(jobs == 0 ? 0u : jobs);
   ThreadPoolParallelFor par(pool);
   ParallelFor* const parallel = jobs != 1 ? &par : nullptr;
 
-  ObsCapture capture(p.get("--trace"), p.get("--metrics"));
+  ObsCapture capture(common_opt);
   const attack::UnifiedResult r =
       attack::registry().run(kind, view, chip, common, tuning, parallel);
   capture.finish();
@@ -453,10 +397,10 @@ int cmd_defend(const std::vector<std::string>& args) {
   p.add_option("--out-key", "plain key-file output", "");
   p.add_option("--out-annotations",
                "defense-annotation file consumed by `sttlock lint`", "");
-  add_sim_isa_option(p);
+  cli::CommonOptions common_opt(p, cli::kSimIsa);
   p.parse(args);
   if (p.flag("--list")) return list_defenses();
-  apply_sim_isa(p);
+  common_opt.load(p);
   if (p.get("--in").empty()) {
     std::fprintf(stderr, "defend: pass --in <netlist> (or --list)\n");
     return 1;
@@ -508,7 +452,6 @@ int cmd_campaign(const std::vector<std::string>& args) {
                "independent,dependent,parametric");
   p.add_option("--seeds", "trials per (benchmark, algorithm) grid point", "1");
   p.add_option("--master-seed", "campaign master seed", "20160605");
-  p.add_option("--jobs", "worker threads (0 = all hardware threads)", "1");
   p.add_option("--retries", "max attempts per grid point (seed backoff)", "3");
   p.add_option("--attack",
                "attack axis: comma list of none and registry names "
@@ -523,15 +466,27 @@ int cmd_campaign(const std::vector<std::string>& args) {
   p.add_option("--out-csv", "deterministic result rows (CSV)", "");
   p.add_option("--out-times-csv", "measured per-job timing rows (CSV)", "");
   p.add_option("--out-json", "full JSON report (results+summary+runtime)", "");
-  p.add_option("--trace", "write a Chrome trace (chrome://tracing JSON) here",
+  p.add_option("--stable-json",
+               "deterministic JSON report (no runtime section; "
+               "byte-comparable across runs, --jobs, resume and shards)",
                "");
-  p.add_option("--metrics", "write the campaign's metrics delta (JSON) here",
+  p.add_option("--store",
+               "record every completed grid point into this append-only "
+               "result store (refuses to clobber; continue with --resume)",
                "");
+  p.add_option("--resume",
+               "existing result store to resume: recorded grid points are "
+               "skipped and replayed from disk (created if missing)",
+               "");
+  p.add_option("--shard",
+               "run only shard i of N as i/N (requires --store/--resume; "
+               "recombine the stores with 'sttlock merge')",
+               "1/1");
   p.add_flag("--progress", "live progress line on stderr");
-  p.add_flag("--quiet", "suppress the summary table on stdout");
-  add_sim_isa_option(p);
+  cli::CommonOptions common_opt(
+      p, cli::kJobs | cli::kObs | cli::kSimIsa | cli::kQuiet);
   p.parse(args);
-  apply_sim_isa(p);
+  common_opt.load(p);
 
   CampaignSpec spec;
   if (!p.get("--benchmarks").empty()) {
@@ -552,9 +507,31 @@ int cmd_campaign(const std::vector<std::string>& args) {
   }
   spec.trials = static_cast<int>(p.get_int("--seeds"));
   spec.master_seed = static_cast<std::uint64_t>(p.get_int("--master-seed"));
-  spec.jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  spec.jobs = common_opt.jobs();
   spec.max_attempts = static_cast<int>(p.get_int("--retries"));
   spec.timing_margin = p.get_double("--margin");
+
+  // Result store / resume / shard plumbing (runtime/store.hpp, shard.hpp).
+  if (!p.get("--store").empty() && !p.get("--resume").empty()) {
+    std::fprintf(stderr,
+                 "campaign: pass --store (fresh) or --resume (continue), "
+                 "not both\n");
+    return 1;
+  }
+  spec.store_path = p.get("--store");
+  if (!p.get("--resume").empty()) {
+    spec.store_path = p.get("--resume");
+    spec.resume = true;
+  }
+  const ShardSpec shard = parse_shard(p.get("--shard"));
+  spec.shard_index = shard.index;
+  spec.shard_count = shard.count;
+  if (shard.count > 1 && spec.store_path.empty()) {
+    std::fprintf(stderr,
+                 "campaign: --shard needs --store/--resume so 'sttlock "
+                 "merge' can recombine the results\n");
+    return 1;
+  }
 
   // Defense axis: explicit entries override the --algorithms paper sweep.
   const std::string defense_arg = p.get("--defense");
@@ -599,11 +576,14 @@ int cmd_campaign(const std::vector<std::string>& args) {
     meter.tick(done, label);
   };
 
-  ObsCapture capture(p.get("--trace"), p.get("--metrics"));
+  ObsCapture capture(common_opt);
   const CampaignReport report = run_campaign(spec);
   meter.finish();
   capture.finish();
 
+  if (!report.profile.store_note.empty()) {
+    std::fprintf(stderr, "store: %s\n", report.profile.store_note.c_str());
+  }
   if (!p.get("--out-csv").empty()) {
     write_text_file(p.get("--out-csv"), campaign_results_csv(report));
   }
@@ -613,8 +593,12 @@ int cmd_campaign(const std::vector<std::string>& args) {
   if (!p.get("--out-json").empty()) {
     write_text_file(p.get("--out-json"), campaign_json(report));
   }
+  if (!p.get("--stable-json").empty()) {
+    write_text_file(p.get("--stable-json"),
+                    campaign_json(report, /*include_profile=*/false));
+  }
 
-  if (!p.flag("--quiet")) {
+  if (!common_opt.quiet()) {
     std::printf("%s\n", campaign_summary_text(report).c_str());
   }
   std::printf(
@@ -624,6 +608,67 @@ int cmd_campaign(const std::vector<std::string>& args) {
       report.profile.wall_seconds, report.profile.job_cpu_seconds,
       static_cast<unsigned long long>(report.profile.executed),
       static_cast<unsigned long long>(report.profile.stolen));
+  if (!spec.store_path.empty() || spec.shard_count > 1) {
+    std::printf("store: %zu rows resumed, %zu executed (shard %u/%u)\n",
+                report.profile.rows_resumed, report.profile.rows_executed,
+                report.profile.shard_index, report.profile.shard_count);
+  }
+  if (report.profile.cache_builds > 0) {
+    std::printf(
+        "cache: %llu group lowerings built, %llu reuses, ~%.1f ms per-trial "
+        "setup saved\n",
+        static_cast<unsigned long long>(report.profile.cache_builds),
+        static_cast<unsigned long long>(report.profile.cache_reuses),
+        report.profile.cache_saved_ms);
+  }
+  return report.profile.failed_rows == 0 ? 0 : 2;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  ArgParser p;
+  p.add_option("--in",
+               "comma-separated result stores to merge (shards of one "
+               "campaign, or an interrupted store plus its continuation)");
+  p.add_option("--out-csv", "deterministic result rows (CSV)", "");
+  p.add_option("--out-json", "full JSON report (results+summary+runtime)", "");
+  p.add_option("--stable-json",
+               "deterministic JSON report (no runtime section; "
+               "byte-comparable across runs, --jobs, resume and shards)",
+               "");
+  cli::CommonOptions common_opt(p, cli::kQuiet);
+  p.parse(args);
+  common_opt.load(p);
+
+  std::vector<std::string> paths;
+  for (const std::string& path : split(p.get("--in"), ',')) {
+    if (!trim(path).empty()) paths.push_back(std::string(trim(path)));
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "merge: pass --in <store>[,<store>...]\n");
+    return 1;
+  }
+
+  MergeStats stats;
+  const CampaignReport report = merge_stores(paths, &stats);
+
+  if (!p.get("--out-csv").empty()) {
+    write_text_file(p.get("--out-csv"), campaign_results_csv(report));
+  }
+  if (!p.get("--out-json").empty()) {
+    write_text_file(p.get("--out-json"), campaign_json(report));
+  }
+  if (!p.get("--stable-json").empty()) {
+    write_text_file(p.get("--stable-json"),
+                    campaign_json(report, /*include_profile=*/false));
+  }
+  if (!common_opt.quiet()) {
+    std::printf("%s\n", campaign_summary_text(report).c_str());
+  }
+  std::printf(
+      "merge: %zu stores -> %zu rows (%zu stage deltas, %zu duplicate "
+      "records, %zu failed rows)\n",
+      stats.stores, report.rows.size(), stats.stages, stats.duplicates,
+      report.profile.failed_rows);
   return report.profile.failed_rows == 0 ? 0 : 2;
 }
 
@@ -648,8 +693,9 @@ int cmd_lint(const std::vector<std::string>& args) {
   p.add_option("--json", "machine-readable report output path", "");
   p.add_flag("--strict", "treat warnings as errors in the exit code");
   p.add_flag("--no-audit", "structural layer only (skip the security audit)");
-  p.add_flag("--quiet", "suppress the per-finding text report");
+  cli::CommonOptions common_opt(p, cli::kQuiet);
   p.parse(args);
+  common_opt.load(p);
 
   LintOptions opt;
   opt.run_audit = !p.flag("--no-audit");
@@ -665,7 +711,7 @@ int cmd_lint(const std::vector<std::string>& args) {
   std::vector<LintReport> reports;
   auto lint_one = [&](const Netlist& nl) {
     reports.push_back(run_lint(nl, opt));
-    if (!p.flag("--quiet")) {
+    if (!common_opt.quiet()) {
       std::fputs(lint_text(reports.back()).c_str(), stdout);
     }
   };
@@ -760,13 +806,12 @@ int cmd_analyze(const std::vector<std::string>& args) {
                "--out-annotations); --gen feeds each defense's own "
                "annotations automatically",
                "");
-  p.add_option("--jobs", "analysis worker threads (0 = all hardware)", "1");
   p.add_option("--out", "machine-readable report output path", "");
-  p.add_flag("--json", "print the JSON report on stdout");
   p.add_flag("--no-support",
              "skip the support-function pass (KEY008 vacuousness)");
-  p.add_flag("--quiet", "suppress the per-netlist text summary");
+  cli::CommonOptions common_opt(p, cli::kJobs | cli::kQuiet | cli::kJson);
   p.parse(args);
+  common_opt.load(p);
 
   struct AnalyzeTask {
     std::string name;
@@ -854,7 +899,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
       errors[i] = e.what();
     }
   };
-  const unsigned jobs = static_cast<unsigned>(p.get_int("--jobs"));
+  const unsigned jobs = common_opt.jobs();
   if (jobs == 1) {
     for (std::size_t i = 0; i < tasks.size(); ++i) analyze_at(i);
   } else {
@@ -872,7 +917,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
       continue;
     }
     const KeydepResult& r = results[i];
-    if (!p.flag("--quiet")) {
+    if (!common_opt.quiet()) {
       std::printf(
           "%s: %s | key cells %d, bits %d nominal / %d static / %d "
           "effective | const %d removable %d mutable %d pairwise %d hard "
@@ -885,7 +930,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
   }
   if (failed) return 1;
 
-  if (!p.get("--out").empty() || p.flag("--json")) {
+  if (!p.get("--out").empty() || common_opt.json()) {
     std::string doc;
     if (tasks.size() == 1) {
       doc = keydep_json(tasks[0].nl, results[0]);
@@ -900,7 +945,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
       doc += "]\n";
     }
     if (!p.get("--out").empty()) write_text_file(p.get("--out"), doc);
-    if (p.flag("--json")) std::fputs(doc.c_str(), stdout);
+    if (common_opt.json()) std::fputs(doc.c_str(), stdout);
   }
   return 0;
 }
@@ -947,8 +992,8 @@ int cmd_program(const std::vector<std::string>& args) {
 void usage() {
   std::fputs(
       "usage: sttlock <command> [options]\n"
-      "commands: gen, info, lock, defend, attack, campaign, lint, analyze, "
-      "convert, program\n"
+      "commands: gen, info, lock, defend, attack, campaign, merge, lint, "
+      "analyze, convert, program\n"
       "run 'sttlock <command> --help' is not needed — errors list options.\n",
       stderr);
 }
@@ -969,6 +1014,7 @@ int main(int argc, char** argv) {
     if (cmd == "defend") return cmd_defend(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "merge") return cmd_merge(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "convert") return cmd_convert(args);
